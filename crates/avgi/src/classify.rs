@@ -1,0 +1,302 @@
+//! The IMM classification diagram (Fig. 2 of the paper).
+//!
+//! Two entry points:
+//!
+//! * [`classify_conditions`] — the literal decision diagram over the eight
+//!   binary conditions. Its 2⁸ = 256 input combinations map onto exactly
+//!   one class each, with the don't-care counts the paper prints on the
+//!   diagram nodes (128 IFC, 64 IRP, 32 UNO, 16 OFS, 8 DCR, 4 ETE, 2 PRE,
+//!   1 ESC, 1 Benign). A property test pins this down.
+//! * [`classify_injection`] — the practical classifier: derives the
+//!   conditions from an [`InjectionResult`] (first commit-trace deviation +
+//!   run outcome + output comparison) and applies the diagram.
+
+use crate::imm::{Imm, ImmClass};
+use avgi_faultsim::InjectionResult;
+use avgi_isa::encoding::opcode_bits;
+use avgi_isa::instr::decode;
+use avgi_muarch::run::RunOutcome;
+use avgi_muarch::trace::Deviation;
+
+/// The eight binary conditions of the Fig. 2 diagram, in evaluation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conditions {
+    /// Committed PC matches the fault-free trace.
+    pub pc_correct: bool,
+    /// Opcode field matches.
+    pub opcode_correct: bool,
+    /// All operand fields are encodings the ISA defines.
+    pub operands_known: bool,
+    /// Operand fields match the fault-free instruction.
+    pub operands_correct: bool,
+    /// Produced data (register writeback / effective address / store data)
+    /// matches.
+    pub data_correct: bool,
+    /// Commit cycle matches.
+    pub cycle_correct: bool,
+    /// An output file was produced (the run completed).
+    pub output_produced: bool,
+    /// The output file matches the fault-free output.
+    pub output_correct: bool,
+}
+
+impl Conditions {
+    /// Builds the condition vector from a bit pattern (bit 0 =
+    /// `pc_correct` … bit 7 = `output_correct`); used by the completeness
+    /// property test.
+    pub fn from_bits(bits: u8) -> Self {
+        Conditions {
+            pc_correct: bits & 1 != 0,
+            opcode_correct: bits & 2 != 0,
+            operands_known: bits & 4 != 0,
+            operands_correct: bits & 8 != 0,
+            data_correct: bits & 16 != 0,
+            cycle_correct: bits & 32 != 0,
+            output_produced: bits & 64 != 0,
+            output_correct: bits & 128 != 0,
+        }
+    }
+
+    /// Whether the commit trace deviated at all (the diagram's top fork).
+    pub fn commit_trace_correct(&self) -> bool {
+        self.pc_correct
+            && self.opcode_correct
+            && self.operands_known
+            && self.operands_correct
+            && self.data_correct
+            && self.cycle_correct
+    }
+}
+
+/// Applies the Fig. 2 decision diagram. Total: every condition vector maps
+/// to exactly one class.
+pub fn classify_conditions(c: Conditions) -> ImmClass {
+    if !c.pc_correct {
+        return ImmClass::Manifested(Imm::Ifc);
+    }
+    if !c.opcode_correct {
+        return ImmClass::Manifested(Imm::Irp);
+    }
+    if !c.operands_known {
+        return ImmClass::Manifested(Imm::Uno);
+    }
+    if !c.operands_correct {
+        return ImmClass::Manifested(Imm::Ofs);
+    }
+    if !c.data_correct {
+        return ImmClass::Manifested(Imm::Dcr);
+    }
+    if !c.cycle_correct {
+        return ImmClass::Manifested(Imm::Ete);
+    }
+    // Commit trace correct: the right branch of the diagram.
+    if !c.output_produced {
+        return ImmClass::Manifested(Imm::Pre);
+    }
+    if !c.output_correct {
+        return ImmClass::Manifested(Imm::Esc);
+    }
+    ImmClass::Benign
+}
+
+/// Derives the trace-side conditions from the first deviation.
+fn deviation_conditions(d: &Deviation) -> Conditions {
+    let g = d.golden;
+    let f = d.faulty;
+    let pc_correct = g.pc == f.pc;
+    let opcode_correct = opcode_bits(g.raw) == opcode_bits(f.raw);
+    // Operand fields are everything below the opcode byte.
+    let operand_fields_match = g.raw == f.raw;
+    // "Known to the ISA": the faulty word decodes, or fails only on its
+    // opcode (operand errors are what UNO captures).
+    let operands_known = match decode(f.raw) {
+        Ok(_) => true,
+        Err(e) => !e.is_operand_error(),
+    };
+    Conditions {
+        pc_correct,
+        opcode_correct,
+        operands_known,
+        operands_correct: operand_fields_match,
+        data_correct: g.ea == f.ea && g.val == f.val,
+        cycle_correct: g.cycle == f.cycle,
+        output_produced: true, // don't-care on the left branch
+        output_correct: true,  // don't-care on the left branch
+    }
+}
+
+/// Classifies one injection into Benign or an IMM (phase 3 of the
+/// methodology).
+///
+/// * a commit-trace deviation is classified by the diagram's left branch;
+/// * a crash with no prior deviation is `PRE`;
+/// * a completed run with no deviation is `ESC` if the output differs,
+///   otherwise Benign;
+/// * an early-stopped run with no deviation (`ErtExpired`) is Benign —
+///   phase 4's ESC estimation accounts for the escapes this can hide.
+pub fn classify_injection(r: &InjectionResult) -> ImmClass {
+    if let Some(d) = &r.deviation {
+        return classify_conditions(deviation_conditions(d));
+    }
+    match r.outcome {
+        RunOutcome::Completed => match r.output_matches {
+            Some(true) => ImmClass::Benign,
+            Some(false) => ImmClass::Manifested(Imm::Esc),
+            None => ImmClass::Benign,
+        },
+        RunOutcome::Trap(_) | RunOutcome::IntegrityViolation(_) | RunOutcome::Watchdog => {
+            ImmClass::Manifested(Imm::Pre)
+        }
+        RunOutcome::ErtExpired | RunOutcome::StoppedAtDeviation => ImmClass::Benign,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avgi_muarch::trace::CommitRecord;
+
+    fn rec(cycle: u64, pc: u32, raw: u32, ea: u32, val: u32) -> CommitRecord {
+        CommitRecord { cycle, pc, raw, ea, val }
+    }
+
+    fn dev(golden: CommitRecord, faulty: CommitRecord) -> Deviation {
+        Deviation { index: 0, golden, faulty }
+    }
+
+    // A valid instruction word: add r1, r2, r5.
+    fn valid_word() -> u32 {
+        use avgi_isa::instr::Instr;
+        use avgi_isa::opcode::Opcode;
+        use avgi_isa::reg::{A0, A1, T0};
+        Instr::new(Opcode::Add, A0, A1, T0, 0).encode()
+    }
+
+    #[test]
+    fn diagram_is_complete_and_mutually_exclusive() {
+        // All 256 combinations, count per class — must match the paper's
+        // don't-care labels.
+        let mut counts = std::collections::BTreeMap::new();
+        for bits in 0..=255u8 {
+            let class = classify_conditions(Conditions::from_bits(bits));
+            *counts.entry(format!("{class}")).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts["IFC"], 128);
+        assert_eq!(counts["IRP"], 64);
+        assert_eq!(counts["UNO"], 32);
+        assert_eq!(counts["OFS"], 16);
+        assert_eq!(counts["DCR"], 8);
+        assert_eq!(counts["ETE"], 4);
+        assert_eq!(counts["PRE"], 2);
+        assert_eq!(counts["ESC"], 1);
+        assert_eq!(counts["Benign"], 1);
+        assert_eq!(counts.values().sum::<u32>(), 256);
+    }
+
+    #[test]
+    fn wrong_pc_is_ifc_regardless_of_the_rest() {
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let f = rec(11, 0x44, 0xFFFF_FFFF, 9, 9);
+        let c = deviation_conditions(&dev(g, f));
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Ifc));
+    }
+
+    #[test]
+    fn corrupted_opcode_is_irp() {
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let f = rec(10, 0x40, valid_word() ^ (1 << 30), 0, 1); // flip an opcode bit
+        let c = deviation_conditions(&dev(g, f));
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Irp));
+    }
+
+    #[test]
+    fn invalid_register_field_is_uno() {
+        // Flip rd's top bit: r1 (00001) -> r17? For add r1: rd bits at
+        // [23:19] = 00001; setting bit 23 makes rd = 0b10001 = 17 (valid).
+        // Instead set bits to make rd = 25 (invalid): 0b11001.
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let corrupt = (valid_word() & !(0x1F << 19)) | (25 << 19);
+        let f = rec(10, 0x40, corrupt, 0, 1);
+        let c = deviation_conditions(&dev(g, f));
+        assert!(!c.operands_known);
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Uno));
+    }
+
+    #[test]
+    fn different_valid_register_is_ofs() {
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let corrupt = (valid_word() & !(0x1F << 19)) | (3 << 19); // rd = r3
+        let f = rec(10, 0x40, corrupt, 0, 7);
+        let c = deviation_conditions(&dev(g, f));
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Ofs));
+    }
+
+    #[test]
+    fn same_instruction_wrong_value_is_dcr() {
+        let g = rec(10, 0x40, valid_word(), 0x40000, 1);
+        let f = rec(10, 0x40, valid_word(), 0x40000, 2);
+        let c = deviation_conditions(&dev(g, f));
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Dcr));
+        // Wrong effective address is DCR too (corrupted address register).
+        let f = rec(10, 0x40, valid_word(), 0x40004, 1);
+        let c = deviation_conditions(&dev(g, f));
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Dcr));
+    }
+
+    #[test]
+    fn timing_only_difference_is_ete() {
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let f = rec(12, 0x40, valid_word(), 0, 1);
+        let c = deviation_conditions(&dev(g, f));
+        assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Ete));
+    }
+
+    #[test]
+    fn injection_without_deviation_classifies_by_outcome() {
+        use avgi_muarch::fault::{Fault, FaultSite, Structure};
+        let fault = Fault { site: FaultSite { structure: Structure::Rob, bit: 0 }, cycle: 5 };
+        let base = InjectionResult {
+            fault,
+            outcome: RunOutcome::Completed,
+            deviation: None,
+            output_matches: Some(true),
+            cycles: 100,
+            post_inject_cycles: 95,
+        };
+        assert_eq!(classify_injection(&base), ImmClass::Benign);
+        let esc = InjectionResult { output_matches: Some(false), ..base.clone() };
+        assert_eq!(classify_injection(&esc), ImmClass::Manifested(Imm::Esc));
+        let pre = InjectionResult {
+            outcome: RunOutcome::IntegrityViolation(Structure::Rob),
+            output_matches: None,
+            ..base.clone()
+        };
+        assert_eq!(classify_injection(&pre), ImmClass::Manifested(Imm::Pre));
+        let hang = InjectionResult {
+            outcome: RunOutcome::Watchdog,
+            output_matches: None,
+            ..base.clone()
+        };
+        assert_eq!(classify_injection(&hang), ImmClass::Manifested(Imm::Pre));
+        let ert = InjectionResult { outcome: RunOutcome::ErtExpired, output_matches: None, ..base };
+        assert_eq!(classify_injection(&ert), ImmClass::Benign);
+    }
+
+    #[test]
+    fn crash_after_deviation_classifies_by_the_deviation() {
+        use avgi_muarch::fault::{Fault, FaultSite, Structure};
+        use avgi_muarch::run::TrapKind;
+        let fault = Fault { site: FaultSite { structure: Structure::L1IData, bit: 0 }, cycle: 5 };
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let f = rec(10, 0x40, valid_word() ^ (1 << 30), 0, 1);
+        let r = InjectionResult {
+            fault,
+            outcome: RunOutcome::Trap(TrapKind::UndefinedInstruction),
+            deviation: Some(dev(g, f)),
+            output_matches: None,
+            cycles: 100,
+            post_inject_cycles: 95,
+        };
+        assert_eq!(classify_injection(&r), ImmClass::Manifested(Imm::Irp));
+    }
+}

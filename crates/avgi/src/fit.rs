@@ -1,0 +1,55 @@
+//! Failures-in-Time computation (Fig. 11).
+//!
+//! `FIT = raw FIT/bit × bits × AVF`; the chip FIT is the sum over
+//! structures. The raw rate is the paper's 9.39×10⁻⁶ FIT/bit (from its
+//! reference \[38\]).
+
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+
+/// Raw transient-fault rate per storage bit, in FIT (failures per 10⁹
+/// device-hours), as used by the paper for the Cortex-A72-like CPU.
+pub const RAW_FIT_PER_BIT: f64 = 9.39e-6;
+
+/// FIT rate of one structure given its measured AVF.
+pub fn structure_fit(structure: Structure, cfg: &MuarchConfig, avf: f64) -> f64 {
+    RAW_FIT_PER_BIT * structure.bit_count(cfg) as f64 * avf
+}
+
+/// Whole-chip FIT: sum of per-structure FITs.
+pub fn chip_fit<I: IntoIterator<Item = (Structure, f64)>>(cfg: &MuarchConfig, avfs: I) -> f64 {
+    avfs.into_iter().map(|(s, avf)| structure_fit(s, cfg, avf)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_scales_with_bits_and_avf() {
+        let cfg = MuarchConfig::big();
+        let f1 = structure_fit(Structure::RegFile, &cfg, 0.1);
+        let f2 = structure_fit(Structure::RegFile, &cfg, 0.2);
+        assert!((f2 / f1 - 2.0).abs() < 1e-12);
+        // L2 data has ~170x the bits of the register file.
+        let l2 = structure_fit(Structure::L2Data, &cfg, 0.1);
+        assert!(l2 > 100.0 * f1);
+    }
+
+    #[test]
+    fn regfile_fit_exact_value() {
+        let cfg = MuarchConfig::big();
+        // 96 regs x 32 bits = 3072 bits.
+        let expect = 9.39e-6 * 3072.0 * 0.5;
+        assert!((structure_fit(Structure::RegFile, &cfg, 0.5) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_fit_sums_structures() {
+        let cfg = MuarchConfig::big();
+        let parts = [(Structure::RegFile, 0.2), (Structure::Rob, 0.1)];
+        let total = chip_fit(&cfg, parts);
+        let manual: f64 = parts.iter().map(|&(s, a)| structure_fit(s, &cfg, a)).sum();
+        assert_eq!(total, manual);
+    }
+}

@@ -1,0 +1,174 @@
+//! The eight ISA Manifestation Models (Table I of the paper) and the final
+//! fault-effect classes.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The eight complete and mutually exclusive ISA Manifestation Models —
+/// how a hardware fault first "touches" the software layer (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Imm {
+    /// Instruction Flow Change: a different instruction executes because
+    /// fetching went to the wrong place (wrong PC in the commit trace).
+    Ifc,
+    /// Instruction Replacement: correct PC, corrupted opcode — a different
+    /// operation executes.
+    Irp,
+    /// Unknown Operand: one or more operand fields corrupted into encodings
+    /// the ISA does not define.
+    Uno,
+    /// Operand Forced Switch: register operand(s) and/or immediate field(s)
+    /// corrupted into *valid but different* encodings.
+    Ofs,
+    /// Data Corruption: the correct resource is used but its content
+    /// (register or memory word) is corrupted.
+    Dcr,
+    /// Execution Time Error: architecturally identical instruction committed
+    /// in the wrong clock cycle.
+    Ete,
+    /// Pre-Software Crash: execution crashes before the fault reaches the
+    /// ISA (an ISA-undefined high-level condition — simulator integrity
+    /// checks, hangs, pre-deviation traps).
+    Pre,
+    /// Escaped: the output is corrupted without the fault ever passing
+    /// through the program trace (dirty output data in a cache, §IV.D).
+    Esc,
+}
+
+impl Imm {
+    /// All eight IMMs in Table I order.
+    pub fn all() -> &'static [Imm] {
+        &[Imm::Ifc, Imm::Irp, Imm::Uno, Imm::Ofs, Imm::Dcr, Imm::Ete, Imm::Pre, Imm::Esc]
+    }
+
+    /// Short label as in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Imm::Ifc => "IFC",
+            Imm::Irp => "IRP",
+            Imm::Uno => "UNO",
+            Imm::Ofs => "OFS",
+            Imm::Dcr => "DCR",
+            Imm::Ete => "ETE",
+            Imm::Pre => "PRE",
+            Imm::Esc => "ESC",
+        }
+    }
+
+    /// Dense index (0..8), stable across releases.
+    pub fn index(self) -> usize {
+        match self {
+            Imm::Ifc => 0,
+            Imm::Irp => 1,
+            Imm::Uno => 2,
+            Imm::Ofs => 3,
+            Imm::Dcr => 4,
+            Imm::Ete => 5,
+            Imm::Pre => 6,
+            Imm::Esc => 7,
+        }
+    }
+}
+
+/// Number of IMM classes.
+pub const NUM_IMMS: usize = 8;
+
+impl fmt::Display for Imm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where a fault landed on the hardware/software interface: either it never
+/// became architecturally visible (Benign) or it manifested as one of the
+/// eight IMMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImmClass {
+    /// Masked by the hardware: never architecturally visible.
+    Benign,
+    /// Manifested to the software as the given IMM.
+    Manifested(Imm),
+}
+
+impl fmt::Display for ImmClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImmClass::Benign => f.write_str("Benign"),
+            ImmClass::Manifested(i) => i.fmt(f),
+        }
+    }
+}
+
+/// Final effect of a fault on the program (§II.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultEffect {
+    /// No observable difference from the fault-free run.
+    Masked,
+    /// Program finished but produced different output, with no indication.
+    Sdc,
+    /// Program crashed or hung; no output produced.
+    Crash,
+}
+
+impl FaultEffect {
+    /// All three effects.
+    pub fn all() -> &'static [FaultEffect] {
+        &[FaultEffect::Masked, FaultEffect::Sdc, FaultEffect::Crash]
+    }
+
+    /// Dense index (0..3).
+    pub fn index(self) -> usize {
+        match self {
+            FaultEffect::Masked => 0,
+            FaultEffect::Sdc => 1,
+            FaultEffect::Crash => 2,
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultEffect::Masked => "Masked",
+            FaultEffect::Sdc => "SDC",
+            FaultEffect::Crash => "Crash",
+        }
+    }
+}
+
+/// Number of final-effect classes.
+pub const NUM_EFFECTS: usize = 3;
+
+impl fmt::Display for FaultEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_imms_with_unique_indices() {
+        let all = Imm::all();
+        assert_eq!(all.len(), NUM_IMMS);
+        let mut idx: Vec<usize> = all.iter().map(|i| i.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..NUM_IMMS).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_effects_with_unique_indices() {
+        let mut idx: Vec<usize> = FaultEffect::all().iter().map(|e| e.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Imm::Ifc.to_string(), "IFC");
+        assert_eq!(Imm::Esc.to_string(), "ESC");
+        assert_eq!(ImmClass::Benign.to_string(), "Benign");
+        assert_eq!(FaultEffect::Sdc.to_string(), "SDC");
+    }
+}

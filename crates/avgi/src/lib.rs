@@ -1,0 +1,66 @@
+//! # avgi-core — the AVGI methodology
+//!
+//! Reproduction of *AVGI: Microarchitecture-Driven, Fast and Accurate
+//! Vulnerability Assessment* (Papadimitriou & Gizopoulos, HPCA 2023): a
+//! statistical-fault-injection flow that delivers per-structure AVF
+//! (Masked/SDC/Crash probabilities) orders of magnitude faster than
+//! exhaustive SFI, by
+//!
+//! 1. stopping each injected simulation at the *first* commit-trace
+//!    corruption and classifying it into one of eight [ISA Manifestation
+//!    Models](imm::Imm) ([`classify`], Fig. 2),
+//! 2. converting the IMM histogram to final effects with per-structure,
+//!    workload-invariant [weights] (Fig. 5) plus the
+//!    [ESC](esc) output-escape estimate (§IV.D), and
+//! 3. bounding every run by the per-structure [effective residency
+//!    time](ert) window (§V.A),
+//!
+//! with the [exhaustive SFI baseline](pipeline::exhaustive) and an
+//! [ACE-analysis baseline](ace) for comparison, and [FIT](fit) reporting.
+//!
+//! ```no_run
+//! use avgi_core::pipeline::{assess, exhaustive, AvgiOptions};
+//! use avgi_core::weights::learn_weights;
+//! use avgi_faultsim::golden_for;
+//! use avgi_muarch::{MuarchConfig, Structure};
+//!
+//! let cfg = MuarchConfig::big();
+//! let workloads = avgi_workloads::all();
+//! // Learn weights from exhaustive campaigns on all-but-one workload...
+//! let analyses: Vec<_> = workloads[1..]
+//!     .iter()
+//!     .map(|w| {
+//!         let golden = golden_for(w, &cfg);
+//!         exhaustive(w, &cfg, &golden, Structure::RegFile, 500, 1).analysis
+//!     })
+//!     .collect();
+//! let weights = learn_weights(&analyses, None);
+//! // ...then assess the held-out workload with AVGI.
+//! let target = &workloads[0];
+//! let golden = golden_for(target, &cfg);
+//! let report = assess(target, &cfg, &golden, &weights, &AvgiOptions::default());
+//! println!("{}: {}", target.name, report.predicted);
+//! ```
+
+pub mod ace;
+pub mod analysis;
+pub mod classify;
+pub mod ert;
+pub mod esc;
+pub mod fit;
+pub mod imm;
+pub mod pipeline;
+pub mod report;
+pub mod study;
+pub mod weights;
+
+pub use analysis::{final_effect, JointAnalysis};
+pub use classify::{classify_conditions, classify_injection, Conditions};
+pub use ert::{default_ert_window, ert_window_for_coverage, measure_ert_window};
+pub use esc::EscModel;
+pub use fit::{chip_fit, structure_fit, RAW_FIT_PER_BIT};
+pub use imm::{FaultEffect, Imm, ImmClass, NUM_EFFECTS, NUM_IMMS};
+pub use pipeline::{assess, exhaustive, AvgiAssessment, AvgiOptions, ExhaustiveAssessment};
+pub use report::EffectDistribution;
+pub use study::{leave_one_out, Study, StudyRow};
+pub use weights::{learn_weights, WeightTable};

@@ -1,0 +1,97 @@
+//! Effect distributions and report helpers.
+
+use crate::imm::NUM_EFFECTS;
+use serde::{Deserialize, Serialize};
+
+/// A Masked/SDC/Crash probability split (one AVF report row).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EffectDistribution {
+    /// Fraction of faults with no observable effect.
+    pub masked: f64,
+    /// Fraction causing silent data corruption.
+    pub sdc: f64,
+    /// Fraction causing a crash or hang.
+    pub crash: f64,
+}
+
+impl EffectDistribution {
+    /// Builds from an `[masked, sdc, crash]` array.
+    pub fn from_array(a: [f64; NUM_EFFECTS]) -> Self {
+        EffectDistribution { masked: a[0], sdc: a[1], crash: a[2] }
+    }
+
+    /// As an `[masked, sdc, crash]` array.
+    pub fn to_array(self) -> [f64; NUM_EFFECTS] {
+        [self.masked, self.sdc, self.crash]
+    }
+
+    /// The Architectural Vulnerability Factor: the probability a fault
+    /// affects the program (SDC + Crash).
+    pub fn avf(self) -> f64 {
+        self.sdc + self.crash
+    }
+
+    /// Largest absolute per-class difference to another distribution — the
+    /// accuracy metric of Figs. 10 and 12.
+    pub fn max_abs_diff(self, other: EffectDistribution) -> f64 {
+        self.to_array()
+            .iter()
+            .zip(other.to_array())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the three fractions form a probability distribution.
+    pub fn is_normalized(self) -> bool {
+        let s = self.masked + self.sdc + self.crash;
+        (s - 1.0).abs() < 1e-6
+            && self.masked >= -1e-12
+            && self.sdc >= -1e-12
+            && self.crash >= -1e-12
+    }
+}
+
+impl core::fmt::Display for EffectDistribution {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Masked {:5.1}% | SDC {:5.1}% | Crash {:5.1}%",
+            self.masked * 100.0,
+            self.sdc * 100.0,
+            self.crash * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avf_is_complement_of_masked_when_normalized() {
+        let d = EffectDistribution { masked: 0.7, sdc: 0.1, crash: 0.2 };
+        assert!(d.is_normalized());
+        assert!((d.avf() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_picks_worst_class() {
+        let a = EffectDistribution { masked: 0.7, sdc: 0.1, crash: 0.2 };
+        let b = EffectDistribution { masked: 0.6, sdc: 0.25, crash: 0.15 };
+        assert!((a.max_abs_diff(b) - 0.15).abs() < 1e-12);
+        assert_eq!(a.max_abs_diff(a), 0.0);
+    }
+
+    #[test]
+    fn array_roundtrip_and_display() {
+        let d = EffectDistribution::from_array([0.5, 0.25, 0.25]);
+        assert_eq!(d.to_array(), [0.5, 0.25, 0.25]);
+        let s = d.to_string();
+        assert!(s.contains("Masked") && s.contains("SDC") && s.contains("Crash"));
+    }
+
+    #[test]
+    fn unnormalized_detected() {
+        assert!(!EffectDistribution { masked: 0.5, sdc: 0.1, crash: 0.1 }.is_normalized());
+    }
+}

@@ -1,0 +1,137 @@
+//! Leave-one-out accuracy studies: the evaluation protocol behind the
+//! paper's Figs. 10–12.
+//!
+//! For one structure, run the exhaustive instrumented baseline on every
+//! workload; then, for each workload, learn IMM weights from the *other*
+//! workloads and produce an AVGI assessment of the held-out one. Each
+//! [`StudyRow`] pairs ground truth with prediction and carries both
+//! campaigns' simulation costs.
+
+use crate::pipeline::{assess, exhaustive, AvgiOptions, ExhaustiveAssessment};
+use crate::report::EffectDistribution;
+use crate::weights::learn_weights;
+use avgi_faultsim::golden_for;
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+use avgi_workloads::Workload;
+
+/// One held-out workload's ground truth vs. AVGI prediction.
+#[derive(Debug, Clone)]
+pub struct StudyRow {
+    /// Held-out workload name.
+    pub workload: String,
+    /// Ground-truth Masked/SDC/Crash from exhaustive SFI.
+    pub real: EffectDistribution,
+    /// AVGI prediction with weights learned on the other workloads.
+    pub predicted: EffectDistribution,
+    /// Post-injection cycles of the exhaustive campaign.
+    pub real_cost: u64,
+    /// Post-injection cycles of the AVGI campaign.
+    pub avgi_cost: u64,
+}
+
+impl StudyRow {
+    /// Worst per-class absolute difference (the Fig. 10 accuracy metric).
+    pub fn max_abs_diff(&self) -> f64 {
+        self.real.max_abs_diff(self.predicted)
+    }
+}
+
+/// A finished leave-one-out study for one structure.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Target structure.
+    pub structure: Structure,
+    /// One row per workload, in input order.
+    pub rows: Vec<StudyRow>,
+}
+
+impl Study {
+    /// Mean ground-truth AVF across workloads.
+    pub fn mean_real_avf(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.real.avf()))
+    }
+
+    /// Mean predicted AVF across workloads.
+    pub fn mean_predicted_avf(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.predicted.avf()))
+    }
+
+    /// Worst per-class difference over all rows.
+    pub fn worst_diff(&self) -> f64 {
+        self.rows.iter().map(StudyRow::max_abs_diff).fold(0.0, f64::max)
+    }
+
+    /// Total exhaustive cost over AVGI cost: the study's speedup.
+    pub fn speedup(&self) -> f64 {
+        let real: u64 = self.rows.iter().map(|r| r.real_cost).sum();
+        let avgi: u64 = self.rows.iter().map(|r| r.avgi_cost).sum();
+        real as f64 / avgi.max(1) as f64
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Runs the full leave-one-out evaluation for one structure.
+///
+/// `opts.seed`/`opts.faults` apply to both the training campaigns and the
+/// assessments.
+pub fn leave_one_out(
+    structure: Structure,
+    workloads: &[Workload],
+    cfg: &MuarchConfig,
+    opts: &AvgiOptions,
+) -> Study {
+    let exhaustives: Vec<(ExhaustiveAssessment, std::sync::Arc<avgi_muarch::GoldenRun>)> =
+        workloads
+            .iter()
+            .map(|w| {
+                let golden = golden_for(w, cfg);
+                (exhaustive(w, cfg, &golden, structure, opts.faults, opts.seed), golden)
+            })
+            .collect();
+    let analyses: Vec<_> = exhaustives.iter().map(|(e, _)| e.analysis.clone()).collect();
+    let rows = workloads
+        .iter()
+        .zip(&exhaustives)
+        .map(|(w, (ex, golden))| {
+            let weights = learn_weights(&analyses, Some(w.name));
+            let a = assess(w, cfg, golden, &weights, opts);
+            StudyRow {
+                workload: w.name.to_string(),
+                real: ex.effect,
+                predicted: a.predicted,
+                real_cost: ex.cost_cycles,
+                avgi_cost: a.cost_cycles,
+            }
+        })
+        .collect();
+    Study { structure, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_on_three_workloads_is_complete_and_normalized() {
+        let cfg = MuarchConfig::big();
+        let workloads: Vec<Workload> = avgi_workloads::all().into_iter().take(3).collect();
+        let opts = AvgiOptions { faults: 50, seed: 5, ..Default::default() };
+        let s = leave_one_out(Structure::Dtlb, &workloads, &cfg, &opts);
+        assert_eq!(s.rows.len(), 3);
+        for r in &s.rows {
+            assert!(r.real.is_normalized());
+            assert!(r.predicted.is_normalized());
+            assert!(r.avgi_cost <= r.real_cost, "{}", r.workload);
+        }
+        assert!(s.speedup() >= 1.0);
+        assert!(s.worst_diff() <= 1.0);
+    }
+}

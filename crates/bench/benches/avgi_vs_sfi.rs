@@ -1,0 +1,95 @@
+//! Wall-clock confirmation that the simulated-cycle accounting of
+//! Table II tracks real time: one Criterion group comparing the three run
+//! modes (traditional end-to-end, insights 1&2, full AVGI) on the same
+//! fault sample, plus raw simulator throughput.
+
+use avgi_core::ert::default_ert_window;
+use avgi_faultsim::{golden_for, run_one, sample_faults, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+use avgi_muarch::pipeline::Sim;
+use avgi_muarch::run::RunControl;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_run_modes(c: &mut Criterion) {
+    let w = avgi_workloads::by_name("sha").unwrap();
+    let cfg = MuarchConfig::big();
+    let golden = golden_for(&w, &cfg);
+    let faults = sample_faults(Structure::RegFile, &cfg, golden.cycles, 10, 7);
+    let window = default_ert_window(Structure::RegFile, golden.cycles);
+
+    let mut g = c.benchmark_group("rf_injection_10_faults");
+    g.sample_size(10);
+    g.bench_function("traditional_end_to_end", |b| {
+        b.iter(|| {
+            for &f in &faults {
+                black_box(run_one(&w, &cfg, &golden, f, RunMode::EndToEnd, 1));
+            }
+        })
+    });
+    g.bench_function("avgi_insights_1_2", |b| {
+        b.iter(|| {
+            for &f in &faults {
+                black_box(run_one(
+                    &w,
+                    &cfg,
+                    &golden,
+                    f,
+                    RunMode::FirstDeviation { ert_window: None },
+                    1,
+                ));
+            }
+        })
+    });
+    g.bench_function("avgi_full", |b| {
+        b.iter(|| {
+            for &f in &faults {
+                black_box(run_one(
+                    &w,
+                    &cfg,
+                    &golden,
+                    f,
+                    RunMode::FirstDeviation { ert_window: Some(window) },
+                    1,
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let cfg = MuarchConfig::big();
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("bitcount_end_to_end", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&w.program, cfg.clone());
+            black_box(sim.run(&RunControl { max_cycles: 10_000_000, ..Default::default() }))
+        })
+    });
+    g.finish();
+}
+
+fn bench_checkpointing(c: &mut Criterion) {
+    use avgi_faultsim::{run_campaign, CampaignConfig};
+    let w = avgi_workloads::by_name("crc32").unwrap();
+    let cfg = MuarchConfig::big();
+    let golden = golden_for(&w, &cfg);
+    let base = CampaignConfig::new(Structure::RegFile, 30, RunMode::EndToEnd);
+
+    let mut g = c.benchmark_group("campaign_30_faults");
+    g.sample_size(10);
+    g.bench_function("without_checkpoints", |b| {
+        b.iter(|| black_box(run_campaign(&w, &cfg, &golden, &base.clone().with_checkpoints(0))))
+    });
+    g.bench_function("with_checkpoints", |b| {
+        b.iter(|| black_box(run_campaign(&w, &cfg, &golden, &base.clone().with_checkpoints(8))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_run_modes, bench_simulator_throughput, bench_checkpointing);
+criterion_main!(benches);

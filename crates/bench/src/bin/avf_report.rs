@@ -1,0 +1,50 @@
+//! Full AVF + FIT report for one workload across all twelve structures —
+//! the end-user tool a reliability engineer would actually run.
+//!
+//! ```sh
+//! cargo run --release -p avgi-bench --bin avf_report -- --faults 300
+//! ```
+
+use avgi_bench::{pct, print_header, ExpArgs, GoldenCache};
+use avgi_core::fit::structure_fit;
+use avgi_core::pipeline::exhaustive;
+use avgi_muarch::fault::Structure;
+
+fn main() {
+    let args = ExpArgs::parse(250);
+    let cfg = args.config();
+    let name = args.workload.clone().unwrap_or_else(|| "dijkstra".to_string());
+    let w = avgi_workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`; see avgi_workloads::names()"));
+    let mut cache = GoldenCache::new();
+    {
+        let golden = cache.get(&w, &cfg);
+        println!(
+            "\n=== {} ({} cycles, {} B output, {}) ===",
+            w.name,
+            golden.cycles,
+            w.output_bytes(),
+            cfg.name
+        );
+        print_header(
+            &["structure", "Masked", "SDC", "Crash", "AVF", "FIT"],
+            &[11, 8, 8, 8, 8, 10],
+        );
+        let mut chip_fit = 0.0;
+        for &s in Structure::all() {
+            let e = exhaustive(&w, &cfg, &golden, s, args.faults, args.seed);
+            let fit = structure_fit(s, &cfg, e.effect.avf());
+            chip_fit += fit;
+            println!(
+                "{:>11} {:>8} {:>8} {:>8} {:>8} {:>10.4}",
+                s.label(),
+                pct(e.effect.masked),
+                pct(e.effect.sdc),
+                pct(e.effect.crash),
+                pct(e.effect.avf()),
+                fit,
+            );
+        }
+        println!("{:>11} {:>46.4}", "CHIP FIT", chip_fit);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig. 12 — case study on a second ISA/microarchitecture (§VI).
+//!
+//! The paper validates transfer by repeating the accuracy experiment on a
+//! Cortex-A15-like model; here, the `small` configuration. As in the
+//! paper, three major structures are shown: L1I data, L1D data, and the
+//! register file ("Real" vs. "Predict").
+
+use avgi_bench::{leave_one_out_study, pct, print_header, ExpArgs};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+
+fn main() {
+    let args = ExpArgs::parse(250);
+    let cfg = MuarchConfig::small(); // the case-study microarchitecture
+    let workloads = avgi_workloads::all();
+    println!(
+        "Fig. 12 — case study on the second microarchitecture ({}, {} faults/campaign)",
+        cfg.name, args.faults
+    );
+
+    let mut worst = 0.0f64;
+    let mut sdc_worst = 0.0f64;
+    for s in [Structure::L1IData, Structure::L1DData, Structure::RegFile] {
+        println!("\n--- {} ---", s.label());
+        print_header(
+            &["workload", "real Msk", "pred Msk", "real SDC", "pred SDC", "real Crs", "pred Crs", "maxdiff"],
+            &[14, 9, 9, 9, 9, 9, 9, 8],
+        );
+        let rows = leave_one_out_study(s, &workloads, &cfg, args.faults, args.seed);
+        for r in &rows {
+            let diff = r.real.max_abs_diff(r.predicted);
+            worst = worst.max(diff);
+            sdc_worst = sdc_worst.max((r.real.sdc - r.predicted.sdc).abs());
+            println!(
+                "{:>14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+                r.workload,
+                pct(r.real.masked),
+                pct(r.predicted.masked),
+                pct(r.real.sdc),
+                pct(r.predicted.sdc),
+                pct(r.real.crash),
+                pct(r.predicted.crash),
+                pct(diff),
+            );
+        }
+    }
+    let margin = avgi_faultsim::error_margin(args.faults, avgi_faultsim::Confidence::C99);
+    println!(
+        "\nworst per-class |real - predict| on the second microarchitecture: {} \
+         (SDC only: {}); SFI error margin at n={}: {} \
+         (paper: divergences mostly below the error margin; SDC virtually equal)",
+        pct(worst),
+        pct(sdc_worst),
+        args.faults,
+        pct(margin),
+    );
+}

@@ -1,0 +1,50 @@
+//! Commit-trace inspector: disassembled golden trace of a workload —
+//! the debugging lens for everything the IMM classifier sees.
+//!
+//! ```sh
+//! cargo run --release -p avgi-bench --bin trace_dump -- --workload sha
+//! ```
+
+use avgi_bench::{ExpArgs, GoldenCache};
+use avgi_isa::instr::disassemble;
+
+fn main() {
+    let args = ExpArgs::parse(0);
+    let cfg = args.config();
+    let name = args.workload.clone().unwrap_or_else(|| "bitcount".to_string());
+    let w = avgi_workloads::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let mut cache = GoldenCache::new();
+    let golden = cache.get(&w, &cfg);
+    println!(
+        "golden trace of `{}` on {}: {} instructions, {} cycles (IPC {:.2})",
+        w.name,
+        cfg.name,
+        golden.trace.len(),
+        golden.cycles,
+        golden.trace.len() as f64 / golden.cycles as f64,
+    );
+    println!(
+        "stats: {} L1I miss, {} L1D miss, {} L2 miss, {} mispredicts, {} squashed",
+        golden.stats.l1i_misses,
+        golden.stats.l1d_misses,
+        golden.stats.l2_misses,
+        golden.stats.mispredicts,
+        golden.stats.squashed,
+    );
+    println!("\n{:>8} {:>10} {:>34} {:>10} {:>10}", "cycle", "pc", "instruction", "ea", "val");
+    let n = 60.min(golden.trace.len());
+    for rec in &golden.trace[..n] {
+        println!(
+            "{:>8} {:>#10x} {:>34} {:>#10x} {:>#10x}",
+            rec.cycle,
+            rec.pc,
+            disassemble(rec.raw),
+            rec.ea,
+            rec.val,
+        );
+    }
+    if golden.trace.len() > n {
+        println!("... ({} more)", golden.trace.len() - n);
+    }
+}

@@ -1,0 +1,216 @@
+//! # avgi-bench — the experiment harness
+//!
+//! One runnable binary per table/figure of the paper (see `DESIGN.md` §3
+//! for the index), plus shared plumbing: argument parsing, golden-run
+//! caching, campaign grids, and fixed-width table printing.
+//!
+//! Every binary accepts `--faults N` (sample size per campaign, default
+//! tuned to finish in minutes), `--seed S`, and `--small` (use the
+//! Cortex-A15-like configuration).
+
+use avgi_core::JointAnalysis;
+use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+use avgi_muarch::trace::GoldenRun;
+use avgi_workloads::Workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Common command-line options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Faults per (structure, workload) campaign.
+    pub faults: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Use the small (Cortex-A15-like) configuration.
+    pub small: bool,
+    /// Restrict to one workload by name (tools that support it).
+    pub workload: Option<String>,
+}
+
+impl ExpArgs {
+    /// Parses `--faults N`, `--seed S`, `--small` from `std::env::args`,
+    /// with the given default sample size.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_faults: usize) -> Self {
+        let mut args =
+            ExpArgs { faults: default_faults, seed: 0xA461_0001, small: false, workload: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--faults" => {
+                    args.faults = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--faults needs a number");
+                }
+                "--seed" => {
+                    args.seed =
+                        it.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
+                }
+                "--small" => args.small = true,
+                "--workload" => {
+                    args.workload = Some(it.next().expect("--workload needs a name"));
+                }
+                other => panic!(
+                    "unknown argument `{other}` (supported: --faults N --seed S --small --workload NAME)"
+                ),
+            }
+        }
+        args
+    }
+
+    /// The selected microarchitecture configuration.
+    pub fn config(&self) -> MuarchConfig {
+        if self.small {
+            MuarchConfig::small()
+        } else {
+            MuarchConfig::big()
+        }
+    }
+}
+
+/// Caches golden runs per workload (they are identical across campaigns).
+#[derive(Default)]
+pub struct GoldenCache {
+    cache: HashMap<String, Arc<GoldenRun>>,
+}
+
+impl GoldenCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The golden run for `workload` under `cfg`, captured on first use.
+    pub fn get(&mut self, workload: &Workload, cfg: &MuarchConfig) -> Arc<GoldenRun> {
+        self.cache
+            .entry(workload.name.to_string())
+            .or_insert_with(|| golden_for(workload, cfg))
+            .clone()
+    }
+}
+
+/// Runs an instrumented (end-to-end + deviation capture) campaign and
+/// returns its joint analysis.
+pub fn instrumented_analysis(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    structure: Structure,
+    faults: usize,
+    seed: u64,
+) -> JointAnalysis {
+    let c = run_campaign(
+        workload,
+        cfg,
+        golden,
+        &CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed),
+    );
+    JointAnalysis::from_campaign(&c)
+}
+
+/// Runs instrumented campaigns for every (structure, workload) pair in the
+/// grid, printing progress to stderr.
+pub fn analysis_grid(
+    structures: &[Structure],
+    workloads: &[Workload],
+    cfg: &MuarchConfig,
+    faults: usize,
+    seed: u64,
+) -> Vec<JointAnalysis> {
+    let mut cache = GoldenCache::new();
+    let mut out = Vec::with_capacity(structures.len() * workloads.len());
+    for &s in structures {
+        for w in workloads {
+            eprintln!("[grid] {} / {} ({} faults)", s, w.name, faults);
+            let golden = cache.get(w, cfg);
+            out.push(instrumented_analysis(w, cfg, &golden, s, faults, seed));
+        }
+    }
+    out
+}
+
+/// One row of a leave-one-out accuracy study: the exhaustive ground truth
+/// next to the AVGI prediction for a held-out workload.
+#[derive(Debug, Clone)]
+pub struct LooRow {
+    /// Held-out workload.
+    pub workload: String,
+    /// Ground-truth Masked/SDC/Crash from exhaustive SFI.
+    pub real: avgi_core::EffectDistribution,
+    /// AVGI prediction with weights learned on the other workloads.
+    pub predicted: avgi_core::EffectDistribution,
+    /// Post-injection cycles of the exhaustive campaign.
+    pub real_cost: u64,
+    /// Post-injection cycles of the AVGI campaign.
+    pub avgi_cost: u64,
+}
+
+/// Runs the full leave-one-out evaluation of the AVGI methodology for one
+/// structure (the protocol behind Figs. 10–12); thin wrapper over
+/// [`avgi_core::study::leave_one_out`] keeping the row shape the binaries
+/// print.
+pub fn leave_one_out_study(
+    structure: Structure,
+    workloads: &[Workload],
+    cfg: &MuarchConfig,
+    faults: usize,
+    seed: u64,
+) -> Vec<LooRow> {
+    use avgi_core::pipeline::AvgiOptions;
+    eprintln!("[loo:{structure}] {} workloads x {faults} faults", workloads.len());
+    let opts = AvgiOptions { faults, seed, ..Default::default() };
+    avgi_core::study::leave_one_out(structure, workloads, cfg, &opts)
+        .rows
+        .into_iter()
+        .map(|r| LooRow {
+            workload: r.workload,
+            real: r.real,
+            predicted: r.predicted,
+            real_cost: r.real_cost,
+            avgi_cost: r.avgi_cost,
+        })
+        .collect()
+}
+
+/// Formats a fraction as a fixed-width percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Prints a header row followed by a separator, for fixed-width tables.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_cache_reuses_runs() {
+        let cfg = MuarchConfig::big();
+        let w = avgi_workloads::by_name("sha").unwrap();
+        let mut cache = GoldenCache::new();
+        let a = cache.get(&w, &cfg);
+        let b = cache.get(&w, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.0%");
+        assert_eq!(pct(0.012), "  1.2%");
+    }
+}

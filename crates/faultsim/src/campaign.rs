@@ -1,0 +1,476 @@
+//! Fault-injection campaigns: one golden capture plus N injected runs,
+//! executed across worker threads.
+
+use crate::sampling::{multi_bit_burst, sample_faults};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::{Fault, Structure};
+use avgi_muarch::pipeline::{capture_golden, Sim};
+use avgi_muarch::run::{RunControl, RunOutcome};
+use avgi_muarch::trace::{Deviation, GoldenRun};
+use avgi_workloads::Workload;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How far each injected run simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// Traditional (accelerated) SFI: simulate to the end of the program and
+    /// classify the final effect. Pre-injection cycles are skipped by
+    /// checkpointing in both flows (§IV.B), so cost is counted post-injection.
+    EndToEnd,
+    /// Like [`RunMode::EndToEnd`], but additionally records the first
+    /// commit-trace deviation — the instrumented runs behind the paper's
+    /// §III joint HVF/AVF analysis (and behind weight learning).
+    Instrumented,
+    /// The AVGI production mode (insights 1–3): stop at the first deviation,
+    /// or `ert_window` cycles after injection if nothing deviated.
+    FirstDeviation {
+        /// Effective-residency-time stop window (`None` disables insight 3).
+        ert_window: Option<u64>,
+    },
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Target structure.
+    pub structure: Structure,
+    /// Number of injections.
+    pub faults: usize,
+    /// RNG seed for fault sampling.
+    pub seed: u64,
+    /// Run mode.
+    pub mode: RunMode,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
+    /// Spatial multi-bit burst width (`1` = single-bit, the default model).
+    pub burst_width: u32,
+    /// Number of pre-injection checkpoints (`0` disables checkpointing).
+    ///
+    /// Checkpointing skips the fault-free pre-injection period by resuming
+    /// each injected run from the latest snapshot at or before its
+    /// injection cycle — the standard acceleration the paper assumes in
+    /// *both* the traditional and the AVGI flow (§IV.B). Results are
+    /// bit-identical with and without it.
+    pub checkpoints: u32,
+}
+
+impl CampaignConfig {
+    /// Single-bit campaign with `faults` injections in the given mode.
+    pub fn new(structure: Structure, faults: usize, mode: RunMode) -> Self {
+        CampaignConfig {
+            structure,
+            faults,
+            seed: 0xAE61_0001,
+            mode,
+            threads: 0,
+            burst_width: 1,
+            checkpoints: 8,
+        }
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the multi-bit burst width.
+    pub fn with_burst(mut self, width: u32) -> Self {
+        self.burst_width = width.max(1);
+        self
+    }
+
+    /// Sets the checkpoint count (`0` disables checkpointing).
+    pub fn with_checkpoints(mut self, count: u32) -> Self {
+        self.checkpoints = count;
+        self
+    }
+}
+
+/// Mid-run simulator snapshots for skipping the pre-injection period.
+///
+/// Snapshots are taken at evenly spaced cycles of the fault-free prefix;
+/// a faulty run resumes from the latest snapshot at or before its injection
+/// cycle and produces exactly the results of an uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct CheckpointSet {
+    cycles: Vec<u64>,
+    sims: Vec<Sim>,
+}
+
+impl CheckpointSet {
+    /// Builds `count` snapshots (cycle 0 plus `count - 1` evenly spaced
+    /// points of the golden execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault-free prefix terminates before a snapshot point
+    /// (impossible for a valid golden run).
+    pub fn build(
+        workload: &Workload,
+        cfg: &MuarchConfig,
+        golden: &Arc<GoldenRun>,
+        count: u32,
+    ) -> Self {
+        let ctl = RunControl {
+            max_cycles: watchdog(golden.cycles),
+            golden: Some(golden.clone()),
+            ..Default::default()
+        };
+        let mut sim = Sim::new(&workload.program, cfg.clone());
+        let mut cycles = vec![0];
+        let mut sims = vec![sim.clone()];
+        for k in 1..count.max(1) {
+            let target = golden.cycles * u64::from(k) / u64::from(count);
+            let ended = sim.run_to_cycle(target, &ctl);
+            assert!(ended.is_none(), "fault-free prefix ended early: {ended:?}");
+            cycles.push(target);
+            sims.push(sim.clone());
+        }
+        CheckpointSet { cycles, sims }
+    }
+
+    /// The latest snapshot at or before `cycle`, ready to be cloned.
+    pub fn nearest(&self, cycle: u64) -> &Sim {
+        let idx = match self.cycles.binary_search(&cycle) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        &self.sims[idx]
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether the set holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+}
+
+/// The observables of one injected run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InjectionResult {
+    /// The injected fault (first bit of the burst for multi-bit runs).
+    pub fault: Fault,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// First commit-trace deviation, if any.
+    pub deviation: Option<Deviation>,
+    /// For completed runs: did the output match the golden output?
+    pub output_matches: Option<bool>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Simulated cycles after injection (the cost metric of Table II).
+    pub post_inject_cycles: u64,
+}
+
+/// A finished campaign: the golden reference plus every injection result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Workload name.
+    pub workload: String,
+    /// Target structure.
+    pub structure: Structure,
+    /// Run mode used.
+    pub mode: RunMode,
+    /// Fault-free execution length.
+    pub golden_cycles: u64,
+    /// Per-injection observables, in sampling order.
+    pub results: Vec<InjectionResult>,
+}
+
+impl CampaignResult {
+    /// Sum of post-injection cycles across all runs — the campaign's
+    /// simulation cost in the paper's accounting.
+    pub fn total_post_inject_cycles(&self) -> u64 {
+        self.results.iter().map(|r| r.post_inject_cycles).sum()
+    }
+
+    /// Number of injections.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the campaign is empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+/// Captures the golden run for a workload (convenience wrapper with the
+/// standard watchdog).
+pub fn golden_for(workload: &Workload, cfg: &MuarchConfig) -> Arc<GoldenRun> {
+    capture_golden(&workload.program, cfg, 50_000_000)
+}
+
+fn watchdog(golden_cycles: u64) -> u64 {
+    2 * golden_cycles + 20_000
+}
+
+/// Executes one injected run.
+pub fn run_one(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    fault: Fault,
+    mode: RunMode,
+    burst_width: u32,
+) -> InjectionResult {
+    run_one_inner(workload, cfg, golden, fault, mode, burst_width, None)
+}
+
+/// Executes one injected run, resuming from a checkpoint when one is
+/// available at or before the injection cycle.
+pub fn run_one_from(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    fault: Fault,
+    mode: RunMode,
+    burst_width: u32,
+    checkpoints: &CheckpointSet,
+) -> InjectionResult {
+    run_one_inner(workload, cfg, golden, fault, mode, burst_width, Some(checkpoints))
+}
+
+fn run_one_inner(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    fault: Fault,
+    mode: RunMode,
+    burst_width: u32,
+    checkpoints: Option<&CheckpointSet>,
+) -> InjectionResult {
+    let mut sim = match checkpoints {
+        Some(set) => set.nearest(fault.cycle).clone(),
+        None => Sim::new(&workload.program, cfg.clone()),
+    };
+    for f in multi_bit_burst(fault, burst_width, cfg) {
+        sim.inject(f);
+    }
+    let ctl = match mode {
+        RunMode::EndToEnd | RunMode::Instrumented => RunControl {
+            max_cycles: watchdog(golden.cycles),
+            golden: Some(golden.clone()),
+            ..Default::default()
+        },
+        RunMode::FirstDeviation { ert_window } => RunControl {
+            max_cycles: watchdog(golden.cycles),
+            golden: Some(golden.clone()),
+            stop_at_first_deviation: true,
+            ert_window,
+            ..Default::default()
+        },
+    };
+    let report = sim.run(&ctl);
+    InjectionResult {
+        fault,
+        outcome: report.outcome,
+        deviation: report.first_deviation,
+        output_matches: report.output.as_ref().map(|o| *o == golden.output),
+        cycles: report.cycles,
+        post_inject_cycles: report.post_inject_cycles(),
+    }
+}
+
+/// Runs a full campaign for one (workload, structure) pair.
+///
+/// Fault sampling is deterministic in `ccfg.seed`; execution is parallel
+/// but the result order matches the sampling order, so campaigns are
+/// reproducible run-to-run regardless of thread count.
+pub fn run_campaign(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+) -> CampaignResult {
+    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    let threads = if ccfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        ccfg.threads
+    };
+    let checkpoints = (ccfg.checkpoints > 0)
+        .then(|| CheckpointSet::build(workload, cfg, golden, ccfg.checkpoints));
+    let mut results: Vec<Option<InjectionResult>> = vec![None; faults.len()];
+    let next = AtomicUsize::new(0);
+    let sink = Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(faults.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= faults.len() {
+                    break;
+                }
+                let r = run_one_inner(
+                    workload,
+                    cfg,
+                    golden,
+                    faults[i],
+                    ccfg.mode,
+                    ccfg.burst_width,
+                    checkpoints.as_ref(),
+                );
+                sink.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    CampaignResult {
+        workload: workload.name.to_string(),
+        structure: ccfg.structure,
+        mode: ccfg.mode,
+        golden_cycles: golden.cycles,
+        results: results.into_iter().map(|r| r.expect("all faults processed")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign(structure: Structure, mode: RunMode, n: usize) -> CampaignResult {
+        let w = avgi_workloads::by_name("sha").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        run_campaign(&w, &cfg, &golden, &CampaignConfig::new(structure, n, mode))
+    }
+
+    #[test]
+    fn end_to_end_campaign_produces_all_results() {
+        let c = small_campaign(Structure::RegFile, RunMode::EndToEnd, 40);
+        assert_eq!(c.len(), 40);
+        assert!(c.total_post_inject_cycles() > 0);
+        // Every completed run reports an output comparison.
+        for r in &c.results {
+            if r.outcome == RunOutcome::Completed {
+                assert!(r.output_matches.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_across_thread_counts() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let base = CampaignConfig::new(Structure::RegFile, 30, RunMode::Instrumented);
+        let a = run_campaign(&w, &cfg, &golden, &CampaignConfig { threads: 1, ..base.clone() });
+        let b = run_campaign(&w, &cfg, &golden, &CampaignConfig { threads: 4, ..base });
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.deviation, y.deviation);
+        }
+    }
+
+    #[test]
+    fn first_deviation_mode_is_never_slower_post_injection() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let n = 30;
+        let e2e = run_campaign(
+            &w,
+            &cfg,
+            &golden,
+            &CampaignConfig::new(Structure::RegFile, n, RunMode::EndToEnd),
+        );
+        let avgi = run_campaign(
+            &w,
+            &cfg,
+            &golden,
+            &CampaignConfig::new(
+                Structure::RegFile,
+                n,
+                RunMode::FirstDeviation { ert_window: Some(2_000) },
+            ),
+        );
+        assert!(avgi.total_post_inject_cycles() <= e2e.total_post_inject_cycles());
+    }
+
+    #[test]
+    fn rob_faults_never_silently_corrupt() {
+        // The check-at-use model: a ROB fault either crashes with an
+        // integrity violation before any ISA effect, or is benign.
+        let c = small_campaign(Structure::Rob, RunMode::Instrumented, 60);
+        for r in &c.results {
+            match r.outcome {
+                RunOutcome::IntegrityViolation(_) => {
+                    assert!(r.deviation.is_none(), "PRE must precede any deviation");
+                }
+                RunOutcome::Completed => {
+                    assert_eq!(r.output_matches, Some(true), "ROB fault silently escaped");
+                    assert!(r.deviation.is_none());
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_campaigns_are_bit_identical_to_fresh_runs() {
+        // The §IV.B acceleration must not change any observable: same
+        // outcomes, cycles, deviations, and output comparisons.
+        let w = avgi_workloads::by_name("crc32").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let base = CampaignConfig::new(Structure::L1DData, 40, RunMode::Instrumented)
+            .with_seed(77);
+        let fresh = run_campaign(&w, &cfg, &golden, &base.clone().with_checkpoints(0));
+        let ckpt = run_campaign(&w, &cfg, &golden, &base.with_checkpoints(6));
+        for (a, b) in fresh.results.iter().zip(&ckpt.results) {
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.deviation, b.deviation);
+            assert_eq!(a.output_matches, b.output_matches);
+            assert_eq!(a.post_inject_cycles, b.post_inject_cycles);
+        }
+    }
+
+    #[test]
+    fn checkpoint_set_picks_latest_at_or_before() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let set = CheckpointSet::build(&w, &cfg, &golden, 4);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.nearest(0).cycle(), 0);
+        let quarter = golden.cycles / 4;
+        assert_eq!(set.nearest(quarter).cycle(), quarter);
+        assert_eq!(set.nearest(quarter + 1).cycle(), quarter);
+        assert_eq!(set.nearest(quarter - 1).cycle(), 0);
+        assert!(set.nearest(golden.cycles).cycle() <= golden.cycles);
+    }
+
+    #[test]
+    fn multi_bit_bursts_are_at_least_as_vulnerable() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let single =
+            CampaignConfig::new(Structure::RegFile, 60, RunMode::Instrumented).with_seed(11);
+        let burst = single.clone().with_burst(4);
+        let s = run_campaign(&w, &cfg, &golden, &single);
+        let b = run_campaign(&w, &cfg, &golden, &burst);
+        let affected = |c: &CampaignResult| {
+            c.results
+                .iter()
+                .filter(|r| r.deviation.is_some() || r.outcome.is_crash() || r.output_matches == Some(false))
+                .count()
+        };
+        assert!(affected(&b) >= affected(&s), "wider bursts cannot reduce corruption");
+    }
+}

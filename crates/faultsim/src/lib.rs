@@ -1,0 +1,35 @@
+//! # avgi-faultsim — the statistical fault injection framework
+//!
+//! The GeFIN analogue of the reproduction: deterministic uniform fault
+//! sampling (Leveugle et al. \[1\]), golden-run capture, and parallel
+//! injection campaigns over the twelve hardware structures of the
+//! microarchitecture simulator.
+//!
+//! Three [`RunMode`]s map to the paper's flows:
+//!
+//! * [`RunMode::EndToEnd`] — the traditional accelerated SFI baseline,
+//! * [`RunMode::Instrumented`] — end-to-end *plus* first-deviation capture
+//!   (the §III joint HVF/AVF analysis used to learn IMM weights),
+//! * [`RunMode::FirstDeviation`] — the AVGI production mode (stop at first
+//!   corruption; optional effective-residency-time window).
+//!
+//! ```no_run
+//! use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+//! use avgi_muarch::{MuarchConfig, Structure};
+//!
+//! let w = avgi_workloads::by_name("sha").unwrap();
+//! let cfg = MuarchConfig::big();
+//! let golden = golden_for(&w, &cfg);
+//! let campaign = CampaignConfig::new(Structure::RegFile, 200, RunMode::EndToEnd);
+//! let result = run_campaign(&w, &cfg, &golden, &campaign);
+//! assert_eq!(result.len(), 200);
+//! ```
+
+pub mod campaign;
+pub mod sampling;
+
+pub use campaign::{
+    golden_for, run_campaign, run_one, run_one_from, CampaignConfig, CampaignResult,
+    CheckpointSet, InjectionResult, RunMode,
+};
+pub use sampling::{error_margin, multi_bit_burst, sample_faults, sample_size, Confidence};

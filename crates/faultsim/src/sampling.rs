@@ -1,0 +1,150 @@
+//! Statistical fault sampling, following Leveugle et al., *"Statistical
+//! fault injection: Quantified error and confidence"* (DATE 2009) — the
+//! paper's reference \[1\] for sample-size / error-margin calculations.
+//!
+//! The paper's operating point — 2,000 faults per (structure, workload) —
+//! corresponds to a 2.88 % error margin at 99 % confidence, which
+//! [`error_margin`] reproduces exactly.
+
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::{Fault, FaultSite, Structure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Confidence levels with their normal-distribution z-values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Confidence {
+    /// 90 % (z = 1.645).
+    C90,
+    /// 95 % (z = 1.960).
+    C95,
+    /// 99 % (z = 2.576), the paper's choice.
+    C99,
+}
+
+impl Confidence {
+    /// The two-sided z-value.
+    pub fn z(self) -> f64 {
+        match self {
+            Confidence::C90 => 1.645,
+            Confidence::C95 => 1.960,
+            Confidence::C99 => 2.576,
+        }
+    }
+}
+
+/// Error margin for `n` samples at the given confidence, with the
+/// worst-case proportion p = 0.5 (infinite fault population).
+///
+/// ```
+/// use avgi_faultsim::sampling::{error_margin, Confidence};
+/// let e = error_margin(2_000, Confidence::C99);
+/// assert!((e - 0.0288).abs() < 0.0002, "paper's operating point");
+/// ```
+pub fn error_margin(n: usize, confidence: Confidence) -> f64 {
+    confidence.z() * (0.25 / n as f64).sqrt()
+}
+
+/// Sample size needed for error margin `e` at the given confidence
+/// (worst-case p = 0.5, infinite population).
+pub fn sample_size(e: f64, confidence: Confidence) -> usize {
+    let z = confidence.z();
+    (z * z * 0.25 / (e * e)).ceil() as usize
+}
+
+/// Draws `n` uniform single-bit transient faults for `structure`: uniform
+/// over the structure's storage bits and uniform over the fault-free
+/// execution's `golden_cycles`, as prescribed by the paper's §II.D.
+pub fn sample_faults(
+    structure: Structure,
+    cfg: &MuarchConfig,
+    golden_cycles: u64,
+    n: usize,
+    seed: u64,
+) -> Vec<Fault> {
+    let bits = structure.bit_count(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Fault {
+            site: FaultSite { structure, bit: rng.gen_range(0..bits) },
+            cycle: rng.gen_range(0..golden_cycles.max(1)),
+        })
+        .collect()
+}
+
+/// Expands a single-bit fault into a spatially adjacent multi-bit burst of
+/// `width` bits (§VII.A): neighbouring bits of the same structure flipped
+/// at the same cycle, clamped at the end of the array.
+pub fn multi_bit_burst(fault: Fault, width: u32, cfg: &MuarchConfig) -> Vec<Fault> {
+    let bits = fault.site.structure.bit_count(cfg);
+    let start = fault.site.bit.min(bits.saturating_sub(u64::from(width)));
+    (0..u64::from(width))
+        .map(|k| Fault {
+            site: FaultSite { structure: fault.site.structure, bit: start + k },
+            cycle: fault.cycle,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point() {
+        let e = error_margin(2_000, Confidence::C99);
+        assert!((e - 0.0288).abs() < 2e-4, "got {e}");
+        // Inverse direction.
+        let n = sample_size(0.0288, Confidence::C99);
+        assert!((1_900..2_100).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_samples() {
+        assert!(error_margin(4_000, Confidence::C99) < error_margin(1_000, Confidence::C99));
+        assert!(error_margin(1_000, Confidence::C90) < error_margin(1_000, Confidence::C99));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let cfg = MuarchConfig::big();
+        let a = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 42);
+        let b = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 42);
+        assert_eq!(a, b);
+        let bits = Structure::RegFile.bit_count(&cfg);
+        for f in &a {
+            assert!(f.site.bit < bits);
+            assert!(f.cycle < 10_000);
+        }
+        let c = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 43);
+        assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn sampling_covers_the_bit_space() {
+        let cfg = MuarchConfig::big();
+        let faults = sample_faults(Structure::L2Data, &cfg, 100_000, 2_000, 7);
+        let bits = Structure::L2Data.bit_count(&cfg);
+        let lo = faults.iter().filter(|f| f.site.bit < bits / 2).count();
+        // Roughly balanced halves (binomial, generous tolerance).
+        assert!((800..1_200).contains(&lo), "skewed sampling: {lo}/2000 in low half");
+    }
+
+    #[test]
+    fn burst_is_adjacent_and_clamped() {
+        let cfg = MuarchConfig::big();
+        let f = Fault {
+            site: FaultSite { structure: Structure::RegFile, bit: 5 },
+            cycle: 9,
+        };
+        let burst = multi_bit_burst(f, 3, &cfg);
+        assert_eq!(burst.iter().map(|f| f.site.bit).collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert!(burst.iter().all(|b| b.cycle == 9));
+        // Clamp at the end of the array.
+        let bits = Structure::RegFile.bit_count(&cfg);
+        let f = Fault { site: FaultSite { structure: Structure::RegFile, bit: bits - 1 }, cycle: 0 };
+        let burst = multi_bit_burst(f, 4, &cfg);
+        assert_eq!(burst.last().unwrap().site.bit, bits - 1);
+        assert_eq!(burst.len(), 4);
+    }
+}

@@ -1,0 +1,474 @@
+//! A two-pass assembler / program builder with labels.
+//!
+//! Workload programs are written against this API. Forward references are
+//! allowed; label resolution happens in [`Assembler::assemble`].
+//!
+//! ```
+//! use avgi_isa::asm::Assembler;
+//! use avgi_isa::reg::{A0, ZERO};
+//!
+//! let mut a = Assembler::new(0);
+//! a.li32(A0, 10);
+//! a.label("loop");
+//! a.addi(A0, A0, -1);
+//! a.bne(A0, ZERO, "loop");
+//! a.halt();
+//! let code = a.assemble().unwrap();
+//! assert!(!code.is_empty());
+//! ```
+
+use crate::instr::Instr;
+use crate::opcode::Opcode;
+use crate::reg::{Reg, RA, ZERO};
+use core::fmt;
+use std::collections::HashMap;
+
+/// An error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A control-flow instruction referenced a label that was never defined.
+    UnknownLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A resolved branch/jump offset does not fit its immediate field.
+    OffsetOutOfRange {
+        /// The offending label.
+        label: String,
+        /// The offset, in instructions.
+        offset: i64,
+    },
+    /// An immediate constant does not fit the 14-bit signed field.
+    ImmOutOfRange(i32),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::OffsetOutOfRange { label, offset } => {
+                write!(f, "offset {offset} to label `{label}` out of range")
+            }
+            AsmError::ImmOutOfRange(v) => write!(f, "immediate {v} out of 14-bit signed range"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+const IMM14_MIN: i32 = -(1 << 13);
+const IMM14_MAX: i32 = (1 << 13) - 1;
+const IMM19_MIN: i64 = -(1 << 18);
+const IMM19_MAX: i64 = (1 << 18) - 1;
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    Branch { op: Opcode, rs1: Reg, rs2: Reg, target: String },
+    Jal { rd: Reg, target: String },
+}
+
+/// Two-pass assembler producing a flat `Vec<u32>` of instruction words.
+///
+/// Instructions are placed consecutively starting at the base address given
+/// to [`Assembler::new`]; branch and jump targets are labels resolved at
+/// [`Assembler::assemble`] time.
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u32,
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Creates an assembler placing code at `base` (must be 4-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned.
+    pub fn new(base: u32) -> Self {
+        assert_eq!(base % 4, 0, "code base must be word aligned");
+        Assembler { base, items: Vec::new(), labels: HashMap::new(), error: None }
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self.labels.insert(name.to_string(), self.items.len()).is_some() {
+            self.set_err(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// The address the *next* emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.base + (self.items.len() as u32) * 4
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn set_err(&mut self, e: AsmError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.items.push(Item::Fixed(i));
+        self
+    }
+
+    fn check_imm14(&mut self, imm: i32) -> i32 {
+        if !(IMM14_MIN..=IMM14_MAX).contains(&imm) {
+            self.set_err(AsmError::ImmOutOfRange(imm));
+        }
+        imm
+    }
+
+    fn r_type(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instr::new(op, rd, rs1, rs2, 0))
+    }
+
+    fn i_type(&mut self, op: Opcode, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        let imm = self.check_imm14(imm);
+        self.push(Instr::new(op, rd, rs1, ZERO, imm))
+    }
+
+    fn s_type(&mut self, op: Opcode, rs1: Reg, rs2: Reg, imm: i32) -> &mut Self {
+        let imm = self.check_imm14(imm);
+        self.push(Instr::new(op, ZERO, rs1, rs2, imm))
+    }
+}
+
+macro_rules! r_ops {
+    ($($fn_name:ident => $op:ident;)*) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("Emits `", stringify!($fn_name), " rd, rs1, rs2`.")]
+                pub fn $fn_name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                    self.r_type(Opcode::$op, rd, rs1, rs2)
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! i_ops {
+    ($($fn_name:ident => $op:ident;)*) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("Emits `", stringify!($fn_name), " rd, rs1, imm`.")]
+                pub fn $fn_name(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+                    self.i_type(Opcode::$op, rd, rs1, imm)
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! s_ops {
+    ($($fn_name:ident => $op:ident;)*) => {
+        impl Assembler {
+            $(
+                #[doc = concat!("Emits `", stringify!($fn_name), " base, src, imm` (store: `mem[base+imm] = src`).")]
+                pub fn $fn_name(&mut self, base: Reg, src: Reg, imm: i32) -> &mut Self {
+                    self.s_type(Opcode::$op, base, src, imm)
+                }
+            )*
+        }
+    };
+}
+
+r_ops! {
+    add => Add; sub => Sub; and => And; or => Or; xor => Xor;
+    sll => Sll; srl => Srl; sra => Sra; slt => Slt; sltu => Sltu;
+    mul => Mul; mulh => Mulh; divu => Divu; remu => Remu;
+}
+
+i_ops! {
+    addi => Addi; andi => Andi; ori => Ori; xori => Xori;
+    slli => Slli; srli => Srli; srai => Srai; slti => Slti;
+    lw => Lw; lb => Lb; lbu => Lbu; lh => Lh; lhu => Lhu;
+}
+
+s_ops! {
+    sw => Sw; sb => Sb; sh => Sh;
+}
+
+impl Assembler {
+    /// Emits `lui rd, imm` (`rd = imm << 18`).
+    pub fn lui(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.i_type(Opcode::Lui, rd, ZERO, imm)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::new(Opcode::Nop, ZERO, ZERO, ZERO, 0))
+    }
+
+    /// Emits `halt` — ends the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::new(Opcode::Halt, ZERO, ZERO, ZERO, 0))
+    }
+
+    /// Emits `jalr rd, rs1, imm` (indirect jump; `rd = pc + 4`).
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.i_type(Opcode::Jalr, rd, rs1, imm)
+    }
+
+    /// Emits a conditional branch to `target`.
+    pub fn branch(&mut self, op: Opcode, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        debug_assert!(op.is_branch(), "{op} is not a branch");
+        self.items.push(Item::Branch { op, rs1, rs2, target: target.to_string() });
+        self
+    }
+
+    /// Emits `beq rs1, rs2, target`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(Opcode::Beq, rs1, rs2, target)
+    }
+
+    /// Emits `bne rs1, rs2, target`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(Opcode::Bne, rs1, rs2, target)
+    }
+
+    /// Emits `blt rs1, rs2, target` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(Opcode::Blt, rs1, rs2, target)
+    }
+
+    /// Emits `bge rs1, rs2, target` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(Opcode::Bge, rs1, rs2, target)
+    }
+
+    /// Emits `bltu rs1, rs2, target` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(Opcode::Bltu, rs1, rs2, target)
+    }
+
+    /// Emits `bgeu rs1, rs2, target` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
+        self.branch(Opcode::Bgeu, rs1, rs2, target)
+    }
+
+    /// Emits `jal rd, target`.
+    pub fn jal(&mut self, rd: Reg, target: &str) -> &mut Self {
+        self.items.push(Item::Jal { rd, target: target.to_string() });
+        self
+    }
+
+    // ----- pseudo-instructions -----
+
+    /// Unconditional jump: `jal zero, target`.
+    pub fn j(&mut self, target: &str) -> &mut Self {
+        self.jal(ZERO, target)
+    }
+
+    /// Function call: `jal ra, target`.
+    pub fn call(&mut self, target: &str) -> &mut Self {
+        self.jal(RA, target)
+    }
+
+    /// Function return: `jalr zero, ra, 0`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(ZERO, RA, 0)
+    }
+
+    /// Register move: `addi rd, rs, 0`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// Loads an arbitrary 32-bit constant into `rd`.
+    ///
+    /// Emits one instruction when the constant fits a 14-bit signed
+    /// immediate or is a pure `lui` value, and a 5-instruction
+    /// shift/or sequence otherwise.
+    pub fn li32(&mut self, rd: Reg, value: u32) -> &mut Self {
+        let v = value as i32;
+        if (IMM14_MIN..=IMM14_MAX).contains(&v) {
+            return self.addi(rd, ZERO, v);
+        }
+        if value & 0x3_FFFF == 0 {
+            // Pure upper-immediate value.
+            let hi = ((value >> 18) as i32) << 18 >> 18; // sign view of the field
+            return self.lui(rd, hi);
+        }
+        let c0 = ((value >> 21) & 0x7FF) as i32;
+        let c1 = ((value >> 10) & 0x7FF) as i32;
+        let c2 = (value & 0x3FF) as i32;
+        self.addi(rd, ZERO, c0);
+        self.slli(rd, rd, 11);
+        self.ori(rd, rd, c1);
+        self.slli(rd, rd, 10);
+        self.ori(rd, rd, c2)
+    }
+
+    /// Resolves labels and produces the instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] recorded while building or resolving
+    /// (unknown/duplicate labels, out-of-range offsets or immediates).
+    pub fn assemble(&self) -> Result<Vec<u32>, AsmError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let mut words = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let word = match item {
+                Item::Fixed(i) => i.encode(),
+                Item::Branch { op, rs1, rs2, target } => {
+                    let off = self.offset_to(idx, target)?;
+                    if !(i64::from(IMM14_MIN)..=i64::from(IMM14_MAX)).contains(&off) {
+                        return Err(AsmError::OffsetOutOfRange {
+                            label: target.clone(),
+                            offset: off,
+                        });
+                    }
+                    Instr::new(*op, ZERO, *rs1, *rs2, off as i32).encode()
+                }
+                Item::Jal { rd, target } => {
+                    let off = self.offset_to(idx, target)?;
+                    if !(IMM19_MIN..=IMM19_MAX).contains(&off) {
+                        return Err(AsmError::OffsetOutOfRange {
+                            label: target.clone(),
+                            offset: off,
+                        });
+                    }
+                    Instr::new(Opcode::Jal, *rd, ZERO, ZERO, off as i32).encode()
+                }
+            };
+            words.push(word);
+        }
+        Ok(words)
+    }
+
+    /// Looks up the address a label resolves to.
+    pub fn label_addr(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).map(|&i| self.base + (i as u32) * 4)
+    }
+
+    fn offset_to(&self, from: usize, target: &str) -> Result<i64, AsmError> {
+        let &to = self
+            .labels
+            .get(target)
+            .ok_or_else(|| AsmError::UnknownLabel(target.to_string()))?;
+        Ok(to as i64 - from as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::decode;
+    use crate::reg::{A0, A1, T0};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new(0);
+        a.label("start");
+        a.addi(A0, ZERO, 1);
+        a.beq(A0, ZERO, "end"); // forward
+        a.j("start"); // backward
+        a.label("end");
+        a.halt();
+        let w = a.assemble().unwrap();
+        let b = decode(w[1]).unwrap();
+        assert_eq!(b.imm, 2); // two instructions forward
+        let j = decode(w[2]).unwrap();
+        assert_eq!(j.imm, -2);
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        a.j("nowhere");
+        assert_eq!(a.assemble(), Err(AsmError::UnknownLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Assembler::new(0);
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn imm_out_of_range_is_an_error() {
+        let mut a = Assembler::new(0);
+        a.addi(A0, ZERO, 100_000);
+        assert_eq!(a.assemble(), Err(AsmError::ImmOutOfRange(100_000)));
+    }
+
+    #[test]
+    fn li32_small_constant_single_instruction() {
+        let mut a = Assembler::new(0);
+        a.li32(A0, 100);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn li32_lui_constant_single_instruction() {
+        let mut a = Assembler::new(0);
+        a.li32(A0, 0x0004_0000); // 1 << 18
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn li32_sequence_materializes_value() {
+        // Interpret the emitted sequence to confirm the constant.
+        for value in [0xDEAD_BEEFu32, 0x0001_2345, 0xFFFF_FFFF, 0x8000_0001] {
+            let mut a = Assembler::new(0);
+            a.li32(A0, value);
+            let words = a.assemble().unwrap();
+            let mut r: u32 = 0;
+            for w in words {
+                let i = decode(w).unwrap();
+                r = match i.op {
+                    Opcode::Addi => (r as i32).wrapping_add(i.imm) as u32,
+                    Opcode::Slli => r << (i.imm & 31),
+                    Opcode::Ori => r | i.imm as u32,
+                    Opcode::Lui => (i.imm << 18) as u32,
+                    other => panic!("unexpected {other}"),
+                };
+            }
+            assert_eq!(r, value, "li32({value:#x})");
+        }
+    }
+
+    #[test]
+    fn here_tracks_addresses() {
+        let mut a = Assembler::new(0x100);
+        assert_eq!(a.here(), 0x100);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 0x108);
+        a.label("l");
+        assert_eq!(a.label_addr("l"), Some(0x108));
+    }
+
+    #[test]
+    fn store_operands_encode_in_s_format() {
+        let mut a = Assembler::new(0);
+        a.sw(A1, T0, 12);
+        let w = a.assemble().unwrap()[0];
+        let i = decode(w).unwrap();
+        assert_eq!(i.rs1, A1);
+        assert_eq!(i.rs2, T0);
+        assert_eq!(i.imm, 12);
+    }
+}

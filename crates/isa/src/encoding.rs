@@ -1,0 +1,219 @@
+//! Bit-level field layout of AvgIsa instruction words.
+//!
+//! Fault-injection studies need to reason about *which field a flipped bit
+//! landed in*; this module is the single source of truth for the layout.
+//! See [`Format`] for the per-format field map.
+
+use crate::opcode::Format;
+
+/// Bit position (from LSB) where the opcode field starts.
+pub const OPCODE_SHIFT: u32 = 24;
+/// Bit position where the `rd` field starts.
+pub const RD_SHIFT: u32 = 19;
+/// Bit position where the `rs1` field starts.
+pub const RS1_SHIFT: u32 = 14;
+/// Bit position where the `rs2` field starts.
+pub const RS2_SHIFT: u32 = 9;
+/// Width of a register field in bits.
+pub const REG_FIELD_BITS: u32 = 5;
+/// Width of the short immediate in bits.
+pub const IMM14_BITS: u32 = 14;
+/// Width of the jump immediate in bits.
+pub const IMM19_BITS: u32 = 19;
+
+/// Extracts the 8-bit opcode field.
+pub fn opcode_bits(word: u32) -> u8 {
+    (word >> OPCODE_SHIFT) as u8
+}
+
+/// Extracts the raw 5-bit `rd` field.
+pub fn rd_bits(word: u32) -> u8 {
+    ((word >> RD_SHIFT) & 0x1F) as u8
+}
+
+/// Extracts the raw 5-bit `rs1` field (format `R`/`I`; field position
+/// `[23:19]` holds `rs1` for `S`-format — use [`s_rs1_bits`]).
+pub fn rs1_bits(word: u32) -> u8 {
+    ((word >> RS1_SHIFT) & 0x1F) as u8
+}
+
+/// Extracts the raw 5-bit `rs2` field.
+pub fn rs2_bits(word: u32) -> u8 {
+    ((word >> RS2_SHIFT) & 0x1F) as u8
+}
+
+/// `S`-format `rs1`, stored where `rd` lives in `R`/`I` formats.
+pub fn s_rs1_bits(word: u32) -> u8 {
+    rd_bits(word)
+}
+
+/// `S`-format `rs2`, stored where `rs1` lives in `R`/`I` formats.
+pub fn s_rs2_bits(word: u32) -> u8 {
+    rs1_bits(word)
+}
+
+/// Extracts and sign-extends the 14-bit immediate.
+pub fn imm14(word: u32) -> i32 {
+    ((word as i32) << 18) >> 18
+}
+
+/// Extracts and sign-extends the 19-bit jump immediate.
+pub fn imm19(word: u32) -> i32 {
+    ((word as i32) << 13) >> 13
+}
+
+/// Extracts the 9-bit must-be-zero pad of `R`-format instructions.
+pub fn pad9(word: u32) -> u32 {
+    word & 0x1FF
+}
+
+/// Extracts the 24-bit must-be-zero pad of `N`-format instructions.
+pub fn pad24(word: u32) -> u32 {
+    word & 0x00FF_FFFF
+}
+
+/// Packs an `R`-format word.
+pub fn pack_r(opcode: u8, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    (opcode as u32) << OPCODE_SHIFT
+        | ((rd as u32) & 0x1F) << RD_SHIFT
+        | ((rs1 as u32) & 0x1F) << RS1_SHIFT
+        | ((rs2 as u32) & 0x1F) << RS2_SHIFT
+}
+
+/// Packs an `I`-format word.
+pub fn pack_i(opcode: u8, rd: u8, rs1: u8, imm: i32) -> u32 {
+    (opcode as u32) << OPCODE_SHIFT
+        | ((rd as u32) & 0x1F) << RD_SHIFT
+        | ((rs1 as u32) & 0x1F) << RS1_SHIFT
+        | (imm as u32) & 0x3FFF
+}
+
+/// Packs an `S`-format word (stores and branches).
+pub fn pack_s(opcode: u8, rs1: u8, rs2: u8, imm: i32) -> u32 {
+    (opcode as u32) << OPCODE_SHIFT
+        | ((rs1 as u32) & 0x1F) << RD_SHIFT
+        | ((rs2 as u32) & 0x1F) << RS1_SHIFT
+        | (imm as u32) & 0x3FFF
+}
+
+/// Packs a `J`-format word.
+pub fn pack_j(opcode: u8, rd: u8, imm: i32) -> u32 {
+    (opcode as u32) << OPCODE_SHIFT | ((rd as u32) & 0x1F) << RD_SHIFT | (imm as u32) & 0x7_FFFF
+}
+
+/// Packs an `N`-format word.
+pub fn pack_n(opcode: u8) -> u32 {
+    (opcode as u32) << OPCODE_SHIFT
+}
+
+/// The field a given instruction-word bit belongs to, for a given format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// Bits `[31:24]` in every format.
+    Opcode,
+    /// Destination register field.
+    Rd,
+    /// First source register field.
+    Rs1,
+    /// Second source register field.
+    Rs2,
+    /// Immediate field.
+    Imm,
+    /// Must-be-zero padding.
+    Pad,
+}
+
+/// Classifies instruction-word bit `bit` (0 = LSB) under `format`.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+pub fn field_of_bit(format: Format, bit: u32) -> Field {
+    assert!(bit < 32, "bit index out of range: {bit}");
+    if bit >= OPCODE_SHIFT {
+        return Field::Opcode;
+    }
+    match format {
+        Format::R => match bit {
+            19..=23 => Field::Rd,
+            14..=18 => Field::Rs1,
+            9..=13 => Field::Rs2,
+            _ => Field::Pad,
+        },
+        Format::I => match bit {
+            19..=23 => Field::Rd,
+            14..=18 => Field::Rs1,
+            _ => Field::Imm,
+        },
+        Format::S => match bit {
+            19..=23 => Field::Rs1,
+            14..=18 => Field::Rs2,
+            _ => Field::Imm,
+        },
+        Format::J => match bit {
+            19..=23 => Field::Rd,
+            _ => Field::Imm,
+        },
+        Format::N => Field::Pad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm14_sign_extension() {
+        let w = pack_i(0x20, 1, 2, -1);
+        assert_eq!(imm14(w), -1);
+        let w = pack_i(0x20, 1, 2, 8191);
+        assert_eq!(imm14(w), 8191);
+        let w = pack_i(0x20, 1, 2, -8192);
+        assert_eq!(imm14(w), -8192);
+    }
+
+    #[test]
+    fn imm19_sign_extension() {
+        let w = pack_j(0x50, 23, -4);
+        assert_eq!(imm19(w), -4);
+        let w = pack_j(0x50, 23, 262_143);
+        assert_eq!(imm19(w), 262_143);
+    }
+
+    #[test]
+    fn field_extraction_roundtrip() {
+        let w = pack_r(0x10, 3, 7, 21);
+        assert_eq!(opcode_bits(w), 0x10);
+        assert_eq!(rd_bits(w), 3);
+        assert_eq!(rs1_bits(w), 7);
+        assert_eq!(rs2_bits(w), 21);
+        assert_eq!(pad9(w), 0);
+    }
+
+    #[test]
+    fn s_format_register_aliases() {
+        let w = pack_s(0x38, 4, 9, 100);
+        assert_eq!(s_rs1_bits(w), 4);
+        assert_eq!(s_rs2_bits(w), 9);
+        assert_eq!(imm14(w), 100);
+    }
+
+    #[test]
+    fn every_bit_has_exactly_one_field() {
+        for fmt in [Format::R, Format::I, Format::S, Format::J, Format::N] {
+            for bit in 0..32 {
+                // Must not panic; Field is total per (format, bit).
+                let _ = field_of_bit(fmt, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_bits_always_opcode_field() {
+        for fmt in [Format::R, Format::I, Format::S, Format::J, Format::N] {
+            for bit in 24..32 {
+                assert_eq!(field_of_bit(fmt, bit), Field::Opcode);
+            }
+        }
+    }
+}

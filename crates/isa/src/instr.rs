@@ -1,0 +1,264 @@
+//! Decoded instruction representation and the decoder.
+
+use crate::encoding::{self as enc};
+use crate::opcode::{Format, Opcode};
+use crate::reg::{Reg, ZERO};
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A fully decoded AvgIsa instruction.
+///
+/// Operand slots a format does not use hold [`ZERO`]/`0`; the original
+/// encoding is kept in `raw` so analyses can reason at the bit level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instr {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register (formats `R`, `I`, `J`).
+    pub rd: Reg,
+    /// First source register (formats `R`, `I`, `S`).
+    pub rs1: Reg,
+    /// Second source register (formats `R`, `S`).
+    pub rs2: Reg,
+    /// Sign-extended immediate (formats `I`, `S`, `J`).
+    pub imm: i32,
+    /// The 32-bit encoding this instruction was decoded from.
+    pub raw: u32,
+}
+
+/// Why a 32-bit word failed to decode.
+///
+/// The distinction between variants matters to the IMM classifier: an
+/// [`UnknownOpcode`](DecodeError::UnknownOpcode) means the *opcode* field
+/// left the ISA, while [`UnknownRegister`](DecodeError::UnknownRegister) and
+/// [`NonZeroPad`](DecodeError::NonZeroPad) mean an *operand* field left the
+/// ISA (the paper's `UNO` manifestation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// The 8-bit opcode field does not name a defined instruction.
+    UnknownOpcode(u8),
+    /// A 5-bit register field holds an index the ISA does not define.
+    UnknownRegister {
+        /// Which operand slot held the bad index.
+        field: RegField,
+        /// The out-of-range index (always `>= NUM_ARCH_REGS`).
+        value: u8,
+    },
+    /// A must-be-zero pad field is non-zero.
+    NonZeroPad(u32),
+}
+
+/// Names an operand register slot, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegField {
+    /// Destination register slot.
+    Rd,
+    /// First source register slot.
+    Rs1,
+    /// Second source register slot.
+    Rs2,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            DecodeError::UnknownRegister { field, value } => {
+                write!(f, "register field {field:?} holds undefined index {value}")
+            }
+            DecodeError::NonZeroPad(p) => write!(f, "must-be-zero pad holds {p:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// Whether the failure is in an *operand* field (register index or pad)
+    /// rather than the opcode — i.e., the encoding names a defined operation
+    /// applied to operands unknown to the ISA.
+    pub fn is_operand_error(&self) -> bool {
+        !matches!(self, DecodeError::UnknownOpcode(_))
+    }
+}
+
+fn reg(field: RegField, bits: u8) -> Result<Reg, DecodeError> {
+    Reg::new(bits).ok_or(DecodeError::UnknownRegister { field, value: bits })
+}
+
+/// Decodes a 32-bit word into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the opcode, a register field, or a pad
+/// field holds an encoding outside the ISA. The simulator turns such words
+/// into undefined-instruction traps at commit.
+///
+/// ```
+/// use avgi_isa::instr::{decode, DecodeError};
+/// assert!(matches!(decode(0xFF00_0000), Err(DecodeError::UnknownOpcode(0xFF))));
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let op = Opcode::from_bits(enc::opcode_bits(word))
+        .ok_or(DecodeError::UnknownOpcode(enc::opcode_bits(word)))?;
+    let instr = match op.format() {
+        Format::R => {
+            if enc::pad9(word) != 0 {
+                return Err(DecodeError::NonZeroPad(enc::pad9(word)));
+            }
+            Instr {
+                op,
+                rd: reg(RegField::Rd, enc::rd_bits(word))?,
+                rs1: reg(RegField::Rs1, enc::rs1_bits(word))?,
+                rs2: reg(RegField::Rs2, enc::rs2_bits(word))?,
+                imm: 0,
+                raw: word,
+            }
+        }
+        Format::I => Instr {
+            op,
+            rd: reg(RegField::Rd, enc::rd_bits(word))?,
+            rs1: reg(RegField::Rs1, enc::rs1_bits(word))?,
+            rs2: ZERO,
+            imm: enc::imm14(word),
+            raw: word,
+        },
+        Format::S => Instr {
+            op,
+            rd: ZERO,
+            rs1: reg(RegField::Rs1, enc::s_rs1_bits(word))?,
+            rs2: reg(RegField::Rs2, enc::s_rs2_bits(word))?,
+            imm: enc::imm14(word),
+            raw: word,
+        },
+        Format::J => Instr {
+            op,
+            rd: reg(RegField::Rd, enc::rd_bits(word))?,
+            rs1: ZERO,
+            rs2: ZERO,
+            imm: enc::imm19(word),
+            raw: word,
+        },
+        Format::N => {
+            if enc::pad24(word) != 0 {
+                return Err(DecodeError::NonZeroPad(enc::pad24(word)));
+            }
+            Instr { op, rd: ZERO, rs1: ZERO, rs2: ZERO, imm: 0, raw: word }
+        }
+    };
+    Ok(instr)
+}
+
+impl Instr {
+    /// Re-encodes the instruction into its 32-bit word.
+    pub fn encode(&self) -> u32 {
+        match self.op.format() {
+            Format::R => enc::pack_r(
+                self.op.to_bits(),
+                self.rd.index(),
+                self.rs1.index(),
+                self.rs2.index(),
+            ),
+            Format::I => {
+                enc::pack_i(self.op.to_bits(), self.rd.index(), self.rs1.index(), self.imm)
+            }
+            Format::S => {
+                enc::pack_s(self.op.to_bits(), self.rs1.index(), self.rs2.index(), self.imm)
+            }
+            Format::J => enc::pack_j(self.op.to_bits(), self.rd.index(), self.imm),
+            Format::N => enc::pack_n(self.op.to_bits()),
+        }
+    }
+
+    /// Constructs an instruction from parts and computes its encoding.
+    pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i32) -> Self {
+        let mut i = Instr { op, rd, rs1, rs2, imm, raw: 0 };
+        i.raw = i.encode();
+        i
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op.format() {
+            Format::R => write!(f, "{} {}, {}, {}", self.op, self.rd, self.rs1, self.rs2),
+            Format::I => write!(f, "{} {}, {}, {}", self.op, self.rd, self.rs1, self.imm),
+            Format::S => write!(f, "{} {}, {}, {}", self.op, self.rs1, self.rs2, self.imm),
+            Format::J => write!(f, "{} {}, {}", self.op, self.rd, self.imm),
+            Format::N => write!(f, "{}", self.op),
+        }
+    }
+}
+
+/// Disassembles a word, or describes why it does not decode.
+pub fn disassemble(word: u32) -> String {
+    match decode(word) {
+        Ok(i) => i.to_string(),
+        Err(e) => format!("<undefined: {e}>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{A0, A1, SP, T0};
+
+    #[test]
+    fn decode_encode_roundtrip_r() {
+        let i = Instr::new(Opcode::Add, A0, A1, T0, 0);
+        assert_eq!(decode(i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip_i_negative_imm() {
+        let i = Instr::new(Opcode::Addi, SP, SP, ZERO, -64);
+        let d = decode(i.encode()).unwrap();
+        assert_eq!(d.imm, -64);
+        assert_eq!(d, i);
+    }
+
+    #[test]
+    fn decode_rejects_invalid_register() {
+        // rd = 30 in an I-format instruction.
+        let w = enc::pack_i(Opcode::Addi.to_bits(), 30, 1, 5);
+        assert_eq!(
+            decode(w),
+            Err(DecodeError::UnknownRegister { field: RegField::Rd, value: 30 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_nonzero_pad() {
+        let w = enc::pack_r(Opcode::Add.to_bits(), 1, 2, 3) | 0x7;
+        assert_eq!(decode(w), Err(DecodeError::NonZeroPad(0x7)));
+        let w = enc::pack_n(Opcode::Halt.to_bits()) | 0x100;
+        assert_eq!(decode(w), Err(DecodeError::NonZeroPad(0x100)));
+    }
+
+    #[test]
+    fn operand_error_predicate() {
+        assert!(!DecodeError::UnknownOpcode(0xAB).is_operand_error());
+        assert!(DecodeError::NonZeroPad(1).is_operand_error());
+        assert!(DecodeError::UnknownRegister { field: RegField::Rs2, value: 25 }
+            .is_operand_error());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instr::new(Opcode::Add, A0, A1, T0, 0);
+        assert_eq!(i.to_string(), "add r1, r2, r5");
+        let i = Instr::new(Opcode::Sw, ZERO, A0, T0, 8);
+        assert_eq!(i.to_string(), "sw r1, r5, 8");
+        assert!(disassemble(0xFF00_0000).contains("undefined"));
+    }
+
+    #[test]
+    fn every_encoding_decodes_or_errors_without_panicking() {
+        // Coarse sweep across the word space; decode must be total.
+        for hi in 0..=255u32 {
+            for lo in [0u32, 1, 0x1FF, 0x3FFF, 0xFFFF, 0x7F_FFFF] {
+                let _ = decode(hi << 24 | lo);
+            }
+        }
+    }
+}

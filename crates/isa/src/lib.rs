@@ -1,0 +1,65 @@
+//! # AvgIsa — the instruction set of the AVGI reproduction
+//!
+//! AvgIsa is a small, 32-bit, fixed-width RISC instruction set designed for
+//! *fault-injection studies*: every bit of an instruction word belongs to a
+//! named field (opcode, register operand, immediate), and both the opcode
+//! space and the register space are deliberately **incomplete**, so that a
+//! single flipped bit can turn a valid encoding into one that is *unknown to
+//! the ISA*. This is exactly the property the AVGI paper's ISA Manifestation
+//! Models (IMMs) exercise:
+//!
+//! * a flipped **opcode** bit yields either a *different* valid instruction
+//!   (the paper's `IRP` manifestation) or an undefined opcode,
+//! * a flipped **register field** bit can produce a register index the ISA
+//!   does not define (`UNO`) or a different valid register (`OFS`),
+//! * a flipped **immediate** bit always produces a valid but different
+//!   instruction (`OFS`).
+//!
+//! The crate provides the field-level [`encoding`], the decoded
+//! [`Instr`] representation, a two-pass [`asm::Assembler`]
+//! with labels and `li32` pseudo-instructions, and the register file
+//! conventions used by the workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use avgi_isa::asm::Assembler;
+//! use avgi_isa::reg::{Reg, ZERO};
+//! use avgi_isa::instr::decode;
+//!
+//! let mut a = Assembler::new(0);
+//! let r1 = Reg::new(1).unwrap();
+//! a.addi(r1, ZERO, 41);
+//! a.addi(r1, r1, 1);
+//! a.halt();
+//! let words = a.assemble().unwrap();
+//! assert_eq!(words.len(), 3);
+//! let i = decode(words[0]).unwrap();
+//! assert_eq!(i.imm, 41);
+//! ```
+
+pub mod asm;
+pub mod encoding;
+pub mod instr;
+pub mod opcode;
+pub mod reg;
+
+pub use asm::Assembler;
+pub use instr::{decode, DecodeError, Instr};
+pub use opcode::Opcode;
+pub use reg::Reg;
+
+/// Number of architectural registers defined by AvgIsa.
+///
+/// Register *fields* in the encoding are 5 bits wide (32 encodings), but only
+/// indices `0..24` name architectural registers; encodings `24..32` are
+/// undefined and decoding them fails with
+/// [`DecodeError::UnknownRegister`](instr::DecodeError). The gap is what
+/// makes the `UNO` manifestation model reachable.
+pub const NUM_ARCH_REGS: u8 = 24;
+
+/// Width in bits of one instruction word (and of the machine word).
+pub const WORD_BITS: u32 = 32;
+
+/// Width in bytes of one instruction word.
+pub const WORD_BYTES: u32 = 4;

@@ -1,0 +1,228 @@
+//! The AvgIsa opcode space.
+//!
+//! Opcodes occupy the top 8 bits of every instruction word. The space is
+//! deliberately sparse (≈36 of 256 encodings are defined) so that flipping a
+//! single opcode bit frequently produces an encoding that is *unknown to the
+//! ISA* — the pipeline treats such instructions as undefined and raises a
+//! trap at commit, reproducing the crash-heavy fate of the paper's `IRP`
+//! manifestations.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Instruction *format*: which fields of the 32-bit word are meaningful.
+///
+/// Field layout per format (bit 31 is the MSB):
+///
+/// | format | `[31:24]` | `[23:19]` | `[18:14]` | `[13:9]` | `[8:0]` |
+/// |--------|---------|---------|---------|--------|-------|
+/// | `R`    | opcode  | rd      | rs1     | rs2    | pad (must be 0) |
+/// | `I`    | opcode  | rd      | rs1     | `imm14[13:9]` | `imm14[8:0]` |
+/// | `S`/`B`| opcode  | rs1     | rs2     | `imm14[13:9]` | `imm14[8:0]` |
+/// | `J`    | opcode  | rd      | imm19   | imm19  | imm19 |
+/// | `N`    | opcode  | pad (must be 0) | | | |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Format {
+    /// Register-register ALU: `op rd, rs1, rs2`.
+    R,
+    /// Register-immediate ALU and loads and `jalr`: `op rd, rs1, imm14`.
+    I,
+    /// Stores and branches: `op rs1, rs2, imm14`.
+    S,
+    /// Jump-and-link: `jal rd, imm19`.
+    J,
+    /// No operands: `nop`, `halt`.
+    N,
+}
+
+macro_rules! opcodes {
+    ($( $name:ident = $val:expr, $fmt:ident, $mnem:expr ;)*) => {
+        /// A defined AvgIsa opcode.
+        ///
+        /// The discriminant is the 8-bit encoding that appears in bits
+        /// `[31:24]` of the instruction word.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(
+                #[doc = concat!("`", $mnem, "`")]
+                $name = $val,
+            )*
+        }
+
+        impl Opcode {
+            /// Decodes an 8-bit opcode field. Returns `None` for encodings
+            /// not defined by the ISA.
+            pub fn from_bits(bits: u8) -> Option<Self> {
+                match bits {
+                    $( $val => Some(Opcode::$name), )*
+                    _ => None,
+                }
+            }
+
+            /// The 8-bit encoding of this opcode.
+            pub fn to_bits(self) -> u8 {
+                self as u8
+            }
+
+            /// The instruction format this opcode uses.
+            pub fn format(self) -> Format {
+                match self {
+                    $( Opcode::$name => Format::$fmt, )*
+                }
+            }
+
+            /// The assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$name => $mnem, )*
+                }
+            }
+
+            /// Every defined opcode, in encoding order.
+            pub fn all() -> &'static [Opcode] {
+                &[ $( Opcode::$name, )* ]
+            }
+        }
+    };
+}
+
+opcodes! {
+    Nop   = 0x01, N, "nop";
+    Halt  = 0x02, N, "halt";
+
+    Add   = 0x10, R, "add";
+    Sub   = 0x11, R, "sub";
+    And   = 0x12, R, "and";
+    Or    = 0x13, R, "or";
+    Xor   = 0x14, R, "xor";
+    Sll   = 0x15, R, "sll";
+    Srl   = 0x16, R, "srl";
+    Sra   = 0x17, R, "sra";
+    Slt   = 0x18, R, "slt";
+    Sltu  = 0x19, R, "sltu";
+    Mul   = 0x1A, R, "mul";
+    Mulh  = 0x1B, R, "mulh";
+    Divu  = 0x1C, R, "divu";
+    Remu  = 0x1D, R, "remu";
+
+    Addi  = 0x20, I, "addi";
+    Andi  = 0x21, I, "andi";
+    Ori   = 0x22, I, "ori";
+    Xori  = 0x23, I, "xori";
+    Slli  = 0x24, I, "slli";
+    Srli  = 0x25, I, "srli";
+    Srai  = 0x26, I, "srai";
+    Slti  = 0x27, I, "slti";
+    Lui   = 0x28, I, "lui";
+
+    Lw    = 0x30, I, "lw";
+    Lb    = 0x31, I, "lb";
+    Lbu   = 0x32, I, "lbu";
+    Lh    = 0x33, I, "lh";
+    Lhu   = 0x34, I, "lhu";
+
+    Sw    = 0x38, S, "sw";
+    Sb    = 0x39, S, "sb";
+    Sh    = 0x3A, S, "sh";
+
+    Beq   = 0x40, S, "beq";
+    Bne   = 0x41, S, "bne";
+    Blt   = 0x42, S, "blt";
+    Bge   = 0x43, S, "bge";
+    Bltu  = 0x44, S, "bltu";
+    Bgeu  = 0x45, S, "bgeu";
+
+    Jal   = 0x50, J, "jal";
+    Jalr  = 0x51, I, "jalr";
+}
+
+impl Opcode {
+    /// Whether this opcode reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Lw | Opcode::Lb | Opcode::Lbu | Opcode::Lh | Opcode::Lhu)
+    }
+
+    /// Whether this opcode writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Sw | Opcode::Sb | Opcode::Sh)
+    }
+
+    /// Whether this opcode is a conditional branch.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu
+        )
+    }
+
+    /// Whether this opcode is an unconditional control transfer.
+    pub fn is_jump(self) -> bool {
+        matches!(self, Opcode::Jal | Opcode::Jalr)
+    }
+
+    /// Whether this opcode can redirect the program counter.
+    pub fn is_control(self) -> bool {
+        self.is_branch() || self.is_jump()
+    }
+
+    /// Whether this opcode writes a destination register.
+    pub fn writes_rd(self) -> bool {
+        match self.format() {
+            Format::R | Format::J => true,
+            Format::I => true,
+            Format::S | Format::N => false,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_opcodes() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_bits(op.to_bits()), Some(op));
+        }
+    }
+
+    #[test]
+    fn undefined_encodings_rejected() {
+        assert_eq!(Opcode::from_bits(0x00), None);
+        assert_eq!(Opcode::from_bits(0xFF), None);
+        assert_eq!(Opcode::from_bits(0x60), None);
+    }
+
+    #[test]
+    fn opcode_space_is_sparse() {
+        let defined = (0u16..256).filter(|&b| Opcode::from_bits(b as u8).is_some()).count();
+        assert_eq!(defined, Opcode::all().len());
+        // The sparseness is a design requirement: most random corruption of
+        // the opcode byte must be able to leave the defined space.
+        assert!(defined < 64, "opcode space must stay sparse, got {defined}");
+    }
+
+    #[test]
+    fn classification_predicates_are_disjoint() {
+        for &op in Opcode::all() {
+            let kinds = [op.is_load(), op.is_store(), op.is_branch(), op.is_jump()];
+            assert!(kinds.iter().filter(|&&k| k).count() <= 1, "{op} in two classes");
+        }
+    }
+
+    #[test]
+    fn stores_and_branches_do_not_write_rd() {
+        assert!(!Opcode::Sw.writes_rd());
+        assert!(!Opcode::Beq.writes_rd());
+        assert!(Opcode::Add.writes_rd());
+        assert!(Opcode::Jal.writes_rd());
+        assert!(Opcode::Jalr.writes_rd());
+    }
+}

@@ -1,0 +1,111 @@
+//! Architectural register names and conventions.
+
+use crate::NUM_ARCH_REGS;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// An architectural register index, guaranteed in range `0..NUM_ARCH_REGS`.
+///
+/// `Reg` is a validated newtype: constructing one from a raw 5-bit field can
+/// fail (the field has 32 encodings but only 24 are architecturally
+/// defined), which is how the decoder detects *unknown-to-the-ISA* operand
+/// corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from an index.
+    ///
+    /// Returns `None` if `index >= NUM_ARCH_REGS`.
+    pub fn new(index: u8) -> Option<Self> {
+        (index < NUM_ARCH_REGS).then_some(Reg(index))
+    }
+
+    /// The register index, in `0..NUM_ARCH_REGS`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The hardwired-zero register `r0`. Reads return 0; writes are discarded.
+pub const ZERO: Reg = Reg(0);
+/// Return-value / first-argument register by convention.
+pub const A0: Reg = Reg(1);
+/// Second argument register by convention.
+pub const A1: Reg = Reg(2);
+/// Third argument register by convention.
+pub const A2: Reg = Reg(3);
+/// Fourth argument register by convention.
+pub const A3: Reg = Reg(4);
+/// Temporaries `t0..t9` occupy `r5..r14`.
+pub const T0: Reg = Reg(5);
+pub const T1: Reg = Reg(6);
+pub const T2: Reg = Reg(7);
+pub const T3: Reg = Reg(8);
+pub const T4: Reg = Reg(9);
+pub const T5: Reg = Reg(10);
+pub const T6: Reg = Reg(11);
+pub const T7: Reg = Reg(12);
+pub const T8: Reg = Reg(13);
+pub const T9: Reg = Reg(14);
+/// Callee-ish saved registers `s0..s6` occupy `r15..r21`.
+pub const S0: Reg = Reg(15);
+pub const S1: Reg = Reg(16);
+pub const S2: Reg = Reg(17);
+pub const S3: Reg = Reg(18);
+pub const S4: Reg = Reg(19);
+pub const S5: Reg = Reg(20);
+pub const S6: Reg = Reg(21);
+/// Stack pointer by convention.
+pub const SP: Reg = Reg(22);
+/// Link register written by `jal`/`jalr`.
+pub const RA: Reg = Reg(23);
+
+/// All architectural registers, in index order.
+pub fn all_regs() -> impl Iterator<Item = Reg> {
+    (0..NUM_ARCH_REGS).map(Reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert_eq!(Reg::new(0), Some(ZERO));
+        assert_eq!(Reg::new(23), Some(RA));
+        assert_eq!(Reg::new(24), None);
+        assert_eq!(Reg::new(31), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn zero_register_is_special() {
+        assert!(ZERO.is_zero());
+        assert!(!A0.is_zero());
+    }
+
+    #[test]
+    fn display_prints_index() {
+        assert_eq!(SP.to_string(), "r22");
+    }
+
+    #[test]
+    fn all_regs_covers_the_file() {
+        let v: Vec<Reg> = all_regs().collect();
+        assert_eq!(v.len(), NUM_ARCH_REGS as usize);
+        assert_eq!(v[0], ZERO);
+        assert_eq!(v[23], RA);
+    }
+}

@@ -1,0 +1,128 @@
+//! Pure functional semantics of AvgIsa ALU and branch operations.
+
+use avgi_isa::opcode::Opcode;
+
+/// Computes the result of a register-writing ALU operation.
+///
+/// `a` and `b` are the resolved source values (for immediate forms, `b` is
+/// the immediate). Returns `None` for opcodes that do not produce an ALU
+/// result (memory, branches, `nop`, `halt` — jumps produce their link value
+/// elsewhere).
+pub fn alu(op: Opcode, a: u32, b: u32) -> Option<u32> {
+    let r = match op {
+        Opcode::Add | Opcode::Addi => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::And | Opcode::Andi => a & b,
+        Opcode::Or | Opcode::Ori => a | b,
+        Opcode::Xor | Opcode::Xori => a ^ b,
+        Opcode::Sll | Opcode::Slli => a.wrapping_shl(b & 31),
+        Opcode::Srl | Opcode::Srli => a.wrapping_shr(b & 31),
+        Opcode::Sra | Opcode::Srai => ((a as i32).wrapping_shr(b & 31)) as u32,
+        Opcode::Slt | Opcode::Slti => u32::from((a as i32) < (b as i32)),
+        Opcode::Sltu => u32::from(a < b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        Opcode::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        Opcode::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        Opcode::Lui => b << 18,
+        _ => return None,
+    };
+    Some(r)
+}
+
+/// Evaluates a conditional branch: is it taken?
+///
+/// # Panics
+///
+/// Panics if `op` is not a branch.
+pub fn branch_taken(op: Opcode, a: u32, b: u32) -> bool {
+    match op {
+        Opcode::Beq => a == b,
+        Opcode::Bne => a != b,
+        Opcode::Blt => (a as i32) < (b as i32),
+        Opcode::Bge => (a as i32) >= (b as i32),
+        Opcode::Bltu => a < b,
+        Opcode::Bgeu => a >= b,
+        other => panic!("{other} is not a branch"),
+    }
+}
+
+/// Execution latency class of an opcode under the given latencies.
+pub fn latency(op: Opcode, lat: &crate::config::Latencies) -> u64 {
+    match op {
+        Opcode::Mul | Opcode::Mulh => lat.mul,
+        Opcode::Divu | Opcode::Remu => lat.div,
+        _ => lat.alu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(alu(Opcode::Add, u32::MAX, 1), Some(0));
+        assert_eq!(alu(Opcode::Sub, 0, 1), Some(u32::MAX));
+        assert_eq!(alu(Opcode::Mul, 0x8000_0000, 2), Some(0));
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(alu(Opcode::Sll, 1, 33), Some(2));
+        assert_eq!(alu(Opcode::Sra, 0x8000_0000, 31), Some(0xFFFF_FFFF));
+        assert_eq!(alu(Opcode::Srl, 0x8000_0000, 31), Some(1));
+    }
+
+    #[test]
+    fn division_by_zero_defined() {
+        assert_eq!(alu(Opcode::Divu, 5, 0), Some(u32::MAX));
+        assert_eq!(alu(Opcode::Remu, 5, 0), Some(5));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(alu(Opcode::Slt, (-1i32) as u32, 0), Some(1));
+        assert_eq!(alu(Opcode::Sltu, (-1i32) as u32, 0), Some(0));
+    }
+
+    #[test]
+    fn mulh_signed_high_bits() {
+        assert_eq!(alu(Opcode::Mulh, (-1i32) as u32, (-1i32) as u32), Some(0));
+        assert_eq!(alu(Opcode::Mulh, 0x4000_0000, 4), Some(1));
+    }
+
+    #[test]
+    fn lui_shifts_immediate() {
+        assert_eq!(alu(Opcode::Lui, 0, 1), Some(1 << 18));
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Opcode::Beq, 3, 3));
+        assert!(branch_taken(Opcode::Bne, 3, 4));
+        assert!(branch_taken(Opcode::Blt, (-1i32) as u32, 0));
+        assert!(!branch_taken(Opcode::Bltu, (-1i32) as u32, 0));
+        assert!(branch_taken(Opcode::Bge, 0, 0));
+        assert!(branch_taken(Opcode::Bgeu, (-1i32) as u32, 0));
+    }
+
+    #[test]
+    fn non_alu_ops_return_none() {
+        assert_eq!(alu(Opcode::Lw, 1, 2), None);
+        assert_eq!(alu(Opcode::Beq, 1, 2), None);
+        assert_eq!(alu(Opcode::Halt, 0, 0), None);
+    }
+}

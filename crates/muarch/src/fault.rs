@@ -1,0 +1,182 @@
+//! Fault-injection targets: the 12 hardware structures of the paper.
+//!
+//! Every injectable structure exposes its storage as a flat, contiguous bit
+//! array; a [`FaultSite`] names one bit within one structure, and a
+//! [`Fault`] adds the injection cycle. Uniform statistical sampling (per
+//! Leveugle et al., the paper's \[1\]) then amounts to drawing a uniform bit
+//! index and a uniform cycle.
+
+use crate::config::MuarchConfig;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// The twelve fault-injection targets of the paper's evaluation (§II.D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Structure {
+    /// L1 instruction cache, tag array.
+    L1ITag,
+    /// L1 instruction cache, data array.
+    L1IData,
+    /// L1 data cache, tag array.
+    L1DTag,
+    /// L1 data cache, data array.
+    L1DData,
+    /// Unified L2, tag array.
+    L2Tag,
+    /// Unified L2, data array.
+    L2Data,
+    /// Physical register file.
+    RegFile,
+    /// Reorder buffer.
+    Rob,
+    /// Load queue.
+    Lq,
+    /// Store queue.
+    Sq,
+    /// Instruction TLB.
+    Itlb,
+    /// Data TLB.
+    Dtlb,
+}
+
+impl Structure {
+    /// All twelve structures, in a stable report order.
+    pub fn all() -> &'static [Structure] {
+        use Structure::*;
+        &[RegFile, Dtlb, Itlb, L1IData, L1ITag, L1DTag, L1DData, L2Tag, L2Data, Rob, Lq, Sq]
+    }
+
+    /// Short label used in tables (matches the paper's Table II rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::L1ITag => "L1I (Tag)",
+            Structure::L1IData => "L1I (Data)",
+            Structure::L1DTag => "L1D (Tag)",
+            Structure::L1DData => "L1D (Data)",
+            Structure::L2Tag => "L2 (Tag)",
+            Structure::L2Data => "L2 (Data)",
+            Structure::RegFile => "RF",
+            Structure::Rob => "ROB",
+            Structure::Lq => "LQ",
+            Structure::Sq => "SQ",
+            Structure::Itlb => "ITLB",
+            Structure::Dtlb => "DTLB",
+        }
+    }
+
+    /// Whether this structure is a cache *data* array (the arrays the
+    /// paper's §IV.D names as holding output data).
+    pub fn is_cache_data(self) -> bool {
+        matches!(self, Structure::L1DData | Structure::L2Data)
+    }
+
+    /// Whether faults here can produce the `ESC` manifestation: the data
+    /// arrays holding output data, plus the data-cache tag arrays (a
+    /// corrupted dirty-line tag writes the line back to the wrong address
+    /// without ever passing through the program trace — the paper's Fig. 7
+    /// accordingly includes the L1D tag field).
+    pub fn is_esc_eligible(self) -> bool {
+        matches!(
+            self,
+            Structure::L1DData | Structure::L2Data | Structure::L1DTag | Structure::L2Tag
+        )
+    }
+
+    /// Whether faults here are detected by commit-side integrity checks and
+    /// therefore manifest as pre-software crashes (`PRE`), per the paper's
+    /// observation for ROB/LQ/SQ.
+    pub fn is_integrity_checked(self) -> bool {
+        matches!(self, Structure::Rob | Structure::Lq | Structure::Sq)
+    }
+
+    /// Number of injectable storage bits this structure holds under `cfg`.
+    pub fn bit_count(self, cfg: &MuarchConfig) -> u64 {
+        match self {
+            Structure::L1ITag => u64::from(cfg.l1i.lines()) * u64::from(tag_entry_bits(cfg.l1i.tag_bits())),
+            Structure::L1IData => u64::from(cfg.l1i.capacity_bytes()) * 8,
+            Structure::L1DTag => u64::from(cfg.l1d.lines()) * u64::from(tag_entry_bits(cfg.l1d.tag_bits())),
+            Structure::L1DData => u64::from(cfg.l1d.capacity_bytes()) * 8,
+            Structure::L2Tag => u64::from(cfg.l2.lines()) * u64::from(tag_entry_bits(cfg.l2.tag_bits())),
+            Structure::L2Data => u64::from(cfg.l2.capacity_bytes()) * 8,
+            Structure::RegFile => u64::from(cfg.phys_regs) * 32,
+            Structure::Rob => u64::from(cfg.rob_entries) * u64::from(crate::queues::ROB_ENTRY_BITS),
+            Structure::Lq => u64::from(cfg.lq_entries) * u64::from(crate::queues::LQ_ENTRY_BITS),
+            Structure::Sq => u64::from(cfg.sq_entries) * u64::from(crate::queues::SQ_ENTRY_BITS),
+            Structure::Itlb => u64::from(cfg.itlb_entries) * u64::from(crate::tlb::TLB_ENTRY_BITS),
+            Structure::Dtlb => u64::from(cfg.dtlb_entries) * u64::from(crate::tlb::TLB_ENTRY_BITS),
+        }
+    }
+}
+
+/// Bits stored per cache line in a tag array: tag + valid + dirty.
+pub(crate) fn tag_entry_bits(tag_bits: u32) -> u32 {
+    tag_bits + 2
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One storage bit within one structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSite {
+    /// The structure holding the bit.
+    pub structure: Structure,
+    /// Flat bit index within the structure's storage, in
+    /// `0..structure.bit_count(cfg)`.
+    pub bit: u64,
+}
+
+/// A transient single-bit fault: a bit to flip and the cycle to flip it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// Where to flip.
+    pub site: FaultSite,
+    /// Simulation cycle at which the flip occurs.
+    pub cycle: u64,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bit {} @ cycle {}", self.site.structure, self.site.bit, self.cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_structures() {
+        assert_eq!(Structure::all().len(), 12);
+    }
+
+    #[test]
+    fn bit_counts_positive_and_sized_sensibly() {
+        let cfg = MuarchConfig::big();
+        for &s in Structure::all() {
+            assert!(s.bit_count(&cfg) > 0, "{s} has zero bits");
+        }
+        // Data arrays dominate; L2 data is the largest structure.
+        let l2 = Structure::L2Data.bit_count(&cfg);
+        for &s in Structure::all() {
+            assert!(s.bit_count(&cfg) <= l2, "{s} larger than L2 data");
+        }
+        assert_eq!(Structure::RegFile.bit_count(&cfg), 96 * 32);
+        assert_eq!(Structure::L1IData.bit_count(&cfg), 8 * 1024 * 8);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Structure::L2Data.is_cache_data());
+        assert!(!Structure::L2Tag.is_cache_data());
+        assert!(Structure::L2Tag.is_esc_eligible());
+        assert!(Structure::L1DTag.is_esc_eligible());
+        assert!(!Structure::L1ITag.is_esc_eligible(), "I-side lines are never dirty");
+        assert!(!Structure::RegFile.is_esc_eligible());
+        assert!(Structure::Rob.is_integrity_checked());
+        assert!(!Structure::RegFile.is_integrity_checked());
+    }
+}

@@ -1,0 +1,207 @@
+//! Backing physical memory and the machine's memory map.
+//!
+//! The machine exposes a single flat physical memory with three regions:
+//!
+//! | region | base | purpose |
+//! |--------|------|---------|
+//! | code   | [`CODE_BASE`]   | instructions; execute/read-only |
+//! | data   | [`DATA_BASE`]   | heap + stack (stack grows down from [`STACK_TOP`]) |
+//! | output | [`OUTPUT_BASE`] | the program's *output file*: after the run, caches are written back and this range is what an I/O device (DMA) would read |
+//!
+//! Virtual addresses are identity-mapped; the TLBs exist so translation
+//! *state* is fault-injectable (a corrupted TLB entry redirects an access to
+//! the wrong physical page, exactly like the paper's TLB experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// Base address of the code region.
+pub const CODE_BASE: u32 = 0x0000_0000;
+/// Base address of the data region.
+pub const DATA_BASE: u32 = 0x0004_0000;
+/// Stack top (stack grows downward inside the data region).
+pub const STACK_TOP: u32 = 0x0008_0000;
+/// Base address of the output region (the program's "output file").
+pub const OUTPUT_BASE: u32 = 0x0008_0000;
+/// Total physical memory size in bytes.
+pub const MEM_SIZE: u32 = 0x000C_0000; // 768 KiB
+/// Page size used by the TLBs.
+pub const PAGE_BYTES: u32 = 4096;
+
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemFault {
+    /// Physical address outside [`MEM_SIZE`].
+    OutOfRange(u32),
+    /// Store targeting the read-only code region.
+    WriteToCode(u32),
+    /// Access crossing its natural alignment.
+    Misaligned(u32),
+    /// Instruction fetch outside the code region.
+    ExecuteFault(u32),
+}
+
+impl core::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemFault::OutOfRange(a) => write!(f, "physical address {a:#010x} out of range"),
+            MemFault::WriteToCode(a) => write!(f, "store to code region at {a:#010x}"),
+            MemFault::Misaligned(a) => write!(f, "misaligned access at {a:#010x}"),
+            MemFault::ExecuteFault(a) => write!(f, "instruction fetch outside code at {a:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Flat backing memory with region protection.
+///
+/// This is the *physical* memory behind the cache hierarchy; the caches
+/// read/write whole lines through [`Memory::read_line`]/[`Memory::write_line`].
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    code_limit: u32,
+}
+
+impl Memory {
+    /// Creates zeroed memory with the code region spanning
+    /// `CODE_BASE..code_limit`.
+    pub fn new(code_limit: u32) -> Self {
+        assert!(code_limit <= DATA_BASE, "code region overflows into data");
+        Memory { bytes: vec![0; MEM_SIZE as usize], code_limit }
+    }
+
+    /// End of the code region (exclusive).
+    pub fn code_limit(&self) -> u32 {
+        self.code_limit
+    }
+
+    /// Checks that a data access of `size` bytes at `addr` is allowed.
+    pub fn check_data_access(&self, addr: u32, size: u32, is_store: bool) -> Result<(), MemFault> {
+        if addr % size != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        if u64::from(addr) + u64::from(size) > u64::from(MEM_SIZE) {
+            return Err(MemFault::OutOfRange(addr));
+        }
+        if is_store && addr < DATA_BASE {
+            return Err(MemFault::WriteToCode(addr));
+        }
+        Ok(())
+    }
+
+    /// Checks that an instruction fetch at `addr` is allowed.
+    pub fn check_fetch(&self, addr: u32) -> Result<(), MemFault> {
+        if addr % 4 != 0 {
+            return Err(MemFault::Misaligned(addr));
+        }
+        if addr >= self.code_limit {
+            return Err(MemFault::ExecuteFault(addr));
+        }
+        Ok(())
+    }
+
+    /// Reads one cache line (`len` bytes) starting at `addr` (line-aligned).
+    pub fn read_line(&self, addr: u32, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    /// Writes one cache line starting at `addr` (line-aligned).
+    ///
+    /// Writebacks with corrupted tags may target any address; writes that
+    /// fall outside physical memory are dropped (the bus ignores them),
+    /// which mirrors a writeback to an unpopulated physical address.
+    pub fn write_line(&mut self, addr: u32, buf: &[u8]) {
+        let a = addr as usize;
+        if a + buf.len() <= self.bytes.len() {
+            self.bytes[a..a + buf.len()].copy_from_slice(buf);
+        }
+    }
+
+    /// Raw byte read (no protection check); used for loading images and for
+    /// reading results after the caches are flushed.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Little-endian 32-bit read (no protection check).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes([self.bytes[a], self.bytes[a + 1], self.bytes[a + 2], self.bytes[a + 3]])
+    }
+
+    /// Raw byte write (no protection check); used when loading images.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.bytes[addr as usize] = v;
+    }
+
+    /// Little-endian 32-bit write (no protection check).
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let a = addr as usize;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies `src` into memory at `addr` (no protection check).
+    pub fn load_image(&mut self, addr: u32, src: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + src.len()].copy_from_slice(src);
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn read_range(&self, addr: u32, len: u32) -> Vec<u8> {
+        let a = addr as usize;
+        self.bytes[a..a + len as usize].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(CODE_BASE < DATA_BASE);
+        assert!(DATA_BASE < OUTPUT_BASE);
+        assert!(OUTPUT_BASE < MEM_SIZE);
+        assert_eq!(STACK_TOP, OUTPUT_BASE);
+    }
+
+    #[test]
+    fn data_access_checks() {
+        let m = Memory::new(0x1000);
+        assert!(m.check_data_access(DATA_BASE, 4, true).is_ok());
+        assert_eq!(m.check_data_access(DATA_BASE + 2, 4, false), Err(MemFault::Misaligned(DATA_BASE + 2)));
+        assert_eq!(m.check_data_access(0x100, 4, true), Err(MemFault::WriteToCode(0x100)));
+        assert!(m.check_data_access(0x100, 4, false).is_ok(), "loads from code allowed");
+        assert_eq!(m.check_data_access(MEM_SIZE, 4, false), Err(MemFault::OutOfRange(MEM_SIZE)));
+        assert_eq!(m.check_data_access(MEM_SIZE + 4, 4, false), Err(MemFault::OutOfRange(MEM_SIZE + 4)));
+    }
+
+    #[test]
+    fn fetch_checks() {
+        let m = Memory::new(0x1000);
+        assert!(m.check_fetch(0).is_ok());
+        assert!(m.check_fetch(0xFFC).is_ok());
+        assert_eq!(m.check_fetch(0x1000), Err(MemFault::ExecuteFault(0x1000)));
+        assert_eq!(m.check_fetch(2), Err(MemFault::Misaligned(2)));
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = Memory::new(0x1000);
+        m.write_u32(DATA_BASE, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(DATA_BASE), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(DATA_BASE), 0xEF); // little endian
+        let mut line = [0u8; 64];
+        m.read_line(DATA_BASE, &mut line);
+        assert_eq!(line[0], 0xEF);
+    }
+
+    #[test]
+    fn out_of_range_writeback_dropped() {
+        let mut m = Memory::new(0x1000);
+        m.write_line(MEM_SIZE - 32, &[1u8; 64]); // would overflow: dropped
+        assert_eq!(m.read_u8(MEM_SIZE - 32), 0);
+    }
+}

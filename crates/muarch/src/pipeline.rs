@@ -1,0 +1,1214 @@
+//! The out-of-order core: fetch → decode → rename/dispatch → issue/execute
+//! → in-order commit.
+//!
+//! The model is cycle-driven and fully deterministic: given the same program
+//! and configuration, every run produces an identical commit trace (cycle
+//! numbers included), which is what makes on-the-fly golden-trace comparison
+//! — and therefore the paper's `ETE` manifestation class — meaningful.
+
+use crate::cache::{Cache, Eviction};
+use crate::config::MuarchConfig;
+use crate::exec;
+use crate::fault::{Fault, Structure};
+use crate::mem::{MemFault, Memory};
+use crate::predictor::Predictor;
+use crate::program::Program;
+use crate::queues::{pack_lq, pack_rob, pack_sq, QueueArray, LQ_ENTRY_BITS, ROB_ENTRY_BITS, SQ_ENTRY_BITS};
+use crate::regfile::{PhysReg, RegFile};
+use crate::run::{ExecStats, RunControl, RunOutcome, RunReport, TrapKind};
+use crate::tlb::Tlb;
+use crate::trace::{CommitRecord, Deviation, GoldenRun};
+use avgi_isa::instr::{decode, Instr};
+use avgi_isa::opcode::Opcode;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+const NO_DEST: u8 = 0xFF;
+
+/// ROB entry flag bits (packed into the injectable image).
+const FLAG_LOAD: u8 = 0b0001;
+const FLAG_STORE: u8 = 0b0010;
+const FLAG_CONTROL: u8 = 0b0100;
+const FLAG_WRITES: u8 = 0b1000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    InIq,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: u32,
+    raw: u32,
+    decoded: Option<Instr>,
+    exception: Option<TrapKind>,
+    state: EntryState,
+    finish_cycle: u64,
+    dest_arch: u8,
+    new_phys: PhysReg,
+    prev_phys: PhysReg,
+    src1: Option<PhysReg>,
+    src2: Option<PhysReg>,
+    is_load: bool,
+    is_store: bool,
+    is_control: bool,
+    predicted_next: u32,
+    actual_next: u32,
+    resolved_control: bool,
+    taken: bool,
+    ea: u32,
+    val: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LqShadow {
+    seq: u64,
+    resolved: bool,
+    paddr: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SqShadow {
+    seq: u64,
+    resolved: bool,
+    paddr: u32,
+    size: u8,
+    data: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Fetched {
+    pc: u32,
+    raw: u32,
+    decoded: Option<Instr>,
+    exception: Option<TrapKind>,
+    predicted_next: u32,
+}
+
+/// The simulator: one core, one program, one run.
+///
+/// Construct with [`Sim::new`], optionally arm faults with
+/// [`Sim::inject`], then call [`Sim::run`].
+///
+/// `Sim` is `Clone`: snapshotting a simulator mid-run is how campaigns
+/// implement checkpointing (skipping the fault-free pre-injection period,
+/// §IV.B of the paper) — see [`Sim::run_to_cycle`].
+#[derive(Debug, Clone)]
+pub struct Sim {
+    cfg: MuarchConfig,
+    cycle: u64,
+    seq_next: u64,
+
+    // Front end.
+    fetch_pc: u32,
+    fetch_ready_cycle: u64,
+    fetch_paused: bool,
+    decode_q: VecDeque<Fetched>,
+
+    // Rename + backend.
+    rf: RegFile,
+    rob: Vec<Option<RobEntry>>,
+    rob_head: usize,
+    rob_tail: usize,
+    rob_count: usize,
+    rob_img: QueueArray,
+    iq: Vec<usize>,
+    lq: Vec<Option<LqShadow>>,
+    lq_head: usize,
+    lq_tail: usize,
+    lq_count: usize,
+    lq_img: QueueArray,
+    sq: Vec<Option<SqShadow>>,
+    sq_head: usize,
+    sq_tail: usize,
+    sq_count: usize,
+    sq_img: QueueArray,
+
+    // Memory system.
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    mem: Memory,
+    pred: Predictor,
+
+    // Program/output.
+    output_addr: u32,
+    output_len: u32,
+
+    // Fault injection.
+    pending_faults: Vec<Fault>, // sorted by cycle, ascending
+    first_inject_cycle: Option<u64>,
+    faults_applied: bool,
+
+    // Tracing.
+    trace: Vec<CommitRecord>,
+    commit_index: u64,
+    first_deviation: Option<Deviation>,
+
+    stats: ExecStats,
+}
+
+impl Sim {
+    /// Builds a simulator for `program` under `cfg`.
+    pub fn new(program: &Program, cfg: MuarchConfig) -> Self {
+        cfg.validate();
+        let mem = program.build_memory();
+        Sim {
+            cycle: 0,
+            seq_next: 0,
+            fetch_pc: program.entry,
+            fetch_ready_cycle: 0,
+            fetch_paused: false,
+            decode_q: VecDeque::with_capacity(2 * cfg.fetch_width as usize + 2),
+            rf: RegFile::new(cfg.phys_regs),
+            rob: vec![None; cfg.rob_entries as usize],
+            rob_head: 0,
+            rob_tail: 0,
+            rob_count: 0,
+            rob_img: QueueArray::new(cfg.rob_entries, ROB_ENTRY_BITS),
+            iq: Vec::with_capacity(cfg.iq_entries as usize),
+            lq: vec![None; cfg.lq_entries as usize],
+            lq_head: 0,
+            lq_tail: 0,
+            lq_count: 0,
+            lq_img: QueueArray::new(cfg.lq_entries, LQ_ENTRY_BITS),
+            sq: vec![None; cfg.sq_entries as usize],
+            sq_head: 0,
+            sq_tail: 0,
+            sq_count: 0,
+            sq_img: QueueArray::new(cfg.sq_entries, SQ_ENTRY_BITS),
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            mem,
+            pred: Predictor::new(cfg.predictor_entries, cfg.btb_entries),
+            output_addr: program.output_addr,
+            output_len: program.output_len,
+            pending_faults: Vec::new(),
+            first_inject_cycle: None,
+            faults_applied: false,
+            trace: Vec::new(),
+            commit_index: 0,
+            first_deviation: None,
+            stats: ExecStats::default(),
+            cfg,
+        }
+    }
+
+    /// Arms a fault for injection during [`Sim::run`].
+    pub fn inject(&mut self, fault: Fault) {
+        debug_assert!(
+            fault.site.bit < fault.site.structure.bit_count(&self.cfg),
+            "fault bit out of range for {}",
+            fault.site.structure
+        );
+        self.first_inject_cycle =
+            Some(self.first_inject_cycle.map_or(fault.cycle, |c| c.min(fault.cycle)));
+        self.pending_faults.push(fault);
+        self.pending_faults.sort_by_key(|f| f.cycle);
+    }
+
+    /// Runs to completion under `ctl` and reports.
+    pub fn run(&mut self, ctl: &RunControl) -> RunReport {
+        let outcome = self.run_loop(ctl);
+        self.stats.rf_ace_cycles = self.rf.finalize_ace();
+        let output = if outcome == RunOutcome::Completed {
+            self.flush_caches();
+            Some(self.mem.read_range(self.output_addr, self.output_len))
+        } else {
+            None
+        };
+        RunReport {
+            outcome,
+            cycles: self.cycle,
+            first_deviation: self.first_deviation,
+            output,
+            trace: ctl.record_trace.then(|| core::mem::take(&mut self.trace)),
+            inject_cycle: self.first_inject_cycle,
+            stats: self.stats,
+        }
+    }
+
+    fn run_loop(&mut self, ctl: &RunControl) -> RunOutcome {
+        loop {
+            if let Some(out) = self.step(ctl) {
+                return out;
+            }
+        }
+    }
+
+    /// Executes exactly one cycle of the pipeline. Returns `Some(outcome)`
+    /// when the run ends this cycle.
+    fn step(&mut self, ctl: &RunControl) -> Option<RunOutcome> {
+        self.apply_due_faults();
+        if let Some(out) = self.writeback() {
+            return Some(out);
+        }
+        if let Some(out) = self.commit(ctl) {
+            return Some(out);
+        }
+        if ctl.stop_at_first_deviation && self.first_deviation.is_some() {
+            return Some(RunOutcome::StoppedAtDeviation);
+        }
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.cycle += 1;
+        if ctl.max_cycles > 0 && self.cycle > ctl.max_cycles {
+            return Some(RunOutcome::Watchdog);
+        }
+        if let (Some(window), Some(at)) = (ctl.ert_window, self.first_inject_cycle) {
+            if self.faults_applied && self.first_deviation.is_none() && self.cycle >= at + window
+            {
+                return Some(RunOutcome::ErtExpired);
+            }
+        }
+        None
+    }
+
+    /// Advances the simulation to the *beginning* of cycle `target` (no
+    /// stage of `target` has executed yet), so the state can be snapshotted
+    /// as a checkpoint.
+    ///
+    /// Returns `Some(outcome)` if the run terminated before reaching
+    /// `target` (e.g. the program was shorter), `None` on success. A run
+    /// resumed from the snapshot behaves exactly like an uninterrupted one.
+    pub fn run_to_cycle(&mut self, target: u64, ctl: &RunControl) -> Option<RunOutcome> {
+        while self.cycle < target {
+            if let Some(out) = self.step(ctl) {
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    // ----- fault application -----
+
+    fn apply_due_faults(&mut self) {
+        while let Some(f) = self.pending_faults.first() {
+            if f.cycle > self.cycle {
+                break;
+            }
+            let f = self.pending_faults.remove(0);
+            self.flip(f.site.structure, f.site.bit);
+        }
+        if self.pending_faults.is_empty() {
+            self.faults_applied = true;
+        }
+    }
+
+    fn flip(&mut self, s: Structure, bit: u64) {
+        match s {
+            Structure::L1ITag => self.l1i.flip_tag_bit(bit),
+            Structure::L1IData => self.l1i.flip_data_bit(bit),
+            Structure::L1DTag => self.l1d.flip_tag_bit(bit),
+            Structure::L1DData => self.l1d.flip_data_bit(bit),
+            Structure::L2Tag => self.l2.flip_tag_bit(bit),
+            Structure::L2Data => self.l2.flip_data_bit(bit),
+            Structure::RegFile => self.rf.flip_bit(bit),
+            Structure::Rob => self.rob_img.flip_bit(bit),
+            Structure::Lq => self.lq_img.flip_bit(bit),
+            Structure::Sq => self.sq_img.flip_bit(bit),
+            Structure::Itlb => self.itlb.flip_bit(bit),
+            Structure::Dtlb => self.dtlb.flip_bit(bit),
+        }
+    }
+
+    // ----- memory hierarchy -----
+
+    fn line_base(&self, addr: u32) -> u32 {
+        addr & !(self.cfg.l2.line_bytes - 1)
+    }
+
+    /// Gets a line from L2 (filling from memory on miss); returns the line
+    /// bytes and the added latency beyond L1.
+    fn l2_get_line(&mut self, line_addr: u32) -> (Vec<u8>, u64) {
+        if let Some(li) = self.l2.lookup(line_addr) {
+            let mut buf = vec![0u8; self.cfg.l2.line_bytes as usize];
+            self.l2.read_resident(li, line_addr, &mut buf);
+            (buf, self.cfg.lat.l2)
+        } else {
+            self.stats.l2_misses += 1;
+            let mut buf = vec![0u8; self.cfg.l2.line_bytes as usize];
+            if u64::from(line_addr) + buf.len() as u64 <= u64::from(crate::mem::MEM_SIZE) {
+                self.mem.read_line(line_addr, &mut buf);
+            }
+            if let (Some(ev), _) = self.l2.fill(line_addr, &buf) {
+                self.mem.write_line(ev.addr, &ev.data);
+            }
+            if self.cfg.prefetch_next_line {
+                let next = line_addr.wrapping_add(self.cfg.l2.line_bytes);
+                if u64::from(next) + u64::from(self.cfg.l2.line_bytes)
+                    <= u64::from(crate::mem::MEM_SIZE)
+                    && self.l2.lookup(next).is_none()
+                {
+                    let mut pbuf = vec![0u8; self.cfg.l2.line_bytes as usize];
+                    self.mem.read_line(next, &mut pbuf);
+                    if let (Some(ev), _) = self.l2.fill(next, &pbuf) {
+                        self.mem.write_line(ev.addr, &ev.data);
+                    }
+                }
+            }
+            (buf, self.cfg.lat.l2 + self.cfg.lat.mem)
+        }
+    }
+
+    fn writeback_to_l2(&mut self, ev: Eviction) {
+        let line_addr = self.line_base(ev.addr);
+        if let Some(li) = self.l2.lookup(line_addr) {
+            self.l2.write_resident(li, line_addr, &ev.data);
+        } else {
+            let (ev2, li) = self.l2.fill(line_addr, &ev.data);
+            self.l2.mark_dirty(li);
+            if let Some(ev2) = ev2 {
+                self.mem.write_line(ev2.addr, &ev2.data);
+            }
+        }
+    }
+
+    /// Reads `size` bytes at `paddr` through L1D; returns (value bytes as
+    /// little-endian u32, latency).
+    fn read_data(&mut self, paddr: u32, size: u32) -> (u32, u64) {
+        let mut lat = self.cfg.lat.l1;
+        let li = match self.l1d.lookup(paddr) {
+            Some(li) => li,
+            None => {
+                self.stats.l1d_misses += 1;
+                let line_addr = self.line_base(paddr);
+                let (line, extra) = self.l2_get_line(line_addr);
+                lat += extra;
+                let (ev, li) = self.l1d.fill(line_addr, &line);
+                if let Some(ev) = ev {
+                    self.writeback_to_l2(ev);
+                }
+                li
+            }
+        };
+        let mut buf = [0u8; 4];
+        self.l1d.read_resident(li, paddr, &mut buf[..size as usize]);
+        (u32::from_le_bytes(buf), lat)
+    }
+
+    /// Writes `size` low bytes of `data` at `paddr` through L1D
+    /// (write-allocate, write-back).
+    fn write_data(&mut self, paddr: u32, size: u32, data: u32) {
+        let li = match self.l1d.lookup(paddr) {
+            Some(li) => li,
+            None => {
+                self.stats.l1d_misses += 1;
+                let line_addr = self.line_base(paddr);
+                let (line, _) = self.l2_get_line(line_addr);
+                let (ev, li) = self.l1d.fill(line_addr, &line);
+                if let Some(ev) = ev {
+                    self.writeback_to_l2(ev);
+                }
+                li
+            }
+        };
+        let bytes = data.to_le_bytes();
+        self.l1d.write_resident(li, paddr, &bytes[..size as usize]);
+    }
+
+    fn fetch_word(&mut self, paddr: u32) -> (u32, u64) {
+        let mut lat = self.cfg.lat.l1;
+        let li = match self.l1i.lookup(paddr) {
+            Some(li) => li,
+            None => {
+                self.stats.l1i_misses += 1;
+                let line_addr = self.line_base(paddr);
+                let (line, extra) = self.l2_get_line(line_addr);
+                lat += extra;
+                let (_, li) = self.l1i.fill(line_addr, &line); // I-lines never dirty
+                li
+            }
+        };
+        let mut buf = [0u8; 4];
+        self.l1i.read_resident(li, paddr, &mut buf);
+        (u32::from_le_bytes(buf), lat)
+    }
+
+    fn flush_caches(&mut self) {
+        for ev in self.l1d.drain_dirty() {
+            self.writeback_to_l2(ev);
+        }
+        for ev in self.l2.drain_dirty() {
+            self.mem.write_line(ev.addr, &ev.data);
+        }
+    }
+
+    // ----- fetch -----
+
+    fn fetch(&mut self) {
+        if self.fetch_paused || self.cycle < self.fetch_ready_cycle {
+            return;
+        }
+        let cap = 2 * self.cfg.fetch_width as usize + 2;
+        for _ in 0..self.cfg.fetch_width {
+            if self.decode_q.len() >= cap {
+                break;
+            }
+            let pc = self.fetch_pc;
+            if let Err(f) = self.mem.check_fetch(pc) {
+                self.decode_q.push_back(Fetched {
+                    pc,
+                    raw: 0,
+                    decoded: None,
+                    exception: Some(TrapKind::Memory(f)),
+                    predicted_next: pc,
+                });
+                self.fetch_paused = true;
+                break;
+            }
+            // Translate through the ITLB.
+            let paddr = match self.itlb.translate(pc) {
+                Some(p) => p,
+                None => {
+                    self.stats.itlb_misses += 1;
+                    self.itlb.refill(pc);
+                    self.fetch_ready_cycle = self.cycle + self.cfg.lat.tlb_walk;
+                    match self.itlb.translate(pc) {
+                        Some(p) => p,
+                        None => pc, // corrupted TLB shadowing the refill slot
+                    }
+                }
+            };
+            if u64::from(paddr) + 4 > u64::from(crate::mem::MEM_SIZE) {
+                self.decode_q.push_back(Fetched {
+                    pc,
+                    raw: 0,
+                    decoded: None,
+                    exception: Some(TrapKind::Memory(MemFault::OutOfRange(paddr))),
+                    predicted_next: pc,
+                });
+                self.fetch_paused = true;
+                break;
+            }
+            let (raw, lat) = self.fetch_word(paddr);
+            if lat > self.cfg.lat.l1 {
+                // Miss: this group's words arrive late; stall the next group.
+                self.fetch_ready_cycle = self.fetch_ready_cycle.max(self.cycle + lat);
+            }
+            self.stats.fetched += 1;
+            match decode(raw) {
+                Ok(instr) => {
+                    let (next, end_group) = self.predict_next(pc, &instr);
+                    self.decode_q.push_back(Fetched {
+                        pc,
+                        raw,
+                        decoded: Some(instr),
+                        exception: None,
+                        predicted_next: next,
+                    });
+                    self.fetch_pc = next;
+                    if instr.op == Opcode::Halt {
+                        self.fetch_paused = true;
+                        break;
+                    }
+                    if end_group {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    self.decode_q.push_back(Fetched {
+                        pc,
+                        raw,
+                        decoded: None,
+                        exception: Some(TrapKind::UndefinedInstruction),
+                        predicted_next: pc.wrapping_add(4),
+                    });
+                    self.fetch_pc = pc.wrapping_add(4);
+                }
+            }
+        }
+    }
+
+    /// Predicts the next fetch PC for `instr` at `pc`; returns
+    /// `(next_pc, ends_fetch_group)`.
+    fn predict_next(&mut self, pc: u32, instr: &Instr) -> (u32, bool) {
+        match instr.op {
+            Opcode::Jal => (pc.wrapping_add((instr.imm as u32).wrapping_mul(4)), true),
+            Opcode::Jalr => match self.pred.predict_target(pc) {
+                Some(t) => (t, true),
+                None => (pc.wrapping_add(4), false),
+            },
+            op if op.is_branch() => {
+                if self.pred.predict_taken(pc) {
+                    (pc.wrapping_add((instr.imm as u32).wrapping_mul(4)), true)
+                } else {
+                    (pc.wrapping_add(4), false)
+                }
+            }
+            _ => (pc.wrapping_add(4), false),
+        }
+    }
+
+    // ----- dispatch -----
+
+    fn rob_full(&self) -> bool {
+        self.rob_count == self.rob.len()
+    }
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(front) = self.decode_q.front() else { break };
+            if self.rob_full() {
+                break;
+            }
+            let needs_exec = front.decoded.as_ref().is_some_and(|i| {
+                !matches!(i.op, Opcode::Nop | Opcode::Halt)
+            });
+            if needs_exec && self.iq.len() >= self.cfg.iq_entries as usize {
+                break;
+            }
+            let (is_load, is_store, writes, is_control) = match &front.decoded {
+                Some(i) => (
+                    i.op.is_load(),
+                    i.op.is_store(),
+                    i.op.writes_rd() && !i.rd.is_zero(),
+                    i.op.is_control(),
+                ),
+                None => (false, false, false, false),
+            };
+            if is_load && self.lq_count == self.lq.len() {
+                break;
+            }
+            if is_store && self.sq_count == self.sq.len() {
+                break;
+            }
+            if writes && self.rf.free_count() == 0 {
+                break;
+            }
+            let f = self.decode_q.pop_front().expect("checked front");
+            let seq = self.seq_next;
+            self.seq_next += 1;
+
+            let (mut src1, mut src2) = (None, None);
+            let (mut dest_arch, mut new_phys, mut prev_phys) = (NO_DEST, 0, 0);
+            if let Some(i) = &f.decoded {
+                // Source mapping. The zero register reads as constant 0 and
+                // has no physical dependency.
+                let uses_rs1 = matches!(
+                    i.op.format(),
+                    avgi_isa::opcode::Format::R | avgi_isa::opcode::Format::I | avgi_isa::opcode::Format::S
+                ) && i.op != Opcode::Lui;
+                let uses_rs2 = matches!(
+                    i.op.format(),
+                    avgi_isa::opcode::Format::R | avgi_isa::opcode::Format::S
+                );
+                if uses_rs1 && !i.rs1.is_zero() {
+                    src1 = Some(self.rf.lookup(i.rs1.index()));
+                }
+                if uses_rs2 && !i.rs2.is_zero() {
+                    src2 = Some(self.rf.lookup(i.rs2.index()));
+                }
+                if writes {
+                    let p = self.rf.alloc_at(self.cycle).expect("free count checked");
+                    prev_phys = self.rf.remap(i.rd.index(), p);
+                    new_phys = p;
+                    dest_arch = i.rd.index();
+                }
+            }
+
+            let ridx = self.rob_tail;
+            self.rob_tail = (self.rob_tail + 1) % self.rob.len();
+            self.rob_count += 1;
+
+            if is_load {
+                self.lq[self.lq_tail] = Some(LqShadow { seq, resolved: false, paddr: 0 });
+                self.lq_tail = (self.lq_tail + 1) % self.lq.len();
+                self.lq_count += 1;
+            }
+            if is_store {
+                self.sq[self.sq_tail] =
+                    Some(SqShadow { seq, resolved: false, paddr: 0, size: 0, data: 0 });
+                self.sq_tail = (self.sq_tail + 1) % self.sq.len();
+                self.sq_count += 1;
+            }
+
+            let mut flags = 0u8;
+            if is_load {
+                flags |= FLAG_LOAD;
+            }
+            if is_store {
+                flags |= FLAG_STORE;
+            }
+            if is_control {
+                flags |= FLAG_CONTROL;
+            }
+            if writes {
+                flags |= FLAG_WRITES;
+            }
+            self.rob_img.write(
+                ridx,
+                pack_rob(f.pc, seq as u16, if writes { dest_arch } else { 0 }, flags),
+            );
+
+            let done_now = !needs_exec;
+            self.rob[ridx] = Some(RobEntry {
+                seq,
+                pc: f.pc,
+                raw: f.raw,
+                decoded: f.decoded,
+                exception: f.exception,
+                state: if done_now { EntryState::Done } else { EntryState::InIq },
+                finish_cycle: self.cycle,
+                dest_arch: if writes { dest_arch } else { NO_DEST },
+                new_phys,
+                prev_phys,
+                src1,
+                src2,
+                is_load,
+                is_store,
+                is_control,
+                predicted_next: f.predicted_next,
+                actual_next: 0,
+                resolved_control: false,
+                taken: false,
+                ea: 0,
+                val: 0,
+            });
+            if !done_now {
+                self.iq.push(ridx);
+            }
+        }
+    }
+
+    // ----- issue / execute -----
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.iq.len() && issued < self.cfg.issue_width {
+            let ridx = self.iq[i];
+            if self.try_issue(ridx) {
+                self.iq.remove(i);
+                issued += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn operand(&mut self, p: Option<PhysReg>) -> Option<u32> {
+        match p {
+            None => Some(0),
+            Some(p) => {
+                if self.rf.is_ready(p) {
+                    Some(self.rf.read_at(p, self.cycle))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn try_issue(&mut self, ridx: usize) -> bool {
+        let (seq, instr, pc, src1, src2) = {
+            let e = self.rob[ridx].as_ref().expect("iq entry valid");
+            (e.seq, e.decoded.expect("iq entries decode"), e.pc, e.src1, e.src2)
+        };
+        // Both operands must be ready before anything executes; reads are
+        // recorded for ACE instrumentation.
+        if src1.is_some_and(|p| !self.rf.is_ready(p)) || src2.is_some_and(|p| !self.rf.is_ready(p))
+        {
+            return false;
+        }
+        let a = self.operand(src1).expect("checked ready");
+        let b = self.operand(src2).expect("checked ready");
+        let imm = instr.imm;
+
+        match instr.op {
+            op if op.is_load() => self.issue_load(ridx, seq, instr, a),
+            op if op.is_store() => self.issue_store(ridx, seq, instr, a, b),
+            Opcode::Jal => {
+                let target = pc.wrapping_add((imm as u32).wrapping_mul(4));
+                self.finish_control(ridx, target, true, pc.wrapping_add(4));
+                true
+            }
+            Opcode::Jalr => {
+                let target = a.wrapping_add(imm as u32);
+                self.finish_control(ridx, target, true, pc.wrapping_add(4));
+                true
+            }
+            op if op.is_branch() => {
+                let taken = exec::branch_taken(op, a, b);
+                let target = if taken {
+                    pc.wrapping_add((imm as u32).wrapping_mul(4))
+                } else {
+                    pc.wrapping_add(4)
+                };
+                let e = self.rob[ridx].as_mut().expect("valid");
+                e.taken = taken;
+                e.actual_next = target;
+                e.resolved_control = true;
+                e.state = EntryState::Executing;
+                e.finish_cycle = self.cycle + self.cfg.lat.alu;
+                true
+            }
+            op => {
+                let operand_b = if matches!(
+                    op.format(),
+                    avgi_isa::opcode::Format::I
+                ) {
+                    imm as u32
+                } else {
+                    b
+                };
+                let val = exec::alu(op, a, operand_b).expect("alu op");
+                let e = self.rob[ridx].as_mut().expect("valid");
+                e.val = val;
+                e.state = EntryState::Executing;
+                e.finish_cycle = self.cycle + exec::latency(op, &self.cfg.lat);
+                true
+            }
+        }
+    }
+
+    fn finish_control(&mut self, ridx: usize, target: u32, taken: bool, link: u32) {
+        let e = self.rob[ridx].as_mut().expect("valid");
+        e.taken = taken;
+        e.actual_next = target;
+        e.resolved_control = true;
+        e.val = link;
+        e.state = EntryState::Executing;
+        e.finish_cycle = self.cycle + self.cfg.lat.alu;
+    }
+
+    fn mem_size(op: Opcode) -> u32 {
+        match op {
+            Opcode::Lw | Opcode::Sw => 4,
+            Opcode::Lh | Opcode::Lhu | Opcode::Sh => 2,
+            _ => 1,
+        }
+    }
+
+    fn extend_load(op: Opcode, raw: u32) -> u32 {
+        match op {
+            Opcode::Lw => raw,
+            Opcode::Lb => raw as u8 as i8 as i32 as u32,
+            Opcode::Lbu => raw & 0xFF,
+            Opcode::Lh => raw as u16 as i16 as i32 as u32,
+            Opcode::Lhu => raw & 0xFFFF,
+            _ => unreachable!("not a load"),
+        }
+    }
+
+    fn issue_load(&mut self, ridx: usize, seq: u64, instr: Instr, base: u32) -> bool {
+        let vaddr = base.wrapping_add(instr.imm as u32);
+        let size = Self::mem_size(instr.op);
+        if let Err(f) = self.mem.check_data_access(vaddr, size, false) {
+            return self.complete_with_exception(ridx, vaddr, TrapKind::Memory(f));
+        }
+        // Memory disambiguation: all older stores must have resolved
+        // addresses before a load may issue (conservative policy).
+        let mut forward: Option<u32> = None;
+        let mut blocked = false;
+        self.for_each_sq(|s| {
+            if s.seq < seq {
+                if !s.resolved {
+                    blocked = true;
+                } else {
+                    // Youngest older store wins (iteration is oldest→youngest).
+                    let (paddr, _) = (s.paddr, s.size);
+                    let lo = paddr;
+                    let hi = paddr + u32::from(s.size);
+                    // The load's physical address isn't known yet; compare on
+                    // virtual addresses — identity-mapped, so equivalent in
+                    // the fault-free case.
+                    if lo < vaddr + size && vaddr < hi {
+                        if paddr == vaddr && u32::from(s.size) == size {
+                            forward = Some(s.data);
+                        } else {
+                            blocked = true; // partial overlap: wait it out
+                        }
+                    }
+                }
+            }
+        });
+        if blocked {
+            return false;
+        }
+        let mut lat = 0;
+        let paddr = match self.dtlb.translate(vaddr) {
+            Some(p) => p,
+            None => {
+                self.stats.dtlb_misses += 1;
+                self.dtlb.refill(vaddr);
+                lat += self.cfg.lat.tlb_walk;
+                self.dtlb.translate(vaddr).unwrap_or(vaddr)
+            }
+        };
+        if u64::from(paddr) + u64::from(size) > u64::from(crate::mem::MEM_SIZE) {
+            return self.complete_with_exception(
+                ridx,
+                vaddr,
+                TrapKind::Memory(MemFault::OutOfRange(paddr)),
+            );
+        }
+        let val = match forward {
+            Some(data) => {
+                lat += self.cfg.lat.l1;
+                Self::extend_load(instr.op, data)
+            }
+            None => {
+                let (raw, l) = self.read_data(paddr, size);
+                lat += l;
+                Self::extend_load(instr.op, raw)
+            }
+        };
+        // Resolve the LQ entry (shadow + injectable image).
+        let lqi = self.lq_index_of(seq).expect("load has LQ entry");
+        if let Some(sh) = self.lq[lqi].as_mut() {
+            sh.resolved = true;
+            sh.paddr = paddr;
+        }
+        self.lq_img.write(lqi, pack_lq(paddr, seq as u16));
+        let e = self.rob[ridx].as_mut().expect("valid");
+        e.ea = vaddr;
+        e.val = val;
+        e.state = EntryState::Executing;
+        e.finish_cycle = self.cycle + lat.max(1);
+        true
+    }
+
+    fn issue_store(&mut self, ridx: usize, seq: u64, instr: Instr, base: u32, data: u32) -> bool {
+        let vaddr = base.wrapping_add(instr.imm as u32);
+        let size = Self::mem_size(instr.op);
+        if let Err(f) = self.mem.check_data_access(vaddr, size, true) {
+            return self.complete_with_exception(ridx, vaddr, TrapKind::Memory(f));
+        }
+        let mut lat = 0;
+        let paddr = match self.dtlb.translate(vaddr) {
+            Some(p) => p,
+            None => {
+                self.stats.dtlb_misses += 1;
+                self.dtlb.refill(vaddr);
+                lat += self.cfg.lat.tlb_walk;
+                self.dtlb.translate(vaddr).unwrap_or(vaddr)
+            }
+        };
+        if u64::from(paddr) + u64::from(size) > u64::from(crate::mem::MEM_SIZE) {
+            return self.complete_with_exception(
+                ridx,
+                vaddr,
+                TrapKind::Memory(MemFault::OutOfRange(paddr)),
+            );
+        }
+        let masked = match size {
+            1 => data & 0xFF,
+            2 => data & 0xFFFF,
+            _ => data,
+        };
+        let sqi = self.sq_index_of(seq).expect("store has SQ entry");
+        if let Some(sh) = self.sq[sqi].as_mut() {
+            sh.resolved = true;
+            sh.paddr = paddr;
+            sh.size = size as u8;
+            sh.data = masked;
+        }
+        self.sq_img.write(sqi, pack_sq(paddr, masked, seq as u16));
+        let e = self.rob[ridx].as_mut().expect("valid");
+        e.ea = vaddr;
+        e.val = masked;
+        e.state = EntryState::Executing;
+        e.finish_cycle = self.cycle + (lat + self.cfg.lat.alu).max(1);
+        true
+    }
+
+    fn complete_with_exception(&mut self, ridx: usize, ea: u32, t: TrapKind) -> bool {
+        let e = self.rob[ridx].as_mut().expect("valid");
+        e.ea = ea;
+        e.exception = Some(t);
+        e.state = EntryState::Done;
+        true
+    }
+
+    fn for_each_sq(&self, mut f: impl FnMut(&SqShadow)) {
+        let mut i = self.sq_head;
+        for _ in 0..self.sq_count {
+            if let Some(s) = &self.sq[i] {
+                f(s);
+            }
+            i = (i + 1) % self.sq.len();
+        }
+    }
+
+    fn lq_index_of(&self, seq: u64) -> Option<usize> {
+        let mut i = self.lq_head;
+        for _ in 0..self.lq_count {
+            if self.lq[i].is_some_and(|s| s.seq == seq) {
+                return Some(i);
+            }
+            i = (i + 1) % self.lq.len();
+        }
+        None
+    }
+
+    fn sq_index_of(&self, seq: u64) -> Option<usize> {
+        let mut i = self.sq_head;
+        for _ in 0..self.sq_count {
+            if self.sq[i].is_some_and(|s| s.seq == seq) {
+                return Some(i);
+            }
+            i = (i + 1) % self.sq.len();
+        }
+        None
+    }
+
+    // ----- writeback / control resolution -----
+
+    fn writeback(&mut self) -> Option<RunOutcome> {
+        // Walk the ROB head→tail (oldest first) so the oldest mispredicted
+        // branch squashes before younger ones resolve.
+        let mut i = self.rob_head;
+        for _ in 0..self.rob_count {
+            let finish = {
+                let Some(e) = &self.rob[i] else { break };
+                e.state == EntryState::Executing && e.finish_cycle <= self.cycle
+            };
+            if finish {
+                let (dest, new_phys, val, is_control) = {
+                    let e = self.rob[i].as_mut().expect("valid");
+                    e.state = EntryState::Done;
+                    (e.dest_arch, e.new_phys, e.val, e.is_control)
+                };
+                if dest != NO_DEST {
+                    self.rf.write_at(new_phys, val, self.cycle);
+                }
+                if is_control && self.resolve_control(i) {
+                    // Squash removed everything younger; stop the walk.
+                    return None;
+                }
+            }
+            i = (i + 1) % self.rob.len();
+        }
+        None
+    }
+
+    /// Verifies a resolved control instruction against its prediction.
+    /// Returns `true` if a squash happened.
+    fn resolve_control(&mut self, ridx: usize) -> bool {
+        let (pc, op, taken, actual_next, predicted_next, seq) = {
+            let e = self.rob[ridx].as_ref().expect("valid");
+            let op = e.decoded.expect("control decodes").op;
+            (e.pc, op, e.taken, e.actual_next, e.predicted_next, e.seq)
+        };
+        if op.is_branch() {
+            self.pred.train_direction(pc, taken);
+        }
+        if taken {
+            self.pred.train_target(pc, actual_next);
+        }
+        if actual_next != predicted_next {
+            self.stats.mispredicts += 1;
+            self.squash_younger_than(seq);
+            self.fetch_pc = actual_next;
+            self.fetch_ready_cycle = self.cycle + self.cfg.lat.redirect;
+            self.fetch_paused = false;
+            self.decode_q.clear();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn squash_younger_than(&mut self, seq: u64) {
+        while self.rob_count > 0 {
+            let tail_prev = (self.rob_tail + self.rob.len() - 1) % self.rob.len();
+            let Some(e) = &self.rob[tail_prev] else { break };
+            if e.seq <= seq {
+                break;
+            }
+            let e = self.rob[tail_prev].take().expect("valid");
+            self.rob_tail = tail_prev;
+            self.rob_count -= 1;
+            self.stats.squashed += 1;
+            if e.dest_arch != NO_DEST {
+                self.rf.remap(e.dest_arch, e.prev_phys);
+                self.rf.release(e.new_phys);
+            }
+            if e.is_load && self.lq_count > 0 {
+                let t = (self.lq_tail + self.lq.len() - 1) % self.lq.len();
+                debug_assert!(self.lq[t].is_some_and(|s| s.seq == e.seq));
+                self.lq[t] = None;
+                self.lq_tail = t;
+                self.lq_count -= 1;
+            }
+            if e.is_store && self.sq_count > 0 {
+                let t = (self.sq_tail + self.sq.len() - 1) % self.sq.len();
+                debug_assert!(self.sq[t].is_some_and(|s| s.seq == e.seq));
+                self.sq[t] = None;
+                self.sq_tail = t;
+                self.sq_count -= 1;
+            }
+            self.iq.retain(|&r| r != tail_prev);
+        }
+    }
+
+    // ----- commit -----
+
+    fn commit(&mut self, ctl: &RunControl) -> Option<RunOutcome> {
+        for _ in 0..self.cfg.commit_width {
+            let head = self.rob_head;
+            let done = {
+                let Some(e) = self.rob.get(head).and_then(|e| e.as_ref()) else {
+                    return None;
+                };
+                if self.rob_count == 0 {
+                    return None;
+                }
+                e.state == EntryState::Done
+            };
+            if !done {
+                return None;
+            }
+            let e = self.rob[head].as_ref().expect("checked").clone();
+
+            // Commit-side integrity checks: the injectable entry images must
+            // match the authoritative shadow state (the paper's `PRE`
+            // mechanism for ROB/LQ/SQ).
+            let mut flags = 0u8;
+            if e.is_load {
+                flags |= FLAG_LOAD;
+            }
+            if e.is_store {
+                flags |= FLAG_STORE;
+            }
+            if e.is_control {
+                flags |= FLAG_CONTROL;
+            }
+            if e.dest_arch != NO_DEST {
+                flags |= FLAG_WRITES;
+            }
+            let expected = pack_rob(
+                e.pc,
+                e.seq as u16,
+                if e.dest_arch != NO_DEST { e.dest_arch } else { 0 },
+                flags,
+            );
+            if !self.rob_img.matches(head, expected) {
+                return Some(RunOutcome::IntegrityViolation(Structure::Rob));
+            }
+            if e.is_load && e.exception.is_none() {
+                let lqi = self.lq_head;
+                let sh = self.lq[lqi].expect("load LQ shadow at head");
+                debug_assert_eq!(sh.seq, e.seq);
+                if sh.resolved && !self.lq_img.matches(lqi, pack_lq(sh.paddr, sh.seq as u16)) {
+                    return Some(RunOutcome::IntegrityViolation(Structure::Lq));
+                }
+            }
+            if e.is_store && e.exception.is_none() {
+                let sqi = self.sq_head;
+                let sh = self.sq[sqi].expect("store SQ shadow at head");
+                debug_assert_eq!(sh.seq, e.seq);
+                if sh.resolved
+                    && !self.sq_img.matches(sqi, pack_sq(sh.paddr, sh.data, sh.seq as u16))
+                {
+                    return Some(RunOutcome::IntegrityViolation(Structure::Sq));
+                }
+            }
+
+            // Record the architectural observables (also for trapping
+            // instructions, so the deviation is visible to the classifier).
+            let rec = CommitRecord { cycle: self.cycle, pc: e.pc, raw: e.raw, ea: e.ea, val: e.val };
+            self.record_commit(rec, ctl);
+
+            if let Some(t) = e.exception {
+                return Some(RunOutcome::Trap(t));
+            }
+
+            if e.is_store {
+                let sh = self.sq[self.sq_head].expect("resolved store");
+                self.write_data(sh.paddr, u32::from(sh.size), sh.data);
+                self.sq[self.sq_head] = None;
+                self.sq_head = (self.sq_head + 1) % self.sq.len();
+                self.sq_count -= 1;
+            }
+            if e.is_load {
+                self.lq[self.lq_head] = None;
+                self.lq_head = (self.lq_head + 1) % self.lq.len();
+                self.lq_count -= 1;
+            }
+
+            self.stats.committed += 1;
+
+            let halt = e.decoded.is_some_and(|i| i.op == Opcode::Halt);
+            if e.dest_arch != NO_DEST {
+                self.rf.release(e.prev_phys);
+            }
+            self.rob[head] = None;
+            self.rob_head = (head + 1) % self.rob.len();
+            self.rob_count -= 1;
+
+            if halt {
+                return Some(RunOutcome::Completed);
+            }
+        }
+        None
+    }
+
+    fn record_commit(&mut self, rec: CommitRecord, ctl: &RunControl) {
+        if ctl.record_trace {
+            self.trace.push(rec);
+        }
+        if self.first_deviation.is_none() {
+            if let Some(golden) = &ctl.golden {
+                let idx = self.commit_index;
+                let g = golden.trace.get(idx as usize).copied().unwrap_or(CommitRecord {
+                    cycle: golden.cycles,
+                    pc: 0,
+                    raw: 0,
+                    ea: 0,
+                    val: 0,
+                });
+                if !g.matches(&rec) {
+                    self.first_deviation = Some(Deviation { index: idx, golden: g, faulty: rec });
+                }
+            }
+        }
+        self.commit_index += 1;
+    }
+
+    /// Current cycle (for tests and instrumentation).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Read access to the run statistics so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+}
+
+/// Captures the golden (fault-free) run of `program` under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the program does not complete within `max_cycles` — golden
+/// programs are required to halt.
+pub fn capture_golden(program: &Program, cfg: &MuarchConfig, max_cycles: u64) -> Arc<GoldenRun> {
+    let mut sim = Sim::new(program, cfg.clone());
+    let ctl = RunControl { max_cycles, record_trace: true, ..RunControl::default() };
+    let report = sim.run(&ctl);
+    assert_eq!(
+        report.outcome,
+        RunOutcome::Completed,
+        "golden run of `{}` did not complete: {:?} after {} cycles",
+        program.name,
+        report.outcome,
+        report.cycles,
+    );
+    Arc::new(GoldenRun {
+        trace: report.trace.expect("trace recorded"),
+        cycles: report.cycles,
+        output: report.output.expect("completed"),
+        stats: report.stats,
+    })
+}

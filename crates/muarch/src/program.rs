@@ -1,0 +1,102 @@
+//! Executable program images.
+
+use crate::mem::{Memory, DATA_BASE, MEM_SIZE, OUTPUT_BASE};
+
+/// A loadable program: code, initialized data, and the declared output range.
+///
+/// The output range models the paper's *output file*: after execution the
+/// cache hierarchy is written back and the bytes in this range are the
+/// program's observable result (what a DMA-driven I/O device would read).
+/// Silent data corruption is defined as a difference in these bytes.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Instruction words, loaded at [`CODE_BASE`](crate::mem::CODE_BASE).
+    pub code: Vec<u32>,
+    /// Initialized data blobs: `(address, bytes)` pairs in the data region.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Entry PC.
+    pub entry: u32,
+    /// Start of the output range (within the output region).
+    pub output_addr: u32,
+    /// Length of the output range in bytes.
+    pub output_len: u32,
+}
+
+impl Program {
+    /// Creates a program with an empty data image and output range starting
+    /// at [`OUTPUT_BASE`].
+    pub fn new(name: impl Into<String>, code: Vec<u32>, output_len: u32) -> Self {
+        Program {
+            name: name.into(),
+            code,
+            data: Vec::new(),
+            entry: 0,
+            output_addr: OUTPUT_BASE,
+            output_len,
+        }
+    }
+
+    /// Adds an initialized data blob at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob falls outside the data region.
+    pub fn with_data(mut self, addr: u32, bytes: Vec<u8>) -> Self {
+        assert!(addr >= DATA_BASE, "data blob below DATA_BASE");
+        assert!(
+            u64::from(addr) + bytes.len() as u64 <= u64::from(MEM_SIZE),
+            "data blob past end of memory"
+        );
+        self.data.push((addr, bytes));
+        self
+    }
+
+    /// Size of the code image in bytes.
+    pub fn code_bytes(&self) -> u32 {
+        (self.code.len() as u32) * 4
+    }
+
+    /// Builds the initial [`Memory`] image for this program.
+    pub fn build_memory(&self) -> Memory {
+        let mut m = Memory::new(self.code_bytes().max(4));
+        for (i, w) in self.code.iter().enumerate() {
+            m.write_u32((i as u32) * 4, *w);
+        }
+        for (addr, bytes) in &self.data {
+            m.load_image(*addr, bytes);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avgi_isa::asm::Assembler;
+    use avgi_isa::reg::{A0, ZERO};
+
+    fn tiny() -> Program {
+        let mut a = Assembler::new(0);
+        a.addi(A0, ZERO, 7);
+        a.halt();
+        Program::new("tiny", a.assemble().unwrap(), 16)
+            .with_data(DATA_BASE, vec![1, 2, 3, 4])
+    }
+
+    #[test]
+    fn memory_image_contains_code_and_data() {
+        let p = tiny();
+        let m = p.build_memory();
+        assert_eq!(m.read_u32(0), p.code[0]);
+        assert_eq!(m.read_u8(DATA_BASE), 1);
+        assert_eq!(m.code_limit(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "below DATA_BASE")]
+    fn data_blob_in_code_region_rejected() {
+        let _ = Program::new("bad", vec![0], 0).with_data(0x100, vec![0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Physical register file with rename map and free list.
+//!
+//! The *value* array is fault-injectable and authoritative: a flipped bit is
+//! what a later reader receives. Rename map, ready bits, and the free list
+//! are renaming control logic, outside the paper's storage fault model.
+
+/// Physical register identifier.
+pub type PhysReg = u16;
+
+/// Physical register file + renaming state.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    values: Vec<u32>,
+    ready: Vec<bool>,
+    rename: [PhysReg; avgi_isa::NUM_ARCH_REGS as usize],
+    free: Vec<PhysReg>,
+    // ACE instrumentation: writeback→last-read exposure per register.
+    last_write: Vec<u64>,
+    last_read: Vec<u64>,
+    ace_cycles: u64,
+}
+
+impl RegFile {
+    /// Creates a register file with `phys` physical registers; architectural
+    /// register `i` starts mapped to physical register `i` with value 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` does not exceed the architectural register count.
+    pub fn new(phys: u32) -> Self {
+        let arch = avgi_isa::NUM_ARCH_REGS as u32;
+        assert!(phys > arch, "need more physical than architectural registers");
+        let mut rename = [0; avgi_isa::NUM_ARCH_REGS as usize];
+        for (i, r) in rename.iter_mut().enumerate() {
+            *r = i as PhysReg;
+        }
+        // Free list as a stack; pop from the end. Reversed so low registers
+        // are handed out first (deterministic, easier to debug).
+        let free: Vec<PhysReg> = (arch as PhysReg..phys as PhysReg).rev().collect();
+        RegFile {
+            values: vec![0; phys as usize],
+            ready: vec![true; phys as usize],
+            rename,
+            free,
+            last_write: vec![0; phys as usize],
+            last_read: vec![0; phys as usize],
+            ace_cycles: 0,
+        }
+    }
+
+    /// Reads a physical register's value.
+    pub fn read(&self, p: PhysReg) -> u32 {
+        self.values[p as usize]
+    }
+
+    /// Reads a physical register's value, recording the read cycle for ACE
+    /// instrumentation.
+    pub fn read_at(&mut self, p: PhysReg, cycle: u64) -> u32 {
+        let i = p as usize;
+        self.last_read[i] = self.last_read[i].max(cycle);
+        self.values[i]
+    }
+
+    /// Writes a physical register and marks it ready.
+    pub fn write(&mut self, p: PhysReg, v: u32) {
+        self.values[p as usize] = v;
+        self.ready[p as usize] = true;
+    }
+
+    /// Writes a physical register at `cycle` (ACE intervals are anchored at
+    /// allocation, not writeback — see [`RegFile::alloc_at`]).
+    pub fn write_at(&mut self, p: PhysReg, v: u32, cycle: u64) {
+        let _ = cycle;
+        self.write(p, v);
+    }
+
+    fn close_interval(&mut self, i: usize) {
+        if self.last_read[i] > self.last_write[i] {
+            self.ace_cycles += self.last_read[i] - self.last_write[i];
+        }
+    }
+
+    /// Like [`RegFile::alloc`], additionally starting the register's ACE
+    /// interval at `cycle`.
+    ///
+    /// ACE analysis counts a physical register as vulnerable from
+    /// *allocation* (rename) to its value's last read — the standard
+    /// conservative accounting. Fault injection shows flips landing between
+    /// allocation and writeback are harmless (the writeback overwrites
+    /// them); that slack is part of why ACE systematically overestimates
+    /// SFI ground truth (the paper's Fig. 1).
+    pub fn alloc_at(&mut self, cycle: u64) -> Option<PhysReg> {
+        let p = self.alloc()?;
+        let i = p as usize;
+        self.close_interval(i); // the previous tenant's interval
+        self.last_write[i] = cycle;
+        self.last_read[i] = cycle;
+        Some(p)
+    }
+
+    /// Closes all open ACE intervals and returns the total register ACE
+    /// cycles of the run: per allocation, the cycles from rename to the
+    /// value's last read, summed over registers.
+    pub fn finalize_ace(&mut self) -> u64 {
+        for i in 0..self.values.len() {
+            self.close_interval(i);
+            self.last_write[i] = self.last_read[i];
+        }
+        self.ace_cycles
+    }
+
+    /// Whether a physical register's value has been produced.
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[p as usize]
+    }
+
+    /// Current physical mapping of an architectural register.
+    pub fn lookup(&self, arch: u8) -> PhysReg {
+        self.rename[arch as usize]
+    }
+
+    /// Allocates a free physical register (marked not-ready), or `None` when
+    /// the free list is empty (dispatch must stall).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        let p = self.free.pop()?;
+        self.ready[p as usize] = false;
+        Some(p)
+    }
+
+    /// Points `arch` at `new`, returning the previous mapping.
+    pub fn remap(&mut self, arch: u8, new: PhysReg) -> PhysReg {
+        core::mem::replace(&mut self.rename[arch as usize], new)
+    }
+
+    /// Returns a register to the free list (commit frees the overwritten
+    /// mapping; squash frees the speculative one).
+    pub fn release(&mut self, p: PhysReg) {
+        self.free.push(p);
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total injectable bits (32 per physical register).
+    pub fn bit_count(&self) -> u64 {
+        self.values.len() as u64 * 32
+    }
+
+    /// Flips one value bit (flat index `reg * 32 + bit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn flip_bit(&mut self, bit: u64) {
+        let r = (bit / 32) as usize;
+        assert!(r < self.values.len(), "register bit out of range");
+        self.values[r] ^= 1 << (bit % 32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_identity_mapping() {
+        let rf = RegFile::new(40);
+        for a in 0..avgi_isa::NUM_ARCH_REGS {
+            assert_eq!(rf.lookup(a), PhysReg::from(a));
+        }
+        assert_eq!(rf.free_count(), 40 - 24);
+    }
+
+    #[test]
+    fn alloc_remap_release_cycle() {
+        let mut rf = RegFile::new(26);
+        let p = rf.alloc().unwrap();
+        assert!(!rf.is_ready(p));
+        let prev = rf.remap(3, p);
+        assert_eq!(prev, 3);
+        assert_eq!(rf.lookup(3), p);
+        rf.write(p, 99);
+        assert!(rf.is_ready(p));
+        assert_eq!(rf.read(p), 99);
+        rf.release(prev);
+        // Two free regs were consumed/released: allocator still works.
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_none(), "free list exhausted");
+    }
+
+    #[test]
+    fn flip_bit_corrupts_value() {
+        let mut rf = RegFile::new(32);
+        rf.write(5, 0b100);
+        rf.flip_bit(5 * 32 + 2);
+        assert_eq!(rf.read(5), 0);
+        rf.flip_bit(5 * 32 + 31);
+        assert_eq!(rf.read(5), 0x8000_0000);
+    }
+
+    #[test]
+    fn bit_count() {
+        assert_eq!(RegFile::new(96).bit_count(), 96 * 32);
+    }
+}

@@ -1,0 +1,140 @@
+//! `basicmath` — GCD and integer square roots over value pairs (MiBench
+//! `basicmath`): divide-heavy with long-latency functional-unit pressure.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, A3, S0, S1, S2, T0, T1, T2, T3, T4, T5, T6, T7, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const N: usize = 128;
+const B_ADDR: u32 = DATA_BASE + 0x400;
+const ISQRT_OUT: u32 = OUTPUT_BASE + (N as u32) * 4;
+
+fn gcd(mut x: u32, mut y: u32) -> u32 {
+    while y != 0 {
+        let r = x % y;
+        x = y;
+        y = r;
+    }
+    x
+}
+
+/// Bit-by-bit integer square root — exactly the algorithm the assembly runs.
+fn isqrt(mut num: u32) -> u32 {
+    let mut res = 0u32;
+    let mut bit = 1u32 << 30;
+    while bit > num {
+        bit >>= 2;
+    }
+    while bit != 0 {
+        if num >= res + bit {
+            num -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0xBA51_C347);
+    let a_in = lcg.words(N);
+    let b_in = lcg.words(N);
+    let mut expected_words = Vec::with_capacity(2 * N);
+    for i in 0..N {
+        expected_words.push(gcd(a_in[i], b_in[i]));
+    }
+    for &x in &a_in {
+        expected_words.push(isqrt(x));
+    }
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE); // a[]
+    a.li32(A1, B_ADDR); // b[]
+    a.li32(A2, OUTPUT_BASE); // gcd out
+    a.li32(A3, ISQRT_OUT); // isqrt out
+    a.li32(T0, 0);
+    a.li32(T1, N as u32);
+    a.label("outer");
+    a.slli(T6, T0, 2);
+    a.add(T7, A0, T6);
+    a.lw(T2, T7, 0); // a
+    a.add(T7, A1, T6);
+    a.lw(T4, T7, 0); // b
+    // Euclid's GCD on (T3, T4).
+    a.mv(T3, T2);
+    a.label("gcd_loop");
+    a.beq(T4, ZERO, "gcd_done");
+    a.remu(T5, T3, T4);
+    a.mv(T3, T4);
+    a.mv(T4, T5);
+    a.j("gcd_loop");
+    a.label("gcd_done");
+    a.add(T7, A2, T6);
+    a.sw(T7, T3, 0);
+    // Bit-by-bit isqrt of `a` on (S0 num, S1 res, S2 bit).
+    a.mv(S0, T2);
+    a.li32(S1, 0);
+    a.li32(S2, 0x4000_0000);
+    a.label("shrink");
+    a.bgeu(S0, S2, "isq_loop"); // bit <= num: start
+    a.srli(S2, S2, 2);
+    a.bne(S2, ZERO, "shrink");
+    a.label("isq_loop");
+    a.beq(S2, ZERO, "isq_done");
+    a.add(T5, S1, S2); // res + bit
+    a.bltu(S0, T5, "isq_else");
+    a.sub(S0, S0, T5);
+    a.srli(S1, S1, 1);
+    a.add(S1, S1, S2);
+    a.j("isq_next");
+    a.label("isq_else");
+    a.srli(S1, S1, 1);
+    a.label("isq_next");
+    a.srli(S2, S2, 2);
+    a.j("isq_loop");
+    a.label("isq_done");
+    a.add(T7, A3, T6);
+    a.sw(T7, S1, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "outer");
+    a.halt();
+
+    let program =
+        Program::new("basicmath", a.assemble().expect("basicmath assembles"), 2 * (N as u32) * 4)
+            .with_data(DATA_BASE, words_to_bytes(&a_in))
+            .with_data(B_ADDR, words_to_bytes(&b_in));
+    Workload {
+        name: "basicmath",
+        suite: Suite::MiBench,
+        program,
+        expected: words_to_bytes(&expected_words),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_known_values() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 9), 9);
+        assert_eq!(gcd(9, 0), 9);
+    }
+
+    #[test]
+    fn isqrt_is_floor_sqrt() {
+        for n in [0u32, 1, 2, 3, 4, 15, 16, 17, 99, 100, u32::MAX] {
+            let r = isqrt(n);
+            assert!(u64::from(r) * u64::from(r) <= u64::from(n));
+            assert!((u64::from(r) + 1) * (u64::from(r) + 1) > u64::from(n));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `bitcount` — population count over a word array (MiBench `bitcount`).
+//!
+//! Compute-bound, branchy (Kernighan's loop), tiny 4-byte output.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, S0, T0, T1, T2, T3, T4, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const WORDS: usize = 256;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0xB17C_0047);
+    let data = lcg.words(WORDS);
+    let total: u32 = data.iter().map(|w| w.count_ones()).sum();
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(T0, 0); // word index
+    a.li32(T1, WORDS as u32);
+    a.li32(S0, 0); // running count
+    a.label("wloop");
+    a.slli(T2, T0, 2);
+    a.add(T2, A0, T2);
+    a.lw(T3, T2, 0);
+    a.beq(T3, ZERO, "wnext");
+    a.label("bitloop"); // Kernighan: clear lowest set bit until zero
+    a.addi(T4, T3, -1);
+    a.and(T3, T3, T4);
+    a.addi(S0, S0, 1);
+    a.bne(T3, ZERO, "bitloop");
+    a.label("wnext");
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "wloop");
+    a.li32(A1, OUTPUT_BASE);
+    a.sw(A1, S0, 0);
+    a.halt();
+
+    let program = Program::new("bitcount", a.assemble().expect("bitcount assembles"), 4)
+        .with_data(DATA_BASE, words_to_bytes(&data));
+    Workload {
+        name: "bitcount",
+        suite: Suite::MiBench,
+        program,
+        expected: total.to_le_bytes().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts_bits() {
+        let w = build();
+        let total = u32::from_le_bytes(w.expected[..4].try_into().unwrap());
+        // 256 uniform words average ~16 set bits each.
+        assert!((3000..5300).contains(&total), "implausible popcount {total}");
+    }
+}

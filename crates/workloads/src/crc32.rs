@@ -1,0 +1,72 @@
+//! `crc32` — bitwise CRC-32 (MiBench `CRC32`): long serial dependence chain
+//! with data-independent control flow and a 4-byte output.
+
+use crate::util::Lcg;
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, S0, S1, T0, T1, T2, T3, T4, T5, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const BYTES: usize = 512;
+const POLY: u32 = 0xEDB8_8320;
+
+fn reference(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0xC2C3_2001);
+    let data = lcg.bytes(BYTES);
+    let crc = reference(&data);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(T0, 0);
+    a.li32(T1, BYTES as u32);
+    a.li32(S0, u32::MAX); // crc
+    a.li32(S1, POLY);
+    a.label("byteloop");
+    a.add(T2, A0, T0);
+    a.lbu(T3, T2, 0);
+    a.xor(S0, S0, T3);
+    a.addi(T4, ZERO, 8);
+    a.label("bitloop");
+    a.andi(T5, S0, 1);
+    a.sub(T5, ZERO, T5); // mask = -(crc & 1)
+    a.and(T5, T5, S1);
+    a.srli(S0, S0, 1);
+    a.xor(S0, S0, T5);
+    a.addi(T4, T4, -1);
+    a.bne(T4, ZERO, "bitloop");
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "byteloop");
+    a.xori(S0, S0, -1); // final complement
+    a.li32(A1, OUTPUT_BASE);
+    a.sw(A1, S0, 0);
+    a.halt();
+
+    let program = Program::new("crc32", a.assemble().expect("crc32 assembles"), 4)
+        .with_data(DATA_BASE, data);
+    Workload { name: "crc32", suite: Suite::MiBench, program, expected: crc.to_le_bytes().to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(reference(b"123456789"), 0xCBF4_3926);
+    }
+}

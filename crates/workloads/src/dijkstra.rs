@@ -1,0 +1,148 @@
+//! `dijkstra` — single-source shortest paths on a dense graph (MiBench
+//! `dijkstra`): O(V²) scans, pointer-chased rows, medium output.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, S0, S1, S6, T0, T1, T2, T3, T4, T5, T6, T8, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const N: usize = 48;
+const INF: u32 = 0x3FFF_FFFF;
+const DIST_ADDR: u32 = DATA_BASE + 0x4000;
+const VISITED_ADDR: u32 = DATA_BASE + 0x4200;
+
+fn reference(adj: &[u32]) -> Vec<u32> {
+    let mut dist = vec![INF; N];
+    let mut visited = vec![false; N];
+    dist[0] = 0;
+    for _ in 0..N {
+        let mut u = usize::MAX;
+        let mut best = u32::MAX;
+        for v in 0..N {
+            if !visited[v] && dist[v] < best {
+                best = dist[v];
+                u = v;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        visited[u] = true;
+        for v in 0..N {
+            if !visited[v] {
+                let cand = best + adj[u * N + v];
+                if cand < dist[v] {
+                    dist[v] = cand;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0xD175_0042);
+    let adj: Vec<u32> = (0..N * N).map(|_| u32::from(lcg.next_u8() | 1)).collect();
+    let dist = reference(&adj);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE); // adjacency matrix
+    a.li32(A1, DIST_ADDR);
+    a.li32(A2, VISITED_ADDR);
+    a.li32(T0, 0);
+    a.li32(T1, N as u32);
+    a.li32(T2, INF);
+    a.label("init");
+    a.slli(T3, T0, 2);
+    a.add(T4, A1, T3);
+    a.sw(T4, T2, 0);
+    a.add(T4, A2, T3);
+    a.sw(T4, ZERO, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "init");
+    a.sw(A1, ZERO, 0); // dist[source] = 0
+    a.li32(S6, 0); // iteration counter
+    a.label("iter");
+    // Select the unvisited node with minimal distance: u in S0, best in S1.
+    a.addi(S0, ZERO, -1);
+    a.li32(S1, u32::MAX);
+    a.li32(T0, 0);
+    a.label("find");
+    a.slli(T3, T0, 2);
+    a.add(T4, A2, T3);
+    a.lw(T5, T4, 0);
+    a.bne(T5, ZERO, "fnext");
+    a.add(T4, A1, T3);
+    a.lw(T5, T4, 0);
+    a.bgeu(T5, S1, "fnext");
+    a.mv(S1, T5);
+    a.mv(S0, T0);
+    a.label("fnext");
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "find");
+    // Mark u visited.
+    a.slli(T3, S0, 2);
+    a.add(T4, A2, T3);
+    a.addi(T5, ZERO, 1);
+    a.sw(T4, T5, 0);
+    // Relax all unvisited neighbours of u.
+    a.li32(T6, (N * 4) as u32);
+    a.mul(T6, S0, T6);
+    a.add(T6, A0, T6); // row base
+    a.li32(T0, 0);
+    a.label("relax");
+    a.slli(T3, T0, 2);
+    a.add(T4, A2, T3);
+    a.lw(T5, T4, 0);
+    a.bne(T5, ZERO, "rnext");
+    a.add(T4, T6, T3);
+    a.lw(T5, T4, 0); // w(u, v)
+    a.add(T5, S1, T5); // dist[u] + w
+    a.add(T4, A1, T3);
+    a.lw(T8, T4, 0);
+    a.bgeu(T5, T8, "rnext");
+    a.sw(T4, T5, 0);
+    a.label("rnext");
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "relax");
+    a.addi(S6, S6, 1);
+    a.bne(S6, T1, "iter");
+    // Emit distances.
+    a.li32(A2, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.label("copy");
+    a.slli(T3, T0, 2);
+    a.add(T4, A1, T3);
+    a.lw(T5, T4, 0);
+    a.add(T4, A2, T3);
+    a.sw(T4, T5, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "copy");
+    a.halt();
+
+    let program = Program::new("dijkstra", a.assemble().expect("dijkstra assembles"), (N * 4) as u32)
+        .with_data(DATA_BASE, words_to_bytes(&adj));
+    Workload { name: "dijkstra", suite: Suite::MiBench, program, expected: words_to_bytes(&dist) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_finite_and_triangle_consistent() {
+        let w = build();
+        let d: Vec<u32> = w
+            .expected
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(d[0], 0);
+        assert!(d.iter().all(|&x| x < INF), "dense graph: everything reachable");
+        // Direct edges bound the shortest paths.
+        assert!(d.iter().all(|&x| x <= 255 * 2), "two hops of max weight suffice here");
+    }
+}

@@ -1,0 +1,109 @@
+//! `fft` — staged fixed-point butterfly transform (MiBench `FFT` stand-in):
+//! strided pair accesses, multiply + shift arithmetic, medium output.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, S0, S1, S2, T0, T1, T2, T3, T4, T5, T6};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const N: usize = 256;
+const STAGES: usize = 8;
+const HALF: usize = N / 2;
+const TW_ADDR: u32 = DATA_BASE + 0x400;
+/// Fixed-point (Q8) twiddle factors, one per stage.
+const TWIDDLES: [u32; STAGES] = [256, 237, 181, 98, 30, 301, 412, 144];
+
+fn reference(input: &[u32]) -> Vec<u32> {
+    let mut x = input.to_vec();
+    for s in 0..STAGES {
+        let w = TWIDDLES[s];
+        for i in 0..HALF {
+            let a = x[i];
+            let b = x[i + HALF];
+            x[i] = a.wrapping_add(b);
+            x[i + HALF] = a.wrapping_sub(b).wrapping_mul(w) >> 8;
+        }
+    }
+    x
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0xFF70_1234);
+    let input = lcg.words(N);
+    let output = reference(&input);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(A1, TW_ADDR);
+    a.li32(S0, 0); // stage
+    a.li32(S2, STAGES as u32);
+    a.label("sloop");
+    a.slli(T2, S0, 2);
+    a.add(T2, A1, T2);
+    a.lw(S1, T2, 0); // w
+    a.li32(T0, 0);
+    a.li32(T1, HALF as u32);
+    a.label("iloop");
+    a.slli(T2, T0, 2);
+    a.add(T3, A0, T2);
+    a.lw(T4, T3, 0); // a
+    a.lw(T5, T3, (HALF * 4) as i32); // b
+    a.add(T6, T4, T5);
+    a.sw(T3, T6, 0);
+    a.sub(T6, T4, T5);
+    a.mul(T6, T6, S1);
+    a.srli(T6, T6, 8);
+    a.sw(T3, T6, (HALF * 4) as i32);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "iloop");
+    a.addi(S0, S0, 1);
+    a.bne(S0, S2, "sloop");
+    // Emit the transformed array.
+    a.li32(A2, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.li32(T1, N as u32);
+    a.label("copy");
+    a.slli(T2, T0, 2);
+    a.add(T3, A0, T2);
+    a.lw(T4, T3, 0);
+    a.add(T5, A2, T2);
+    a.sw(T5, T4, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "copy");
+    a.halt();
+
+    let program = Program::new("fft", a.assemble().expect("fft assembles"), (N * 4) as u32)
+        .with_data(DATA_BASE, words_to_bytes(&input))
+        .with_data(TW_ADDR, words_to_bytes(&TWIDDLES));
+    Workload { name: "fft", suite: Suite::MiBench, program, expected: words_to_bytes(&output) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_changes_every_half() {
+        let mut lcg = Lcg::new(2);
+        let input = lcg.words(N);
+        let out = reference(&input);
+        assert_ne!(out[..HALF], input[..HALF]);
+        assert_ne!(out[HALF..], input[HALF..]);
+    }
+
+    #[test]
+    fn unit_twiddle_stage_is_sum_difference() {
+        // With w = 256 (1.0 in Q8), a single stage maps (a, b) to
+        // (a+b, a-b).
+        let x = vec![10u32, 4];
+        let mut v = x.clone();
+        let a0 = v[0];
+        let b0 = v[1];
+        v[0] = a0.wrapping_add(b0);
+        v[1] = a0.wrapping_sub(b0).wrapping_mul(256) >> 8;
+        assert_eq!(v, vec![14, 6]);
+    }
+}

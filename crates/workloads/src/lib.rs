@@ -1,0 +1,149 @@
+//! # avgi-workloads — the benchmark programs
+//!
+//! Fourteen self-checking benchmark programs written in AvgIsa assembly,
+//! standing in for the paper's 10 MiBench + 3 NAS workloads (§II.D). The
+//! mix mirrors the paper's: integer and fixed-point kernels, compute-bound
+//! and memory-bound loops, and output sizes spanning three orders of
+//! magnitude (4 B hashes up to 12 KiB cipher streams) — the spread the
+//! paper's ESC analysis (§IV.D) depends on.
+//!
+//! Every workload carries a pure-Rust reference implementation; the crate's
+//! tests execute each program on the simulator and require bit-exact output
+//! agreement, so the assembly is continuously validated.
+//!
+//! ```
+//! let w = avgi_workloads::by_name("bitcount").unwrap();
+//! assert_eq!(w.expected.len(), 4);
+//! ```
+
+use avgi_muarch::program::Program;
+
+mod basicmath;
+mod bitcount;
+mod blowfish;
+mod crc32;
+mod dijkstra;
+mod fft;
+mod nas_cg;
+mod nas_is;
+mod nas_mg;
+mod qsort;
+mod rijndael;
+mod sha;
+mod stringsearch;
+mod susan;
+pub mod util;
+
+/// Which suite a workload stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MiBench-style embedded kernel.
+    MiBench,
+    /// NAS-style numerical kernel.
+    Nas,
+}
+
+/// A benchmark program plus its reference output.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (matches the paper's benchmark naming style).
+    pub name: &'static str,
+    /// Which suite this kernel mirrors.
+    pub suite: Suite,
+    /// The loadable program.
+    pub program: Program,
+    /// Reference output computed by a pure-Rust implementation; a correct
+    /// fault-free simulation must produce exactly these bytes.
+    pub expected: Vec<u8>,
+}
+
+impl Workload {
+    /// Output size in bytes (the paper's `Output_Size` for the ESC
+    /// equation).
+    pub fn output_bytes(&self) -> u32 {
+        self.program.output_len
+    }
+}
+
+/// Builds all 14 workloads in a stable order (11 MiBench-style + 3
+/// NAS-style; the paper uses 10 + 3 — the extra kernel only tightens the
+/// cross-workload statistics).
+pub fn all() -> Vec<Workload> {
+    vec![
+        bitcount::build(),
+        sha::build(),
+        crc32::build(),
+        qsort::build(),
+        stringsearch::build(),
+        dijkstra::build(),
+        blowfish::build(),
+        rijndael::build(),
+        basicmath::build(),
+        susan::build(),
+        fft::build(),
+        nas_is::build(),
+        nas_mg::build(),
+        nas_cg::build(),
+    ]
+}
+
+/// Names of all workloads, in the same order as [`all`].
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|w| w.name).collect()
+}
+
+/// Looks up one workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_workloads_with_unique_names() {
+        let ws = all();
+        assert_eq!(ws.len(), 14);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "duplicate workload names");
+    }
+
+    #[test]
+    fn suites_match_paper_mix() {
+        let ws = all();
+        assert_eq!(ws.iter().filter(|w| w.suite == Suite::MiBench).count(), 11);
+        assert_eq!(ws.iter().filter(|w| w.suite == Suite::Nas).count(), 3);
+    }
+
+    #[test]
+    fn output_sizes_span_orders_of_magnitude() {
+        let ws = all();
+        let min = ws.iter().map(|w| w.output_bytes()).min().unwrap();
+        let max = ws.iter().map(|w| w.output_bytes()).max().unwrap();
+        assert!(min <= 16, "need tiny-output workloads (sha/bitcount style)");
+        assert!(max >= 8 * 1024, "need large-output workloads (cipher style)");
+    }
+
+    #[test]
+    fn expected_output_lengths_match_programs() {
+        for w in all() {
+            assert_eq!(
+                w.expected.len(),
+                w.program.output_len as usize,
+                "{}: reference length mismatch",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for name in names() {
+            assert_eq!(by_name(name).unwrap().name, name);
+        }
+        assert!(by_name("no-such").is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! `nas_cg` — repeated matrix-vector products with renormalization, the
+//! NAS CG kernel's inner loop shape: dense dot products, long multiply
+//! chains, small output.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, A3, S0, S1, S2, T0, T1, T2, T3, T4, T5, T6};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const N: usize = 24;
+const ITERS: usize = 8;
+const X_ADDR: u32 = DATA_BASE + 0x1000;
+const Y_ADDR: u32 = DATA_BASE + 0x1100;
+
+fn reference(mat: &[u32], x0: &[u32]) -> Vec<u32> {
+    let mut x = x0.to_vec();
+    let mut y = vec![0u32; N];
+    for _ in 0..ITERS {
+        for i in 0..N {
+            let mut acc = 0u32;
+            for j in 0..N {
+                acc = acc.wrapping_add(mat[i * N + j].wrapping_mul(x[j]));
+            }
+            y[i] = acc;
+        }
+        for i in 0..N {
+            x[i] = y[i] >> 8;
+        }
+    }
+    x
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0xC6C6_0019);
+    let mat = lcg.words(N * N);
+    let x0 = lcg.words(N);
+    let x_final = reference(&mat, &x0);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE); // matrix
+    a.li32(A1, X_ADDR);
+    a.li32(A2, Y_ADDR);
+    a.li32(S0, 0); // iteration
+    a.li32(S2, ITERS as u32);
+    a.label("oloop");
+    a.li32(T0, 0); // row i
+    a.li32(T1, N as u32);
+    a.label("rowloop");
+    a.li32(S1, 0); // acc
+    a.li32(T6, (N * 4) as u32);
+    a.mul(T6, T0, T6);
+    a.add(T6, A0, T6); // row base
+    a.li32(T2, 0); // column j
+    a.label("jloop");
+    a.slli(T3, T2, 2);
+    a.add(T4, T6, T3);
+    a.lw(T4, T4, 0);
+    a.add(T5, A1, T3);
+    a.lw(T5, T5, 0);
+    a.mul(T4, T4, T5);
+    a.add(S1, S1, T4);
+    a.addi(T2, T2, 1);
+    a.bne(T2, T1, "jloop");
+    a.slli(T3, T0, 2);
+    a.add(T4, A2, T3);
+    a.sw(T4, S1, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "rowloop");
+    // Renormalize: x = y >> 8.
+    a.li32(T0, 0);
+    a.label("xloop");
+    a.slli(T3, T0, 2);
+    a.add(T4, A2, T3);
+    a.lw(T5, T4, 0);
+    a.srli(T5, T5, 8);
+    a.add(T4, A1, T3);
+    a.sw(T4, T5, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "xloop");
+    a.addi(S0, S0, 1);
+    a.bne(S0, S2, "oloop");
+    // Emit the final vector.
+    a.li32(A3, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.label("copy");
+    a.slli(T3, T0, 2);
+    a.add(T4, A1, T3);
+    a.lw(T5, T4, 0);
+    a.add(T4, A3, T3);
+    a.sw(T4, T5, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "copy");
+    a.halt();
+
+    let program = Program::new("nas_cg", a.assemble().expect("nas_cg assembles"), (N * 4) as u32)
+        .with_data(DATA_BASE, words_to_bytes(&mat))
+        .with_data(X_ADDR, words_to_bytes(&x0));
+    Workload { name: "nas_cg", suite: Suite::Nas, program, expected: words_to_bytes(&x_final) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matrix_fixes_zero() {
+        let mat = vec![0u32; N * N];
+        let x0 = vec![123u32; N];
+        assert_eq!(reference(&mat, &x0), vec![0u32; N]);
+    }
+
+    #[test]
+    fn result_depends_on_matrix() {
+        let mut lcg = Lcg::new(4);
+        let m1 = lcg.words(N * N);
+        let mut m2 = m1.clone();
+        m2[0] ^= 1;
+        let x0 = lcg.words(N);
+        assert_ne!(reference(&m1, &x0), reference(&m2, &x0));
+    }
+}

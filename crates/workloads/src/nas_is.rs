@@ -1,0 +1,77 @@
+//! `nas_is` — integer (counting) sort, the NAS IS kernel: histogram,
+//! prefix-style emission, data-dependent store streams.
+
+use crate::util::Lcg;
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, S0, T0, T1, T2, T3, T4, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const KEYS: usize = 2048;
+const HIST_ADDR: u32 = DATA_BASE + 0x1000;
+
+fn reference(keys: &[u8]) -> Vec<u8> {
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    sorted
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x15A5_0012);
+    let keys = lcg.bytes(KEYS);
+    let sorted = reference(&keys);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE); // keys
+    a.li32(A1, HIST_ADDR); // 256-word histogram (zero-initialized memory)
+    a.li32(A2, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.li32(T1, KEYS as u32);
+    a.label("hloop");
+    a.add(T2, A0, T0);
+    a.lbu(T3, T2, 0);
+    a.slli(T3, T3, 2);
+    a.add(T3, A1, T3);
+    a.lw(T4, T3, 0);
+    a.addi(T4, T4, 1);
+    a.sw(T3, T4, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "hloop");
+    // Emit each value `count` times, in value order.
+    a.li32(T0, 0); // value
+    a.li32(T1, 256);
+    a.li32(S0, 0); // output position
+    a.label("vloop");
+    a.slli(T2, T0, 2);
+    a.add(T2, A1, T2);
+    a.lw(T3, T2, 0);
+    a.beq(T3, ZERO, "vnext");
+    a.label("eloop");
+    a.add(T4, A2, S0);
+    a.sb(T4, T0, 0);
+    a.addi(S0, S0, 1);
+    a.addi(T3, T3, -1);
+    a.bne(T3, ZERO, "eloop");
+    a.label("vnext");
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "vloop");
+    a.halt();
+
+    let program = Program::new("nas_is", a.assemble().expect("nas_is assembles"), KEYS as u32)
+        .with_data(DATA_BASE, keys);
+    Workload { name: "nas_is", suite: Suite::Nas, program, expected: sorted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_is_sorted_permutation_of_keys() {
+        let w = build();
+        assert!(w.expected.windows(2).all(|p| p[0] <= p[1]));
+        assert_eq!(w.expected.len(), KEYS);
+    }
+}

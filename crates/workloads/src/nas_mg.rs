@@ -1,0 +1,99 @@
+//! `nas_mg` — repeated 3-point relaxation sweeps over a grid, the NAS MG
+//! kernel's smoother: in-place stencil with read-after-write dependences
+//! and a sizeable output.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, S0, S1, T0, T1, T2, T3, T4, T5};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const N: usize = 512;
+const SWEEPS: usize = 8;
+
+fn reference(input: &[u32]) -> Vec<u32> {
+    let mut a = input.to_vec();
+    for _ in 0..SWEEPS {
+        // Gauss-Seidel order: the updated left neighbour feeds the next
+        // point, exactly as the in-place assembly loop does.
+        for i in 1..N - 1 {
+            a[i] = a[i - 1]
+                .wrapping_add(a[i] << 1)
+                .wrapping_add(a[i + 1])
+                >> 2;
+        }
+    }
+    a
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x3613_0005);
+    let input = lcg.words(N);
+    let output = reference(&input);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(S0, 0); // sweep
+    a.li32(S1, SWEEPS as u32);
+    a.label("sweep");
+    a.li32(T0, 1);
+    a.li32(T1, (N - 1) as u32);
+    a.label("iloop");
+    a.slli(T2, T0, 2);
+    a.add(T2, A0, T2);
+    a.lw(T3, T2, -4);
+    a.lw(T4, T2, 0);
+    a.lw(T5, T2, 4);
+    a.slli(T4, T4, 1);
+    a.add(T3, T3, T4);
+    a.add(T3, T3, T5);
+    a.srli(T3, T3, 2);
+    a.sw(T2, T3, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "iloop");
+    a.addi(S0, S0, 1);
+    a.bne(S0, S1, "sweep");
+    // Emit the relaxed grid.
+    a.li32(A1, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.li32(T1, N as u32);
+    a.label("copy");
+    a.slli(T2, T0, 2);
+    a.add(T3, A0, T2);
+    a.lw(T4, T3, 0);
+    a.add(T5, A1, T2);
+    a.sw(T5, T4, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "copy");
+    a.halt();
+
+    let program = Program::new("nas_mg", a.assemble().expect("nas_mg assembles"), (N * 4) as u32)
+        .with_data(DATA_BASE, words_to_bytes(&input));
+    Workload { name: "nas_mg", suite: Suite::Nas, program, expected: words_to_bytes(&output) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxation_smooths_towards_neighbours() {
+        // A spike between zeros spreads out after a sweep.
+        let mut grid = vec![0u32; N];
+        grid[10] = 4096;
+        let out = reference(&grid);
+        assert!(out[10] < 4096);
+        assert!(out[11] > 0);
+    }
+
+    #[test]
+    fn boundaries_are_fixed() {
+        let w = build();
+        let first = u32::from_le_bytes(w.expected[..4].try_into().unwrap());
+        let mut lcg = Lcg::new(0x3613_0005);
+        let input = lcg.words(N);
+        assert_eq!(first, input[0], "boundary cells never relax");
+    }
+}

@@ -1,0 +1,78 @@
+//! `qsort` — in-place insertion sort of a word array (stands in for MiBench
+//! `qsort`: comparison-driven, data-dependent branches, memory shuffling).
+//! The sorted array is the output.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, S0, S1, T0, T1, T2, T3, T4, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const N: usize = 128;
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x4504_7123);
+    let data = lcg.words(N);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(T0, 1); // i
+    a.li32(T1, N as u32);
+    a.label("outer");
+    a.slli(T2, T0, 2);
+    a.add(T2, A0, T2);
+    a.lw(S0, T2, 0); // key = a[i]
+    a.addi(T3, T0, -1); // j (signed)
+    a.label("inner");
+    a.blt(T3, ZERO, "place");
+    a.slli(T4, T3, 2);
+    a.add(T4, A0, T4);
+    a.lw(S1, T4, 0); // a[j]
+    a.bgeu(S0, S1, "place"); // key >= a[j]: stop (unsigned order)
+    a.sw(T4, S1, 4); // a[j+1] = a[j]
+    a.addi(T3, T3, -1);
+    a.j("inner");
+    a.label("place");
+    a.slli(T4, T3, 2);
+    a.add(T4, A0, T4);
+    a.sw(T4, S0, 4); // a[j+1] = key (wraps correctly for j = -1)
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "outer");
+    // Copy the sorted array to the output region.
+    a.li32(A1, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.label("copy");
+    a.slli(T2, T0, 2);
+    a.add(T3, A0, T2);
+    a.lw(S0, T3, 0);
+    a.add(T4, A1, T2);
+    a.sw(T4, S0, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "copy");
+    a.halt();
+
+    let program = Program::new("qsort", a.assemble().expect("qsort assembles"), (N * 4) as u32)
+        .with_data(DATA_BASE, words_to_bytes(&data));
+    Workload { name: "qsort", suite: Suite::MiBench, program, expected: words_to_bytes(&sorted) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_is_sorted_permutation() {
+        let w = build();
+        let words: Vec<u32> = w
+            .expected
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words.len(), N);
+        assert!(words.windows(2).all(|p| p[0] <= p[1]));
+    }
+}

@@ -1,0 +1,96 @@
+//! `rijndael` — S-box substitution cipher with chaining (stands in for
+//! MiBench `rijndael`): table-lookup heavy, byte-granular, large output —
+//! the second large-output workload of the ESC study.
+
+use crate::util::Lcg;
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, S0, T0, T1, T2, T3, T4};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const BYTES: usize = 8192; // 8 KiB
+const INPUT_ADDR: u32 = DATA_BASE + 0x1000;
+const IV: u8 = 0x5A;
+
+fn make_sbox(lcg: &mut Lcg) -> Vec<u8> {
+    let mut sbox: Vec<u8> = (0..=255).collect();
+    // Fisher-Yates with the shared LCG.
+    for i in (1..256usize).rev() {
+        let j = (lcg.next_u32() as usize) % (i + 1);
+        sbox.swap(i, j);
+    }
+    sbox
+}
+
+fn reference(sbox: &[u8], input: &[u8]) -> Vec<u8> {
+    let mut prev = IV;
+    input
+        .iter()
+        .map(|&b| {
+            prev = sbox[usize::from(b ^ prev)];
+            prev
+        })
+        .collect()
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x41E5_0D43);
+    let sbox = make_sbox(&mut lcg);
+    let input = lcg.bytes(BYTES);
+    let output = reference(&sbox, &input);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE); // sbox
+    a.li32(A1, INPUT_ADDR);
+    a.li32(A2, OUTPUT_BASE);
+    a.li32(T0, 0);
+    a.li32(T1, BYTES as u32);
+    a.li32(S0, u32::from(IV));
+    a.label("loop");
+    a.add(T2, A1, T0);
+    a.lbu(T3, T2, 0);
+    a.xor(T3, T3, S0);
+    a.add(T4, A0, T3);
+    a.lbu(S0, T4, 0); // S-box lookup
+    a.add(T2, A2, T0);
+    a.sb(T2, S0, 0);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "loop");
+    a.halt();
+
+    let program = Program::new("rijndael", a.assemble().expect("rijndael assembles"), BYTES as u32)
+        .with_data(DATA_BASE, sbox)
+        .with_data(INPUT_ADDR, input);
+    Workload { name: "rijndael", suite: Suite::MiBench, program, expected: output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut lcg = Lcg::new(0x41E5_0D43);
+        let sbox = make_sbox(&mut lcg);
+        let mut seen = [false; 256];
+        for &b in &sbox {
+            assert!(!seen[usize::from(b)], "duplicate sbox entry");
+            seen[usize::from(b)] = true;
+        }
+    }
+
+    #[test]
+    fn chaining_diffuses_changes() {
+        let mut lcg = Lcg::new(1);
+        let sbox = make_sbox(&mut lcg);
+        let input = lcg.bytes(64);
+        let base = reference(&sbox, &input);
+        let mut flipped = input.clone();
+        flipped[0] ^= 1;
+        let alt = reference(&sbox, &flipped);
+        // A leading-byte change must propagate to the tail.
+        assert_ne!(base[63], alt[63]);
+    }
+}

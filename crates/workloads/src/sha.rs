@@ -1,0 +1,74 @@
+//! `sha` — FNV-1a digest over a byte buffer (stands in for MiBench `sha`:
+//! a sequential, multiply-heavy digest with a tiny output).
+
+use crate::util::Lcg;
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, S0, S1, T0, T1, T2, T3};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const BYTES: usize = 2048;
+const FNV_OFFSET: u32 = 2_166_136_261;
+const FNV_PRIME: u32 = 16_777_619;
+
+fn reference(data: &[u8]) -> u32 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x5AA5_0001);
+    let data = lcg.bytes(BYTES);
+    let digest = reference(&data);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(T0, 0);
+    a.li32(T1, BYTES as u32);
+    a.li32(S0, FNV_OFFSET);
+    a.li32(S1, FNV_PRIME);
+    a.label("loop");
+    a.add(T2, A0, T0);
+    a.lbu(T3, T2, 0);
+    a.xor(S0, S0, T3);
+    a.mul(S0, S0, S1);
+    a.addi(T0, T0, 1);
+    a.bne(T0, T1, "loop");
+    a.li32(A1, OUTPUT_BASE);
+    a.sw(A1, S0, 0);
+    a.halt();
+
+    let program = Program::new("sha", a.assemble().expect("sha assembles"), 4)
+        .with_data(DATA_BASE, data);
+    Workload { name: "sha", suite: Suite::MiBench, program, expected: digest.to_le_bytes().to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_known_fnv_vector() {
+        // FNV-1a of "a" is 0xE40C292C.
+        assert_eq!(reference(b"a"), 0xE40C_292C);
+    }
+
+    #[test]
+    fn digest_depends_on_every_byte() {
+        let mut lcg = Lcg::new(1);
+        let data = lcg.bytes(64);
+        let d0 = reference(&data);
+        let mut flipped = data.clone();
+        flipped[0] ^= 1;
+        assert_ne!(reference(&flipped), d0);
+        let mut flipped = data;
+        flipped[63] ^= 0x80;
+        assert_ne!(reference(&flipped), d0);
+    }
+}

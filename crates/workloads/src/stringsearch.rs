@@ -1,0 +1,109 @@
+//! `stringsearch` — naive multi-pattern substring search (MiBench
+//! `stringsearch`): byte loads, short-circuit comparisons, small output of
+//! match positions.
+
+use crate::util::{words_to_bytes, Lcg};
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, A2, S0, S2, S3, S4, T0, T1, T2, T3, T4, T5};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const TEXT_LEN: usize = 1024;
+const PATTERNS: usize = 8;
+const PAT_LEN: usize = 4;
+const PATTERNS_ADDR: u32 = DATA_BASE + 0x1000;
+
+fn reference(text: &[u8], patterns: &[[u8; PAT_LEN]]) -> Vec<u32> {
+    patterns
+        .iter()
+        .map(|p| {
+            (0..=text.len() - PAT_LEN)
+                .find(|&i| &text[i..i + PAT_LEN] == p)
+                .map_or(u32::MAX, |i| i as u32)
+        })
+        .collect()
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x57A1_0099);
+    let text: Vec<u8> = (0..TEXT_LEN).map(|_| b'a' + lcg.next_u8() % 26).collect();
+    // Six patterns sampled from the text (guaranteed hits), two random
+    // (usually misses).
+    let mut patterns: Vec<[u8; PAT_LEN]> = Vec::new();
+    for k in 0..6 {
+        let at = (lcg.next_u32() as usize) % (TEXT_LEN - PAT_LEN);
+        let _ = k;
+        patterns.push(text[at..at + PAT_LEN].try_into().unwrap());
+    }
+    for _ in 0..2 {
+        patterns.push([b'A' + lcg.next_u8() % 26, b'0', b'Z', b'9']);
+    }
+    let positions = reference(&text, &patterns);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE); // text
+    a.li32(A1, PATTERNS_ADDR);
+    a.li32(A2, OUTPUT_BASE);
+    a.li32(S2, 0); // pattern index
+    a.li32(S3, PATTERNS as u32);
+    a.label("ploop");
+    a.slli(T0, S2, 2);
+    a.add(S4, A1, T0); // pattern base
+    a.addi(S0, avgi_isa::reg::ZERO, -1); // result = u32::MAX
+    a.li32(T1, 0); // pos
+    a.li32(T2, (TEXT_LEN - PAT_LEN + 1) as u32);
+    a.label("sloop");
+    a.add(T3, A0, T1);
+    for k in 0..PAT_LEN as i32 {
+        a.lbu(T4, T3, k);
+        a.lbu(T5, S4, k);
+        a.bne(T4, T5, "snext");
+    }
+    a.mv(S0, T1);
+    a.j("found");
+    a.label("snext");
+    a.addi(T1, T1, 1);
+    a.bne(T1, T2, "sloop");
+    a.label("found");
+    a.slli(T0, S2, 2);
+    a.add(T0, A2, T0);
+    a.sw(T0, S0, 0);
+    a.addi(S2, S2, 1);
+    a.bne(S2, S3, "ploop");
+    a.halt();
+
+    let pat_bytes: Vec<u8> = patterns.iter().flatten().copied().collect();
+    let program = Program::new(
+        "stringsearch",
+        a.assemble().expect("stringsearch assembles"),
+        (PATTERNS * 4) as u32,
+    )
+    .with_data(DATA_BASE, text)
+    .with_data(PATTERNS_ADDR, pat_bytes);
+    Workload {
+        name: "stringsearch",
+        suite: Suite::MiBench,
+        program,
+        expected: words_to_bytes(&positions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_patterns_hit_and_synthetic_miss() {
+        let w = build();
+        let words: Vec<u32> = w
+            .expected
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words.len(), PATTERNS);
+        assert!(words[..6].iter().all(|&p| p != u32::MAX), "sampled patterns must match");
+        assert!(words[6..].iter().all(|&p| p == u32::MAX), "digit patterns cannot occur");
+    }
+}

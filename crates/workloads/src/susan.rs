@@ -1,0 +1,114 @@
+//! `susan` — 3×3 neighbourhood smoothing over a byte image (MiBench
+//! `susan`): 2-D spatial locality, byte loads/stores, medium output.
+
+use crate::util::Lcg;
+use crate::{Suite, Workload};
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, A1, S0, S1, S2, S3, S4, T1, T2, T3, T4, T5, T6, T7, ZERO};
+use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_muarch::program::Program;
+
+const W: usize = 48;
+const H: usize = 32;
+/// 3×3 neighbourhood offsets in a row-major W-wide image.
+const OFFSETS: [i32; 9] = [
+    -(W as i32) - 1,
+    -(W as i32),
+    -(W as i32) + 1,
+    -1,
+    0,
+    1,
+    W as i32 - 1,
+    W as i32,
+    W as i32 + 1,
+];
+
+fn reference(img: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; W * H];
+    for y in 0..H {
+        for x in 0..W {
+            let idx = y * W + x;
+            if y == 0 || y == H - 1 || x == 0 || x == W - 1 {
+                out[idx] = img[idx];
+            } else {
+                let sum: u32 = OFFSETS
+                    .iter()
+                    .map(|&o| u32::from(img[(idx as i32 + o) as usize]))
+                    .sum();
+                out[idx] = (sum >> 3) as u8;
+            }
+        }
+    }
+    out
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let mut lcg = Lcg::new(0x5A5A_0031);
+    let img = lcg.bytes(W * H);
+    let out = reference(&img);
+
+    let mut a = Assembler::new(0);
+    a.li32(A0, DATA_BASE);
+    a.li32(A1, OUTPUT_BASE);
+    a.li32(T1, W as u32);
+    a.li32(S2, (H - 1) as u32);
+    a.li32(S3, (W - 1) as u32);
+    a.li32(S4, H as u32);
+    a.li32(S0, 0); // y
+    a.label("yloop");
+    a.li32(S1, 0); // x
+    a.label("xloop");
+    // offset = y*48 + x = (y<<5) + (y<<4) + x
+    a.slli(T2, S0, 5);
+    a.slli(T3, S0, 4);
+    a.add(T2, T2, T3);
+    a.add(T2, T2, S1);
+    a.add(T4, A0, T2); // input pixel address
+    a.add(T5, A1, T2); // output pixel address
+    a.beq(S0, ZERO, "copy");
+    a.beq(S0, S2, "copy");
+    a.beq(S1, ZERO, "copy");
+    a.beq(S1, S3, "copy");
+    a.li32(T6, 0);
+    for &off in &OFFSETS {
+        a.lbu(T7, T4, off);
+        a.add(T6, T6, T7);
+    }
+    a.srli(T6, T6, 3);
+    a.sb(T5, T6, 0);
+    a.j("next");
+    a.label("copy");
+    a.lbu(T7, T4, 0);
+    a.sb(T5, T7, 0);
+    a.label("next");
+    a.addi(S1, S1, 1);
+    a.bne(S1, T1, "xloop");
+    a.addi(S0, S0, 1);
+    a.bne(S0, S4, "yloop");
+    a.halt();
+
+    let program = Program::new("susan", a.assemble().expect("susan assembles"), (W * H) as u32)
+        .with_data(DATA_BASE, img);
+    Workload { name: "susan", suite: Suite::MiBench, program, expected: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_preserves_borders_and_flattens_interior() {
+        let img = vec![200u8; W * H];
+        let out = reference(&img);
+        assert_eq!(out[0], 200);
+        // Uniform interior: (9 * 200) >> 3 = 225, truncated into u8.
+        assert_eq!(out[W + 1], ((9u32 * 200) >> 3) as u8);
+    }
+
+    #[test]
+    fn offsets_cover_three_by_three() {
+        assert_eq!(OFFSETS.len(), 9);
+        assert_eq!(OFFSETS.iter().sum::<i32>(), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Bring-your-own-workload: write a program against the AvgIsa assembler,
+//! run it on the simulator, and put it through a mini fault-injection
+//! campaign — everything a user needs to study their own kernel.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use avgi_repro::core::classify::classify_injection;
+use avgi_repro::faultsim::{run_one, RunMode};
+use avgi_repro::isa::asm::Assembler;
+use avgi_repro::isa::reg::{A0, A1, T0, T1, T2, ZERO};
+use avgi_repro::muarch::mem::{DATA_BASE, OUTPUT_BASE};
+use avgi_repro::muarch::pipeline::capture_golden;
+use avgi_repro::muarch::program::Program;
+use avgi_repro::muarch::{Fault, FaultSite, MuarchConfig, Structure};
+use avgi_repro::workloads::Workload;
+
+fn main() {
+    // A Fibonacci kernel: writes fib(0..32) to the output region.
+    let mut a = Assembler::new(0);
+    a.li32(A0, OUTPUT_BASE);
+    a.li32(T0, 0); // fib(i)
+    a.li32(T1, 1); // fib(i+1)
+    a.li32(A1, 32); // count
+    a.label("loop");
+    a.sw(A0, T0, 0);
+    a.add(T2, T0, T1);
+    a.mv(T0, T1);
+    a.mv(T1, T2);
+    a.addi(A0, A0, 4);
+    a.addi(A1, A1, -1);
+    a.bne(A1, ZERO, "loop");
+    a.halt();
+    let program = Program::new("fib", a.assemble().expect("assembles"), 32 * 4)
+        .with_data(DATA_BASE, vec![0; 4]);
+
+    let cfg = MuarchConfig::big();
+    let golden = capture_golden(&program, &cfg, 1_000_000);
+    let fib8 = u32::from_le_bytes(golden.output[32..36].try_into().expect("word"));
+    println!("fault-free run: {} cycles, fib(8) = {fib8}", golden.cycles);
+    assert_eq!(fib8, 21);
+
+    // Wrap it as a Workload and inject a few register-file faults.
+    let w = Workload {
+        name: "fib",
+        suite: avgi_repro::workloads::Suite::MiBench,
+        expected: golden.output.clone(),
+        program,
+    };
+    println!("\ninjecting register-file faults:");
+    for (bit, cycle) in [(24 * 32 + 1, golden.cycles / 4), (95 * 32 + 9, 10), (26 * 32 + 3, golden.cycles / 2)] {
+        let fault = Fault { site: FaultSite { structure: Structure::RegFile, bit }, cycle };
+        let r = run_one(&w, &cfg, &golden, fault, RunMode::Instrumented, 1);
+        println!("  {fault}: {} -> outcome {:?}", classify_injection(&r), r.outcome);
+    }
+}

@@ -1,0 +1,35 @@
+//! FIT-rate reporting: measure per-structure AVFs with exhaustive SFI on a
+//! single workload and convert them to Failures-in-Time, including the
+//! whole-chip consolidation (the paper's Fig. 11 metric).
+//!
+//! ```sh
+//! cargo run --release --example fit_rates
+//! ```
+
+use avgi_repro::core::fit::{chip_fit, structure_fit, RAW_FIT_PER_BIT};
+use avgi_repro::core::pipeline::exhaustive;
+use avgi_repro::faultsim::golden_for;
+use avgi_repro::muarch::{MuarchConfig, Structure};
+
+fn main() {
+    let cfg = MuarchConfig::big();
+    let w = avgi_repro::workloads::by_name("dijkstra").expect("known workload");
+    let golden = golden_for(&w, &cfg);
+    let faults = 250;
+
+    println!("FIT rates for `{}` on {} (raw rate {RAW_FIT_PER_BIT} FIT/bit)\n", w.name, cfg.name);
+    println!("{:>11} {:>10} {:>8} {:>10}", "structure", "bits", "AVF", "FIT");
+    let mut avfs = Vec::new();
+    for &s in Structure::all() {
+        let avf = exhaustive(&w, &cfg, &golden, s, faults, 7).effect.avf();
+        avfs.push((s, avf));
+        println!(
+            "{:>11} {:>10} {:>7.2}% {:>10.4}",
+            s.label(),
+            s.bit_count(&cfg),
+            avf * 100.0,
+            structure_fit(s, &cfg, avf)
+        );
+    }
+    println!("\nwhole chip: {:.4} FIT", chip_fit(&cfg, avfs));
+}

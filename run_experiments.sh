@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper reproduction into results/.
+# Usage: sh run_experiments.sh [extra args passed to every binary]
+set -e
+cd "$(dirname "$0")"
+run() {
+  bin=$1; shift
+  echo "=== $bin $* ==="
+  cargo run --release -p avgi-bench --bin "$bin" -- "$@" >"results/$bin.txt" 2>"results/$bin.log"
+}
+run fig02_imm_diagram
+run fig01_ace_vs_sfi --faults 400
+run fig04_effects_per_imm --faults 400
+run fig08_ert_inclusive_exclusive --faults 400
+run fig07_esc_prediction --faults 300
+run fig03_imm_distribution --faults 300
+run table2_speedup --faults 200
+run fig05_imm_weights --faults 200
+run fig10_accuracy --faults 200
+run fig12_case_study --faults 150
+run fig11_fit_rates --faults 150
+echo "all experiments complete"

@@ -1,0 +1,37 @@
+//! # avgi-repro — umbrella crate of the AVGI reproduction
+//!
+//! Re-exports the five member crates under stable module names so the
+//! examples and integration tests read naturally:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`isa`] | `avgi-isa` | the AvgIsa instruction set + assembler |
+//! | [`muarch`] | `avgi-muarch` | the out-of-order microarchitecture simulator |
+//! | [`workloads`] | `avgi-workloads` | the 14 benchmark programs |
+//! | [`faultsim`] | `avgi-faultsim` | statistical fault-injection campaigns |
+//! | [`core`] | `avgi-core` | the AVGI methodology (IMMs, weights, ESC, ERT, FIT) |
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the architecture.
+//!
+//! ```no_run
+//! use avgi_repro::core::pipeline::{assess, AvgiOptions};
+//! use avgi_repro::core::weights::learn_weights;
+//! use avgi_repro::faultsim::golden_for;
+//! use avgi_repro::muarch::{MuarchConfig, Structure};
+//!
+//! let cfg = MuarchConfig::big();
+//! let w = avgi_repro::workloads::by_name("dijkstra").unwrap();
+//! let golden = golden_for(&w, &cfg);
+//! let train = avgi_repro::core::pipeline::exhaustive(
+//!     &w, &cfg, &golden, Structure::RegFile, 200, 1,
+//! );
+//! let weights = learn_weights(&[train.analysis], None);
+//! let report = assess(&w, &cfg, &golden, &weights, &AvgiOptions::default());
+//! println!("{}", report.predicted);
+//! ```
+
+pub use avgi_core as core;
+pub use avgi_faultsim as faultsim;
+pub use avgi_isa as isa;
+pub use avgi_muarch as muarch;
+pub use avgi_workloads as workloads;

@@ -1,0 +1,46 @@
+//! Reproducibility guarantees across the stack: identical goldens,
+//! identical campaigns, structure-complete assessments.
+
+use avgi_repro::faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+use avgi_repro::muarch::{MuarchConfig, Structure};
+
+#[test]
+fn golden_runs_are_bit_identical() {
+    let cfg = MuarchConfig::big();
+    let w = avgi_repro::workloads::by_name("fft").unwrap();
+    let a = golden_for(&w, &cfg);
+    let b = golden_for(&w, &cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.trace.len(), b.trace.len());
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn every_structure_can_run_a_campaign_on_both_configs() {
+    for cfg in [MuarchConfig::big(), MuarchConfig::small()] {
+        let w = avgi_repro::workloads::by_name("bitcount").unwrap();
+        let golden = golden_for(&w, &cfg);
+        for &s in Structure::all() {
+            let c = run_campaign(
+                &w,
+                &cfg,
+                &golden,
+                &CampaignConfig::new(s, 8, RunMode::Instrumented),
+            );
+            assert_eq!(c.len(), 8, "{s} on {}", cfg.name);
+        }
+    }
+}
+
+#[test]
+fn golden_outputs_match_reference_for_every_workload() {
+    // The umbrella-crate version of the workloads' own correctness tests:
+    // one pass, big config only, all 14 programs.
+    let cfg = MuarchConfig::big();
+    for w in avgi_repro::workloads::all() {
+        let golden = golden_for(&w, &cfg);
+        assert_eq!(golden.output, w.expected, "{} diverged from reference", w.name);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cheap end-to-end checks of the paper's qualitative claims — the load-
+//! bearing phenomenology behind the methodology, at test-sized samples.
+
+use avgi_repro::core::ace::ace_regfile;
+use avgi_repro::core::pipeline::exhaustive;
+use avgi_repro::core::{Imm, JointAnalysis};
+use avgi_repro::faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+use avgi_repro::muarch::{MuarchConfig, Structure};
+
+#[test]
+fn ace_analysis_overestimates_sfi_on_the_register_file() {
+    // The paper's Fig. 1 motivation, on two workloads.
+    let cfg = MuarchConfig::big();
+    for name in ["sha", "crc32"] {
+        let w = avgi_repro::workloads::by_name(name).unwrap();
+        let golden = golden_for(&w, &cfg);
+        let sfi = exhaustive(&w, &cfg, &golden, Structure::RegFile, 150, 3).effect.avf();
+        let ace = ace_regfile(&golden, &cfg).avf();
+        assert!(
+            ace > sfi,
+            "{name}: ACE ({ace:.3}) must exceed SFI ({sfi:.3}) — Fig. 1"
+        );
+    }
+}
+
+#[test]
+fn register_file_manifests_mostly_as_data_corruption() {
+    // Fig. 3's RF panel: DCR dominates; IRP/UNO/OFS/PRE never occur.
+    let cfg = MuarchConfig::big();
+    let w = avgi_repro::workloads::by_name("dijkstra").unwrap();
+    let golden = golden_for(&w, &cfg);
+    let c = run_campaign(
+        &w,
+        &cfg,
+        &golden,
+        &CampaignConfig::new(Structure::RegFile, 200, RunMode::Instrumented),
+    );
+    let a = JointAnalysis::from_campaign(&c);
+    let d = a.visible_imm_distribution();
+    assert!(d[Imm::Dcr.index()] > 0.5, "DCR must dominate, got {d:?}");
+    for imm in [Imm::Irp, Imm::Uno, Imm::Ofs, Imm::Pre] {
+        assert_eq!(a.imm_count(imm), 0, "{imm} cannot originate in the RF");
+    }
+}
+
+#[test]
+fn large_output_workloads_escape_more() {
+    // Fig. 7's correlation: blowfish (12 KiB output) must show more ESC
+    // faults in the L1D data array than sha (4 B output) shows at all.
+    let cfg = MuarchConfig::big();
+    let esc_count = |name: &str| {
+        let w = avgi_repro::workloads::by_name(name).unwrap();
+        let golden = golden_for(&w, &cfg);
+        let c = run_campaign(
+            &w,
+            &cfg,
+            &golden,
+            &CampaignConfig::new(Structure::L1DData, 150, RunMode::Instrumented),
+        );
+        JointAnalysis::from_campaign(&c).imm_count(Imm::Esc)
+    };
+    let blowfish = esc_count("blowfish");
+    let sha = esc_count("sha");
+    assert!(blowfish > sha, "blowfish {blowfish} vs sha {sha}");
+    assert!(blowfish >= 5, "a 12 KiB output must escape repeatedly, got {blowfish}");
+    assert_eq!(sha, 0, "a 4-byte output practically cannot be hit");
+}
+
+#[test]
+fn deep_pipeline_structures_manifest_fast() {
+    // Insight 3's foundation: the median manifestation latency in the RF
+    // is orders of magnitude below the execution length.
+    let cfg = MuarchConfig::big();
+    let w = avgi_repro::workloads::by_name("rijndael").unwrap();
+    let golden = golden_for(&w, &cfg);
+    let c = run_campaign(
+        &w,
+        &cfg,
+        &golden,
+        &CampaignConfig::new(Structure::RegFile, 200, RunMode::Instrumented),
+    );
+    let a = JointAnalysis::from_campaign(&c);
+    let lats = &a.manifestation_latencies;
+    assert!(lats.len() >= 10, "need manifestations to measure");
+    let median = lats[lats.len() / 2];
+    assert!(
+        median * 20 < golden.cycles,
+        "median latency {median} not << execution {}",
+        golden.cycles
+    );
+}
