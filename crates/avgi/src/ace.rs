@@ -101,7 +101,11 @@ pub fn ace_regfile_architectural(golden: &GoldenRun, cfg: &MuarchConfig) -> AceR
             ace_cycles += lr.saturating_sub(last_write[r]);
         }
     }
-    AceResult { ace_cycles, total_cycles: golden.cycles, phys_regs: cfg.phys_regs }
+    AceResult {
+        ace_cycles,
+        total_cycles: golden.cycles,
+        phys_regs: cfg.phys_regs,
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +150,9 @@ mod tests {
         let r = ace_regfile(&golden, &cfg);
         // dijkstra keeps base pointers live across long scans: expect more
         // than one register-lifetime's worth of ACE cycles.
-        assert!(r.ace_cycles > golden.cycles, "base registers live across the run");
+        assert!(
+            r.ace_cycles > golden.cycles,
+            "base registers live across the run"
+        );
     }
 }

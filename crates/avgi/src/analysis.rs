@@ -6,27 +6,64 @@ use crate::imm::{FaultEffect, Imm, ImmClass, NUM_EFFECTS, NUM_IMMS};
 use avgi_faultsim::{CampaignResult, InjectionResult};
 use avgi_muarch::fault::Structure;
 use avgi_muarch::run::RunOutcome;
-use serde::{Deserialize, Serialize};
 
-/// Final fault effect of one *end-to-end* injection (§II.B).
+/// Why an injection has no final fault effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EffectError {
+    /// The run completed but carries no output comparison — the campaign
+    /// layer failed to record one (a bookkeeping bug, not a fault effect).
+    MissingOutputComparison,
+    /// The run was stopped early (first-deviation / ERT modes); early stops
+    /// have no final effect — that is the whole point of the methodology.
+    EarlyStopped,
+}
+
+impl core::fmt::Display for EffectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EffectError::MissingOutputComparison => {
+                f.write_str("completed run without output comparison")
+            }
+            EffectError::EarlyStopped => f.write_str("early-stopped run has no final effect"),
+        }
+    }
+}
+
+impl std::error::Error for EffectError {}
+
+/// Final fault effect of one *end-to-end* injection (§II.B), or a typed
+/// error when the run has none (early-stopped runs, malformed records).
+///
+/// Crash-family outcomes include the fault-tolerance outcomes: a run ended
+/// by the wall-clock watchdog is a hang, and a run whose simulation
+/// panicked (`SimAbort`) is counted as a crash — the simulated machine
+/// reached a state the hardware model treats as fatal.
+pub fn try_final_effect(r: &InjectionResult) -> Result<FaultEffect, EffectError> {
+    match r.outcome {
+        RunOutcome::Completed => match r.output_matches {
+            Some(true) => Ok(FaultEffect::Masked),
+            Some(false) => Ok(FaultEffect::Sdc),
+            None => Err(EffectError::MissingOutputComparison),
+        },
+        RunOutcome::Trap(_)
+        | RunOutcome::IntegrityViolation(_)
+        | RunOutcome::Watchdog
+        | RunOutcome::WallClockExpired
+        | RunOutcome::SimAbort => Ok(FaultEffect::Crash),
+        RunOutcome::StoppedAtDeviation | RunOutcome::ErtExpired => Err(EffectError::EarlyStopped),
+    }
+}
+
+/// Panicking wrapper over [`try_final_effect`], kept for callers that have
+/// already established the campaign ran end-to-end.
 ///
 /// # Panics
 ///
-/// Panics if the run was stopped early (early-stop modes have no final
-/// effect — that is the whole point of the methodology).
+/// Panics if the run has no final effect (see [`EffectError`]).
 pub fn final_effect(r: &InjectionResult) -> FaultEffect {
-    match r.outcome {
-        RunOutcome::Completed => match r.output_matches {
-            Some(true) => FaultEffect::Masked,
-            Some(false) => FaultEffect::Sdc,
-            None => panic!("completed run without output comparison"),
-        },
-        RunOutcome::Trap(_) | RunOutcome::IntegrityViolation(_) | RunOutcome::Watchdog => {
-            FaultEffect::Crash
-        }
-        RunOutcome::StoppedAtDeviation | RunOutcome::ErtExpired => {
-            panic!("early-stopped run has no final effect")
-        }
+    match try_final_effect(r) {
+        Ok(e) => e,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -34,7 +71,7 @@ pub fn final_effect(r: &InjectionResult) -> FaultEffect {
 ///
 /// Row `NUM_IMMS` holds the Benign class (hardware-masked faults, which
 /// are always `Masked`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JointAnalysis {
     /// Workload name.
     pub workload: String,
@@ -61,7 +98,8 @@ impl JointAnalysis {
         let mut lats = Vec::new();
         for r in &c.results {
             let class = classify_injection(r);
-            let effect = final_effect(r);
+            let effect = try_final_effect(r)
+                .expect("joint analysis requires an end-to-end (Instrumented) campaign");
             let row = match class {
                 ImmClass::Benign => NUM_IMMS,
                 ImmClass::Manifested(i) => i.index(),

@@ -129,7 +129,10 @@ fn deviation_conditions(d: &Deviation) -> Conditions {
 /// methodology).
 ///
 /// * a commit-trace deviation is classified by the diagram's left branch;
-/// * a crash with no prior deviation is `PRE`;
+/// * a crash with no prior deviation is `PRE` — this includes the
+///   fault-tolerance outcomes (`WallClockExpired` hangs and `SimAbort`
+///   simulator panics), which reach the software as a crash before any
+///   architecturally attributable effect;
 /// * a completed run with no deviation is `ESC` if the output differs,
 ///   otherwise Benign;
 /// * an early-stopped run with no deviation (`ErtExpired`) is Benign —
@@ -144,9 +147,11 @@ pub fn classify_injection(r: &InjectionResult) -> ImmClass {
             Some(false) => ImmClass::Manifested(Imm::Esc),
             None => ImmClass::Benign,
         },
-        RunOutcome::Trap(_) | RunOutcome::IntegrityViolation(_) | RunOutcome::Watchdog => {
-            ImmClass::Manifested(Imm::Pre)
-        }
+        RunOutcome::Trap(_)
+        | RunOutcome::IntegrityViolation(_)
+        | RunOutcome::Watchdog
+        | RunOutcome::WallClockExpired
+        | RunOutcome::SimAbort => ImmClass::Manifested(Imm::Pre),
         RunOutcome::ErtExpired | RunOutcome::StoppedAtDeviation => ImmClass::Benign,
     }
 }
@@ -157,11 +162,21 @@ mod tests {
     use avgi_muarch::trace::CommitRecord;
 
     fn rec(cycle: u64, pc: u32, raw: u32, ea: u32, val: u32) -> CommitRecord {
-        CommitRecord { cycle, pc, raw, ea, val }
+        CommitRecord {
+            cycle,
+            pc,
+            raw,
+            ea,
+            val,
+        }
     }
 
     fn dev(golden: CommitRecord, faulty: CommitRecord) -> Deviation {
-        Deviation { index: 0, golden, faulty }
+        Deviation {
+            index: 0,
+            golden,
+            faulty,
+        }
     }
 
     // A valid instruction word: add r1, r2, r5.
@@ -254,7 +269,13 @@ mod tests {
     #[test]
     fn injection_without_deviation_classifies_by_outcome() {
         use avgi_muarch::fault::{Fault, FaultSite, Structure};
-        let fault = Fault { site: FaultSite { structure: Structure::Rob, bit: 0 }, cycle: 5 };
+        let fault = Fault {
+            site: FaultSite {
+                structure: Structure::Rob,
+                bit: 0,
+            },
+            cycle: 5,
+        };
         let base = InjectionResult {
             fault,
             outcome: RunOutcome::Completed,
@@ -262,9 +283,27 @@ mod tests {
             output_matches: Some(true),
             cycles: 100,
             post_inject_cycles: 95,
+            abort_message: None,
         };
         assert_eq!(classify_injection(&base), ImmClass::Benign);
-        let esc = InjectionResult { output_matches: Some(false), ..base.clone() };
+        // Fault-tolerance outcomes land in the crash/PRE family.
+        let abort = InjectionResult {
+            outcome: RunOutcome::SimAbort,
+            output_matches: None,
+            abort_message: Some("worker panicked".into()),
+            ..base.clone()
+        };
+        assert_eq!(classify_injection(&abort), ImmClass::Manifested(Imm::Pre));
+        let wall = InjectionResult {
+            outcome: RunOutcome::WallClockExpired,
+            output_matches: None,
+            ..base.clone()
+        };
+        assert_eq!(classify_injection(&wall), ImmClass::Manifested(Imm::Pre));
+        let esc = InjectionResult {
+            output_matches: Some(false),
+            ..base.clone()
+        };
         assert_eq!(classify_injection(&esc), ImmClass::Manifested(Imm::Esc));
         let pre = InjectionResult {
             outcome: RunOutcome::IntegrityViolation(Structure::Rob),
@@ -278,7 +317,11 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(classify_injection(&hang), ImmClass::Manifested(Imm::Pre));
-        let ert = InjectionResult { outcome: RunOutcome::ErtExpired, output_matches: None, ..base };
+        let ert = InjectionResult {
+            outcome: RunOutcome::ErtExpired,
+            output_matches: None,
+            ..base
+        };
         assert_eq!(classify_injection(&ert), ImmClass::Benign);
     }
 
@@ -286,7 +329,13 @@ mod tests {
     fn crash_after_deviation_classifies_by_the_deviation() {
         use avgi_muarch::fault::{Fault, FaultSite, Structure};
         use avgi_muarch::run::TrapKind;
-        let fault = Fault { site: FaultSite { structure: Structure::L1IData, bit: 0 }, cycle: 5 };
+        let fault = Fault {
+            site: FaultSite {
+                structure: Structure::L1IData,
+                bit: 0,
+            },
+            cycle: 5,
+        };
         let g = rec(10, 0x40, valid_word(), 0, 1);
         let f = rec(10, 0x40, valid_word() ^ (1 << 30), 0, 1);
         let r = InjectionResult {
@@ -296,6 +345,7 @@ mod tests {
             output_matches: None,
             cycles: 100,
             post_inject_cycles: 95,
+            abort_message: None,
         };
         assert_eq!(classify_injection(&r), ImmClass::Manifested(Imm::Irp));
     }

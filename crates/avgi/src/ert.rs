@@ -43,8 +43,10 @@ pub fn ert_window_for_coverage(
     coverage: f64,
     margin_percent: u64,
 ) -> Option<u64> {
-    let mut lats: Vec<u64> =
-        analyses.iter().flat_map(|a| a.manifestation_latencies.iter().copied()).collect();
+    let mut lats: Vec<u64> = analyses
+        .iter()
+        .flat_map(|a| a.manifestation_latencies.iter().copied())
+        .collect();
     if lats.is_empty() {
         return None;
     }
@@ -89,7 +91,11 @@ mod tests {
     #[test]
     fn queue_windows_scale_with_execution_length() {
         assert_eq!(default_ert_window(Structure::Rob, 100_000), 3_000);
-        assert_eq!(default_ert_window(Structure::Rob, 1_000), 200, "floor applies");
+        assert_eq!(
+            default_ert_window(Structure::Rob, 1_000),
+            200,
+            "floor applies"
+        );
     }
 
     #[test]

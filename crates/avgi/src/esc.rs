@@ -17,10 +17,8 @@
 //! holds the value calibrated once against instrumented campaigns on this
 //! simulator (see the `fig07_esc_prediction` experiment).
 
-use serde::{Deserialize, Serialize};
-
 /// The ESC estimation model (the paper's equation plus a scale constant).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EscModel {
     /// Multiplicative calibration applied to the paper's equation.
     pub scale: f64,
@@ -84,7 +82,10 @@ mod tests {
         let small = m.esc_count(1_024, 2_000, 1_000);
         let large = m.esc_count(12 * 1_024, 2_000, 1_000);
         assert!(large > small);
-        assert!((large / small - 12.0).abs() < 1e-9, "proportional to output size");
+        assert!(
+            (large / small - 12.0).abs() < 1e-9,
+            "proportional to output size"
+        );
     }
 
     #[test]

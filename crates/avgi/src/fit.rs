@@ -18,7 +18,9 @@ pub fn structure_fit(structure: Structure, cfg: &MuarchConfig, avf: f64) -> f64 
 
 /// Whole-chip FIT: sum of per-structure FITs.
 pub fn chip_fit<I: IntoIterator<Item = (Structure, f64)>>(cfg: &MuarchConfig, avfs: I) -> f64 {
-    avfs.into_iter().map(|(s, avf)| structure_fit(s, cfg, avf)).sum()
+    avfs.into_iter()
+        .map(|(s, avf)| structure_fit(s, cfg, avf))
+        .sum()
 }
 
 #[cfg(test)]

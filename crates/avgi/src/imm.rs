@@ -2,11 +2,10 @@
 //! fault-effect classes.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// The eight complete and mutually exclusive ISA Manifestation Models —
 /// how a hardware fault first "touches" the software layer (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Imm {
     /// Instruction Flow Change: a different instruction executes because
     /// fetching went to the wrong place (wrong PC in the commit trace).
@@ -38,7 +37,16 @@ pub enum Imm {
 impl Imm {
     /// All eight IMMs in Table I order.
     pub fn all() -> &'static [Imm] {
-        &[Imm::Ifc, Imm::Irp, Imm::Uno, Imm::Ofs, Imm::Dcr, Imm::Ete, Imm::Pre, Imm::Esc]
+        &[
+            Imm::Ifc,
+            Imm::Irp,
+            Imm::Uno,
+            Imm::Ofs,
+            Imm::Dcr,
+            Imm::Ete,
+            Imm::Pre,
+            Imm::Esc,
+        ]
     }
 
     /// Short label as in the paper.
@@ -82,7 +90,7 @@ impl fmt::Display for Imm {
 /// Where a fault landed on the hardware/software interface: either it never
 /// became architecturally visible (Benign) or it manifested as one of the
 /// eight IMMs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ImmClass {
     /// Masked by the hardware: never architecturally visible.
     Benign,
@@ -100,7 +108,7 @@ impl fmt::Display for ImmClass {
 }
 
 /// Final effect of a fault on the program (§II.B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultEffect {
     /// No observable difference from the fault-free run.
     Masked,

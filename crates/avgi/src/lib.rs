@@ -54,7 +54,7 @@ pub mod report;
 pub mod study;
 pub mod weights;
 
-pub use analysis::{final_effect, JointAnalysis};
+pub use analysis::{final_effect, try_final_effect, EffectError, JointAnalysis};
 pub use classify::{classify_conditions, classify_injection, Conditions};
 pub use ert::{default_ert_window, ert_window_for_coverage, measure_ert_window};
 pub use esc::EscModel;

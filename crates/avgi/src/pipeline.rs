@@ -93,7 +93,10 @@ pub fn assess(
     let structure = weights.structure;
     // Phases 2-3: first-deviation campaign with the ERT stop.
     let ert = if opts.use_ert {
-        Some(opts.ert_window.unwrap_or_else(|| default_ert_window(structure, golden.cycles)))
+        Some(
+            opts.ert_window
+                .unwrap_or_else(|| default_ert_window(structure, golden.cycles)),
+        )
     } else {
         None
     };
@@ -139,7 +142,11 @@ pub fn assess(
             crash: crash / distributed,
         }
     } else {
-        EffectDistribution { masked: 1.0, sdc: 0.0, crash: 0.0 }
+        EffectDistribution {
+            masked: 1.0,
+            sdc: 0.0,
+            crash: 0.0,
+        }
     };
 
     // Phase 5: assemble.
@@ -213,7 +220,11 @@ mod tests {
         let weights = learn_weights(&train, None);
         let target = &ws[2];
         let golden = golden_for(target, &cfg);
-        let opts = AvgiOptions { faults: 60, seed: 2, ..Default::default() };
+        let opts = AvgiOptions {
+            faults: 60,
+            seed: 2,
+            ..Default::default()
+        };
         let a = assess(target, &cfg, &golden, &weights, &opts);
         assert!(a.predicted.is_normalized(), "{:?}", a.predicted);
         assert_eq!(a.total, 60);
@@ -235,7 +246,11 @@ mod tests {
         let golden = golden_for(&ws, &cfg);
         let train = exhaustive(&ws, &cfg, &golden, Structure::RegFile, 40, 3).analysis;
         let weights = learn_weights(&[train], None);
-        let opts = AvgiOptions { faults: 40, seed: 4, ..Default::default() };
+        let opts = AvgiOptions {
+            faults: 40,
+            seed: 4,
+            ..Default::default()
+        };
         let a = assess(&ws, &cfg, &golden, &weights, &opts);
         assert_eq!(a.esc_estimate, 0.0, "RF is not a cache data array");
     }

@@ -1,10 +1,9 @@
 //! Effect distributions and report helpers.
 
 use crate::imm::NUM_EFFECTS;
-use serde::{Deserialize, Serialize};
 
 /// A Masked/SDC/Crash probability split (one AVF report row).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EffectDistribution {
     /// Fraction of faults with no observable effect.
     pub masked: f64,
@@ -17,7 +16,11 @@ pub struct EffectDistribution {
 impl EffectDistribution {
     /// Builds from an `[masked, sdc, crash]` array.
     pub fn from_array(a: [f64; NUM_EFFECTS]) -> Self {
-        EffectDistribution { masked: a[0], sdc: a[1], crash: a[2] }
+        EffectDistribution {
+            masked: a[0],
+            sdc: a[1],
+            crash: a[2],
+        }
     }
 
     /// As an `[masked, sdc, crash]` array.
@@ -69,15 +72,27 @@ mod tests {
 
     #[test]
     fn avf_is_complement_of_masked_when_normalized() {
-        let d = EffectDistribution { masked: 0.7, sdc: 0.1, crash: 0.2 };
+        let d = EffectDistribution {
+            masked: 0.7,
+            sdc: 0.1,
+            crash: 0.2,
+        };
         assert!(d.is_normalized());
         assert!((d.avf() - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn max_abs_diff_picks_worst_class() {
-        let a = EffectDistribution { masked: 0.7, sdc: 0.1, crash: 0.2 };
-        let b = EffectDistribution { masked: 0.6, sdc: 0.25, crash: 0.15 };
+        let a = EffectDistribution {
+            masked: 0.7,
+            sdc: 0.1,
+            crash: 0.2,
+        };
+        let b = EffectDistribution {
+            masked: 0.6,
+            sdc: 0.25,
+            crash: 0.15,
+        };
         assert!((a.max_abs_diff(b) - 0.15).abs() < 1e-12);
         assert_eq!(a.max_abs_diff(a), 0.0);
     }
@@ -92,6 +107,11 @@ mod tests {
 
     #[test]
     fn unnormalized_detected() {
-        assert!(!EffectDistribution { masked: 0.5, sdc: 0.1, crash: 0.1 }.is_normalized());
+        assert!(!EffectDistribution {
+            masked: 0.5,
+            sdc: 0.1,
+            crash: 0.1
+        }
+        .is_normalized());
     }
 }

@@ -59,7 +59,10 @@ impl Study {
 
     /// Worst per-class difference over all rows.
     pub fn worst_diff(&self) -> f64 {
-        self.rows.iter().map(StudyRow::max_abs_diff).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(StudyRow::max_abs_diff)
+            .fold(0.0, f64::max)
     }
 
     /// Total exhaustive cost over AVGI cost: the study's speedup.
@@ -93,10 +96,16 @@ pub fn leave_one_out(
             .iter()
             .map(|w| {
                 let golden = golden_for(w, cfg);
-                (exhaustive(w, cfg, &golden, structure, opts.faults, opts.seed), golden)
+                (
+                    exhaustive(w, cfg, &golden, structure, opts.faults, opts.seed),
+                    golden,
+                )
             })
             .collect();
-    let analyses: Vec<_> = exhaustives.iter().map(|(e, _)| e.analysis.clone()).collect();
+    let analyses: Vec<_> = exhaustives
+        .iter()
+        .map(|(e, _)| e.analysis.clone())
+        .collect();
     let rows = workloads
         .iter()
         .zip(&exhaustives)
@@ -123,7 +132,11 @@ mod tests {
     fn study_on_three_workloads_is_complete_and_normalized() {
         let cfg = MuarchConfig::big();
         let workloads: Vec<Workload> = avgi_workloads::all().into_iter().take(3).collect();
-        let opts = AvgiOptions { faults: 50, seed: 5, ..Default::default() };
+        let opts = AvgiOptions {
+            faults: 50,
+            seed: 5,
+            ..Default::default()
+        };
         let s = leave_one_out(Structure::Dtlb, &workloads, &cfg, &opts);
         assert_eq!(s.rows.len(), 3);
         for r in &s.rows {

@@ -10,10 +10,9 @@
 use crate::analysis::JointAnalysis;
 use crate::imm::{FaultEffect, Imm, NUM_EFFECTS, NUM_IMMS};
 use avgi_muarch::fault::Structure;
-use serde::{Deserialize, Serialize};
 
 /// Per-IMM final-effect weights for one hardware structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightTable {
     /// The structure the weights were learned for.
     pub structure: Structure,
@@ -74,7 +73,11 @@ pub fn learn_weights(analyses: &[JointAnalysis], exclude: Option<&str>) -> Weigh
             }
         }
     }
-    WeightTable { structure, w, support }
+    WeightTable {
+        structure,
+        w,
+        support,
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! This quantifies *why* the default windows in
 //! [`avgi_core::ert::default_ert_window`] sit where they do.
 
-use avgi_bench::{pct, print_header, ExpArgs, GoldenCache};
+use avgi_bench::{pct, print_header, report_campaign_health, ExpArgs, GoldenCache};
 use avgi_core::classify::classify_injection;
 use avgi_core::ImmClass;
 use avgi_faultsim::{run_campaign, CampaignConfig, RunMode};
@@ -42,6 +42,7 @@ fn main() {
                 )
                 .with_seed(args.seed),
             );
+            report_campaign_health(&c);
             let manifested = c
                 .results
                 .iter()
@@ -51,8 +52,15 @@ fn main() {
             per_workload.push((w.clone(), golden));
         }
 
-        println!("\n--- {} (reference: {} manifestations) ---", structure.label(), reference_manifested);
-        print_header(&["window", "captured", "coverage", "cost Mcyc"], &[10, 9, 9, 10]);
+        println!(
+            "\n--- {} (reference: {} manifestations) ---",
+            structure.label(),
+            reference_manifested
+        );
+        print_header(
+            &["window", "captured", "coverage", "cost Mcyc"],
+            &[10, 9, 9, 10],
+        );
         for window in [200u64, 800, 2_000, 5_000, 12_000, 30_000] {
             let mut captured = 0u64;
             let mut cost = 0u64;
@@ -64,10 +72,13 @@ fn main() {
                     &CampaignConfig::new(
                         structure,
                         args.faults,
-                        RunMode::FirstDeviation { ert_window: Some(window) },
+                        RunMode::FirstDeviation {
+                            ert_window: Some(window),
+                        },
                     )
                     .with_seed(args.seed),
                 );
+                report_campaign_health(&c);
                 cost += c.total_post_inject_cycles();
                 captured += c
                     .results

@@ -5,7 +5,7 @@
 //! next-line L2 prefetcher and compares, for the L2 data array: run time,
 //! Benign fraction, and the escape (`ESC`) count on a streaming workload.
 
-use avgi_bench::{pct, print_header, ExpArgs};
+use avgi_bench::{pct, print_header, report_campaign_health, ExpArgs};
 use avgi_core::{Imm, JointAnalysis};
 use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
 use avgi_muarch::fault::Structure;
@@ -31,6 +31,7 @@ fn main() {
                 &CampaignConfig::new(Structure::L2Data, args.faults, RunMode::Instrumented)
                     .with_seed(args.seed),
             );
+            report_campaign_health(&c);
             let a = JointAnalysis::from_campaign(&c);
             println!(
                 "{:>12} {:>9} {:>9} {:>8} {:>8} {:>6}",

@@ -13,7 +13,10 @@ use avgi_muarch::fault::Structure;
 fn main() {
     let args = ExpArgs::parse(250);
     let cfg = args.config();
-    let name = args.workload.clone().unwrap_or_else(|| "dijkstra".to_string());
+    let name = args
+        .workload
+        .clone()
+        .unwrap_or_else(|| "dijkstra".to_string());
     let w = avgi_workloads::by_name(&name)
         .unwrap_or_else(|| panic!("unknown workload `{name}`; see avgi_workloads::names()"));
     let mut cache = GoldenCache::new();

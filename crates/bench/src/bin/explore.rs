@@ -22,8 +22,11 @@ fn main() {
     for &s in Structure::all() {
         let group: Vec<_> = analyses.iter().filter(|a| a.structure == s).collect();
         let n = group.len() as f64;
-        let benign: f64 =
-            group.iter().map(|a| a.benign_count() as f64 / a.total as f64).sum::<f64>() / n;
+        let benign: f64 = group
+            .iter()
+            .map(|a| a.benign_count() as f64 / a.total as f64)
+            .sum::<f64>()
+            / n;
         let mut dist = [0.0f64; 8];
         for a in &group {
             let d = a.imm_distribution();
@@ -38,10 +41,14 @@ fn main() {
                 eff[k] += d[k] / n;
             }
         }
-        let maxlat = group.iter().map(|a| a.max_manifestation_latency).max().unwrap_or(0);
+        let maxlat = group
+            .iter()
+            .map(|a| a.max_manifestation_latency)
+            .max()
+            .unwrap_or(0);
         let mut row = format!("{:>11} {:>11}", s.label(), pct(benign));
-        for k in 0..8 {
-            row.push_str(&format!(" {:>10}", pct(dist[k])));
+        for &d in dist.iter().take(8) {
+            row.push_str(&format!(" {:>10}", pct(d)));
         }
         row.push_str(&format!(
             " {:>10} {:>10} {:>10} {:>10}",
@@ -58,7 +65,13 @@ fn main() {
         for a in analyses.iter().filter(|a| a.structure == s) {
             let esc = a.imm_count(Imm::Esc);
             if esc > 0 {
-                println!("{:>10} {:>14}: {} ESC of {} faults", s.label(), a.workload, esc, a.total);
+                println!(
+                    "{:>10} {:>14}: {} ESC of {} faults",
+                    s.label(),
+                    a.workload,
+                    esc,
+                    a.total
+                );
             }
         }
     }

@@ -14,19 +14,38 @@ fn main() {
     let args = ExpArgs::parse(400);
     let cfg = args.config();
     let mut cache = GoldenCache::new();
-    println!("Fig. 1 — register-file AVF: SFI vs. ACE analysis ({})", cfg.name);
-    print_header(&["workload", "SFI AVF", "ACE AVF", "ratio"], &[14, 10, 10, 8]);
+    println!(
+        "Fig. 1 — register-file AVF: SFI vs. ACE analysis ({})",
+        cfg.name
+    );
+    print_header(
+        &["workload", "SFI AVF", "ACE AVF", "ratio"],
+        &[14, 10, 10, 8],
+    );
 
     let mut ratios = Vec::new();
     for w in avgi_workloads::all() {
         let golden = cache.get(&w, &cfg);
-        let sfi = exhaustive(&w, &cfg, &golden, Structure::RegFile, args.faults, args.seed)
-            .effect
-            .avf();
+        let sfi = exhaustive(
+            &w,
+            &cfg,
+            &golden,
+            Structure::RegFile,
+            args.faults,
+            args.seed,
+        )
+        .effect
+        .avf();
         let ace = ace_regfile(&golden, &cfg).avf();
         let ratio = if sfi > 0.0 { ace / sfi } else { f64::INFINITY };
         ratios.push(ratio);
-        println!("{:>14} {:>10} {:>10} {:>7.2}x", w.name, pct(sfi), pct(ace), ratio);
+        println!(
+            "{:>14} {:>10} {:>10} {:>7.2}x",
+            w.name,
+            pct(sfi),
+            pct(ace),
+            ratio
+        );
     }
     let finite: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
     let mean = finite.iter().sum::<f64>() / finite.len().max(1) as f64;

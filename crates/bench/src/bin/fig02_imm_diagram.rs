@@ -37,6 +37,9 @@ fn main() {
     }
     println!("{}", "-".repeat(36));
     println!("{:>8} {total:>12} {:>12}", "sum", 256);
-    assert_eq!(total, 256, "diagram must be complete and mutually exclusive");
+    assert_eq!(
+        total, 256,
+        "diagram must be complete and mutually exclusive"
+    );
     println!("\ncomplete and mutually exclusive: every combination reaches exactly one class");
 }

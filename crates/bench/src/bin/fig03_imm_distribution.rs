@@ -16,8 +16,10 @@ fn panel(analyses: &[JointAnalysis], structure: Structure) {
     let mut cols = vec!["workload", "corrupt"];
     cols.extend(Imm::all().iter().map(|i| i.label()));
     print_header(&cols, &[14; NUM_IMMS + 2]);
-    let group: Vec<&JointAnalysis> =
-        analyses.iter().filter(|a| a.structure == structure).collect();
+    let group: Vec<&JointAnalysis> = analyses
+        .iter()
+        .filter(|a| a.structure == structure)
+        .collect();
     let mut avg = [0.0f64; NUM_IMMS];
     let mut per_workload: Vec<[f64; NUM_IMMS]> = Vec::new();
     for a in &group {
@@ -39,14 +41,16 @@ fn panel(analyses: &[JointAnalysis], structure: Structure) {
     }
     println!("{row}");
     // Cross-workload spread per IMM (only workloads with corruptions).
-    let active: Vec<&[f64; NUM_IMMS]> =
-        per_workload.iter().filter(|d| d.iter().sum::<f64>() > 0.0).collect();
+    let active: Vec<&[f64; NUM_IMMS]> = per_workload
+        .iter()
+        .filter(|d| d.iter().sum::<f64>() > 0.0)
+        .collect();
     if active.len() > 1 {
         let worst = (0..NUM_IMMS)
             .map(|k| {
                 let mean = active.iter().map(|d| d[k]).sum::<f64>() / active.len() as f64;
-                let var = active.iter().map(|d| (d[k] - mean).powi(2)).sum::<f64>()
-                    / active.len() as f64;
+                let var =
+                    active.iter().map(|d| (d[k] - mean).powi(2)).sum::<f64>() / active.len() as f64;
                 var.sqrt()
             })
             .fold(0.0, f64::max);

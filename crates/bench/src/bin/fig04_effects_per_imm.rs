@@ -18,8 +18,13 @@ fn main() {
         "Fig. 4 — P(final effect | IMM) for L1I data across workloads ({}, {} faults/cell)",
         cfg.name, args.faults
     );
-    let analyses =
-        analysis_grid(&[Structure::L1IData], &workloads, &cfg, args.faults, args.seed);
+    let analyses = analysis_grid(
+        &[Structure::L1IData],
+        &workloads,
+        &cfg,
+        args.faults,
+        args.seed,
+    );
 
     for effect in FaultEffect::all() {
         println!("\n--- P({effect} | IMM) ---");

@@ -23,7 +23,10 @@ fn main() {
         let analyses = analysis_grid(&[s], &workloads, &cfg, args.faults, args.seed);
         let table = learn_weights(&analyses, None);
         println!("\n--- {} ---", s.label());
-        print_header(&["IMM", "Masked", "SDC", "Crash", "support"], &[8, 10, 10, 10, 9]);
+        print_header(
+            &["IMM", "Masked", "SDC", "Crash", "support"],
+            &[8, 10, 10, 10, 9],
+        );
         for imm in Imm::all() {
             if table.observed(*imm) {
                 println!(
@@ -35,7 +38,14 @@ fn main() {
                     table.support[imm.index()],
                 );
             } else {
-                println!("{:>8} {:>10} {:>10} {:>10} {:>9}", imm.label(), "-", "-", "-", 0);
+                println!(
+                    "{:>8} {:>10} {:>10} {:>10} {:>9}",
+                    imm.label(),
+                    "-",
+                    "-",
+                    "-",
+                    0
+                );
             }
         }
     }

@@ -22,14 +22,23 @@ fn main() {
         cfg.name, args.faults, model.scale
     );
 
-    let structures =
-        [Structure::L1DTag, Structure::L1DData, Structure::L2Tag, Structure::L2Data];
+    let structures = [
+        Structure::L1DTag,
+        Structure::L1DData,
+        Structure::L2Tag,
+        Structure::L2Data,
+    ];
     let mut total_abs_err = 0.0;
     let mut rows = 0u32;
     for &s in &structures {
         let analyses = analysis_grid(&[s], &workloads, &cfg, args.faults, args.seed);
         println!("\n--- {} ---", s.label());
-        print_header(&["workload", "out KB", "benign", "real ESC", "pred ESC", "err"], &[14, 8, 8, 9, 9, 7]);
+        print_header(
+            &[
+                "workload", "out KB", "benign", "real ESC", "pred ESC", "err",
+            ],
+            &[14, 8, 8, 9, 9, 7],
+        );
         for (a, w) in analyses.iter().zip(&workloads) {
             let real = a.imm_count(Imm::Esc);
             let pred = model.esc_count(w.output_bytes(), a.total, a.benign_count());

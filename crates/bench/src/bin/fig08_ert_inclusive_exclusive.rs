@@ -5,7 +5,7 @@
 //! effective-residency-time window loses (virtually) no manifestations,
 //! so the IMM distribution is unchanged while the simulated cycles drop.
 
-use avgi_bench::{pct, print_header, ExpArgs, GoldenCache};
+use avgi_bench::{pct, print_header, report_campaign_health, ExpArgs, GoldenCache};
 use avgi_core::classify::classify_injection;
 use avgi_core::ert::default_ert_window;
 use avgi_core::imm::{Imm, ImmClass, NUM_IMMS};
@@ -40,6 +40,7 @@ fn main() {
             &CampaignConfig::new(structure, args.faults, RunMode::Instrumented)
                 .with_seed(args.seed),
         );
+        report_campaign_health(&inc_campaign);
         let inc = avgi_core::JointAnalysis::from_campaign(&inc_campaign);
         // Trace-visible distribution (ESC excluded), matching what the
         // exclusive (early-stopped) flow can observe.
@@ -54,10 +55,13 @@ fn main() {
             &CampaignConfig::new(
                 structure,
                 args.faults,
-                RunMode::FirstDeviation { ert_window: Some(window) },
+                RunMode::FirstDeviation {
+                    ert_window: Some(window),
+                },
             )
             .with_seed(args.seed),
         );
+        report_campaign_health(&exc_campaign);
         let mut exc_counts = [0u64; NUM_IMMS];
         let mut corruptions = 0u64;
         let mut exc_cost = 0u64;
@@ -70,15 +74,31 @@ fn main() {
         }
         let exc_dist: Vec<f64> = exc_counts
             .iter()
-            .map(|&c| if corruptions > 0 { c as f64 / corruptions as f64 } else { 0.0 })
+            .map(|&c| {
+                if corruptions > 0 {
+                    c as f64 / corruptions as f64
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
-        let mut row = format!("{:>14} {:>14} {:>14.1}", w.name, "inclusive", inc_cost as f64 / 1e6);
+        let mut row = format!(
+            "{:>14} {:>14} {:>14.1}",
+            w.name,
+            "inclusive",
+            inc_cost as f64 / 1e6
+        );
         for v in inc_dist {
             row.push_str(&format!(" {:>13}", pct(v)));
         }
         println!("{row}");
-        let mut row = format!("{:>14} {:>14} {:>14.1}", "", "exclusive", exc_cost as f64 / 1e6);
+        let mut row = format!(
+            "{:>14} {:>14} {:>14.1}",
+            "",
+            "exclusive",
+            exc_cost as f64 / 1e6
+        );
         for (k, v) in exc_dist.iter().enumerate() {
             // Per-workload comparison only where the sample is meaningful;
             // single-corruption cells swing by construction.

@@ -23,7 +23,10 @@ fn main() {
     for &s in Structure::all() {
         println!("\n--- {} ---", s.label());
         print_header(
-            &["workload", "real Msk", "avgi Msk", "real SDC", "avgi SDC", "real Crs", "avgi Crs", "maxdiff"],
+            &[
+                "workload", "real Msk", "avgi Msk", "real SDC", "avgi SDC", "real Crs", "avgi Crs",
+                "maxdiff",
+            ],
             &[14, 9, 9, 9, 9, 9, 9, 8],
         );
         let rows = leave_one_out_study(s, &workloads, &cfg, args.faults, args.seed);

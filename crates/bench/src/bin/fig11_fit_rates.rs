@@ -18,7 +18,15 @@ fn main() {
         cfg.name, args.faults, RAW_FIT_PER_BIT
     );
     print_header(
-        &["structure", "bits", "real AVF", "avgi AVF", "real FIT", "avgi FIT", "diff%"],
+        &[
+            "structure",
+            "bits",
+            "real AVF",
+            "avgi AVF",
+            "real FIT",
+            "avgi FIT",
+            "diff%",
+        ],
         &[11, 10, 9, 9, 10, 10, 7],
     );
 

@@ -23,7 +23,10 @@ fn main() {
     for s in [Structure::L1IData, Structure::L1DData, Structure::RegFile] {
         println!("\n--- {} ---", s.label());
         print_header(
-            &["workload", "real Msk", "pred Msk", "real SDC", "pred SDC", "real Crs", "pred Crs", "maxdiff"],
+            &[
+                "workload", "real Msk", "pred Msk", "real SDC", "pred SDC", "real Crs", "pred Crs",
+                "maxdiff",
+            ],
             &[14, 9, 9, 9, 9, 9, 9, 8],
         );
         let rows = leave_one_out_study(s, &workloads, &cfg, args.faults, args.seed);

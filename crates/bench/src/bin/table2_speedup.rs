@@ -12,7 +12,7 @@
 //!   (the full AVGI flow; the paper's "Maximum Sim Cycles" column is the
 //!   window used).
 
-use avgi_bench::{print_header, ExpArgs, GoldenCache};
+use avgi_bench::{print_header, report_campaign_health, ExpArgs, GoldenCache};
 use avgi_core::ert::default_ert_window;
 use avgi_faultsim::{run_campaign, CampaignConfig, RunMode};
 use avgi_muarch::fault::Structure;
@@ -28,7 +28,15 @@ fn main() {
         cfg.name
     );
     print_header(
-        &["structure", "ERT window", "AVGI Mcyc", "trad Mcyc", "ins1&2", "ins3", "total"],
+        &[
+            "structure",
+            "ERT window",
+            "AVGI Mcyc",
+            "trad Mcyc",
+            "ins1&2",
+            "ins3",
+            "total",
+        ],
         &[11, 11, 11, 11, 8, 8, 8],
     );
 
@@ -48,7 +56,9 @@ fn main() {
             let modes = [
                 RunMode::EndToEnd,
                 RunMode::FirstDeviation { ert_window: None },
-                RunMode::FirstDeviation { ert_window: Some(window) },
+                RunMode::FirstDeviation {
+                    ert_window: Some(window),
+                },
             ];
             for (k, mode) in modes.into_iter().enumerate() {
                 let c = run_campaign(
@@ -57,6 +67,7 @@ fn main() {
                     &golden,
                     &CampaignConfig::new(s, args.faults, mode).with_seed(args.seed),
                 );
+                report_campaign_health(&c);
                 cost[k] += c.total_post_inject_cycles();
             }
         }

@@ -11,9 +11,11 @@ use avgi_isa::instr::disassemble;
 fn main() {
     let args = ExpArgs::parse(0);
     let cfg = args.config();
-    let name = args.workload.clone().unwrap_or_else(|| "bitcount".to_string());
-    let w = avgi_workloads::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let name = args
+        .workload
+        .clone()
+        .unwrap_or_else(|| "bitcount".to_string());
+    let w = avgi_workloads::by_name(&name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
     let mut cache = GoldenCache::new();
     let golden = cache.get(&w, &cfg);
     println!(
@@ -32,7 +34,10 @@ fn main() {
         golden.stats.mispredicts,
         golden.stats.squashed,
     );
-    println!("\n{:>8} {:>10} {:>34} {:>10} {:>10}", "cycle", "pc", "instruction", "ea", "val");
+    println!(
+        "\n{:>8} {:>10} {:>34} {:>10} {:>10}",
+        "cycle", "pc", "instruction", "ea", "val"
+    );
     let n = 60.min(golden.trace.len());
     for rec in &golden.trace[..n] {
         println!(

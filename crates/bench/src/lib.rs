@@ -9,7 +9,7 @@
 //! Cortex-A15-like configuration).
 
 use avgi_core::JointAnalysis;
-use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, CampaignResult, RunMode};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
 use avgi_muarch::trace::GoldenRun;
@@ -38,8 +38,12 @@ impl ExpArgs {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse(default_faults: usize) -> Self {
-        let mut args =
-            ExpArgs { faults: default_faults, seed: 0xA461_0001, small: false, workload: None };
+        let mut args = ExpArgs {
+            faults: default_faults,
+            seed: 0xA461_0001,
+            small: false,
+            workload: None,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -96,6 +100,36 @@ impl GoldenCache {
     }
 }
 
+/// Prints campaign-health diagnostics to stderr — engine warnings (e.g.
+/// checkpointing degraded), the per-structure abort rate, and wall-clock
+/// expiries — so an unhealthy simulator is visible in experiment output
+/// instead of silently folding into the crash column. Healthy campaigns
+/// print nothing.
+pub fn report_campaign_health(c: &CampaignResult) {
+    for msg in &c.warnings {
+        eprintln!("[health] {} / {}: {msg}", c.structure, c.workload);
+    }
+    if c.aborted_count() > 0 {
+        eprintln!(
+            "[health] {} / {}: {} of {} runs aborted in the simulator (abort rate {:.2}%)",
+            c.structure,
+            c.workload,
+            c.aborted_count(),
+            c.len(),
+            c.abort_rate() * 100.0
+        );
+    }
+    if c.wall_expired_count() > 0 {
+        eprintln!(
+            "[health] {} / {}: {} of {} runs exceeded the wall-clock budget",
+            c.structure,
+            c.workload,
+            c.wall_expired_count(),
+            c.len()
+        );
+    }
+}
+
 /// Runs an instrumented (end-to-end + deviation capture) campaign and
 /// returns its joint analysis.
 pub fn instrumented_analysis(
@@ -112,6 +146,7 @@ pub fn instrumented_analysis(
         golden,
         &CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed),
     );
+    report_campaign_health(&c);
     JointAnalysis::from_campaign(&c)
 }
 
@@ -164,8 +199,15 @@ pub fn leave_one_out_study(
     seed: u64,
 ) -> Vec<LooRow> {
     use avgi_core::pipeline::AvgiOptions;
-    eprintln!("[loo:{structure}] {} workloads x {faults} faults", workloads.len());
-    let opts = AvgiOptions { faults, seed, ..Default::default() };
+    eprintln!(
+        "[loo:{structure}] {} workloads x {faults} faults",
+        workloads.len()
+    );
+    let opts = AvgiOptions {
+        faults,
+        seed,
+        ..Default::default()
+    };
     avgi_core::study::leave_one_out(structure, workloads, cfg, &opts)
         .rows
         .into_iter()

@@ -1,6 +1,17 @@
 //! Fault-injection campaigns: one golden capture plus N injected runs,
 //! executed across worker threads.
+//!
+//! The engine is fault-tolerant: a panicking simulator run is isolated with
+//! [`std::panic::catch_unwind`], retried once without its checkpoint, and —
+//! if it still fails — recorded as [`RunOutcome::SimAbort`] instead of
+//! poisoning the whole campaign; an optional per-run wall-clock budget turns
+//! runaway runs into [`RunOutcome::WallClockExpired`]. A campaign therefore
+//! always yields exactly N classified results. Campaigns can additionally
+//! stream results to an on-disk [journal](crate::journal) and resume
+//! bit-identically after an interruption ([`run_campaign_journaled`]).
 
+use crate::error::CampaignError;
+use crate::journal::{CampaignKey, Journal};
 use crate::sampling::{multi_bit_burst, sample_faults};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::{Fault, Structure};
@@ -8,13 +19,16 @@ use avgi_muarch::pipeline::{capture_golden, Sim};
 use avgi_muarch::run::{RunControl, RunOutcome};
 use avgi_muarch::trace::{Deviation, GoldenRun};
 use avgi_workloads::Workload;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
 
 /// How far each injected run simulates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunMode {
     /// Traditional (accelerated) SFI: simulate to the end of the program and
     /// classify the final effect. Pre-injection cycles are skipped by
@@ -55,6 +69,16 @@ pub struct CampaignConfig {
     /// *both* the traditional and the AVGI flow (§IV.B). Results are
     /// bit-identical with and without it.
     pub checkpoints: u32,
+    /// Per-run wall-clock budget (`None` = unlimited, the default).
+    ///
+    /// A run that exceeds the budget ends with
+    /// [`RunOutcome::WallClockExpired`], which classifies like a watchdog
+    /// crash. The clock is polled every
+    /// [`avgi_muarch::run::WALL_CHECK_CYCLES`] simulated cycles. Note that a
+    /// wall-clock limit is inherently host-speed-dependent: campaigns using
+    /// it are *not* guaranteed reproducible run-to-run, which is why the
+    /// default leaves it off.
+    pub wall_budget: Option<Duration>,
 }
 
 impl CampaignConfig {
@@ -68,6 +92,7 @@ impl CampaignConfig {
             threads: 0,
             burst_width: 1,
             checkpoints: 8,
+            wall_budget: None,
         }
     }
 
@@ -88,6 +113,12 @@ impl CampaignConfig {
         self.checkpoints = count;
         self
     }
+
+    /// Sets the per-run wall-clock budget.
+    pub fn with_wall_budget(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
 }
 
 /// Mid-run simulator snapshots for skipping the pre-injection period.
@@ -105,16 +136,16 @@ impl CheckpointSet {
     /// Builds `count` snapshots (cycle 0 plus `count - 1` evenly spaced
     /// points of the golden execution).
     ///
-    /// # Panics
-    ///
-    /// Panics if the fault-free prefix terminates before a snapshot point
-    /// (impossible for a valid golden run).
+    /// Fails with [`CampaignError::CheckpointPrefixEnded`] if the fault-free
+    /// prefix terminates before a snapshot point (a sign of a golden run
+    /// captured under a different configuration); [`run_campaign`] degrades
+    /// to checkpoint-free execution when it hits this.
     pub fn build(
         workload: &Workload,
         cfg: &MuarchConfig,
         golden: &Arc<GoldenRun>,
         count: u32,
-    ) -> Self {
+    ) -> Result<Self, CampaignError> {
         let ctl = RunControl {
             max_cycles: watchdog(golden.cycles),
             golden: Some(golden.clone()),
@@ -125,12 +156,17 @@ impl CheckpointSet {
         let mut sims = vec![sim.clone()];
         for k in 1..count.max(1) {
             let target = golden.cycles * u64::from(k) / u64::from(count);
-            let ended = sim.run_to_cycle(target, &ctl);
-            assert!(ended.is_none(), "fault-free prefix ended early: {ended:?}");
+            if let Some(outcome) = sim.run_to_cycle(target, &ctl) {
+                return Err(CampaignError::CheckpointPrefixEnded {
+                    outcome,
+                    at_cycle: sim.cycle(),
+                    target,
+                });
+            }
             cycles.push(target);
             sims.push(sim.clone());
         }
-        CheckpointSet { cycles, sims }
+        Ok(CheckpointSet { cycles, sims })
     }
 
     /// The latest snapshot at or before `cycle`, ready to be cloned.
@@ -155,7 +191,7 @@ impl CheckpointSet {
 }
 
 /// The observables of one injected run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InjectionResult {
     /// The injected fault (first bit of the burst for multi-bit runs).
     pub fault: Fault,
@@ -169,6 +205,9 @@ pub struct InjectionResult {
     pub cycles: u64,
     /// Simulated cycles after injection (the cost metric of Table II).
     pub post_inject_cycles: u64,
+    /// For [`RunOutcome::SimAbort`] runs: the (truncated) panic message of
+    /// the simulator failure that was isolated.
+    pub abort_message: Option<String>,
 }
 
 /// A finished campaign: the golden reference plus every injection result.
@@ -184,6 +223,9 @@ pub struct CampaignResult {
     pub golden_cycles: u64,
     /// Per-injection observables, in sampling order.
     pub results: Vec<InjectionResult>,
+    /// Non-fatal degradations the engine worked around (e.g. checkpoint
+    /// construction failing and the campaign falling back to fresh runs).
+    pub warnings: Vec<String>,
 }
 
 impl CampaignResult {
@@ -201,6 +243,33 @@ impl CampaignResult {
     /// Whether the campaign is empty.
     pub fn is_empty(&self) -> bool {
         self.results.is_empty()
+    }
+
+    /// Number of runs whose simulator panicked (isolated and recorded as
+    /// [`RunOutcome::SimAbort`]).
+    pub fn aborted_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.outcome == RunOutcome::SimAbort)
+            .count()
+    }
+
+    /// Fraction of runs recorded as [`RunOutcome::SimAbort`] — the
+    /// per-structure abort rate of this campaign (0 for empty campaigns).
+    pub fn abort_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.aborted_count() as f64 / self.results.len() as f64
+        }
+    }
+
+    /// Number of runs that exceeded the per-run wall-clock budget.
+    pub fn wall_expired_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.outcome == RunOutcome::WallClockExpired)
+            .count()
     }
 }
 
@@ -223,7 +292,7 @@ pub fn run_one(
     mode: RunMode,
     burst_width: u32,
 ) -> InjectionResult {
-    run_one_inner(workload, cfg, golden, fault, mode, burst_width, None)
+    run_one_inner(workload, cfg, golden, fault, mode, burst_width, None, None)
 }
 
 /// Executes one injected run, resuming from a checkpoint when one is
@@ -237,9 +306,19 @@ pub fn run_one_from(
     burst_width: u32,
     checkpoints: &CheckpointSet,
 ) -> InjectionResult {
-    run_one_inner(workload, cfg, golden, fault, mode, burst_width, Some(checkpoints))
+    run_one_inner(
+        workload,
+        cfg,
+        golden,
+        fault,
+        mode,
+        burst_width,
+        None,
+        Some(checkpoints),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_inner(
     workload: &Workload,
     cfg: &MuarchConfig,
@@ -247,19 +326,28 @@ fn run_one_inner(
     fault: Fault,
     mode: RunMode,
     burst_width: u32,
+    wall_budget: Option<Duration>,
     checkpoints: Option<&CheckpointSet>,
 ) -> InjectionResult {
     let mut sim = match checkpoints {
         Some(set) => set.nearest(fault.cycle).clone(),
         None => Sim::new(&workload.program, cfg.clone()),
     };
-    for f in multi_bit_burst(fault, burst_width, cfg) {
-        sim.inject(f);
+    if burst_width <= 1 {
+        // The identity burst must not clamp the sampled bit: an ill-formed
+        // bit index should fail loudly in the simulator (and be isolated by
+        // the engine), not be silently remapped to a different site.
+        sim.inject(fault);
+    } else {
+        for f in multi_bit_burst(fault, burst_width, cfg) {
+            sim.inject(f);
+        }
     }
     let ctl = match mode {
         RunMode::EndToEnd | RunMode::Instrumented => RunControl {
             max_cycles: watchdog(golden.cycles),
             golden: Some(golden.clone()),
+            wall_budget,
             ..Default::default()
         },
         RunMode::FirstDeviation { ert_window } => RunControl {
@@ -267,6 +355,7 @@ fn run_one_inner(
             golden: Some(golden.clone()),
             stop_at_first_deviation: true,
             ert_window,
+            wall_budget,
             ..Default::default()
         },
     };
@@ -278,6 +367,106 @@ fn run_one_inner(
         output_matches: report.output.as_ref().map(|o| *o == golden.output),
         cycles: report.cycles,
         post_inject_cycles: report.post_inject_cycles(),
+        abort_message: None,
+    }
+}
+
+thread_local! {
+    /// Set while this thread executes an isolated run, so the process-wide
+    /// panic hook can suppress the default backtrace spew for panics the
+    /// engine catches and records anyway.
+    static IN_ISOLATED_RUN: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_ISOLATED_RUN.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a caught panic payload, truncated
+/// to a bounded length so a pathological payload cannot bloat results or
+/// journals.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    const MAX: usize = 200;
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    if msg.chars().count() > MAX {
+        let truncated: String = msg.chars().take(MAX).collect();
+        format!("{truncated}…")
+    } else {
+        msg
+    }
+}
+
+/// Executes one injected run behind a panic boundary.
+///
+/// A panicking run is retried once *without* its checkpoint (a corrupt or
+/// mismatched snapshot is the most likely infrastructure cause); if the
+/// retry also panics — or checkpointing was not in use — the run is
+/// recorded as [`RunOutcome::SimAbort`] carrying the panic message. The
+/// decision depends only on this run's own behaviour, so results stay
+/// deterministic and thread-count-independent.
+#[allow(clippy::too_many_arguments)]
+fn run_one_isolated(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    fault: Fault,
+    mode: RunMode,
+    burst_width: u32,
+    wall_budget: Option<Duration>,
+    checkpoints: Option<&CheckpointSet>,
+) -> InjectionResult {
+    install_quiet_panic_hook();
+    let attempt = |ckpt: Option<&CheckpointSet>| {
+        IN_ISOLATED_RUN.with(|f| f.set(true));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_one_inner(
+                workload,
+                cfg,
+                golden,
+                fault,
+                mode,
+                burst_width,
+                wall_budget,
+                ckpt,
+            )
+        }));
+        IN_ISOLATED_RUN.with(|f| f.set(false));
+        r
+    };
+    let payload = match attempt(checkpoints) {
+        Ok(r) => return r,
+        Err(p) => p,
+    };
+    let payload = if checkpoints.is_some() {
+        // Graceful degradation: retry once from a fresh simulator.
+        match attempt(None) {
+            Ok(r) => return r,
+            Err(p) => p,
+        }
+    } else {
+        payload
+    };
+    InjectionResult {
+        fault,
+        outcome: RunOutcome::SimAbort,
+        deviation: None,
+        output_matches: None,
+        cycles: 0,
+        post_inject_cycles: 0,
+        abort_message: Some(panic_message(payload.as_ref())),
     }
 }
 
@@ -285,7 +474,10 @@ fn run_one_inner(
 ///
 /// Fault sampling is deterministic in `ccfg.seed`; execution is parallel
 /// but the result order matches the sampling order, so campaigns are
-/// reproducible run-to-run regardless of thread count.
+/// reproducible run-to-run regardless of thread count (unless a wall-clock
+/// budget is set). Individual simulator failures are isolated and recorded
+/// as [`RunOutcome::SimAbort`], so the campaign always returns exactly
+/// `ccfg.faults` results.
 pub fn run_campaign(
     workload: &Workload,
     cfg: &MuarchConfig,
@@ -293,46 +485,157 @@ pub fn run_campaign(
     ccfg: &CampaignConfig,
 ) -> CampaignResult {
     let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    run_campaign_with_faults(workload, cfg, golden, ccfg, &faults)
+}
+
+/// Like [`run_campaign`], but injecting an explicit fault list instead of
+/// sampling one from `ccfg.seed` (`ccfg.faults` is ignored). Useful for
+/// replaying specific faults — including ill-formed ones, which exercise the
+/// engine's panic isolation rather than crashing the campaign.
+pub fn run_campaign_with_faults(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+    faults: &[Fault],
+) -> CampaignResult {
+    let (results, warnings) =
+        run_campaign_engine(workload, cfg, golden, ccfg, faults, BTreeMap::new(), None)
+            .expect("journal-free campaign cannot fail");
+    CampaignResult {
+        workload: workload.name.to_string(),
+        structure: ccfg.structure,
+        mode: ccfg.mode,
+        golden_cycles: golden.cycles,
+        results,
+        warnings,
+    }
+}
+
+/// Runs a campaign journaled to `path`, resuming any results already on
+/// disk.
+///
+/// Each completed run is appended to the journal as one flushed JSON line,
+/// so an interrupted campaign loses at most its in-flight runs. Re-invoking
+/// with the same arguments and path resumes: already-journaled results are
+/// loaded (tolerating a torn tail), only the missing runs execute, and the
+/// returned [`CampaignResult`] is bit-identical to an uninterrupted run. A
+/// journal written by a different campaign (workload, structure, seed, mode,
+/// burst, fault count, golden length, or microarchitecture config differ) is
+/// rejected with [`CampaignError::JournalMismatch`].
+pub fn run_campaign_journaled(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+    path: &Path,
+) -> Result<CampaignResult, CampaignError> {
+    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    let key = CampaignKey::new(workload.name, cfg, golden.cycles, ccfg);
+    let (journal, done) = Journal::open(path, &key)?;
+    // The key already pins the sampling inputs, so journaled faults must
+    // match the freshly sampled list; a mismatch means the journal is
+    // corrupt in a way the header check could not see.
+    for (&i, r) in &done {
+        if r.fault != faults[i] {
+            return Err(CampaignError::JournalMismatch {
+                field: "fault",
+                expected: format!("{:?}", faults[i]),
+                found: format!("{:?}", r.fault),
+            });
+        }
+    }
+    let journal = Mutex::new(journal);
+    let (results, warnings) =
+        run_campaign_engine(workload, cfg, golden, ccfg, &faults, done, Some(&journal))?;
+    Ok(CampaignResult {
+        workload: workload.name.to_string(),
+        structure: ccfg.structure,
+        mode: ccfg.mode,
+        golden_cycles: golden.cycles,
+        results,
+        warnings,
+    })
+}
+
+/// The shared worker-pool core: executes every fault not already in `done`,
+/// optionally appending each fresh result to a journal, and returns results
+/// in sampling order plus any degradation warnings.
+fn run_campaign_engine(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+    faults: &[Fault],
+    done: BTreeMap<usize, InjectionResult>,
+    journal: Option<&Mutex<Journal>>,
+) -> Result<(Vec<InjectionResult>, Vec<String>), CampaignError> {
+    let mut warnings = Vec::new();
+    let checkpoints = if ccfg.checkpoints > 0 {
+        match CheckpointSet::build(workload, cfg, golden, ccfg.checkpoints) {
+            Ok(set) => Some(set),
+            Err(e) => {
+                warnings.push(format!("checkpointing disabled, running fresh: {e}"));
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut results: Vec<Option<InjectionResult>> = vec![None; faults.len()];
+    for (i, r) in done {
+        results[i] = Some(r);
+    }
+    let pending: Vec<usize> = (0..faults.len())
+        .filter(|i| results[*i].is_none())
+        .collect();
+
     let threads = if ccfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         ccfg.threads
     };
-    let checkpoints = (ccfg.checkpoints > 0)
-        .then(|| CheckpointSet::build(workload, cfg, golden, ccfg.checkpoints));
-    let mut results: Vec<Option<InjectionResult>> = vec![None; faults.len()];
     let next = AtomicUsize::new(0);
     let sink = Mutex::new(&mut results);
+    let journal_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(faults.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= faults.len() {
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(pending.len().max(1)) {
+            scope.spawn(|| loop {
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                if n >= pending.len() {
                     break;
                 }
-                let r = run_one_inner(
+                let i = pending[n];
+                let r = run_one_isolated(
                     workload,
                     cfg,
                     golden,
                     faults[i],
                     ccfg.mode,
                     ccfg.burst_width,
+                    ccfg.wall_budget,
                     checkpoints.as_ref(),
                 );
-                sink.lock()[i] = Some(r);
+                if let Some(j) = journal {
+                    if let Err(e) = j.lock().unwrap().append(i, &r) {
+                        journal_err.lock().unwrap().get_or_insert(e);
+                    }
+                }
+                sink.lock().unwrap()[i] = Some(r);
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
-    CampaignResult {
-        workload: workload.name.to_string(),
-        structure: ccfg.structure,
-        mode: ccfg.mode,
-        golden_cycles: golden.cycles,
-        results: results.into_iter().map(|r| r.expect("all faults processed")).collect(),
+    if let Some(e) = journal_err.into_inner().unwrap() {
+        return Err(CampaignError::Io(e));
     }
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("all faults processed"))
+        .collect();
+    Ok((results, warnings))
 }
 
 #[cfg(test)]
@@ -351,6 +654,9 @@ mod tests {
         let c = small_campaign(Structure::RegFile, RunMode::EndToEnd, 40);
         assert_eq!(c.len(), 40);
         assert!(c.total_post_inject_cycles() > 0);
+        assert_eq!(c.aborted_count(), 0);
+        assert_eq!(c.wall_expired_count(), 0);
+        assert!(c.warnings.is_empty());
         // Every completed run reports an output comparison.
         for r in &c.results {
             if r.outcome == RunOutcome::Completed {
@@ -365,7 +671,15 @@ mod tests {
         let cfg = MuarchConfig::big();
         let golden = golden_for(&w, &cfg);
         let base = CampaignConfig::new(Structure::RegFile, 30, RunMode::Instrumented);
-        let a = run_campaign(&w, &cfg, &golden, &CampaignConfig { threads: 1, ..base.clone() });
+        let a = run_campaign(
+            &w,
+            &cfg,
+            &golden,
+            &CampaignConfig {
+                threads: 1,
+                ..base.clone()
+            },
+        );
         let b = run_campaign(&w, &cfg, &golden, &CampaignConfig { threads: 4, ..base });
         for (x, y) in a.results.iter().zip(&b.results) {
             assert_eq!(x.fault, y.fault);
@@ -394,7 +708,9 @@ mod tests {
             &CampaignConfig::new(
                 Structure::RegFile,
                 n,
-                RunMode::FirstDeviation { ert_window: Some(2_000) },
+                RunMode::FirstDeviation {
+                    ert_window: Some(2_000),
+                },
             ),
         );
         assert!(avgi.total_post_inject_cycles() <= e2e.total_post_inject_cycles());
@@ -426,17 +742,11 @@ mod tests {
         let w = avgi_workloads::by_name("crc32").unwrap();
         let cfg = MuarchConfig::big();
         let golden = golden_for(&w, &cfg);
-        let base = CampaignConfig::new(Structure::L1DData, 40, RunMode::Instrumented)
-            .with_seed(77);
+        let base = CampaignConfig::new(Structure::L1DData, 40, RunMode::Instrumented).with_seed(77);
         let fresh = run_campaign(&w, &cfg, &golden, &base.clone().with_checkpoints(0));
         let ckpt = run_campaign(&w, &cfg, &golden, &base.with_checkpoints(6));
         for (a, b) in fresh.results.iter().zip(&ckpt.results) {
-            assert_eq!(a.fault, b.fault);
-            assert_eq!(a.outcome, b.outcome);
-            assert_eq!(a.cycles, b.cycles);
-            assert_eq!(a.deviation, b.deviation);
-            assert_eq!(a.output_matches, b.output_matches);
-            assert_eq!(a.post_inject_cycles, b.post_inject_cycles);
+            assert_eq!(a, b);
         }
     }
 
@@ -445,7 +755,7 @@ mod tests {
         let w = avgi_workloads::by_name("bitcount").unwrap();
         let cfg = MuarchConfig::big();
         let golden = golden_for(&w, &cfg);
-        let set = CheckpointSet::build(&w, &cfg, &golden, 4);
+        let set = CheckpointSet::build(&w, &cfg, &golden, 4).unwrap();
         assert_eq!(set.len(), 4);
         assert_eq!(set.nearest(0).cycle(), 0);
         let quarter = golden.cycles / 4;
@@ -468,9 +778,198 @@ mod tests {
         let affected = |c: &CampaignResult| {
             c.results
                 .iter()
-                .filter(|r| r.deviation.is_some() || r.outcome.is_crash() || r.output_matches == Some(false))
+                .filter(|r| {
+                    r.deviation.is_some() || r.outcome.is_crash() || r.output_matches == Some(false)
+                })
                 .count()
         };
-        assert!(affected(&b) >= affected(&s), "wider bursts cannot reduce corruption");
+        assert!(
+            affected(&b) >= affected(&s),
+            "wider bursts cannot reduce corruption"
+        );
+    }
+
+    /// A fault whose bit index is out of range genuinely panics inside the
+    /// simulator, exercising the isolation machinery end to end.
+    fn poisoned_faults(
+        cfg: &MuarchConfig,
+        golden_cycles: u64,
+        n: usize,
+        poison_at: &[usize],
+    ) -> Vec<Fault> {
+        let mut faults = sample_faults(Structure::RegFile, cfg, golden_cycles, n, 99);
+        for &i in poison_at {
+            faults[i].site.bit = Structure::RegFile.bit_count(cfg) + 1_000_000;
+        }
+        faults
+    }
+
+    #[test]
+    fn panicking_runs_are_isolated_and_recorded_as_aborts() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let faults = poisoned_faults(&cfg, golden.cycles, 12, &[2, 7]);
+        let ccfg = CampaignConfig::new(Structure::RegFile, 12, RunMode::Instrumented);
+        let c = run_campaign_with_faults(&w, &cfg, &golden, &ccfg, &faults);
+        // Every injection yields a result; the poisoned ones are aborts.
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.aborted_count(), 2);
+        assert!((c.abort_rate() - 2.0 / 12.0).abs() < 1e-12);
+        for (i, r) in c.results.iter().enumerate() {
+            if i == 2 || i == 7 {
+                assert_eq!(r.outcome, RunOutcome::SimAbort);
+                assert!(r.outcome.is_crash());
+                assert!(
+                    r.abort_message.is_some(),
+                    "abort must carry its panic message"
+                );
+                assert_eq!(r.cycles, 0);
+            } else {
+                assert_ne!(r.outcome, RunOutcome::SimAbort);
+                assert!(r.abort_message.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn panic_isolation_is_thread_count_independent() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let faults = poisoned_faults(&cfg, golden.cycles, 10, &[0, 5, 9]);
+        let base = CampaignConfig::new(Structure::RegFile, 10, RunMode::Instrumented);
+        let a = run_campaign_with_faults(
+            &w,
+            &cfg,
+            &golden,
+            &CampaignConfig {
+                threads: 1,
+                ..base.clone()
+            },
+            &faults,
+        );
+        let b = run_campaign_with_faults(
+            &w,
+            &cfg,
+            &golden,
+            &CampaignConfig { threads: 4, ..base },
+            &faults,
+        );
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.aborted_count(), 3);
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("avgi-journal-{}-{tag}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn journaled_campaign_matches_plain_campaign() {
+        let w = avgi_workloads::by_name("crc32").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let ccfg = CampaignConfig::new(Structure::RegFile, 16, RunMode::Instrumented).with_seed(5);
+        let reference = run_campaign(&w, &cfg, &golden, &ccfg);
+        let path = temp_journal("plain");
+        let journaled = run_campaign_journaled(&w, &cfg, &golden, &ccfg, &path).unwrap();
+        assert_eq!(journaled.results, reference.results);
+        // Re-running against the complete journal executes nothing new and
+        // still reproduces the campaign exactly.
+        let replay = run_campaign_journaled(&w, &cfg, &golden, &ccfg, &path).unwrap();
+        assert_eq!(replay.results, reference.results);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_journal_resumes_bit_identical() {
+        let w = avgi_workloads::by_name("crc32").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let ccfg = CampaignConfig::new(Structure::L1DData, 16, RunMode::Instrumented).with_seed(9);
+        let reference = run_campaign(&w, &cfg, &golden, &ccfg);
+        let path = temp_journal("resume");
+        run_campaign_journaled(&w, &cfg, &golden, &ccfg, &path).unwrap();
+        // Simulate an interruption: keep the header plus half the records,
+        // then a torn partial line (the classic crash artifact).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        assert_eq!(lines.len(), 1 + 16, "header plus one record per injection");
+        let mut truncated: String = lines[..1 + 8].concat();
+        truncated.push_str("{\"i\":15,\"fault\":{\"structure\":\"Reg");
+        std::fs::write(&path, &truncated).unwrap();
+        let resumed = run_campaign_journaled(&w, &cfg, &golden, &ccfg, &path).unwrap();
+        assert_eq!(
+            resumed.results, reference.results,
+            "resume must be bit-identical"
+        );
+        // The journal self-healed: it is whole again and fully replayable.
+        let replay = run_campaign_journaled(&w, &cfg, &golden, &ccfg, &path).unwrap();
+        assert_eq!(replay.results, reference.results);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_rejects_a_different_campaign() {
+        let w = avgi_workloads::by_name("crc32").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let ccfg = CampaignConfig::new(Structure::RegFile, 8, RunMode::EndToEnd).with_seed(1);
+        let path = temp_journal("mismatch");
+        run_campaign_journaled(&w, &cfg, &golden, &ccfg, &path).unwrap();
+        let other = ccfg.clone().with_seed(2);
+        match run_campaign_journaled(&w, &cfg, &golden, &other, &path) {
+            Err(CampaignError::JournalMismatch { field: "seed", .. }) => {}
+            other => panic!("expected a seed mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journaled_campaign_preserves_aborts_across_resume() {
+        // SimAbort results round-trip through the journal like any other
+        // outcome: resume does not re-run (or re-panic) them.
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let faults = poisoned_faults(&cfg, golden.cycles, 6, &[1, 4]);
+        let ccfg = CampaignConfig::new(Structure::RegFile, 6, RunMode::Instrumented);
+        let c = run_campaign_with_faults(&w, &cfg, &golden, &ccfg, &faults);
+        for (i, r) in c.results.iter().enumerate() {
+            let line = crate::journal::record_line(i, r);
+            let (idx, back) = crate::journal::parse_record(line.trim_end()).unwrap();
+            assert_eq!(idx, i);
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn zero_wall_budget_expires_long_runs() {
+        use avgi_muarch::run::WALL_CHECK_CYCLES;
+        let w = avgi_workloads::by_name("sha").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        assert!(
+            golden.cycles > WALL_CHECK_CYCLES,
+            "workload too short to reach the first wall-clock poll"
+        );
+        // Fresh runs from cycle 0 with a zero budget: every run reaches the
+        // first poll point before it can complete.
+        let ccfg = CampaignConfig::new(Structure::RegFile, 10, RunMode::EndToEnd)
+            .with_checkpoints(0)
+            .with_wall_budget(Duration::ZERO);
+        let c = run_campaign(&w, &cfg, &golden, &ccfg);
+        assert_eq!(c.len(), 10);
+        assert!(c.wall_expired_count() > 0);
+        for r in &c.results {
+            assert_ne!(
+                r.outcome,
+                RunOutcome::Completed,
+                "zero budget cannot complete"
+            );
+        }
     }
 }

@@ -1,0 +1,73 @@
+//! Typed errors of the campaign engine.
+//!
+//! The engine distinguishes "the simulated machine crashed" (a run
+//! outcome, never an error) from "the campaign infrastructure failed"
+//! (this type): checkpoint construction, journal I/O, and journal/key
+//! mismatches. Individual-run failures are isolated and recorded as
+//! [`crate::InjectionResult`]s, so none of these variants is produced by a
+//! faulty run.
+
+use avgi_muarch::run::RunOutcome;
+use core::fmt;
+
+/// Why a campaign-engine operation failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The fault-free prefix terminated before a requested snapshot point,
+    /// so the checkpoint set cannot be built. `run_campaign` degrades to
+    /// checkpoint-free execution when it hits this.
+    CheckpointPrefixEnded {
+        /// How the prefix run ended.
+        outcome: RunOutcome,
+        /// Cycle the prefix had reached.
+        at_cycle: u64,
+        /// Snapshot cycle that was being run to.
+        target: u64,
+    },
+    /// A journal file operation failed.
+    Io(std::io::Error),
+    /// The journal's header does not parse as a campaign header.
+    JournalHeader(String),
+    /// The journal on disk was written by a different campaign (key
+    /// mismatch); resuming from it would silently mix incompatible results.
+    JournalMismatch {
+        /// Which key field differs.
+        field: &'static str,
+        /// Value expected by the running campaign.
+        expected: String,
+        /// Value found in the journal header.
+        found: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::CheckpointPrefixEnded { outcome, at_cycle, target } => write!(
+                f,
+                "fault-free prefix ended ({outcome:?}) at cycle {at_cycle} before snapshot point {target}"
+            ),
+            CampaignError::Io(e) => write!(f, "journal I/O failed: {e}"),
+            CampaignError::JournalHeader(msg) => write!(f, "malformed journal header: {msg}"),
+            CampaignError::JournalMismatch { field, expected, found } => write!(
+                f,
+                "journal belongs to a different campaign: {field} is {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}

@@ -1,0 +1,618 @@
+//! Durable, resumable campaign journals.
+//!
+//! A journal is a line-oriented file: one JSON header identifying the
+//! campaign — (workload, structure, seed, mode, burst width, fault count,
+//! golden cycles, microarchitecture-config hash) — followed by one JSON
+//! record per completed [`InjectionResult`], tagged with its fault index.
+//! Workers stream records as runs finish (in any order; the index makes
+//! order irrelevant) and flush per record, so an interrupted campaign
+//! loses at most the in-flight runs.
+//!
+//! Loading tolerates a truncated tail: parsing stops at the first
+//! malformed line (the classic torn write after a crash) and the
+//! unfinished runs are simply re-executed on resume. Because every run is
+//! deterministic, a resumed campaign is bit-identical to an uninterrupted
+//! one. A journal whose header does not match the resuming campaign's key
+//! is rejected with [`CampaignError::JournalMismatch`] rather than
+//! silently mixing incompatible results.
+
+use crate::campaign::{CampaignConfig, InjectionResult, RunMode};
+use crate::error::CampaignError;
+use crate::json::{escape, parse, Json};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::{Fault, FaultSite, Structure};
+use avgi_muarch::mem::MemFault;
+use avgi_muarch::run::{RunOutcome, TrapKind};
+use avgi_muarch::trace::{CommitRecord, Deviation};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Journal format version; bumped on any incompatible record change.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// FNV-1a hash of the microarchitecture configuration (over its canonical
+/// `Debug` rendering): campaigns under different configurations must never
+/// share a journal.
+pub fn config_hash(cfg: &MuarchConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything that identifies a campaign for resume purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignKey {
+    /// Workload name.
+    pub workload: String,
+    /// Target structure.
+    pub structure: Structure,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Run mode.
+    pub mode: RunMode,
+    /// Multi-bit burst width.
+    pub burst_width: u32,
+    /// Number of injections.
+    pub faults: usize,
+    /// Fault-free execution length (pins the golden run).
+    pub golden_cycles: u64,
+    /// [`config_hash`] of the microarchitecture configuration.
+    pub config_hash: u64,
+}
+
+impl CampaignKey {
+    /// Builds the key for one campaign.
+    pub fn new(
+        workload: &str,
+        cfg: &MuarchConfig,
+        golden_cycles: u64,
+        ccfg: &CampaignConfig,
+    ) -> Self {
+        CampaignKey {
+            workload: workload.to_string(),
+            structure: ccfg.structure,
+            seed: ccfg.seed,
+            mode: ccfg.mode,
+            burst_width: ccfg.burst_width,
+            faults: ccfg.faults,
+            golden_cycles,
+            config_hash: config_hash(cfg),
+        }
+    }
+}
+
+fn mode_fields(mode: RunMode) -> (&'static str, Option<u64>, bool) {
+    match mode {
+        RunMode::EndToEnd => ("EndToEnd", None, false),
+        RunMode::Instrumented => ("Instrumented", None, false),
+        RunMode::FirstDeviation { ert_window } => ("FirstDeviation", ert_window, true),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn header_line(key: &CampaignKey) -> String {
+    let (mode, ert, _) = mode_fields(key.mode);
+    format!(
+        "{{\"kind\":\"avgi-campaign-journal\",\"version\":{},\"workload\":\"{}\",\"structure\":\"{}\",\"seed\":{},\"mode\":\"{}\",\"ert_window\":{},\"burst\":{},\"faults\":{},\"golden_cycles\":{},\"config_hash\":{}}}\n",
+        JOURNAL_VERSION,
+        escape(&key.workload),
+        key.structure.ident(),
+        key.seed,
+        mode,
+        opt_u64(ert),
+        key.burst_width,
+        key.faults,
+        key.golden_cycles,
+        key.config_hash,
+    )
+}
+
+fn parse_header(line: &str) -> Result<CampaignKey, CampaignError> {
+    let bad = |m: &str| CampaignError::JournalHeader(m.to_string());
+    let v = parse(line).map_err(CampaignError::JournalHeader)?;
+    if v.get("kind").and_then(Json::as_str) != Some("avgi-campaign-journal") {
+        return Err(bad("missing journal kind marker"));
+    }
+    let version = v
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("missing version"))?;
+    if version != JOURNAL_VERSION {
+        return Err(CampaignError::JournalMismatch {
+            field: "version",
+            expected: JOURNAL_VERSION.to_string(),
+            found: version.to_string(),
+        });
+    }
+    let structure = v
+        .get("structure")
+        .and_then(Json::as_str)
+        .and_then(Structure::from_ident)
+        .ok_or_else(|| bad("bad structure"))?;
+    let ert = match v.get("ert_window") {
+        None | Some(Json::Null) => None,
+        Some(w) => Some(w.as_u64().ok_or_else(|| bad("bad ert_window"))?),
+    };
+    let mode = match v.get("mode").and_then(Json::as_str) {
+        Some("EndToEnd") => RunMode::EndToEnd,
+        Some("Instrumented") => RunMode::Instrumented,
+        Some("FirstDeviation") => RunMode::FirstDeviation { ert_window: ert },
+        _ => return Err(bad("bad mode")),
+    };
+    Ok(CampaignKey {
+        workload: v
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing workload"))?
+            .to_string(),
+        structure,
+        seed: v
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing seed"))?,
+        mode,
+        burst_width: v
+            .get("burst")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| bad("missing burst"))?,
+        faults: v
+            .get("faults")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing faults"))? as usize,
+        golden_cycles: v
+            .get("golden_cycles")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing golden_cycles"))?,
+        config_hash: v
+            .get("config_hash")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing config_hash"))?,
+    })
+}
+
+fn check_key(expected: &CampaignKey, found: &CampaignKey) -> Result<(), CampaignError> {
+    let mismatch = |field: &'static str, e: String, f: String| {
+        Err(CampaignError::JournalMismatch {
+            field,
+            expected: e,
+            found: f,
+        })
+    };
+    if found.workload != expected.workload {
+        return mismatch(
+            "workload",
+            expected.workload.clone(),
+            found.workload.clone(),
+        );
+    }
+    if found.structure != expected.structure {
+        return mismatch(
+            "structure",
+            expected.structure.ident().into(),
+            found.structure.ident().into(),
+        );
+    }
+    if found.seed != expected.seed {
+        return mismatch("seed", expected.seed.to_string(), found.seed.to_string());
+    }
+    if found.mode != expected.mode {
+        return mismatch(
+            "mode",
+            format!("{:?}", expected.mode),
+            format!("{:?}", found.mode),
+        );
+    }
+    if found.burst_width != expected.burst_width {
+        return mismatch(
+            "burst",
+            expected.burst_width.to_string(),
+            found.burst_width.to_string(),
+        );
+    }
+    if found.faults != expected.faults {
+        return mismatch(
+            "faults",
+            expected.faults.to_string(),
+            found.faults.to_string(),
+        );
+    }
+    if found.golden_cycles != expected.golden_cycles {
+        return mismatch(
+            "golden_cycles",
+            expected.golden_cycles.to_string(),
+            found.golden_cycles.to_string(),
+        );
+    }
+    if found.config_hash != expected.config_hash {
+        return mismatch(
+            "config_hash",
+            expected.config_hash.to_string(),
+            found.config_hash.to_string(),
+        );
+    }
+    Ok(())
+}
+
+// ---- record encoding ----
+
+fn outcome_json(o: RunOutcome) -> String {
+    match o {
+        RunOutcome::Completed => "{\"t\":\"Completed\"}".into(),
+        RunOutcome::Watchdog => "{\"t\":\"Watchdog\"}".into(),
+        RunOutcome::StoppedAtDeviation => "{\"t\":\"StoppedAtDeviation\"}".into(),
+        RunOutcome::ErtExpired => "{\"t\":\"ErtExpired\"}".into(),
+        RunOutcome::WallClockExpired => "{\"t\":\"WallClockExpired\"}".into(),
+        RunOutcome::SimAbort => "{\"t\":\"SimAbort\"}".into(),
+        RunOutcome::IntegrityViolation(s) => {
+            format!(
+                "{{\"t\":\"IntegrityViolation\",\"structure\":\"{}\"}}",
+                s.ident()
+            )
+        }
+        RunOutcome::Trap(TrapKind::UndefinedInstruction) => {
+            "{\"t\":\"Trap\",\"trap\":\"UndefinedInstruction\"}".into()
+        }
+        RunOutcome::Trap(TrapKind::Memory(m)) => {
+            let (tag, addr) = match m {
+                MemFault::OutOfRange(a) => ("OutOfRange", a),
+                MemFault::WriteToCode(a) => ("WriteToCode", a),
+                MemFault::Misaligned(a) => ("Misaligned", a),
+                MemFault::ExecuteFault(a) => ("ExecuteFault", a),
+            };
+            format!("{{\"t\":\"Trap\",\"trap\":\"Memory\",\"mem\":\"{tag}\",\"addr\":{addr}}}")
+        }
+    }
+}
+
+fn outcome_from_json(v: &Json) -> Result<RunOutcome, String> {
+    match v.get("t").and_then(Json::as_str) {
+        Some("Completed") => Ok(RunOutcome::Completed),
+        Some("Watchdog") => Ok(RunOutcome::Watchdog),
+        Some("StoppedAtDeviation") => Ok(RunOutcome::StoppedAtDeviation),
+        Some("ErtExpired") => Ok(RunOutcome::ErtExpired),
+        Some("WallClockExpired") => Ok(RunOutcome::WallClockExpired),
+        Some("SimAbort") => Ok(RunOutcome::SimAbort),
+        Some("IntegrityViolation") => v
+            .get("structure")
+            .and_then(Json::as_str)
+            .and_then(Structure::from_ident)
+            .map(RunOutcome::IntegrityViolation)
+            .ok_or_else(|| "bad integrity-violation structure".into()),
+        Some("Trap") => match v.get("trap").and_then(Json::as_str) {
+            Some("UndefinedInstruction") => Ok(RunOutcome::Trap(TrapKind::UndefinedInstruction)),
+            Some("Memory") => {
+                let addr = v
+                    .get("addr")
+                    .and_then(Json::as_u32)
+                    .ok_or("bad trap addr")?;
+                let m = match v.get("mem").and_then(Json::as_str) {
+                    Some("OutOfRange") => MemFault::OutOfRange(addr),
+                    Some("WriteToCode") => MemFault::WriteToCode(addr),
+                    Some("Misaligned") => MemFault::Misaligned(addr),
+                    Some("ExecuteFault") => MemFault::ExecuteFault(addr),
+                    _ => return Err("bad memory-fault kind".into()),
+                };
+                Ok(RunOutcome::Trap(TrapKind::Memory(m)))
+            }
+            _ => Err("bad trap kind".into()),
+        },
+        _ => Err("bad outcome tag".into()),
+    }
+}
+
+fn commit_json(r: &CommitRecord) -> String {
+    format!("[{},{},{},{},{}]", r.cycle, r.pc, r.raw, r.ea, r.val)
+}
+
+fn commit_from_json(v: &Json) -> Result<CommitRecord, String> {
+    let a = v.as_array().ok_or("commit record is not an array")?;
+    if a.len() != 5 {
+        return Err("commit record needs 5 fields".into());
+    }
+    let u = |i: usize| a[i].as_u64().ok_or("bad commit field");
+    Ok(CommitRecord {
+        cycle: u(0)?,
+        pc: a[1].as_u32().ok_or("bad pc")?,
+        raw: a[2].as_u32().ok_or("bad raw")?,
+        ea: a[3].as_u32().ok_or("bad ea")?,
+        val: a[4].as_u32().ok_or("bad val")?,
+    })
+}
+
+/// Serializes one record line (with trailing newline).
+pub fn record_line(idx: usize, r: &InjectionResult) -> String {
+    let deviation = match &r.deviation {
+        None => "null".to_string(),
+        Some(d) => format!(
+            "{{\"index\":{},\"golden\":{},\"faulty\":{}}}",
+            d.index,
+            commit_json(&d.golden),
+            commit_json(&d.faulty)
+        ),
+    };
+    let output_matches = match r.output_matches {
+        None => "null",
+        Some(true) => "true",
+        Some(false) => "false",
+    };
+    let abort = match &r.abort_message {
+        None => "null".to_string(),
+        Some(m) => format!("\"{}\"", escape(m)),
+    };
+    format!(
+        "{{\"i\":{},\"fault\":{{\"structure\":\"{}\",\"bit\":{},\"cycle\":{}}},\"outcome\":{},\"deviation\":{},\"output_matches\":{},\"cycles\":{},\"post\":{},\"abort\":{}}}\n",
+        idx,
+        r.fault.site.structure.ident(),
+        r.fault.site.bit,
+        r.fault.cycle,
+        outcome_json(r.outcome),
+        deviation,
+        output_matches,
+        r.cycles,
+        r.post_inject_cycles,
+        abort,
+    )
+}
+
+/// Parses one record line back into `(fault index, result)`.
+pub fn parse_record(line: &str) -> Result<(usize, InjectionResult), String> {
+    let v = parse(line)?;
+    let idx = v.get("i").and_then(Json::as_u64).ok_or("missing index")? as usize;
+    let f = v.get("fault").ok_or("missing fault")?;
+    let fault = Fault {
+        site: FaultSite {
+            structure: f
+                .get("structure")
+                .and_then(Json::as_str)
+                .and_then(Structure::from_ident)
+                .ok_or("bad fault structure")?,
+            bit: f.get("bit").and_then(Json::as_u64).ok_or("bad fault bit")?,
+        },
+        cycle: f
+            .get("cycle")
+            .and_then(Json::as_u64)
+            .ok_or("bad fault cycle")?,
+    };
+    let outcome = outcome_from_json(v.get("outcome").ok_or("missing outcome")?)?;
+    let deviation = match v.get("deviation") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(Deviation {
+            index: d
+                .get("index")
+                .and_then(Json::as_u64)
+                .ok_or("bad deviation index")?,
+            golden: commit_from_json(d.get("golden").ok_or("missing golden")?)?,
+            faulty: commit_from_json(d.get("faulty").ok_or("missing faulty")?)?,
+        }),
+    };
+    let output_matches = match v.get("output_matches") {
+        None | Some(Json::Null) => None,
+        Some(b) => Some(b.as_bool().ok_or("bad output_matches")?),
+    };
+    let abort_message = match v.get("abort") {
+        None | Some(Json::Null) => None,
+        Some(s) => Some(s.as_str().ok_or("bad abort message")?.to_string()),
+    };
+    Ok((
+        idx,
+        InjectionResult {
+            fault,
+            outcome,
+            deviation,
+            output_matches,
+            cycles: v
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or("missing cycles")?,
+            post_inject_cycles: v.get("post").and_then(Json::as_u64).ok_or("missing post")?,
+            abort_message,
+        },
+    ))
+}
+
+/// An open, append-mode campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for the campaign identified
+    /// by `key`, returning the already-journaled results.
+    ///
+    /// * No file / empty file: a fresh journal is created with a header.
+    /// * Existing file: the header must match `key`
+    ///   ([`CampaignError::JournalMismatch`] otherwise); records are loaded
+    ///   up to the first malformed line, so a torn tail from an interrupted
+    ///   campaign is recovered from cleanly.
+    pub fn open(
+        path: &Path,
+        key: &CampaignKey,
+    ) -> Result<(Journal, BTreeMap<usize, InjectionResult>), CampaignError> {
+        let mut done = BTreeMap::new();
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut lines = existing.split_inclusive('\n');
+        let mut valid_len = 0u64;
+        match lines.next() {
+            None | Some("") => {
+                // Fresh journal: write the header.
+                let mut file = file;
+                file.write_all(header_line(key).as_bytes())?;
+                file.flush()?;
+                return Ok((Journal { file }, done));
+            }
+            Some(header) if header.ends_with('\n') => {
+                let found = parse_header(header.trim_end())?;
+                check_key(key, &found)?;
+                valid_len += header.len() as u64;
+                for line in lines {
+                    if !line.ends_with('\n') {
+                        break; // torn tail: re-run this record
+                    }
+                    match parse_record(line.trim_end()) {
+                        Ok((idx, r)) if idx < key.faults => {
+                            done.insert(idx, r);
+                        }
+                        Ok(_) => {}      // stale index beyond the campaign
+                        Err(_) => break, // corruption: drop the rest
+                    }
+                    valid_len += line.len() as u64;
+                }
+            }
+            Some(_) => {
+                // Header itself was torn; the journal holds nothing usable.
+                return Err(CampaignError::JournalHeader("truncated header line".into()));
+            }
+        }
+        // Self-heal: chop any torn/corrupt tail so fresh appends start on a
+        // clean line boundary.
+        if valid_len < existing.len() as u64 {
+            file.set_len(valid_len)?;
+        }
+        Ok((Journal { file }, done))
+    }
+
+    /// Appends one completed result and flushes it to the OS, so a crash
+    /// immediately after loses nothing.
+    pub fn append(&mut self, idx: usize, r: &InjectionResult) -> std::io::Result<()> {
+        self.file.write_all(record_line(idx, r).as_bytes())?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(outcome: RunOutcome) -> InjectionResult {
+        InjectionResult {
+            fault: Fault {
+                site: FaultSite {
+                    structure: Structure::L1DTag,
+                    bit: 4321,
+                },
+                cycle: 987,
+            },
+            outcome,
+            deviation: Some(Deviation {
+                index: 7,
+                golden: CommitRecord {
+                    cycle: 10,
+                    pc: 4,
+                    raw: 0xdead_beef,
+                    ea: 64,
+                    val: 5,
+                },
+                faulty: CommitRecord {
+                    cycle: 11,
+                    pc: 4,
+                    raw: 0xdead_beef,
+                    ea: 64,
+                    val: 9,
+                },
+            }),
+            output_matches: Some(false),
+            cycles: 12345,
+            post_inject_cycles: 678,
+            abort_message: None,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_for_every_outcome() {
+        use avgi_muarch::mem::MemFault;
+        let outcomes = [
+            RunOutcome::Completed,
+            RunOutcome::Watchdog,
+            RunOutcome::StoppedAtDeviation,
+            RunOutcome::ErtExpired,
+            RunOutcome::WallClockExpired,
+            RunOutcome::SimAbort,
+            RunOutcome::IntegrityViolation(Structure::Rob),
+            RunOutcome::Trap(TrapKind::UndefinedInstruction),
+            RunOutcome::Trap(TrapKind::Memory(MemFault::OutOfRange(0x1234))),
+            RunOutcome::Trap(TrapKind::Memory(MemFault::WriteToCode(8))),
+            RunOutcome::Trap(TrapKind::Memory(MemFault::Misaligned(3))),
+            RunOutcome::Trap(TrapKind::Memory(MemFault::ExecuteFault(0))),
+        ];
+        for (i, &outcome) in outcomes.iter().enumerate() {
+            let mut r = sample_result(outcome);
+            if outcome == RunOutcome::SimAbort {
+                r.abort_message = Some("index out of bounds: \"quoted\"\npanic".into());
+            }
+            let line = record_line(i, &r);
+            assert!(line.ends_with('\n'));
+            let (idx, back) = parse_record(line.trim_end()).unwrap();
+            assert_eq!(idx, i);
+            assert_eq!(back, r, "outcome {outcome:?} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn minimal_fields_round_trip() {
+        let r = InjectionResult {
+            fault: Fault {
+                site: FaultSite {
+                    structure: Structure::RegFile,
+                    bit: 0,
+                },
+                cycle: 0,
+            },
+            outcome: RunOutcome::Completed,
+            deviation: None,
+            output_matches: None,
+            cycles: u64::MAX,
+            post_inject_cycles: 0,
+            abort_message: None,
+        };
+        let (idx, back) = parse_record(record_line(0, &r).trim_end()).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn header_round_trips_and_mismatch_is_detected() {
+        let cfg = MuarchConfig::big();
+        let key = CampaignKey {
+            workload: "sha".into(),
+            structure: Structure::Itlb,
+            seed: 42,
+            mode: RunMode::FirstDeviation {
+                ert_window: Some(2000),
+            },
+            burst_width: 2,
+            faults: 64,
+            golden_cycles: 9001,
+            config_hash: config_hash(&cfg),
+        };
+        let parsed = parse_header(header_line(&key).trim_end()).unwrap();
+        assert_eq!(parsed, key);
+        assert!(check_key(&key, &parsed).is_ok());
+        let other = CampaignKey {
+            seed: 43,
+            ..key.clone()
+        };
+        match check_key(&key, &other) {
+            Err(CampaignError::JournalMismatch { field: "seed", .. }) => {}
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let big = MuarchConfig::big();
+        let mut small = MuarchConfig::big();
+        small.phys_regs /= 2;
+        assert_ne!(config_hash(&big), config_hash(&small));
+        assert_eq!(config_hash(&big), config_hash(&MuarchConfig::big()));
+    }
+}

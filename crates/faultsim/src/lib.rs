@@ -13,6 +13,13 @@
 //! * [`RunMode::FirstDeviation`] — the AVGI production mode (stop at first
 //!   corruption; optional effective-residency-time window).
 //!
+//! The campaign engine is fault-tolerant: a panicking simulator run is
+//! isolated and recorded as [`avgi_muarch::run::RunOutcome::SimAbort`] (crash
+//! family) instead of taking the campaign down, runaway runs can be bounded
+//! by a wall-clock budget ([`CampaignConfig::with_wall_budget`]), and long
+//! campaigns can be journaled to disk and resumed bit-identically
+//! ([`run_campaign_journaled`]). See `DESIGN.md` §6 for the failure model.
+//!
 //! ```no_run
 //! use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
 //! use avgi_muarch::{MuarchConfig, Structure};
@@ -26,10 +33,15 @@
 //! ```
 
 pub mod campaign;
+pub mod error;
+pub mod journal;
+pub mod json;
 pub mod sampling;
 
 pub use campaign::{
-    golden_for, run_campaign, run_one, run_one_from, CampaignConfig, CampaignResult,
-    CheckpointSet, InjectionResult, RunMode,
+    golden_for, run_campaign, run_campaign_journaled, run_campaign_with_faults, run_one,
+    run_one_from, CampaignConfig, CampaignResult, CheckpointSet, InjectionResult, RunMode,
 };
+pub use error::CampaignError;
+pub use journal::{config_hash, CampaignKey, Journal};
 pub use sampling::{error_margin, multi_bit_burst, sample_faults, sample_size, Confidence};

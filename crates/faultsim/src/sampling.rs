@@ -8,8 +8,7 @@
 
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::{Fault, FaultSite, Structure};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use avgi_rng::Rng;
 
 /// Confidence levels with their normal-distribution z-values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,11 +62,14 @@ pub fn sample_faults(
     seed: u64,
 ) -> Vec<Fault> {
     let bits = structure.bit_count(cfg);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| Fault {
-            site: FaultSite { structure, bit: rng.gen_range(0..bits) },
-            cycle: rng.gen_range(0..golden_cycles.max(1)),
+            site: FaultSite {
+                structure,
+                bit: rng.gen_range_u64(bits),
+            },
+            cycle: rng.gen_range_u64(golden_cycles.max(1)),
         })
         .collect()
 }
@@ -80,7 +82,10 @@ pub fn multi_bit_burst(fault: Fault, width: u32, cfg: &MuarchConfig) -> Vec<Faul
     let start = fault.site.bit.min(bits.saturating_sub(u64::from(width)));
     (0..u64::from(width))
         .map(|k| Fault {
-            site: FaultSite { structure: fault.site.structure, bit: start + k },
+            site: FaultSite {
+                structure: fault.site.structure,
+                bit: start + k,
+            },
             cycle: fault.cycle,
         })
         .collect()
@@ -127,22 +132,37 @@ mod tests {
         let bits = Structure::L2Data.bit_count(&cfg);
         let lo = faults.iter().filter(|f| f.site.bit < bits / 2).count();
         // Roughly balanced halves (binomial, generous tolerance).
-        assert!((800..1_200).contains(&lo), "skewed sampling: {lo}/2000 in low half");
+        assert!(
+            (800..1_200).contains(&lo),
+            "skewed sampling: {lo}/2000 in low half"
+        );
     }
 
     #[test]
     fn burst_is_adjacent_and_clamped() {
         let cfg = MuarchConfig::big();
         let f = Fault {
-            site: FaultSite { structure: Structure::RegFile, bit: 5 },
+            site: FaultSite {
+                structure: Structure::RegFile,
+                bit: 5,
+            },
             cycle: 9,
         };
         let burst = multi_bit_burst(f, 3, &cfg);
-        assert_eq!(burst.iter().map(|f| f.site.bit).collect::<Vec<_>>(), vec![5, 6, 7]);
+        assert_eq!(
+            burst.iter().map(|f| f.site.bit).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
         assert!(burst.iter().all(|b| b.cycle == 9));
         // Clamp at the end of the array.
         let bits = Structure::RegFile.bit_count(&cfg);
-        let f = Fault { site: FaultSite { structure: Structure::RegFile, bit: bits - 1 }, cycle: 0 };
+        let f = Fault {
+            site: FaultSite {
+                structure: Structure::RegFile,
+                bit: bits - 1,
+            },
+            cycle: 0,
+        };
         let burst = multi_bit_burst(f, 4, &cfg);
         assert_eq!(burst.last().unwrap().site.bit, bits - 1);
         assert_eq!(burst.len(), 4);

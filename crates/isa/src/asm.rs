@@ -64,8 +64,16 @@ const IMM19_MAX: i64 = (1 << 18) - 1;
 #[derive(Debug, Clone)]
 enum Item {
     Fixed(Instr),
-    Branch { op: Opcode, rs1: Reg, rs2: Reg, target: String },
-    Jal { rd: Reg, target: String },
+    Branch {
+        op: Opcode,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+    },
+    Jal {
+        rd: Reg,
+        target: String,
+    },
 }
 
 /// Two-pass assembler producing a flat `Vec<u32>` of instruction words.
@@ -89,12 +97,21 @@ impl Assembler {
     /// Panics if `base` is not word-aligned.
     pub fn new(base: u32) -> Self {
         assert_eq!(base % 4, 0, "code base must be word aligned");
-        Assembler { base, items: Vec::new(), labels: HashMap::new(), error: None }
+        Assembler {
+            base,
+            items: Vec::new(),
+            labels: HashMap::new(),
+            error: None,
+        }
     }
 
     /// Defines a label at the current position.
     pub fn label(&mut self, name: &str) -> &mut Self {
-        if self.labels.insert(name.to_string(), self.items.len()).is_some() {
+        if self
+            .labels
+            .insert(name.to_string(), self.items.len())
+            .is_some()
+        {
             self.set_err(AsmError::DuplicateLabel(name.to_string()));
         }
         self
@@ -227,7 +244,12 @@ impl Assembler {
     /// Emits a conditional branch to `target`.
     pub fn branch(&mut self, op: Opcode, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
         debug_assert!(op.is_branch(), "{op} is not a branch");
-        self.items.push(Item::Branch { op, rs1, rs2, target: target.to_string() });
+        self.items.push(Item::Branch {
+            op,
+            rs1,
+            rs2,
+            target: target.to_string(),
+        });
         self
     }
 
@@ -263,7 +285,10 @@ impl Assembler {
 
     /// Emits `jal rd, target`.
     pub fn jal(&mut self, rd: Reg, target: &str) -> &mut Self {
-        self.items.push(Item::Jal { rd, target: target.to_string() });
+        self.items.push(Item::Jal {
+            rd,
+            target: target.to_string(),
+        });
         self
     }
 
@@ -328,7 +353,12 @@ impl Assembler {
         for (idx, item) in self.items.iter().enumerate() {
             let word = match item {
                 Item::Fixed(i) => i.encode(),
-                Item::Branch { op, rs1, rs2, target } => {
+                Item::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     let off = self.offset_to(idx, target)?;
                     if !(i64::from(IMM14_MIN)..=i64::from(IMM14_MAX)).contains(&off) {
                         return Err(AsmError::OffsetOutOfRange {

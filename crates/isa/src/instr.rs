@@ -4,13 +4,12 @@ use crate::encoding::{self as enc};
 use crate::opcode::{Format, Opcode};
 use crate::reg::{Reg, ZERO};
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// A fully decoded AvgIsa instruction.
 ///
 /// Operand slots a format does not use hold [`ZERO`]/`0`; the original
 /// encoding is kept in `raw` so analyses can reason at the bit level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instr {
     /// The operation.
     pub op: Opcode,
@@ -33,7 +32,7 @@ pub struct Instr {
 /// left the ISA, while [`UnknownRegister`](DecodeError::UnknownRegister) and
 /// [`NonZeroPad`](DecodeError::NonZeroPad) mean an *operand* field left the
 /// ISA (the paper's `UNO` manifestation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecodeError {
     /// The 8-bit opcode field does not name a defined instruction.
     UnknownOpcode(u8),
@@ -49,7 +48,7 @@ pub enum DecodeError {
 }
 
 /// Names an operand register slot, for diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegField {
     /// Destination register slot.
     Rd,
@@ -143,7 +142,14 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             if enc::pad24(word) != 0 {
                 return Err(DecodeError::NonZeroPad(enc::pad24(word)));
             }
-            Instr { op, rd: ZERO, rs1: ZERO, rs2: ZERO, imm: 0, raw: word }
+            Instr {
+                op,
+                rd: ZERO,
+                rs1: ZERO,
+                rs2: ZERO,
+                imm: 0,
+                raw: word,
+            }
         }
     };
     Ok(instr)
@@ -159,12 +165,18 @@ impl Instr {
                 self.rs1.index(),
                 self.rs2.index(),
             ),
-            Format::I => {
-                enc::pack_i(self.op.to_bits(), self.rd.index(), self.rs1.index(), self.imm)
-            }
-            Format::S => {
-                enc::pack_s(self.op.to_bits(), self.rs1.index(), self.rs2.index(), self.imm)
-            }
+            Format::I => enc::pack_i(
+                self.op.to_bits(),
+                self.rd.index(),
+                self.rs1.index(),
+                self.imm,
+            ),
+            Format::S => enc::pack_s(
+                self.op.to_bits(),
+                self.rs1.index(),
+                self.rs2.index(),
+                self.imm,
+            ),
             Format::J => enc::pack_j(self.op.to_bits(), self.rd.index(), self.imm),
             Format::N => enc::pack_n(self.op.to_bits()),
         }
@@ -172,7 +184,14 @@ impl Instr {
 
     /// Constructs an instruction from parts and computes its encoding.
     pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i32) -> Self {
-        let mut i = Instr { op, rd, rs1, rs2, imm, raw: 0 };
+        let mut i = Instr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+            raw: 0,
+        };
         i.raw = i.encode();
         i
     }
@@ -223,7 +242,10 @@ mod tests {
         let w = enc::pack_i(Opcode::Addi.to_bits(), 30, 1, 5);
         assert_eq!(
             decode(w),
-            Err(DecodeError::UnknownRegister { field: RegField::Rd, value: 30 })
+            Err(DecodeError::UnknownRegister {
+                field: RegField::Rd,
+                value: 30
+            })
         );
     }
 
@@ -239,8 +261,11 @@ mod tests {
     fn operand_error_predicate() {
         assert!(!DecodeError::UnknownOpcode(0xAB).is_operand_error());
         assert!(DecodeError::NonZeroPad(1).is_operand_error());
-        assert!(DecodeError::UnknownRegister { field: RegField::Rs2, value: 25 }
-            .is_operand_error());
+        assert!(DecodeError::UnknownRegister {
+            field: RegField::Rs2,
+            value: 25
+        }
+        .is_operand_error());
     }
 
     #[test]

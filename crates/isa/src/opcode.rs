@@ -8,7 +8,6 @@
 //! manifestations.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// Instruction *format*: which fields of the 32-bit word are meaningful.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// | `S`/`B`| opcode  | rs1     | rs2     | `imm14[13:9]` | `imm14[8:0]` |
 /// | `J`    | opcode  | rd      | imm19   | imm19  | imm19 |
 /// | `N`    | opcode  | pad (must be 0) | | | |
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Format {
     /// Register-register ALU: `op rd, rs1, rs2`.
     R,
@@ -41,7 +40,7 @@ macro_rules! opcodes {
         ///
         /// The discriminant is the 8-bit encoding that appears in bits
         /// `[31:24]` of the instruction word.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         #[repr(u8)]
         pub enum Opcode {
             $(
@@ -140,7 +139,10 @@ opcodes! {
 impl Opcode {
     /// Whether this opcode reads memory.
     pub fn is_load(self) -> bool {
-        matches!(self, Opcode::Lw | Opcode::Lb | Opcode::Lbu | Opcode::Lh | Opcode::Lhu)
+        matches!(
+            self,
+            Opcode::Lw | Opcode::Lb | Opcode::Lbu | Opcode::Lh | Opcode::Lhu
+        )
     }
 
     /// Whether this opcode writes memory.
@@ -202,7 +204,9 @@ mod tests {
 
     #[test]
     fn opcode_space_is_sparse() {
-        let defined = (0u16..256).filter(|&b| Opcode::from_bits(b as u8).is_some()).count();
+        let defined = (0u16..256)
+            .filter(|&b| Opcode::from_bits(b as u8).is_some())
+            .count();
         assert_eq!(defined, Opcode::all().len());
         // The sparseness is a design requirement: most random corruption of
         // the opcode byte must be able to leave the defined space.
@@ -213,7 +217,10 @@ mod tests {
     fn classification_predicates_are_disjoint() {
         for &op in Opcode::all() {
             let kinds = [op.is_load(), op.is_store(), op.is_branch(), op.is_jump()];
-            assert!(kinds.iter().filter(|&&k| k).count() <= 1, "{op} in two classes");
+            assert!(
+                kinds.iter().filter(|&&k| k).count() <= 1,
+                "{op} in two classes"
+            );
         }
     }
 

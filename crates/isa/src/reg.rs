@@ -2,7 +2,6 @@
 
 use crate::NUM_ARCH_REGS;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// An architectural register index, guaranteed in range `0..NUM_ARCH_REGS`.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// fail (the field has 32 encodings but only 24 are architecturally
 /// defined), which is how the decoder detects *unknown-to-the-ISA* operand
 /// corruption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {

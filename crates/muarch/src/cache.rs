@@ -77,8 +77,9 @@ impl Cache {
     }
 
     fn set_meta(&mut self, li: usize, tag: u32, valid: bool, dirty: bool) {
-        self.tags[li] =
-            tag | (u32::from(valid) << self.geom.tag_bits()) | (u32::from(dirty) << (self.geom.tag_bits() + 1));
+        self.tags[li] = tag
+            | (u32::from(valid) << self.geom.tag_bits())
+            | (u32::from(dirty) << (self.geom.tag_bits() + 1));
     }
 
     fn line_addr(&self, li: usize) -> u32 {
@@ -178,7 +179,10 @@ impl Cache {
         let mut out = Vec::new();
         for li in 0..self.tags.len() {
             if self.meta_valid(li) && self.meta_dirty(li) {
-                out.push(Eviction { addr: self.line_addr(li), data: self.line_data(li).to_vec() });
+                out.push(Eviction {
+                    addr: self.line_addr(li),
+                    data: self.line_data(li).to_vec(),
+                });
                 let tag = self.meta_tag(li);
                 self.set_meta(li, tag, true, false);
             }
@@ -227,7 +231,11 @@ mod tests {
     use crate::config::MuarchConfig;
 
     fn small_cache() -> Cache {
-        Cache::new(CacheGeometry { sets: 4, ways: 2, line_bytes: 64 })
+        Cache::new(CacheGeometry {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     fn line_of(byte: u8) -> Vec<u8> {
@@ -280,10 +288,12 @@ mod tests {
         assert!(c.lookup(0x1000).is_some());
         // Find the line and flip its lowest tag bit.
         // 0x1000: set = (0x1000 >> 6) & 3 = 0, tag = 0x1000 >> 8 = 0x10.
-        let per = u64::from(tag_entry_bits(c.geom.tag_bits()));
-        // line index of set 0 way 0:
-        c.flip_tag_bit(0 * per); // tag bit 0 of line 0
-        assert!(c.lookup(0x1000).is_none(), "corrupted tag no longer matches");
+        // Line 0 (set 0, way 0) starts at tag-array bit 0.
+        c.flip_tag_bit(0); // tag bit 0 of line 0
+        assert!(
+            c.lookup(0x1000).is_none(),
+            "corrupted tag no longer matches"
+        );
     }
 
     #[test]
@@ -321,8 +331,14 @@ mod tests {
     fn bit_counts_match_fault_module() {
         let cfg = MuarchConfig::big();
         let c = Cache::new(cfg.l1d);
-        assert_eq!(c.tag_array_bits(), crate::fault::Structure::L1DTag.bit_count(&cfg));
-        assert_eq!(c.data_array_bits(), crate::fault::Structure::L1DData.bit_count(&cfg));
+        assert_eq!(
+            c.tag_array_bits(),
+            crate::fault::Structure::L1DTag.bit_count(&cfg)
+        );
+        assert_eq!(
+            c.data_array_bits(),
+            crate::fault::Structure::L1DData.bit_count(&cfg)
+        );
     }
 
     #[test]
@@ -332,6 +348,9 @@ mod tests {
         c.write_resident(li, 0, &[0xEE]);
         let tagbits = c.geom.tag_bits();
         c.flip_tag_bit(u64::from(tagbits) + 1); // dirty bit of line 0
-        assert!(c.drain_dirty().is_empty(), "dirty bit cleared by fault: writeback lost");
+        assert!(
+            c.drain_dirty().is_empty(),
+            "dirty bit cleared by fault: writeback lost"
+        );
     }
 }

@@ -7,10 +7,8 @@
 //! scaled down together with workload execution lengths (see `DESIGN.md`)
 //! so the ratios the methodology depends on are preserved.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Number of sets.
     pub sets: u32,
@@ -48,7 +46,7 @@ impl CacheGeometry {
 }
 
 /// Access latencies, in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// L1 hit latency (both I and D).
     pub l1: u64,
@@ -69,7 +67,7 @@ pub struct Latencies {
 }
 
 /// A full microarchitecture configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MuarchConfig {
     /// Human-readable name (appears in reports).
     pub name: &'static str,
@@ -127,9 +125,21 @@ impl MuarchConfig {
             lq_entries: 16,
             sq_entries: 16,
             phys_regs: 96,
-            l1i: CacheGeometry { sets: 64, ways: 2, line_bytes: 64 }, // 8 KiB
-            l1d: CacheGeometry { sets: 32, ways: 4, line_bytes: 64 }, // 8 KiB
-            l2: CacheGeometry { sets: 128, ways: 8, line_bytes: 64 }, // 64 KiB
+            l1i: CacheGeometry {
+                sets: 64,
+                ways: 2,
+                line_bytes: 64,
+            }, // 8 KiB
+            l1d: CacheGeometry {
+                sets: 32,
+                ways: 4,
+                line_bytes: 64,
+            }, // 8 KiB
+            l2: CacheGeometry {
+                sets: 128,
+                ways: 8,
+                line_bytes: 64,
+            }, // 64 KiB
             itlb_entries: 16,
             dtlb_entries: 16,
             predictor_entries: 512,
@@ -162,9 +172,21 @@ impl MuarchConfig {
             lq_entries: 8,
             sq_entries: 8,
             phys_regs: 56,
-            l1i: CacheGeometry { sets: 32, ways: 2, line_bytes: 64 }, // 4 KiB
-            l1d: CacheGeometry { sets: 32, ways: 2, line_bytes: 64 }, // 4 KiB
-            l2: CacheGeometry { sets: 64, ways: 8, line_bytes: 64 },  // 32 KiB
+            l1i: CacheGeometry {
+                sets: 32,
+                ways: 2,
+                line_bytes: 64,
+            }, // 4 KiB
+            l1d: CacheGeometry {
+                sets: 32,
+                ways: 2,
+                line_bytes: 64,
+            }, // 4 KiB
+            l2: CacheGeometry {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+            }, // 32 KiB
             itlb_entries: 8,
             dtlb_entries: 8,
             predictor_entries: 256,
@@ -191,11 +213,20 @@ impl MuarchConfig {
     /// used by constructors in debug builds and by tests.
     pub fn validate(&self) {
         for (label, g) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
-            assert!(g.sets.is_power_of_two(), "{label}.sets must be a power of two");
-            assert!(g.line_bytes.is_power_of_two(), "{label}.line_bytes must be a power of two");
+            assert!(
+                g.sets.is_power_of_two(),
+                "{label}.sets must be a power of two"
+            );
+            assert!(
+                g.line_bytes.is_power_of_two(),
+                "{label}.line_bytes must be a power of two"
+            );
             assert!(g.ways >= 1, "{label}.ways must be >= 1");
         }
-        assert!(self.phys_regs > u32::from(avgi_isa::NUM_ARCH_REGS), "need free physical regs");
+        assert!(
+            self.phys_regs > u32::from(avgi_isa::NUM_ARCH_REGS),
+            "need free physical regs"
+        );
         assert!(self.predictor_entries.is_power_of_two());
         assert!(self.btb_entries.is_power_of_two());
         assert!(self.rob_entries >= self.commit_width);

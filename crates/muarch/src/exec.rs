@@ -22,13 +22,7 @@ pub fn alu(op: Opcode, a: u32, b: u32) -> Option<u32> {
         Opcode::Sltu => u32::from(a < b),
         Opcode::Mul => a.wrapping_mul(b),
         Opcode::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
-        Opcode::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        Opcode::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         Opcode::Remu => {
             if b == 0 {
                 a

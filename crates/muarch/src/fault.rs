@@ -8,10 +8,9 @@
 
 use crate::config::MuarchConfig;
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// The twelve fault-injection targets of the paper's evaluation (§II.D).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Structure {
     /// L1 instruction cache, tag array.
     L1ITag,
@@ -43,7 +42,9 @@ impl Structure {
     /// All twelve structures, in a stable report order.
     pub fn all() -> &'static [Structure] {
         use Structure::*;
-        &[RegFile, Dtlb, Itlb, L1IData, L1ITag, L1DTag, L1DData, L2Tag, L2Data, Rob, Lq, Sq]
+        &[
+            RegFile, Dtlb, Itlb, L1IData, L1ITag, L1DTag, L1DData, L2Tag, L2Data, Rob, Lq, Sq,
+        ]
     }
 
     /// Short label used in tables (matches the paper's Table II rows).
@@ -62,6 +63,31 @@ impl Structure {
             Structure::Itlb => "ITLB",
             Structure::Dtlb => "DTLB",
         }
+    }
+
+    /// Stable machine-readable identifier (round-trips via
+    /// [`Structure::from_ident`]); used by on-disk campaign journals, so
+    /// these strings must never change.
+    pub fn ident(self) -> &'static str {
+        match self {
+            Structure::L1ITag => "L1ITag",
+            Structure::L1IData => "L1IData",
+            Structure::L1DTag => "L1DTag",
+            Structure::L1DData => "L1DData",
+            Structure::L2Tag => "L2Tag",
+            Structure::L2Data => "L2Data",
+            Structure::RegFile => "RegFile",
+            Structure::Rob => "Rob",
+            Structure::Lq => "Lq",
+            Structure::Sq => "Sq",
+            Structure::Itlb => "Itlb",
+            Structure::Dtlb => "Dtlb",
+        }
+    }
+
+    /// Parses a [`Structure::ident`] string.
+    pub fn from_ident(s: &str) -> Option<Structure> {
+        Structure::all().iter().copied().find(|st| st.ident() == s)
     }
 
     /// Whether this structure is a cache *data* array (the arrays the
@@ -92,11 +118,17 @@ impl Structure {
     /// Number of injectable storage bits this structure holds under `cfg`.
     pub fn bit_count(self, cfg: &MuarchConfig) -> u64 {
         match self {
-            Structure::L1ITag => u64::from(cfg.l1i.lines()) * u64::from(tag_entry_bits(cfg.l1i.tag_bits())),
+            Structure::L1ITag => {
+                u64::from(cfg.l1i.lines()) * u64::from(tag_entry_bits(cfg.l1i.tag_bits()))
+            }
             Structure::L1IData => u64::from(cfg.l1i.capacity_bytes()) * 8,
-            Structure::L1DTag => u64::from(cfg.l1d.lines()) * u64::from(tag_entry_bits(cfg.l1d.tag_bits())),
+            Structure::L1DTag => {
+                u64::from(cfg.l1d.lines()) * u64::from(tag_entry_bits(cfg.l1d.tag_bits()))
+            }
             Structure::L1DData => u64::from(cfg.l1d.capacity_bytes()) * 8,
-            Structure::L2Tag => u64::from(cfg.l2.lines()) * u64::from(tag_entry_bits(cfg.l2.tag_bits())),
+            Structure::L2Tag => {
+                u64::from(cfg.l2.lines()) * u64::from(tag_entry_bits(cfg.l2.tag_bits()))
+            }
             Structure::L2Data => u64::from(cfg.l2.capacity_bytes()) * 8,
             Structure::RegFile => u64::from(cfg.phys_regs) * 32,
             Structure::Rob => u64::from(cfg.rob_entries) * u64::from(crate::queues::ROB_ENTRY_BITS),
@@ -120,7 +152,7 @@ impl fmt::Display for Structure {
 }
 
 /// One storage bit within one structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultSite {
     /// The structure holding the bit.
     pub structure: Structure,
@@ -130,7 +162,7 @@ pub struct FaultSite {
 }
 
 /// A transient single-bit fault: a bit to flip and the cycle to flip it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fault {
     /// Where to flip.
     pub site: FaultSite,
@@ -140,7 +172,11 @@ pub struct Fault {
 
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} bit {} @ cycle {}", self.site.structure, self.site.bit, self.cycle)
+        write!(
+            f,
+            "{} bit {} @ cycle {}",
+            self.site.structure, self.site.bit, self.cycle
+        )
     }
 }
 
@@ -151,6 +187,14 @@ mod tests {
     #[test]
     fn twelve_structures() {
         assert_eq!(Structure::all().len(), 12);
+    }
+
+    #[test]
+    fn idents_round_trip() {
+        for &s in Structure::all() {
+            assert_eq!(Structure::from_ident(s.ident()), Some(s));
+        }
+        assert_eq!(Structure::from_ident("NotAStructure"), None);
     }
 
     #[test]
@@ -174,7 +218,10 @@ mod tests {
         assert!(!Structure::L2Tag.is_cache_data());
         assert!(Structure::L2Tag.is_esc_eligible());
         assert!(Structure::L1DTag.is_esc_eligible());
-        assert!(!Structure::L1ITag.is_esc_eligible(), "I-side lines are never dirty");
+        assert!(
+            !Structure::L1ITag.is_esc_eligible(),
+            "I-side lines are never dirty"
+        );
         assert!(!Structure::RegFile.is_esc_eligible());
         assert!(Structure::Rob.is_integrity_checked());
         assert!(!Structure::RegFile.is_integrity_checked());

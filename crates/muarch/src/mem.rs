@@ -12,8 +12,6 @@
 //! *state* is fault-injectable (a corrupted TLB entry redirects an access to
 //! the wrong physical page, exactly like the paper's TLB experiments).
 
-use serde::{Deserialize, Serialize};
-
 /// Base address of the code region.
 pub const CODE_BASE: u32 = 0x0000_0000;
 /// Base address of the data region.
@@ -28,7 +26,7 @@ pub const MEM_SIZE: u32 = 0x000C_0000; // 768 KiB
 pub const PAGE_BYTES: u32 = 4096;
 
 /// Why a memory access faulted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemFault {
     /// Physical address outside [`MEM_SIZE`].
     OutOfRange(u32),
@@ -68,7 +66,10 @@ impl Memory {
     /// `CODE_BASE..code_limit`.
     pub fn new(code_limit: u32) -> Self {
         assert!(code_limit <= DATA_BASE, "code region overflows into data");
-        Memory { bytes: vec![0; MEM_SIZE as usize], code_limit }
+        Memory {
+            bytes: vec![0; MEM_SIZE as usize],
+            code_limit,
+        }
     }
 
     /// End of the code region (exclusive).
@@ -78,7 +79,7 @@ impl Memory {
 
     /// Checks that a data access of `size` bytes at `addr` is allowed.
     pub fn check_data_access(&self, addr: u32, size: u32, is_store: bool) -> Result<(), MemFault> {
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(MemFault::Misaligned(addr));
         }
         if u64::from(addr) + u64::from(size) > u64::from(MEM_SIZE) {
@@ -92,7 +93,7 @@ impl Memory {
 
     /// Checks that an instruction fetch at `addr` is allowed.
     pub fn check_fetch(&self, addr: u32) -> Result<(), MemFault> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(MemFault::Misaligned(addr));
         }
         if addr >= self.code_limit {
@@ -128,7 +129,12 @@ impl Memory {
     /// Little-endian 32-bit read (no protection check).
     pub fn read_u32(&self, addr: u32) -> u32 {
         let a = addr as usize;
-        u32::from_le_bytes([self.bytes[a], self.bytes[a + 1], self.bytes[a + 2], self.bytes[a + 3]])
+        u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ])
     }
 
     /// Raw byte write (no protection check); used when loading images.
@@ -161,9 +167,9 @@ mod tests {
 
     #[test]
     fn regions_do_not_overlap() {
-        assert!(CODE_BASE < DATA_BASE);
-        assert!(DATA_BASE < OUTPUT_BASE);
-        assert!(OUTPUT_BASE < MEM_SIZE);
+        const { assert!(CODE_BASE < DATA_BASE) };
+        const { assert!(DATA_BASE < OUTPUT_BASE) };
+        const { assert!(OUTPUT_BASE < MEM_SIZE) };
         assert_eq!(STACK_TOP, OUTPUT_BASE);
     }
 
@@ -171,11 +177,26 @@ mod tests {
     fn data_access_checks() {
         let m = Memory::new(0x1000);
         assert!(m.check_data_access(DATA_BASE, 4, true).is_ok());
-        assert_eq!(m.check_data_access(DATA_BASE + 2, 4, false), Err(MemFault::Misaligned(DATA_BASE + 2)));
-        assert_eq!(m.check_data_access(0x100, 4, true), Err(MemFault::WriteToCode(0x100)));
-        assert!(m.check_data_access(0x100, 4, false).is_ok(), "loads from code allowed");
-        assert_eq!(m.check_data_access(MEM_SIZE, 4, false), Err(MemFault::OutOfRange(MEM_SIZE)));
-        assert_eq!(m.check_data_access(MEM_SIZE + 4, 4, false), Err(MemFault::OutOfRange(MEM_SIZE + 4)));
+        assert_eq!(
+            m.check_data_access(DATA_BASE + 2, 4, false),
+            Err(MemFault::Misaligned(DATA_BASE + 2))
+        );
+        assert_eq!(
+            m.check_data_access(0x100, 4, true),
+            Err(MemFault::WriteToCode(0x100))
+        );
+        assert!(
+            m.check_data_access(0x100, 4, false).is_ok(),
+            "loads from code allowed"
+        );
+        assert_eq!(
+            m.check_data_access(MEM_SIZE, 4, false),
+            Err(MemFault::OutOfRange(MEM_SIZE))
+        );
+        assert_eq!(
+            m.check_data_access(MEM_SIZE + 4, 4, false),
+            Err(MemFault::OutOfRange(MEM_SIZE + 4))
+        );
     }
 
     #[test]

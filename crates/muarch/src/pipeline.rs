@@ -13,7 +13,9 @@ use crate::fault::{Fault, Structure};
 use crate::mem::{MemFault, Memory};
 use crate::predictor::Predictor;
 use crate::program::Program;
-use crate::queues::{pack_lq, pack_rob, pack_sq, QueueArray, LQ_ENTRY_BITS, ROB_ENTRY_BITS, SQ_ENTRY_BITS};
+use crate::queues::{
+    pack_lq, pack_rob, pack_sq, QueueArray, LQ_ENTRY_BITS, ROB_ENTRY_BITS, SQ_ENTRY_BITS,
+};
 use crate::regfile::{PhysReg, RegFile};
 use crate::run::{ExecStats, RunControl, RunOutcome, RunReport, TrapKind};
 use crate::tlb::Tlb;
@@ -209,15 +211,20 @@ impl Sim {
             "fault bit out of range for {}",
             fault.site.structure
         );
-        self.first_inject_cycle =
-            Some(self.first_inject_cycle.map_or(fault.cycle, |c| c.min(fault.cycle)));
+        self.first_inject_cycle = Some(
+            self.first_inject_cycle
+                .map_or(fault.cycle, |c| c.min(fault.cycle)),
+        );
         self.pending_faults.push(fault);
         self.pending_faults.sort_by_key(|f| f.cycle);
     }
 
     /// Runs to completion under `ctl` and reports.
     pub fn run(&mut self, ctl: &RunControl) -> RunReport {
-        let outcome = self.run_loop(ctl);
+        let deadline = ctl
+            .wall_budget
+            .map(|budget| std::time::Instant::now() + budget);
+        let outcome = self.run_loop(ctl, deadline);
         self.stats.rf_ace_cycles = self.rf.finalize_ace();
         let output = if outcome == RunOutcome::Completed {
             self.flush_caches();
@@ -236,10 +243,20 @@ impl Sim {
         }
     }
 
-    fn run_loop(&mut self, ctl: &RunControl) -> RunOutcome {
+    fn run_loop(&mut self, ctl: &RunControl, deadline: Option<std::time::Instant>) -> RunOutcome {
         loop {
             if let Some(out) = self.step(ctl) {
                 return out;
+            }
+            // Wall-clock watchdog: polled every WALL_CHECK_CYCLES cycles so
+            // a pathological faulty run cannot stall a campaign even when
+            // the cycle watchdog is generous.
+            if self.cycle & (crate::run::WALL_CHECK_CYCLES - 1) == 0 {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        return RunOutcome::WallClockExpired;
+                    }
+                }
             }
         }
     }
@@ -265,8 +282,7 @@ impl Sim {
             return Some(RunOutcome::Watchdog);
         }
         if let (Some(window), Some(at)) = (ctl.ert_window, self.first_inject_cycle) {
-            if self.faults_applied && self.first_deviation.is_none() && self.cycle >= at + window
-            {
+            if self.faults_applied && self.first_deviation.is_none() && self.cycle >= at + window {
                 return Some(RunOutcome::ErtExpired);
             }
         }
@@ -557,13 +573,16 @@ impl Sim {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            let Some(front) = self.decode_q.front() else { break };
+            let Some(front) = self.decode_q.front() else {
+                break;
+            };
             if self.rob_full() {
                 break;
             }
-            let needs_exec = front.decoded.as_ref().is_some_and(|i| {
-                !matches!(i.op, Opcode::Nop | Opcode::Halt)
-            });
+            let needs_exec = front
+                .decoded
+                .as_ref()
+                .is_some_and(|i| !matches!(i.op, Opcode::Nop | Opcode::Halt));
             if needs_exec && self.iq.len() >= self.cfg.iq_entries as usize {
                 break;
             }
@@ -596,7 +615,9 @@ impl Sim {
                 // has no physical dependency.
                 let uses_rs1 = matches!(
                     i.op.format(),
-                    avgi_isa::opcode::Format::R | avgi_isa::opcode::Format::I | avgi_isa::opcode::Format::S
+                    avgi_isa::opcode::Format::R
+                        | avgi_isa::opcode::Format::I
+                        | avgi_isa::opcode::Format::S
                 ) && i.op != Opcode::Lui;
                 let uses_rs2 = matches!(
                     i.op.format(),
@@ -621,13 +642,22 @@ impl Sim {
             self.rob_count += 1;
 
             if is_load {
-                self.lq[self.lq_tail] = Some(LqShadow { seq, resolved: false, paddr: 0 });
+                self.lq[self.lq_tail] = Some(LqShadow {
+                    seq,
+                    resolved: false,
+                    paddr: 0,
+                });
                 self.lq_tail = (self.lq_tail + 1) % self.lq.len();
                 self.lq_count += 1;
             }
             if is_store {
-                self.sq[self.sq_tail] =
-                    Some(SqShadow { seq, resolved: false, paddr: 0, size: 0, data: 0 });
+                self.sq[self.sq_tail] = Some(SqShadow {
+                    seq,
+                    resolved: false,
+                    paddr: 0,
+                    size: 0,
+                    data: 0,
+                });
                 self.sq_tail = (self.sq_tail + 1) % self.sq.len();
                 self.sq_count += 1;
             }
@@ -657,7 +687,11 @@ impl Sim {
                 raw: f.raw,
                 decoded: f.decoded,
                 exception: f.exception,
-                state: if done_now { EntryState::Done } else { EntryState::InIq },
+                state: if done_now {
+                    EntryState::Done
+                } else {
+                    EntryState::InIq
+                },
                 finish_cycle: self.cycle,
                 dest_arch: if writes { dest_arch } else { NO_DEST },
                 new_phys,
@@ -712,7 +746,13 @@ impl Sim {
     fn try_issue(&mut self, ridx: usize) -> bool {
         let (seq, instr, pc, src1, src2) = {
             let e = self.rob[ridx].as_ref().expect("iq entry valid");
-            (e.seq, e.decoded.expect("iq entries decode"), e.pc, e.src1, e.src2)
+            (
+                e.seq,
+                e.decoded.expect("iq entries decode"),
+                e.pc,
+                e.src1,
+                e.src2,
+            )
         };
         // Both operands must be ready before anything executes; reads are
         // recorded for ACE instrumentation.
@@ -753,10 +793,7 @@ impl Sim {
                 true
             }
             op => {
-                let operand_b = if matches!(
-                    op.format(),
-                    avgi_isa::opcode::Format::I
-                ) {
+                let operand_b = if matches!(op.format(), avgi_isa::opcode::Format::I) {
                     imm as u32
                 } else {
                     b
@@ -1058,9 +1095,7 @@ impl Sim {
         for _ in 0..self.cfg.commit_width {
             let head = self.rob_head;
             let done = {
-                let Some(e) = self.rob.get(head).and_then(|e| e.as_ref()) else {
-                    return None;
-                };
+                let e = self.rob.get(head).and_then(|e| e.as_ref())?;
                 if self.rob_count == 0 {
                     return None;
                 }
@@ -1090,7 +1125,11 @@ impl Sim {
             let expected = pack_rob(
                 e.pc,
                 e.seq as u16,
-                if e.dest_arch != NO_DEST { e.dest_arch } else { 0 },
+                if e.dest_arch != NO_DEST {
+                    e.dest_arch
+                } else {
+                    0
+                },
                 flags,
             );
             if !self.rob_img.matches(head, expected) {
@@ -1109,7 +1148,9 @@ impl Sim {
                 let sh = self.sq[sqi].expect("store SQ shadow at head");
                 debug_assert_eq!(sh.seq, e.seq);
                 if sh.resolved
-                    && !self.sq_img.matches(sqi, pack_sq(sh.paddr, sh.data, sh.seq as u16))
+                    && !self
+                        .sq_img
+                        .matches(sqi, pack_sq(sh.paddr, sh.data, sh.seq as u16))
                 {
                     return Some(RunOutcome::IntegrityViolation(Structure::Sq));
                 }
@@ -1117,7 +1158,13 @@ impl Sim {
 
             // Record the architectural observables (also for trapping
             // instructions, so the deviation is visible to the classifier).
-            let rec = CommitRecord { cycle: self.cycle, pc: e.pc, raw: e.raw, ea: e.ea, val: e.val };
+            let rec = CommitRecord {
+                cycle: self.cycle,
+                pc: e.pc,
+                raw: e.raw,
+                ea: e.ea,
+                val: e.val,
+            };
             self.record_commit(rec, ctl);
 
             if let Some(t) = e.exception {
@@ -1161,15 +1208,23 @@ impl Sim {
         if self.first_deviation.is_none() {
             if let Some(golden) = &ctl.golden {
                 let idx = self.commit_index;
-                let g = golden.trace.get(idx as usize).copied().unwrap_or(CommitRecord {
-                    cycle: golden.cycles,
-                    pc: 0,
-                    raw: 0,
-                    ea: 0,
-                    val: 0,
-                });
+                let g = golden
+                    .trace
+                    .get(idx as usize)
+                    .copied()
+                    .unwrap_or(CommitRecord {
+                        cycle: golden.cycles,
+                        pc: 0,
+                        raw: 0,
+                        ea: 0,
+                        val: 0,
+                    });
                 if !g.matches(&rec) {
-                    self.first_deviation = Some(Deviation { index: idx, golden: g, faulty: rec });
+                    self.first_deviation = Some(Deviation {
+                        index: idx,
+                        golden: g,
+                        faulty: rec,
+                    });
                 }
             }
         }
@@ -1195,7 +1250,11 @@ impl Sim {
 /// programs are required to halt.
 pub fn capture_golden(program: &Program, cfg: &MuarchConfig, max_cycles: u64) -> Arc<GoldenRun> {
     let mut sim = Sim::new(program, cfg.clone());
-    let ctl = RunControl { max_cycles, record_trace: true, ..RunControl::default() };
+    let ctl = RunControl {
+        max_cycles,
+        record_trace: true,
+        ..RunControl::default()
+    };
     let report = sim.run(&ctl);
     assert_eq!(
         report.outcome,

@@ -81,8 +81,7 @@ mod tests {
         let mut a = Assembler::new(0);
         a.addi(A0, ZERO, 7);
         a.halt();
-        Program::new("tiny", a.assemble().unwrap(), 16)
-            .with_data(DATA_BASE, vec![1, 2, 3, 4])
+        Program::new("tiny", a.assemble().unwrap(), 16).with_data(DATA_BASE, vec![1, 2, 3, 4])
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl QueueArray {
     /// Creates a zeroed array of `n` entries of `entry_bits` bits each.
     pub fn new(n: u32, entry_bits: u32) -> Self {
         assert!(entry_bits <= 128);
-        QueueArray { entries: vec![0; n as usize], entry_bits }
+        QueueArray {
+            entries: vec![0; n as usize],
+            entry_bits,
+        }
     }
 
     /// Stores an entry image.

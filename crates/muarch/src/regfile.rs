@@ -29,7 +29,10 @@ impl RegFile {
     /// Panics if `phys` does not exceed the architectural register count.
     pub fn new(phys: u32) -> Self {
         let arch = avgi_isa::NUM_ARCH_REGS as u32;
-        assert!(phys > arch, "need more physical than architectural registers");
+        assert!(
+            phys > arch,
+            "need more physical than architectural registers"
+        );
         let mut rename = [0; avgi_isa::NUM_ARCH_REGS as usize];
         for (i, r) in rename.iter_mut().enumerate() {
             *r = i as PhysReg;

@@ -3,11 +3,10 @@
 use crate::fault::Structure;
 use crate::mem::MemFault;
 use crate::trace::{CommitRecord, Deviation, GoldenRun};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// An architecturally visible trap that terminates the program (a crash).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrapKind {
     /// A committed instruction word does not decode (unknown opcode,
     /// undefined register index, or non-zero pad).
@@ -17,7 +16,7 @@ pub enum TrapKind {
 }
 
 /// How a simulation ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RunOutcome {
     /// `halt` committed; the output region is valid.
     Completed,
@@ -35,14 +34,31 @@ pub enum RunOutcome {
     /// Early stop: the effective-residency-time window elapsed with no
     /// deviation (AVGI insight 3); the fault is Benign for IMM purposes.
     ErtExpired,
+    /// The per-run wall-clock budget ([`RunControl::wall_budget`]) expired.
+    /// Treated exactly like [`RunOutcome::Watchdog`]: the run is a hang for
+    /// classification purposes, but the bound holds even when the cycle
+    /// watchdog is generous and a pathological faulty state collapses the
+    /// simulation rate.
+    WallClockExpired,
+    /// The simulator itself panicked while executing this run (an internal
+    /// invariant was violated by the injected state). Produced by the
+    /// campaign layer's panic isolation, never by [`crate::pipeline::Sim`]
+    /// directly; the truncated panic message travels on the campaign's
+    /// `InjectionResult`.
+    SimAbort,
 }
 
 impl RunOutcome {
-    /// Whether this outcome is a crash (trap, integrity violation, or hang).
+    /// Whether this outcome is a crash (trap, integrity violation, hang, or
+    /// simulator abort).
     pub fn is_crash(self) -> bool {
         matches!(
             self,
-            RunOutcome::Trap(_) | RunOutcome::IntegrityViolation(_) | RunOutcome::Watchdog
+            RunOutcome::Trap(_)
+                | RunOutcome::IntegrityViolation(_)
+                | RunOutcome::Watchdog
+                | RunOutcome::WallClockExpired
+                | RunOutcome::SimAbort
         )
     }
 }
@@ -61,10 +77,19 @@ pub struct RunControl {
     pub ert_window: Option<u64>,
     /// Record the full commit trace (golden-capture runs).
     pub record_trace: bool,
+    /// Wall-clock budget for the run, checked every [`WALL_CHECK_CYCLES`]
+    /// cycles; expiry ends the run with [`RunOutcome::WallClockExpired`].
+    /// `None` (the default) disables the check and keeps runs fully
+    /// deterministic.
+    pub wall_budget: Option<std::time::Duration>,
 }
 
+/// How often (in cycles) the wall-clock budget is polled. A power of two so
+/// the check compiles to a mask test on the hot path.
+pub const WALL_CHECK_CYCLES: u64 = 4096;
+
 /// Performance/behaviour counters for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Instructions fetched (including wrong-path).
     pub fetched: u64,
@@ -131,6 +156,8 @@ mod tests {
         assert!(RunOutcome::Trap(TrapKind::Memory(MemFault::OutOfRange(0))).is_crash());
         assert!(RunOutcome::IntegrityViolation(Structure::Rob).is_crash());
         assert!(RunOutcome::Watchdog.is_crash());
+        assert!(RunOutcome::WallClockExpired.is_crash());
+        assert!(RunOutcome::SimAbort.is_crash());
         assert!(!RunOutcome::Completed.is_crash());
         assert!(!RunOutcome::StoppedAtDeviation.is_crash());
         assert!(!RunOutcome::ErtExpired.is_crash());
@@ -147,7 +174,11 @@ mod tests {
             inject_cycle: None,
             stats: ExecStats::default(),
         };
-        assert_eq!(r.post_inject_cycles(), 1_000, "no injection: full run counts");
+        assert_eq!(
+            r.post_inject_cycles(),
+            1_000,
+            "no injection: full run counts"
+        );
         r.inject_cycle = Some(400);
         assert_eq!(r.post_inject_cycles(), 600);
         r.inject_cycle = Some(2_000); // armed after the end: saturates

@@ -27,7 +27,10 @@ pub struct Tlb {
 impl Tlb {
     /// Creates an empty TLB with `n` entries.
     pub fn new(n: u32) -> Self {
-        Tlb { entries: vec![0; n as usize], next: 0 }
+        Tlb {
+            entries: vec![0; n as usize],
+            next: 0,
+        }
     }
 
     /// Number of entries.
@@ -108,7 +111,11 @@ mod tests {
         let mut t = Tlb::new(1);
         t.refill(0x3000);
         t.flip_bit(u64::from(PFN_SHIFT)); // lowest pfn bit of entry 0
-        assert_eq!(t.translate(0x3000), Some(0x2000), "page 3 now maps to page 2");
+        assert_eq!(
+            t.translate(0x3000),
+            Some(0x2000),
+            "page 3 now maps to page 2"
+        );
     }
 
     #[test]

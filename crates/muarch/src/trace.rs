@@ -8,10 +8,8 @@
 //! reports the *first* mismatch as a [`Deviation`] — the moment the fault
 //! "touches" the software layer.
 
-use serde::{Deserialize, Serialize};
-
 /// One committed instruction's architectural observables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CommitRecord {
     /// Cycle at which the instruction committed.
     pub cycle: u64,
@@ -34,7 +32,7 @@ impl CommitRecord {
 
 /// The first point at which a faulty run's commit trace diverges from the
 /// golden trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Deviation {
     /// Commit index (number of instructions committed before this one).
     pub index: u64,
@@ -71,7 +69,13 @@ mod tests {
 
     #[test]
     fn record_equality_covers_every_field() {
-        let base = CommitRecord { cycle: 10, pc: 4, raw: 0x1000_0000, ea: 8, val: 3 };
+        let base = CommitRecord {
+            cycle: 10,
+            pc: 4,
+            raw: 0x1000_0000,
+            ea: 8,
+            val: 3,
+        };
         assert!(base.matches(&base));
         for (i, r) in [
             CommitRecord { cycle: 11, ..base },
@@ -96,8 +100,20 @@ mod golden_tests {
     fn golden_run_committed_counts_trace_entries() {
         let g = GoldenRun {
             trace: vec![
-                CommitRecord { cycle: 1, pc: 0, raw: 0, ea: 0, val: 0 },
-                CommitRecord { cycle: 2, pc: 4, raw: 0, ea: 0, val: 0 },
+                CommitRecord {
+                    cycle: 1,
+                    pc: 0,
+                    raw: 0,
+                    ea: 0,
+                    val: 0,
+                },
+                CommitRecord {
+                    cycle: 2,
+                    pc: 4,
+                    raw: 0,
+                    ea: 0,
+                    val: 0,
+                },
             ],
             cycles: 10,
             output: vec![],

@@ -14,7 +14,10 @@ const MAX: u64 = 2_000_000;
 
 fn run_program(p: &Program, cfg: MuarchConfig) -> avgi_muarch::run::RunReport {
     let mut sim = Sim::new(p, cfg);
-    sim.run(&RunControl { max_cycles: MAX, ..Default::default() })
+    sim.run(&RunControl {
+        max_cycles: MAX,
+        ..Default::default()
+    })
 }
 
 /// sum 1..=n, store to output.
@@ -56,7 +59,10 @@ fn timing_differs_across_configs_but_results_match() {
     let big = run_program(&p, MuarchConfig::big());
     let small = run_program(&p, MuarchConfig::small());
     assert_eq!(big.output, small.output);
-    assert_ne!(big.cycles, small.cycles, "different microarchitectures, different timing");
+    assert_ne!(
+        big.cycles, small.cycles,
+        "different microarchitectures, different timing"
+    );
 }
 
 #[test]
@@ -81,7 +87,11 @@ fn golden_trace_matches_itself() {
         ..Default::default()
     });
     assert_eq!(r.outcome, RunOutcome::Completed);
-    assert!(r.first_deviation.is_none(), "fault-free run must not deviate: {:?}", r.first_deviation);
+    assert!(
+        r.first_deviation.is_none(),
+        "fault-free run must not deviate: {:?}",
+        r.first_deviation
+    );
     assert_eq!(r.output.as_deref(), Some(&golden.output[..]));
 }
 
@@ -171,8 +181,14 @@ fn data_dependent_branches_predict_and_recover() {
     let r = run_program(&p, MuarchConfig::big());
     assert_eq!(r.outcome, RunOutcome::Completed);
     let out = r.output.unwrap();
-    assert_eq!(u32::from_le_bytes(out[..4].try_into().unwrap()), 32 * 3 + 32 * 5);
-    assert!(r.stats.mispredicts > 0, "alternating branch must mispredict sometimes");
+    assert_eq!(
+        u32::from_le_bytes(out[..4].try_into().unwrap()),
+        32 * 3 + 32 * 5
+    );
+    assert!(
+        r.stats.mispredicts > 0,
+        "alternating branch must mispredict sometimes"
+    );
 }
 
 #[test]
@@ -182,7 +198,10 @@ fn watchdog_catches_infinite_loop() {
     a.j("spin");
     let p = Program::new("spin", a.assemble().unwrap(), 0);
     let mut sim = Sim::new(&p, MuarchConfig::big());
-    let r = sim.run(&RunControl { max_cycles: 10_000, ..Default::default() });
+    let r = sim.run(&RunControl {
+        max_cycles: 10_000,
+        ..Default::default()
+    });
     assert_eq!(r.outcome, RunOutcome::Watchdog);
 }
 
@@ -192,7 +211,11 @@ fn fetch_past_code_end_traps() {
     a.nop(); // no halt: falls off the end
     let p = Program::new("falloff", a.assemble().unwrap(), 0);
     let r = run_program(&p, MuarchConfig::big());
-    assert!(matches!(r.outcome, RunOutcome::Trap(_)), "got {:?}", r.outcome);
+    assert!(
+        matches!(r.outcome, RunOutcome::Trap(_)),
+        "got {:?}",
+        r.outcome
+    );
 }
 
 #[test]
@@ -217,10 +240,17 @@ fn fault_in_free_register_is_benign() {
     // Highest physical register: handed out last from the free list, so a
     // short program never maps it.
     sim.inject(Fault {
-        site: FaultSite { structure: Structure::RegFile, bit: u64::from(cfg.phys_regs - 1) * 32 },
+        site: FaultSite {
+            structure: Structure::RegFile,
+            bit: u64::from(cfg.phys_regs - 1) * 32,
+        },
         cycle: 10,
     });
-    let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+    let r = sim.run(&RunControl {
+        max_cycles: MAX,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    });
     assert_eq!(r.outcome, RunOutcome::Completed);
     assert!(r.first_deviation.is_none());
     assert_eq!(r.output.as_deref(), Some(&golden.output[..]));
@@ -274,18 +304,31 @@ fn fault_in_live_register_corrupts_value() {
     for phys in 0..cfg.phys_regs as u64 {
         let mut sim = Sim::new(&p, cfg.clone());
         sim.inject(Fault {
-            site: FaultSite { structure: Structure::RegFile, bit: phys * 32 + 3 },
+            site: FaultSite {
+                structure: Structure::RegFile,
+                bit: phys * 32 + 3,
+            },
             cycle: golden.cycles / 2,
         });
-        let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+        let r = sim.run(&RunControl {
+            max_cycles: MAX,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         runs += 1;
         if r.first_deviation.is_some() {
             hit += 1;
         }
     }
     assert!(runs == cfg.phys_regs);
-    assert!(hit > 0, "the base pointer's physical register must be vulnerable");
-    assert!(hit < runs, "some registers must be unmapped (hardware masking)");
+    assert!(
+        hit > 0,
+        "the base pointer's physical register must be vulnerable"
+    );
+    assert!(
+        hit < runs,
+        "some registers must be unmapped (hardware masking)"
+    );
 }
 
 #[test]
@@ -307,12 +350,25 @@ fn rob_fault_on_live_entry_is_integrity_violation() {
     let mut violated = false;
     for c in (golden.cycles / 4)..(golden.cycles / 4 + 200) {
         let mut sim = Sim::new(&p, cfg.clone());
-        sim.inject(Fault { site: FaultSite { structure: Structure::Rob, bit: 3 }, cycle: c });
-        let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+        sim.inject(Fault {
+            site: FaultSite {
+                structure: Structure::Rob,
+                bit: 3,
+            },
+            cycle: c,
+        });
+        let r = sim.run(&RunControl {
+            max_cycles: MAX,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         match r.outcome {
             RunOutcome::IntegrityViolation(Structure::Rob) => {
                 violated = true;
-                assert!(r.first_deviation.is_none(), "PRE crashes before any ISA deviation");
+                assert!(
+                    r.first_deviation.is_none(),
+                    "PRE crashes before any ISA deviation"
+                );
                 break;
             }
             _ => continue,
@@ -364,10 +420,17 @@ fn l1d_data_fault_corrupts_loaded_value() {
         let bit = (total_bits / 64) * k + 5;
         let mut sim = Sim::new(&p, cfg.clone());
         sim.inject(Fault {
-            site: FaultSite { structure: Structure::L1DData, bit },
+            site: FaultSite {
+                structure: Structure::L1DData,
+                bit,
+            },
             cycle: golden.cycles / 2,
         });
-        let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+        let r = sim.run(&RunControl {
+            max_cycles: MAX,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         if r.output.as_deref() != Some(&golden.output[..]) || r.first_deviation.is_some() {
             corrupted += 1;
         }
@@ -383,10 +446,17 @@ fn post_inject_cycles_accounting() {
     let mut sim = Sim::new(&p, cfg.clone());
     let at = golden.cycles / 2;
     sim.inject(Fault {
-        site: FaultSite { structure: Structure::RegFile, bit: 40 * 32 },
+        site: FaultSite {
+            structure: Structure::RegFile,
+            bit: 40 * 32,
+        },
         cycle: at,
     });
-    let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden), ..Default::default() });
+    let r = sim.run(&RunControl {
+        max_cycles: MAX,
+        golden: Some(golden),
+        ..Default::default()
+    });
     assert_eq!(r.inject_cycle, Some(at));
     assert_eq!(r.post_inject_cycles(), r.cycles - at);
 }
@@ -399,7 +469,10 @@ fn ert_stop_ends_benign_runs_early() {
     let mut sim = Sim::new(&p, cfg.clone());
     // Free register: benign fault.
     sim.inject(Fault {
-        site: FaultSite { structure: Structure::RegFile, bit: u64::from(cfg.phys_regs - 1) * 32 },
+        site: FaultSite {
+            structure: Structure::RegFile,
+            bit: u64::from(cfg.phys_regs - 1) * 32,
+        },
         cycle: 100,
     });
     let window = 500;
@@ -410,7 +483,10 @@ fn ert_stop_ends_benign_runs_early() {
         ..Default::default()
     });
     assert_eq!(r.outcome, RunOutcome::ErtExpired);
-    assert!(r.cycles < golden.cycles, "ERT stop must beat end-to-end simulation");
+    assert!(
+        r.cycles < golden.cycles,
+        "ERT stop must beat end-to-end simulation"
+    );
     assert!(r.cycles >= 100 + window);
 }
 
@@ -423,7 +499,10 @@ fn stop_at_first_deviation_ends_runs_early() {
     // shorter than the end-to-end run.
     for phys in 24..cfg.phys_regs as u64 {
         let fault = Fault {
-            site: FaultSite { structure: Structure::RegFile, bit: phys * 32 + 2 },
+            site: FaultSite {
+                structure: Structure::RegFile,
+                bit: phys * 32 + 2,
+            },
             cycle: golden.cycles / 4,
         };
         let mut full = Sim::new(&p, cfg.clone());
@@ -486,10 +565,17 @@ fn dirty_output_line_corruption_is_a_silent_escape() {
     for k in 0..200u64 {
         let mut sim = Sim::new(&p, cfg.clone());
         sim.inject(Fault {
-            site: FaultSite { structure: Structure::L1DData, bit: (bits / 200) * k },
+            site: FaultSite {
+                structure: Structure::L1DData,
+                bit: (bits / 200) * k,
+            },
             cycle: golden.cycles - 2_000, // deep in the spin: output written, unread
         });
-        let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+        let r = sim.run(&RunControl {
+            max_cycles: MAX,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         if r.outcome == RunOutcome::Completed
             && r.first_deviation.is_none()
             && r.output.as_deref() != Some(&golden.output[..])
@@ -512,10 +598,17 @@ fn dtlb_fault_redirects_data_accesses() {
     for bit in 0..bits {
         let mut sim = Sim::new(&p, cfg.clone());
         sim.inject(Fault {
-            site: FaultSite { structure: Structure::Dtlb, bit },
+            site: FaultSite {
+                structure: Structure::Dtlb,
+                bit,
+            },
             cycle: golden.cycles / 2,
         });
-        let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+        let r = sim.run(&RunControl {
+            max_cycles: MAX,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         if r.first_deviation.is_some() || r.outcome.is_crash() {
             affected += 1;
         }
@@ -535,16 +628,29 @@ fn itlb_fault_can_corrupt_instruction_stream() {
     for bit in 0..bits {
         let mut sim = Sim::new(&p, cfg.clone());
         sim.inject(Fault {
-            site: FaultSite { structure: Structure::Itlb, bit },
+            site: FaultSite {
+                structure: Structure::Itlb,
+                bit,
+            },
             cycle: golden.cycles / 2,
         });
-        let r = sim.run(&RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() });
+        let r = sim.run(&RunControl {
+            max_cycles: MAX,
+            golden: Some(golden.clone()),
+            ..Default::default()
+        });
         if r.first_deviation.is_some() || r.outcome.is_crash() {
             affected += 1;
         }
     }
-    assert!(affected > 0, "a live ITLB entry backs every instruction fetch");
-    assert!(affected < bits, "stale/invalid ITLB entries must stay benign");
+    assert!(
+        affected > 0,
+        "a live ITLB entry backs every instruction fetch"
+    );
+    assert!(
+        affected < bits,
+        "stale/invalid ITLB entries must stay benign"
+    );
 }
 
 #[test]
@@ -554,10 +660,17 @@ fn resumed_simulation_equals_uninterrupted_run() {
     let p = sum_program(800);
     let cfg = MuarchConfig::big();
     let golden = capture_golden(&p, &cfg, MAX);
-    let ctl = RunControl { max_cycles: MAX, golden: Some(golden.clone()), ..Default::default() };
+    let ctl = RunControl {
+        max_cycles: MAX,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
 
     let fault = Fault {
-        site: FaultSite { structure: Structure::RegFile, bit: 26 * 32 + 4 },
+        site: FaultSite {
+            structure: Structure::RegFile,
+            bit: 26 * 32 + 4,
+        },
         cycle: golden.cycles / 2,
     };
     let mut fresh = Sim::new(&p, cfg.clone());

@@ -3,6 +3,12 @@ use avgi_muarch::pipeline::capture_golden;
 fn main() {
     for w in avgi_workloads::all() {
         let g = capture_golden(&w.program, &MuarchConfig::big(), 20_000_000);
-        println!("{:<14} cycles={:<8} instrs={:<8} out={}B", w.name, g.cycles, g.trace.len(), w.output_bytes());
+        println!(
+            "{:<14} cycles={:<8} instrs={:<8} out={}B",
+            w.name,
+            g.cycles,
+            g.trace.len(),
+            w.output_bytes()
+        );
     }
 }

@@ -66,7 +66,7 @@ pub fn build() -> Workload {
     a.lw(T2, T7, 0); // a
     a.add(T7, A1, T6);
     a.lw(T4, T7, 0); // b
-    // Euclid's GCD on (T3, T4).
+                     // Euclid's GCD on (T3, T4).
     a.mv(T3, T2);
     a.label("gcd_loop");
     a.beq(T4, ZERO, "gcd_done");
@@ -105,10 +105,13 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "outer");
     a.halt();
 
-    let program =
-        Program::new("basicmath", a.assemble().expect("basicmath assembles"), 2 * (N as u32) * 4)
-            .with_data(DATA_BASE, words_to_bytes(&a_in))
-            .with_data(B_ADDR, words_to_bytes(&b_in));
+    let program = Program::new(
+        "basicmath",
+        a.assemble().expect("basicmath assembles"),
+        2 * (N as u32) * 4,
+    )
+    .with_data(DATA_BASE, words_to_bytes(&a_in))
+    .with_data(B_ADDR, words_to_bytes(&b_in));
     Workload {
         name: "basicmath",
         suite: Suite::MiBench,

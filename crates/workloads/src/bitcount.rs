@@ -58,6 +58,9 @@ mod tests {
         let w = build();
         let total = u32::from_le_bytes(w.expected[..4].try_into().unwrap());
         // 256 uniform words average ~16 set bits each.
-        assert!((3000..5300).contains(&total), "implausible popcount {total}");
+        assert!(
+            (3000..5300).contains(&total),
+            "implausible popcount {total}"
+        );
     }
 }

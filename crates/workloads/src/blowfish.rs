@@ -55,9 +55,12 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "loop");
     a.halt();
 
-    let program =
-        Program::new("blowfish", a.assemble().expect("blowfish assembles"), (WORDS * 4) as u32)
-            .with_data(DATA_BASE, words_to_bytes(&input));
+    let program = Program::new(
+        "blowfish",
+        a.assemble().expect("blowfish assembles"),
+        (WORDS * 4) as u32,
+    )
+    .with_data(DATA_BASE, words_to_bytes(&input));
     Workload {
         name: "blowfish",
         suite: Suite::MiBench,

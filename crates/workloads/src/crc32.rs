@@ -55,9 +55,14 @@ pub fn build() -> Workload {
     a.sw(A1, S0, 0);
     a.halt();
 
-    let program = Program::new("crc32", a.assemble().expect("crc32 assembles"), 4)
-        .with_data(DATA_BASE, data);
-    Workload { name: "crc32", suite: Suite::MiBench, program, expected: crc.to_le_bytes().to_vec() }
+    let program =
+        Program::new("crc32", a.assemble().expect("crc32 assembles"), 4).with_data(DATA_BASE, data);
+    Workload {
+        name: "crc32",
+        suite: Suite::MiBench,
+        program,
+        expected: crc.to_le_bytes().to_vec(),
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ const VISITED_ADDR: u32 = DATA_BASE + 0x4200;
 
 fn reference(adj: &[u32]) -> Vec<u32> {
     let mut dist = vec![INF; N];
-    let mut visited = vec![false; N];
+    let mut visited = [false; N];
     dist[0] = 0;
     for _ in 0..N {
         let mut u = usize::MAX;
@@ -123,9 +123,18 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "copy");
     a.halt();
 
-    let program = Program::new("dijkstra", a.assemble().expect("dijkstra assembles"), (N * 4) as u32)
-        .with_data(DATA_BASE, words_to_bytes(&adj));
-    Workload { name: "dijkstra", suite: Suite::MiBench, program, expected: words_to_bytes(&dist) }
+    let program = Program::new(
+        "dijkstra",
+        a.assemble().expect("dijkstra assembles"),
+        (N * 4) as u32,
+    )
+    .with_data(DATA_BASE, words_to_bytes(&adj));
+    Workload {
+        name: "dijkstra",
+        suite: Suite::MiBench,
+        program,
+        expected: words_to_bytes(&dist),
+    }
 }
 
 #[cfg(test)]
@@ -141,8 +150,14 @@ mod tests {
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
         assert_eq!(d[0], 0);
-        assert!(d.iter().all(|&x| x < INF), "dense graph: everything reachable");
+        assert!(
+            d.iter().all(|&x| x < INF),
+            "dense graph: everything reachable"
+        );
         // Direct edges bound the shortest paths.
-        assert!(d.iter().all(|&x| x <= 255 * 2), "two hops of max weight suffice here");
+        assert!(
+            d.iter().all(|&x| x <= 255 * 2),
+            "two hops of max weight suffice here"
+        );
     }
 }

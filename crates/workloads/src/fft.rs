@@ -17,8 +17,7 @@ const TWIDDLES: [u32; STAGES] = [256, 237, 181, 98, 30, 301, 412, 144];
 
 fn reference(input: &[u32]) -> Vec<u32> {
     let mut x = input.to_vec();
-    for s in 0..STAGES {
-        let w = TWIDDLES[s];
+    for &w in TWIDDLES.iter().take(STAGES) {
         for i in 0..HALF {
             let a = x[i];
             let b = x[i + HALF];
@@ -78,7 +77,12 @@ pub fn build() -> Workload {
     let program = Program::new("fft", a.assemble().expect("fft assembles"), (N * 4) as u32)
         .with_data(DATA_BASE, words_to_bytes(&input))
         .with_data(TW_ADDR, words_to_bytes(&TWIDDLES));
-    Workload { name: "fft", suite: Suite::MiBench, program, expected: words_to_bytes(&output) }
+    Workload {
+        name: "fft",
+        suite: Suite::MiBench,
+        program,
+        expected: words_to_bytes(&output),
+    }
 }
 
 #[cfg(test)]

@@ -124,7 +124,10 @@ mod tests {
         let min = ws.iter().map(|w| w.output_bytes()).min().unwrap();
         let max = ws.iter().map(|w| w.output_bytes()).max().unwrap();
         assert!(min <= 16, "need tiny-output workloads (sha/bitcount style)");
-        assert!(max >= 8 * 1024, "need large-output workloads (cipher style)");
+        assert!(
+            max >= 8 * 1024,
+            "need large-output workloads (cipher style)"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ const Y_ADDR: u32 = DATA_BASE + 0x1100;
 
 fn reference(mat: &[u32], x0: &[u32]) -> Vec<u32> {
     let mut x = x0.to_vec();
-    let mut y = vec![0u32; N];
+    let mut y = [0u32; N];
     for _ in 0..ITERS {
         for i in 0..N {
             let mut acc = 0u32;
@@ -95,10 +95,19 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "copy");
     a.halt();
 
-    let program = Program::new("nas_cg", a.assemble().expect("nas_cg assembles"), (N * 4) as u32)
-        .with_data(DATA_BASE, words_to_bytes(&mat))
-        .with_data(X_ADDR, words_to_bytes(&x0));
-    Workload { name: "nas_cg", suite: Suite::Nas, program, expected: words_to_bytes(&x_final) }
+    let program = Program::new(
+        "nas_cg",
+        a.assemble().expect("nas_cg assembles"),
+        (N * 4) as u32,
+    )
+    .with_data(DATA_BASE, words_to_bytes(&mat))
+    .with_data(X_ADDR, words_to_bytes(&x0));
+    Workload {
+        name: "nas_cg",
+        suite: Suite::Nas,
+        program,
+        expected: words_to_bytes(&x_final),
+    }
 }
 
 #[cfg(test)]

@@ -59,9 +59,18 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "vloop");
     a.halt();
 
-    let program = Program::new("nas_is", a.assemble().expect("nas_is assembles"), KEYS as u32)
-        .with_data(DATA_BASE, keys);
-    Workload { name: "nas_is", suite: Suite::Nas, program, expected: sorted }
+    let program = Program::new(
+        "nas_is",
+        a.assemble().expect("nas_is assembles"),
+        KEYS as u32,
+    )
+    .with_data(DATA_BASE, keys);
+    Workload {
+        name: "nas_is",
+        suite: Suite::Nas,
+        program,
+        expected: sorted,
+    }
 }
 
 #[cfg(test)]

@@ -18,10 +18,7 @@ fn reference(input: &[u32]) -> Vec<u32> {
         // Gauss-Seidel order: the updated left neighbour feeds the next
         // point, exactly as the in-place assembly loop does.
         for i in 1..N - 1 {
-            a[i] = a[i - 1]
-                .wrapping_add(a[i] << 1)
-                .wrapping_add(a[i + 1])
-                >> 2;
+            a[i] = a[i - 1].wrapping_add(a[i] << 1).wrapping_add(a[i + 1]) >> 2;
         }
     }
     a
@@ -69,9 +66,18 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "copy");
     a.halt();
 
-    let program = Program::new("nas_mg", a.assemble().expect("nas_mg assembles"), (N * 4) as u32)
-        .with_data(DATA_BASE, words_to_bytes(&input));
-    Workload { name: "nas_mg", suite: Suite::Nas, program, expected: words_to_bytes(&output) }
+    let program = Program::new(
+        "nas_mg",
+        a.assemble().expect("nas_mg assembles"),
+        (N * 4) as u32,
+    )
+    .with_data(DATA_BASE, words_to_bytes(&input));
+    Workload {
+        name: "nas_mg",
+        suite: Suite::Nas,
+        program,
+        expected: words_to_bytes(&output),
+    }
 }
 
 #[cfg(test)]

@@ -55,9 +55,18 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "copy");
     a.halt();
 
-    let program = Program::new("qsort", a.assemble().expect("qsort assembles"), (N * 4) as u32)
-        .with_data(DATA_BASE, words_to_bytes(&data));
-    Workload { name: "qsort", suite: Suite::MiBench, program, expected: words_to_bytes(&sorted) }
+    let program = Program::new(
+        "qsort",
+        a.assemble().expect("qsort assembles"),
+        (N * 4) as u32,
+    )
+    .with_data(DATA_BASE, words_to_bytes(&data));
+    Workload {
+        name: "qsort",
+        suite: Suite::MiBench,
+        program,
+        expected: words_to_bytes(&sorted),
+    }
 }
 
 #[cfg(test)]

@@ -60,10 +60,19 @@ pub fn build() -> Workload {
     a.bne(T0, T1, "loop");
     a.halt();
 
-    let program = Program::new("rijndael", a.assemble().expect("rijndael assembles"), BYTES as u32)
-        .with_data(DATA_BASE, sbox)
-        .with_data(INPUT_ADDR, input);
-    Workload { name: "rijndael", suite: Suite::MiBench, program, expected: output }
+    let program = Program::new(
+        "rijndael",
+        a.assemble().expect("rijndael assembles"),
+        BYTES as u32,
+    )
+    .with_data(DATA_BASE, sbox)
+    .with_data(INPUT_ADDR, input);
+    Workload {
+        name: "rijndael",
+        suite: Suite::MiBench,
+        program,
+        expected: output,
+    }
 }
 
 #[cfg(test)]

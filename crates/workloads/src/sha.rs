@@ -44,9 +44,14 @@ pub fn build() -> Workload {
     a.sw(A1, S0, 0);
     a.halt();
 
-    let program = Program::new("sha", a.assemble().expect("sha assembles"), 4)
-        .with_data(DATA_BASE, data);
-    Workload { name: "sha", suite: Suite::MiBench, program, expected: digest.to_le_bytes().to_vec() }
+    let program =
+        Program::new("sha", a.assemble().expect("sha assembles"), 4).with_data(DATA_BASE, data);
+    Workload {
+        name: "sha",
+        suite: Suite::MiBench,
+        program,
+        expected: digest.to_le_bytes().to_vec(),
+    }
 }
 
 #[cfg(test)]

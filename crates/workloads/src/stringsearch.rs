@@ -103,7 +103,13 @@ mod tests {
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
         assert_eq!(words.len(), PATTERNS);
-        assert!(words[..6].iter().all(|&p| p != u32::MAX), "sampled patterns must match");
-        assert!(words[6..].iter().all(|&p| p == u32::MAX), "digit patterns cannot occur");
+        assert!(
+            words[..6].iter().all(|&p| p != u32::MAX),
+            "sampled patterns must match"
+        );
+        assert!(
+            words[6..].iter().all(|&p| p == u32::MAX),
+            "digit patterns cannot occur"
+        );
     }
 }

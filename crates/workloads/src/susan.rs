@@ -88,9 +88,18 @@ pub fn build() -> Workload {
     a.bne(S0, S4, "yloop");
     a.halt();
 
-    let program = Program::new("susan", a.assemble().expect("susan assembles"), (W * H) as u32)
-        .with_data(DATA_BASE, img);
-    Workload { name: "susan", suite: Suite::MiBench, program, expected: out }
+    let program = Program::new(
+        "susan",
+        a.assemble().expect("susan assembles"),
+        (W * H) as u32,
+    )
+    .with_data(DATA_BASE, img);
+    Workload {
+        name: "susan",
+        suite: Suite::MiBench,
+        program,
+        expected: out,
+    }
 }
 
 #[cfg(test)]

@@ -49,9 +49,23 @@ fn main() {
         program,
     };
     println!("\ninjecting register-file faults:");
-    for (bit, cycle) in [(24 * 32 + 1, golden.cycles / 4), (95 * 32 + 9, 10), (26 * 32 + 3, golden.cycles / 2)] {
-        let fault = Fault { site: FaultSite { structure: Structure::RegFile, bit }, cycle };
+    for (bit, cycle) in [
+        (24 * 32 + 1, golden.cycles / 4),
+        (95 * 32 + 9, 10),
+        (26 * 32 + 3, golden.cycles / 2),
+    ] {
+        let fault = Fault {
+            site: FaultSite {
+                structure: Structure::RegFile,
+                bit,
+            },
+            cycle,
+        };
         let r = run_one(&w, &cfg, &golden, fault, RunMode::Instrumented, 1);
-        println!("  {fault}: {} -> outcome {:?}", classify_injection(&r), r.outcome);
+        println!(
+            "  {fault}: {} -> outcome {:?}",
+            classify_injection(&r),
+            r.outcome
+        );
     }
 }

@@ -17,8 +17,14 @@ fn main() {
     let golden = golden_for(&w, &cfg);
     let faults = 250;
 
-    println!("FIT rates for `{}` on {} (raw rate {RAW_FIT_PER_BIT} FIT/bit)\n", w.name, cfg.name);
-    println!("{:>11} {:>10} {:>8} {:>10}", "structure", "bits", "AVF", "FIT");
+    println!(
+        "FIT rates for `{}` on {} (raw rate {RAW_FIT_PER_BIT} FIT/bit)\n",
+        w.name, cfg.name
+    );
+    println!(
+        "{:>11} {:>10} {:>8} {:>10}",
+        "structure", "bits", "AVF", "FIT"
+    );
     let mut avfs = Vec::new();
     for &s in Structure::all() {
         let avf = exhaustive(&w, &cfg, &golden, s, faults, 7).effect.avf();

@@ -19,7 +19,10 @@ fn main() {
     // 1. Learn per-IMM weights from exhaustive campaigns on every workload
     //    except the one we want to assess (leave-one-out).
     let target = workloads.last().expect("workloads exist");
-    println!("learning IMM weights for {structure} (training: {} workloads)...", workloads.len() - 1);
+    println!(
+        "learning IMM weights for {structure} (training: {} workloads)...",
+        workloads.len() - 1
+    );
     let analyses: Vec<_> = workloads
         .iter()
         .filter(|w| w.name != target.name)
@@ -33,15 +36,27 @@ fn main() {
     // 2. Assess the held-out workload with AVGI (first-deviation stop + ERT
     //    window + ESC estimation)...
     let golden = golden_for(target, &cfg);
-    let opts = AvgiOptions { faults, seed: 2, ..Default::default() };
+    let opts = AvgiOptions {
+        faults,
+        seed: 2,
+        ..Default::default()
+    };
     let avgi = assess(target, &cfg, &golden, &weights, &opts);
 
     // 3. ...and compare against the exhaustive ground truth.
     let real = exhaustive(target, &cfg, &golden, structure, faults, 2);
 
     println!("\nworkload `{}`, structure {structure}:", target.name);
-    println!("  exhaustive SFI : {}  ({} Mcycles simulated)", real.effect, real.cost_cycles / 1_000_000);
-    println!("  AVGI           : {}  ({} Mcycles simulated)", avgi.predicted, avgi.cost_cycles / 1_000_000);
+    println!(
+        "  exhaustive SFI : {}  ({} Mcycles simulated)",
+        real.effect,
+        real.cost_cycles / 1_000_000
+    );
+    println!(
+        "  AVGI           : {}  ({} Mcycles simulated)",
+        avgi.predicted,
+        avgi.cost_cycles / 1_000_000
+    );
     println!(
         "  max class diff : {:.2}%   speedup: {:.1}x",
         real.effect.max_abs_diff(avgi.predicted) * 100.0,

@@ -14,7 +14,12 @@ use avgi_repro::muarch::{MuarchConfig, Structure};
 fn main() {
     let cfg = MuarchConfig::big();
     let faults = 200;
-    let structures = [Structure::RegFile, Structure::Dtlb, Structure::L1IData, Structure::L1DData];
+    let structures = [
+        Structure::RegFile,
+        Structure::Dtlb,
+        Structure::L1IData,
+        Structure::L1DData,
+    ];
     println!(
         "manifestation latency and ERT windows ({} faults x {} workloads per structure)\n",
         faults,
@@ -36,12 +41,31 @@ fn main() {
                 &golden,
                 &CampaignConfig::new(s, faults, RunMode::Instrumented),
             );
+            for msg in &c.warnings {
+                eprintln!("[health] {} / {}: {msg}", s.label(), w.name);
+            }
+            if c.aborted_count() > 0 || c.wall_expired_count() > 0 {
+                eprintln!(
+                    "[health] {} / {}: {} aborted ({:.2}%), {} wall-clock expired",
+                    s.label(),
+                    w.name,
+                    c.aborted_count(),
+                    c.abort_rate() * 100.0,
+                    c.wall_expired_count()
+                );
+            }
             analyses.push(JointAnalysis::from_campaign(&c));
         }
-        let mut lats: Vec<u64> =
-            analyses.iter().flat_map(|a| a.manifestation_latencies.iter().copied()).collect();
+        let mut lats: Vec<u64> = analyses
+            .iter()
+            .flat_map(|a| a.manifestation_latencies.iter().copied())
+            .collect();
         lats.sort_unstable();
-        let q = |p: f64| lats.get(((lats.len().max(1) - 1) as f64 * p) as usize).copied().unwrap_or(0);
+        let q = |p: f64| {
+            lats.get(((lats.len().max(1) - 1) as f64 * p) as usize)
+                .copied()
+                .unwrap_or(0)
+        };
         println!(
             "{:>11} {:>8} {:>9} {:>9} {:>9} {:>12} {:>12}",
             s.label(),

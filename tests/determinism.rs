@@ -41,6 +41,10 @@ fn golden_outputs_match_reference_for_every_workload() {
     let cfg = MuarchConfig::big();
     for w in avgi_repro::workloads::all() {
         let golden = golden_for(&w, &cfg);
-        assert_eq!(golden.output, w.expected, "{} diverged from reference", w.name);
+        assert_eq!(
+            golden.output, w.expected,
+            "{} diverged from reference",
+            w.name
+        );
     }
 }

@@ -26,7 +26,11 @@ fn methodology_end_to_end_on_register_file() {
     let weights = learn_weights(&analyses, None);
 
     let golden = golden_for(target, &cfg);
-    let opts = AvgiOptions { faults: FAULTS, seed: 12, ..Default::default() };
+    let opts = AvgiOptions {
+        faults: FAULTS,
+        seed: 12,
+        ..Default::default()
+    };
     let avgi = assess(target, &cfg, &golden, &weights, &opts);
     let real = exhaustive(target, &cfg, &golden, Structure::RegFile, FAULTS, 12);
 
@@ -58,7 +62,12 @@ fn rob_pipeline_yields_pure_pre_and_crash_weights() {
     for a in &analyses {
         for imm in Imm::all() {
             if *imm != Imm::Pre {
-                assert_eq!(a.imm_count(*imm), 0, "{}: unexpected {imm} in ROB", a.workload);
+                assert_eq!(
+                    a.imm_count(*imm),
+                    0,
+                    "{}: unexpected {imm} in ROB",
+                    a.workload
+                );
             }
         }
     }
@@ -79,8 +88,7 @@ fn first_deviation_campaign_matches_instrumented_classification() {
     let cfg = MuarchConfig::big();
     let w = avgi_repro::workloads::by_name("crc32").unwrap();
     let golden = golden_for(&w, &cfg);
-    let base = CampaignConfig::new(Structure::RegFile, FAULTS, RunMode::Instrumented)
-        .with_seed(31);
+    let base = CampaignConfig::new(Structure::RegFile, FAULTS, RunMode::Instrumented).with_seed(31);
     let instrumented = run_campaign(&w, &cfg, &golden, &base);
     let early = run_campaign(
         &w,

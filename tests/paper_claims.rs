@@ -14,7 +14,9 @@ fn ace_analysis_overestimates_sfi_on_the_register_file() {
     for name in ["sha", "crc32"] {
         let w = avgi_repro::workloads::by_name(name).unwrap();
         let golden = golden_for(&w, &cfg);
-        let sfi = exhaustive(&w, &cfg, &golden, Structure::RegFile, 150, 3).effect.avf();
+        let sfi = exhaustive(&w, &cfg, &golden, Structure::RegFile, 150, 3)
+            .effect
+            .avf();
         let ace = ace_regfile(&golden, &cfg).avf();
         assert!(
             ace > sfi,
@@ -62,7 +64,10 @@ fn large_output_workloads_escape_more() {
     let blowfish = esc_count("blowfish");
     let sha = esc_count("sha");
     assert!(blowfish > sha, "blowfish {blowfish} vs sha {sha}");
-    assert!(blowfish >= 5, "a 12 KiB output must escape repeatedly, got {blowfish}");
+    assert!(
+        blowfish >= 5,
+        "a 12 KiB output must escape repeatedly, got {blowfish}"
+    );
     assert_eq!(sha, 0, "a 4-byte output practically cannot be hit");
 }
 

@@ -1,4 +1,9 @@
-//! Property-based tests of the core invariants, spanning crates.
+//! Randomized property tests of the core invariants, spanning crates.
+//!
+//! These were originally `proptest` properties; the repository must build
+//! fully offline, so they are now deterministic loops over an in-repo
+//! xoshiro256** generator (`avgi-rng`) — same invariants, fixed seeds,
+//! reproducible failures.
 
 use avgi_repro::core::classify::{classify_conditions, Conditions};
 use avgi_repro::core::{EffectDistribution, EscModel, ImmClass};
@@ -7,31 +12,21 @@ use avgi_repro::isa::instr::{decode, Instr};
 use avgi_repro::isa::opcode::Opcode;
 use avgi_repro::isa::reg::Reg;
 use avgi_repro::muarch::{MuarchConfig, Structure};
-use proptest::prelude::*;
+use avgi_rng::Rng;
 
-fn arb_opcode() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(Opcode::all().to_vec())
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range_u64(u64::from(avgi_repro::isa::NUM_ARCH_REGS)) as u8).expect("in range")
 }
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..avgi_repro::isa::NUM_ARCH_REGS).prop_map(|i| Reg::new(i).expect("in range"))
-}
-
-fn arb_structure() -> impl Strategy<Value = Structure> {
-    prop::sample::select(Structure::all().to_vec())
-}
-
-proptest! {
-    /// Every valid instruction survives an encode/decode roundtrip.
-    #[test]
-    fn encode_decode_roundtrip(
-        op in arb_opcode(),
-        rd in arb_reg(),
-        rs1 in arb_reg(),
-        rs2 in arb_reg(),
-        imm in -8192i32..8192,
-    ) {
-        use avgi_repro::isa::opcode::Format;
+/// Every valid instruction survives an encode/decode roundtrip.
+#[test]
+fn encode_decode_roundtrip() {
+    use avgi_repro::isa::opcode::Format;
+    let mut rng = Rng::seed_from_u64(0x1001);
+    for _ in 0..4096 {
+        let op = *rng.choose(Opcode::all());
+        let (rd, rs1, rs2) = (arb_reg(&mut rng), arb_reg(&mut rng), arb_reg(&mut rng));
+        let imm = rng.gen_range_i32(-8192, 8192);
         let imm = match op.format() {
             Format::J => imm * 16, // wider field; still in range
             Format::N | Format::R => 0,
@@ -39,165 +34,193 @@ proptest! {
         };
         let i = Instr::new(op, rd, rs1, rs2, imm);
         let d = decode(i.encode()).expect("valid instruction decodes");
-        prop_assert_eq!(d.op, op);
-        prop_assert_eq!(d.imm, imm);
-    }
-
-    /// Decoding never panics on arbitrary 32-bit words (totality).
-    #[test]
-    fn decode_is_total(word in any::<u32>()) {
-        let _ = decode(word);
-    }
-
-    /// The Fig. 2 diagram maps every condition vector to exactly one class,
-    /// and any vector with a commit-trace error never lands on the right
-    /// branch (PRE/ESC/Benign).
-    #[test]
-    fn imm_diagram_total_and_consistent(bits in any::<u8>()) {
-        let c = Conditions::from_bits(bits);
-        let class = classify_conditions(c);
-        if !c.commit_trace_correct() {
-            prop_assert!(matches!(class, ImmClass::Manifested(i)
-                if i != avgi_repro::core::Imm::Pre && i != avgi_repro::core::Imm::Esc));
-        } else {
-            prop_assert!(matches!(class, ImmClass::Benign
-                | ImmClass::Manifested(avgi_repro::core::Imm::Pre)
-                | ImmClass::Manifested(avgi_repro::core::Imm::Esc)));
-        }
-    }
-
-    /// Fault sampling stays in range for every structure and is
-    /// deterministic in the seed.
-    #[test]
-    fn fault_sampling_in_range(s in arb_structure(), seed in any::<u64>(), cycles in 1u64..1_000_000) {
-        let cfg = MuarchConfig::big();
-        let faults = sample_faults(s, &cfg, cycles, 50, seed);
-        let bits = s.bit_count(&cfg);
-        for f in &faults {
-            prop_assert!(f.site.bit < bits);
-            prop_assert!(f.cycle < cycles);
-            prop_assert_eq!(f.site.structure, s);
-        }
-        prop_assert_eq!(faults, sample_faults(s, &cfg, cycles, 50, seed));
-    }
-
-    /// Error margin and sample size are mutually consistent inverses.
-    #[test]
-    fn margin_size_inverse(n in 100usize..100_000) {
-        let e = error_margin(n, Confidence::C99);
-        let n2 = sample_size(e, Confidence::C99);
-        // Within rounding of each other.
-        prop_assert!((n2 as i64 - n as i64).abs() <= 2, "{n} -> {e} -> {n2}");
-    }
-
-    /// The ESC model always yields a fraction in [0, 1] and a count no
-    /// larger than the Benign population.
-    #[test]
-    fn esc_model_bounded(
-        out in 0u32..(1 << 24),
-        total in 1u64..10_000,
-        benign_frac in 0.0f64..=1.0,
-        scale in 0.0f64..1_000.0,
-    ) {
-        let benign = ((total as f64) * benign_frac) as u64;
-        let m = EscModel { scale };
-        let f = m.esc_fraction(out, total, benign);
-        prop_assert!((0.0..=1.0).contains(&f));
-        prop_assert!(m.esc_count(out, total, benign) <= benign as f64 + 1e-9);
-    }
-
-    /// Effect distributions: max_abs_diff is a metric (symmetric, zero on
-    /// self, triangle inequality).
-    #[test]
-    fn effect_diff_is_a_metric(
-        a in prop::array::uniform3(0.0f64..1.0),
-        b in prop::array::uniform3(0.0f64..1.0),
-        c in prop::array::uniform3(0.0f64..1.0),
-    ) {
-        let norm = |v: [f64; 3]| {
-            let s: f64 = v.iter().sum::<f64>().max(1e-9);
-            EffectDistribution { masked: v[0] / s, sdc: v[1] / s, crash: v[2] / s }
-        };
-        let (a, b, c) = (norm(a), norm(b), norm(c));
-        prop_assert!(a.max_abs_diff(a) < 1e-12);
-        prop_assert!((a.max_abs_diff(b) - b.max_abs_diff(a)).abs() < 1e-12);
-        prop_assert!(a.max_abs_diff(c) <= a.max_abs_diff(b) + b.max_abs_diff(c) + 1e-12);
+        assert_eq!(d.op, op);
+        assert_eq!(d.imm, imm);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Decoding never panics on arbitrary 32-bit words (totality).
+#[test]
+fn decode_is_total() {
+    let mut rng = Rng::seed_from_u64(0x1002);
+    for _ in 0..100_000 {
+        let _ = decode(rng.next_u32());
+    }
+    // Plus the low words and boundaries exhaustively enough to matter.
+    for w in 0..=u32::from(u16::MAX) {
+        let _ = decode(w);
+        let _ = decode(w.rotate_left(16));
+    }
+}
 
-    /// Running any workload prefix of the suite is deterministic: same
-    /// seed, same campaign, same classification — through the whole stack.
-    #[test]
-    fn campaign_determinism(seed in any::<u64>()) {
-        use avgi_repro::faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
-        let cfg = MuarchConfig::big();
-        let w = avgi_repro::workloads::by_name("bitcount").expect("exists");
-        let golden = golden_for(&w, &cfg);
+/// The Fig. 2 diagram maps every condition vector to exactly one class,
+/// and any vector with a commit-trace error never lands on the right
+/// branch (PRE/ESC/Benign). Exhaustive over all 256 condition vectors.
+#[test]
+fn imm_diagram_total_and_consistent() {
+    for bits in 0..=u8::MAX {
+        let c = Conditions::from_bits(bits);
+        let class = classify_conditions(c);
+        if !c.commit_trace_correct() {
+            assert!(matches!(class, ImmClass::Manifested(i)
+                if i != avgi_repro::core::Imm::Pre && i != avgi_repro::core::Imm::Esc));
+        } else {
+            assert!(matches!(
+                class,
+                ImmClass::Benign
+                    | ImmClass::Manifested(avgi_repro::core::Imm::Pre)
+                    | ImmClass::Manifested(avgi_repro::core::Imm::Esc)
+            ));
+        }
+    }
+}
+
+/// Fault sampling stays in range for every structure and is deterministic
+/// in the seed.
+#[test]
+fn fault_sampling_in_range() {
+    let cfg = MuarchConfig::big();
+    let mut rng = Rng::seed_from_u64(0x1003);
+    for _ in 0..32 {
+        let s = *rng.choose(Structure::all());
+        let seed = rng.next_u64();
+        let cycles = 1 + rng.gen_range_u64(1_000_000);
+        let faults = sample_faults(s, &cfg, cycles, 50, seed);
+        let bits = s.bit_count(&cfg);
+        for f in &faults {
+            assert!(f.site.bit < bits);
+            assert!(f.cycle < cycles);
+            assert_eq!(f.site.structure, s);
+        }
+        assert_eq!(faults, sample_faults(s, &cfg, cycles, 50, seed));
+    }
+}
+
+/// Error margin and sample size are mutually consistent inverses.
+#[test]
+fn margin_size_inverse() {
+    let mut rng = Rng::seed_from_u64(0x1004);
+    for _ in 0..512 {
+        let n = 100 + rng.gen_range_usize(100_000 - 100);
+        let e = error_margin(n, Confidence::C99);
+        let n2 = sample_size(e, Confidence::C99);
+        // Within rounding of each other.
+        assert!((n2 as i64 - n as i64).abs() <= 2, "{n} -> {e} -> {n2}");
+    }
+}
+
+/// The ESC model always yields a fraction in [0, 1] and a count no larger
+/// than the Benign population.
+#[test]
+fn esc_model_bounded() {
+    let mut rng = Rng::seed_from_u64(0x1005);
+    for _ in 0..2048 {
+        let out = rng.next_u32() & ((1 << 24) - 1);
+        let total = 1 + rng.gen_range_u64(10_000 - 1);
+        let benign_frac = rng.gen_f64();
+        let scale = rng.gen_f64() * 1_000.0;
+        let benign = ((total as f64) * benign_frac) as u64;
+        let m = EscModel { scale };
+        let f = m.esc_fraction(out, total, benign);
+        assert!((0.0..=1.0).contains(&f));
+        assert!(m.esc_count(out, total, benign) <= benign as f64 + 1e-9);
+    }
+}
+
+/// Effect distributions: max_abs_diff is a metric (symmetric, zero on
+/// self, triangle inequality).
+#[test]
+fn effect_diff_is_a_metric() {
+    let mut rng = Rng::seed_from_u64(0x1006);
+    let arb = |rng: &mut Rng| {
+        let v = [rng.gen_f64(), rng.gen_f64(), rng.gen_f64()];
+        let s: f64 = v.iter().sum::<f64>().max(1e-9);
+        EffectDistribution {
+            masked: v[0] / s,
+            sdc: v[1] / s,
+            crash: v[2] / s,
+        }
+    };
+    for _ in 0..2048 {
+        let (a, b, c) = (arb(&mut rng), arb(&mut rng), arb(&mut rng));
+        assert!(a.max_abs_diff(a) < 1e-12);
+        assert!((a.max_abs_diff(b) - b.max_abs_diff(a)).abs() < 1e-12);
+        assert!(a.max_abs_diff(c) <= a.max_abs_diff(b) + b.max_abs_diff(c) + 1e-12);
+    }
+}
+
+/// Running any workload prefix of the suite is deterministic: same seed,
+/// same campaign, same classification — through the whole stack.
+#[test]
+fn campaign_determinism() {
+    use avgi_repro::faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+    let cfg = MuarchConfig::big();
+    let w = avgi_repro::workloads::by_name("bitcount").expect("exists");
+    let golden = golden_for(&w, &cfg);
+    let mut rng = Rng::seed_from_u64(0x1007);
+    for _ in 0..8 {
+        let seed = rng.next_u64();
         let cc = CampaignConfig::new(Structure::Dtlb, 10, RunMode::Instrumented).with_seed(seed);
         let a = run_campaign(&w, &cfg, &golden, &cc);
         let b = run_campaign(&w, &cfg, &golden, &cc);
         for (x, y) in a.results.iter().zip(&b.results) {
-            prop_assert_eq!(x.outcome, y.outcome);
-            prop_assert_eq!(x.cycles, y.cycles);
-            prop_assert_eq!(x.deviation, y.deviation);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.deviation, y.deviation);
         }
     }
 }
 
-proptest! {
-    /// Cross-validation of the encoding's field map against the decoder:
-    /// the field a flipped bit lands in determines the decode outcome —
-    /// the root mechanism behind the IRP/UNO/OFS manifestation classes.
-    #[test]
-    fn bit_field_map_predicts_decode_outcome(
-        op in prop::sample::select(avgi_repro::isa::opcode::Opcode::all().to_vec()),
-        rd in 0u8..avgi_repro::isa::NUM_ARCH_REGS,
-        rs1 in 0u8..avgi_repro::isa::NUM_ARCH_REGS,
-        rs2 in 0u8..avgi_repro::isa::NUM_ARCH_REGS,
-        imm in 0i32..8192,
-        bit in 0u32..32,
-    ) {
-        use avgi_repro::isa::encoding::{field_of_bit, Field};
-        use avgi_repro::isa::instr::{decode, DecodeError, Instr};
-        use avgi_repro::isa::opcode::Format;
-        use avgi_repro::isa::reg::Reg;
+/// Cross-validation of the encoding's field map against the decoder: the
+/// field a flipped bit lands in determines the decode outcome — the root
+/// mechanism behind the IRP/UNO/OFS manifestation classes.
+#[test]
+fn bit_field_map_predicts_decode_outcome() {
+    use avgi_repro::isa::encoding::{field_of_bit, Field};
+    use avgi_repro::isa::instr::DecodeError;
+    use avgi_repro::isa::opcode::Format;
 
-        let r = |x: u8| Reg::new(x).expect("in range");
-        let imm = if op.format() == Format::N || op.format() == Format::R { 0 } else { imm };
-        let i = Instr::new(op, r(rd), r(rs1), r(rs2), imm);
+    let mut rng = Rng::seed_from_u64(0x1008);
+    for _ in 0..8192 {
+        let op = *rng.choose(Opcode::all());
+        let (rd, rs1, rs2) = (arb_reg(&mut rng), arb_reg(&mut rng), arb_reg(&mut rng));
+        let imm = rng.gen_range_i32(0, 8192);
+        let bit = rng.gen_range_u64(32) as u32;
+
+        let imm = if op.format() == Format::N || op.format() == Format::R {
+            0
+        } else {
+            imm
+        };
+        let i = Instr::new(op, rd, rs1, rs2, imm);
         let original = i.encode();
         let corrupted = original ^ (1u32 << bit);
         match field_of_bit(op.format(), bit) {
             Field::Imm => {
                 // Immediate flips always stay in the ISA, different value.
                 let d = decode(corrupted).expect("imm flip keeps a valid word");
-                prop_assert_eq!(d.op, op);
-                prop_assert_ne!(d.imm, i.imm);
+                assert_eq!(d.op, op);
+                assert_ne!(d.imm, i.imm);
             }
             Field::Pad => {
                 // Pad was zero; a flip sets it: operand error (UNO path).
                 match decode(corrupted) {
-                    Err(e) => prop_assert!(e.is_operand_error()),
-                    Ok(_) => prop_assert!(false, "pad flip must not decode"),
+                    Err(e) => assert!(e.is_operand_error()),
+                    Ok(_) => panic!("pad flip must not decode"),
                 }
             }
-            Field::Rd | Field::Rs1 | Field::Rs2 => {
-                match decode(corrupted) {
-                    Ok(d) => {
-                        prop_assert_eq!(d.op, op);
-                        prop_assert_ne!(d.encode(), original, "some register changed");
-                    }
-                    Err(DecodeError::UnknownRegister { .. }) => {} // UNO
-                    Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Field::Rd | Field::Rs1 | Field::Rs2 => match decode(corrupted) {
+                Ok(d) => {
+                    assert_eq!(d.op, op);
+                    assert_ne!(d.encode(), original, "some register changed");
                 }
-            }
+                Err(DecodeError::UnknownRegister { .. }) => {} // UNO
+                Err(e) => panic!("unexpected error {e:?}"),
+            },
             Field::Opcode => {
-                match decode(corrupted) {
-                    Ok(d) => prop_assert_ne!(d.op, op), // IRP: different op
-                    Err(_) => {}                        // undefined: trap
+                // Decoding either lands on a different op (IRP) or traps.
+                if let Ok(d) = decode(corrupted) {
+                    assert_ne!(d.op, op);
                 }
             }
         }
