@@ -1,0 +1,118 @@
+//! Per-run setup cost: full `Sim` clone versus in-place snapshot restore,
+//! plus end-to-end campaign throughput (runs/sec).
+//!
+//! The numbers are written to `BENCH_snapshot.json` at the repository root
+//! so future changes can be compared against this baseline. Like the other
+//! benches this is a `harness = false` binary (the repository builds
+//! offline, without criterion); run with
+//! `cargo bench -p avgi-bench --bench snapshot_restore` (add `-- --quick`
+//! for the CI smoke variant).
+
+use avgi_core::ert::default_ert_window;
+use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+use avgi_muarch::pipeline::Sim;
+use avgi_muarch::run::RunControl;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Cycles a scratch simulator runs past the checkpoint before being rewound
+/// — a stand-in for the short post-injection window of an AVGI run.
+const DIRTY_WINDOW: u64 = 500;
+
+/// Times `f` `samples` times and reports the median wall-clock duration.
+fn median_time(samples: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let mut times: Vec<Duration> = (0..samples).map(|_| f()).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test" || a == "--quick");
+    let (samples, iters, campaign_faults) = if quick { (3, 20, 20) } else { (9, 200, 120) };
+
+    let w = avgi_workloads::by_name("crc32").unwrap();
+    let cfg = MuarchConfig::big();
+    let golden = golden_for(&w, &cfg);
+    let ctl = RunControl {
+        max_cycles: 2 * golden.cycles + 20_000,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
+
+    // Checkpoint mid-run, like the campaign engine does.
+    let mut sim = Sim::new(&w.program, cfg.clone());
+    assert!(sim.run_to_cycle(golden.cycles / 2, &ctl).is_none());
+    let snap = sim.snapshot();
+
+    // Old per-run setup path: a full clone of the checkpointed simulator.
+    let clone_med = median_time(samples, || {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(snap.spawn());
+        }
+        start.elapsed()
+    }) / iters as u32;
+
+    // New path: rewind one scratch simulator in place after it dirtied a
+    // short post-injection window. Only the restore itself is timed.
+    let mut scratch = snap.spawn();
+    let restore_med = median_time(samples, || {
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            assert!(scratch
+                .run_to_cycle(snap.cycle() + DIRTY_WINDOW, &ctl)
+                .is_none());
+            let start = Instant::now();
+            scratch.restore_from(&snap);
+            total += start.elapsed();
+            black_box(&mut scratch);
+        }
+        total
+    }) / iters as u32;
+
+    let clone_us = clone_med.as_secs_f64() * 1e6;
+    let restore_us = restore_med.as_secs_f64() * 1e6;
+    let speedup = clone_us / restore_us.max(1e-9);
+    println!("{:<28} {clone_us:>12.2} us", "sim_clone_setup");
+    println!("{:<28} {restore_us:>12.2} us", "snapshot_restore_setup");
+    println!("{:<28} {speedup:>12.1} x", "restore_speedup");
+
+    // End-to-end campaign throughput in the AVGI production mode.
+    let window = default_ert_window(Structure::RegFile, golden.cycles);
+    let ccfg = CampaignConfig::new(
+        Structure::RegFile,
+        campaign_faults,
+        RunMode::FirstDeviation {
+            ert_window: Some(window),
+        },
+    )
+    .with_checkpoints(8);
+    let start = Instant::now();
+    let c = run_campaign(&w, &cfg, &golden, &ccfg);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(c.len(), campaign_faults);
+    let runs_per_sec = campaign_faults as f64 / secs.max(1e-9);
+    println!(
+        "{:<28} {runs_per_sec:>12.0} runs/sec",
+        "campaign_throughput"
+    );
+
+    // Hand-rolled JSON baseline at the repository root.
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_restore\",\n  \"quick\": {quick},\n  \
+         \"workload\": \"{}\",\n  \"dirty_window_cycles\": {DIRTY_WINDOW},\n  \
+         \"clone_us\": {clone_us:.3},\n  \"restore_us\": {restore_us:.3},\n  \
+         \"restore_speedup\": {speedup:.2},\n  \
+         \"campaign_faults\": {campaign_faults},\n  \
+         \"campaign_runs_per_sec\": {runs_per_sec:.1}\n}}\n",
+        w.name
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -15,7 +15,7 @@ use crate::journal::{CampaignKey, Journal};
 use crate::sampling::{multi_bit_burst, sample_faults};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::{Fault, Structure};
-use avgi_muarch::pipeline::{capture_golden, Sim};
+use avgi_muarch::pipeline::{capture_golden, Sim, Snapshot};
 use avgi_muarch::run::{RunControl, RunOutcome};
 use avgi_muarch::trace::{Deviation, GoldenRun};
 use avgi_workloads::Workload;
@@ -125,11 +125,14 @@ impl CampaignConfig {
 ///
 /// Snapshots are taken at evenly spaced cycles of the fault-free prefix;
 /// a faulty run resumes from the latest snapshot at or before its injection
-/// cycle and produces exactly the results of an uninterrupted run.
+/// cycle and produces exactly the results of an uninterrupted run. Workers
+/// reuse one scratch [`Sim`] per thread and rewind it with
+/// [`Sim::restore_from`], so per-run setup is O(dirty state) rather than a
+/// full machine copy.
 #[derive(Debug, Clone)]
 pub struct CheckpointSet {
     cycles: Vec<u64>,
-    sims: Vec<Sim>,
+    snaps: Vec<Snapshot>,
 }
 
 impl CheckpointSet {
@@ -152,8 +155,10 @@ impl CheckpointSet {
             ..Default::default()
         };
         let mut sim = Sim::new(&workload.program, cfg.clone());
-        let mut cycles = vec![0];
-        let mut sims = vec![sim.clone()];
+        let mut cycles = Vec::with_capacity(count.max(1) as usize);
+        let mut snaps = Vec::with_capacity(count.max(1) as usize);
+        cycles.push(0);
+        snaps.push(sim.snapshot());
         for k in 1..count.max(1) {
             let target = golden.cycles * u64::from(k) / u64::from(count);
             if let Some(outcome) = sim.run_to_cycle(target, &ctl) {
@@ -164,29 +169,30 @@ impl CheckpointSet {
                 });
             }
             cycles.push(target);
-            sims.push(sim.clone());
+            snaps.push(sim.snapshot());
         }
-        Ok(CheckpointSet { cycles, sims })
+        Ok(CheckpointSet { cycles, snaps })
     }
 
-    /// The latest snapshot at or before `cycle`, ready to be cloned.
-    pub fn nearest(&self, cycle: u64) -> &Sim {
+    /// The latest snapshot at or before `cycle`, ready to spawn or rewind a
+    /// scratch simulator.
+    pub fn nearest(&self, cycle: u64) -> &Snapshot {
         let idx = match self.cycles.binary_search(&cycle) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,
         };
-        &self.sims[idx]
+        &self.snaps[idx]
     }
 
     /// Number of snapshots held.
     pub fn len(&self) -> usize {
-        self.sims.len()
+        self.snaps.len()
     }
 
     /// Whether the set holds no snapshots.
     pub fn is_empty(&self) -> bool {
-        self.sims.is_empty()
+        self.snaps.is_empty()
     }
 }
 
@@ -292,7 +298,17 @@ pub fn run_one(
     mode: RunMode,
     burst_width: u32,
 ) -> InjectionResult {
-    run_one_inner(workload, cfg, golden, fault, mode, burst_width, None, None)
+    run_one_inner(
+        workload,
+        cfg,
+        golden,
+        fault,
+        mode,
+        burst_width,
+        None,
+        &mut None,
+        None,
+    )
 }
 
 /// Executes one injected run, resuming from a checkpoint when one is
@@ -314,6 +330,7 @@ pub fn run_one_from(
         mode,
         burst_width,
         None,
+        &mut None,
         Some(checkpoints),
     )
 }
@@ -327,11 +344,27 @@ fn run_one_inner(
     mode: RunMode,
     burst_width: u32,
     wall_budget: Option<Duration>,
+    scratch: &mut Option<Sim>,
     checkpoints: Option<&CheckpointSet>,
 ) -> InjectionResult {
-    let mut sim = match checkpoints {
-        Some(set) => set.nearest(fault.cycle).clone(),
-        None => Sim::new(&workload.program, cfg.clone()),
+    // Checkpointed runs reuse the caller's scratch simulator, rewinding it
+    // in place (O(dirty state), allocation-free after the first run) instead
+    // of cloning a full machine image per injection.
+    let mut fresh;
+    let sim: &mut Sim = match checkpoints {
+        Some(set) => {
+            let snap = set.nearest(fault.cycle);
+            let had = scratch.is_some();
+            let s = scratch.get_or_insert_with(|| snap.spawn());
+            if had {
+                s.restore_from(snap);
+            }
+            s
+        }
+        None => {
+            fresh = Sim::new(&workload.program, cfg.clone());
+            &mut fresh
+        }
     };
     if burst_width <= 1 {
         // The identity burst must not clamp the sampled bit: an ill-formed
@@ -416,7 +449,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// retry also panics — or checkpointing was not in use — the run is
 /// recorded as [`RunOutcome::SimAbort`] carrying the panic message. The
 /// decision depends only on this run's own behaviour, so results stay
-/// deterministic and thread-count-independent.
+/// deterministic and thread-count-independent. A panic also discards the
+/// worker's scratch simulator: it may have been torn mid-restore, and the
+/// next run re-spawns a clean one from its checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn run_one_isolated(
     workload: &Workload,
@@ -426,10 +461,11 @@ fn run_one_isolated(
     mode: RunMode,
     burst_width: u32,
     wall_budget: Option<Duration>,
+    scratch: &mut Option<Sim>,
     checkpoints: Option<&CheckpointSet>,
 ) -> InjectionResult {
     install_quiet_panic_hook();
-    let attempt = |ckpt: Option<&CheckpointSet>| {
+    let attempt = |ckpt: Option<&CheckpointSet>, scratch: &mut Option<Sim>| {
         IN_ISOLATED_RUN.with(|f| f.set(true));
         let r = catch_unwind(AssertUnwindSafe(|| {
             run_one_inner(
@@ -440,19 +476,23 @@ fn run_one_isolated(
                 mode,
                 burst_width,
                 wall_budget,
+                scratch,
                 ckpt,
             )
         }));
         IN_ISOLATED_RUN.with(|f| f.set(false));
         r
     };
-    let payload = match attempt(checkpoints) {
+    let payload = match attempt(checkpoints, scratch) {
         Ok(r) => return r,
-        Err(p) => p,
+        Err(p) => {
+            *scratch = None;
+            p
+        }
     };
     let payload = if checkpoints.is_some() {
         // Graceful degradation: retry once from a fresh simulator.
-        match attempt(None) {
+        match attempt(None, &mut None) {
             Ok(r) => return r,
             Err(p) => p,
         }
@@ -587,9 +627,13 @@ fn run_campaign_engine(
     for (i, r) in done {
         results[i] = Some(r);
     }
-    let pending: Vec<usize> = (0..faults.len())
-        .filter(|i| results[*i].is_none())
-        .collect();
+    let mut pending: Vec<usize> = Vec::with_capacity(faults.len());
+    pending.extend((0..faults.len()).filter(|i| results[*i].is_none()));
+    // Work in injection-cycle order so consecutive runs on one worker tend
+    // to share a checkpoint, keeping the scratch simulator on the fast
+    // journaled-restore path. Results are stored by original index, so the
+    // output order (and determinism) is unchanged.
+    pending.sort_by_key(|&i| faults[i].cycle);
 
     let threads = if ccfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -602,28 +646,33 @@ fn run_campaign_engine(
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(pending.len().max(1)) {
-            scope.spawn(|| loop {
-                let n = next.fetch_add(1, Ordering::Relaxed);
-                if n >= pending.len() {
-                    break;
-                }
-                let i = pending[n];
-                let r = run_one_isolated(
-                    workload,
-                    cfg,
-                    golden,
-                    faults[i],
-                    ccfg.mode,
-                    ccfg.burst_width,
-                    ccfg.wall_budget,
-                    checkpoints.as_ref(),
-                );
-                if let Some(j) = journal {
-                    if let Err(e) = j.lock().unwrap().append(i, &r) {
-                        journal_err.lock().unwrap().get_or_insert(e);
+            scope.spawn(|| {
+                // One scratch simulator per worker, rewound between runs.
+                let mut scratch: Option<Sim> = None;
+                loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    if n >= pending.len() {
+                        break;
                     }
+                    let i = pending[n];
+                    let r = run_one_isolated(
+                        workload,
+                        cfg,
+                        golden,
+                        faults[i],
+                        ccfg.mode,
+                        ccfg.burst_width,
+                        ccfg.wall_budget,
+                        &mut scratch,
+                        checkpoints.as_ref(),
+                    );
+                    if let Some(j) = journal {
+                        if let Err(e) = j.lock().unwrap().append(i, &r) {
+                            journal_err.lock().unwrap().get_or_insert(e);
+                        }
+                    }
+                    sink.lock().unwrap()[i] = Some(r);
                 }
-                sink.lock().unwrap()[i] = Some(r);
             });
         }
     });

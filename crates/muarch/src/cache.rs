@@ -6,18 +6,49 @@
 //! hit/miss behaviour, can silently drop a dirty line, or can write a line
 //! back to the wrong physical address — all fault behaviours the paper's
 //! cache experiments exercise.
+//!
+//! Storage is a single flat backing buffer per cache (no per-line heap
+//! objects), evicted lines travel in inline fixed-size buffers
+//! ([`Eviction`]), and every mutation is journaled per line so a scratch
+//! simulator can be restored to a snapshot by copying back only the lines a
+//! run actually touched ([`Cache::restore_from`]) — the O(dirty) half of the
+//! snapshot/restore hot path.
 
 use crate::config::CacheGeometry;
 use crate::fault::tag_entry_bits;
 
+/// Largest supported cache line, in bytes. Line buffers are inline arrays of
+/// this size so the per-cycle miss/eviction path never touches the heap.
+pub const MAX_LINE_BYTES: usize = 64;
+
 /// A line evicted during a fill; must be written to the next level if dirty.
+///
+/// The payload lives in an inline fixed-size buffer (no allocation); use
+/// [`Eviction::data`] to get the line's actual bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Eviction {
     /// Writeback address reconstructed from the (possibly corrupted) stored
     /// tag and the set index.
     pub addr: u32,
+    len: u8,
+    data: [u8; MAX_LINE_BYTES],
+}
+
+impl Eviction {
+    fn new(addr: u32, line: &[u8]) -> Self {
+        let mut data = [0u8; MAX_LINE_BYTES];
+        data[..line.len()].copy_from_slice(line);
+        Eviction {
+            addr,
+            len: line.len() as u8,
+            data,
+        }
+    }
+
     /// The line's data.
-    pub data: Vec<u8>,
+    pub fn data(&self) -> &[u8] {
+        &self.data[..self.len as usize]
+    }
 }
 
 /// One set-associative cache level.
@@ -32,11 +63,21 @@ pub struct Cache {
     /// LRU age per line (not fault-injectable; control logic, not storage).
     lru: Vec<u32>,
     tick: u32,
+    /// Dirty-line journal: flat indices of lines whose tag/data/LRU state
+    /// changed since the last [`Cache::clear_tracking`], deduplicated via
+    /// `touched_gen`.
+    touched: Vec<u32>,
+    touched_gen: Vec<u32>,
+    gen: u32,
 }
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(geom: CacheGeometry) -> Self {
+        assert!(
+            geom.line_bytes as usize <= MAX_LINE_BYTES,
+            "line size exceeds MAX_LINE_BYTES"
+        );
         let lines = geom.lines() as usize;
         Cache {
             geom,
@@ -44,6 +85,9 @@ impl Cache {
             data: vec![0; lines * geom.line_bytes as usize],
             lru: vec![0; lines],
             tick: 0,
+            touched: Vec::new(),
+            touched_gen: vec![0; lines],
+            gen: 1,
         }
     }
 
@@ -76,7 +120,17 @@ impl Cache {
         self.tags[li] >> (self.geom.tag_bits() + 1) & 1 == 1
     }
 
+    /// Journals `li` as modified since the last tracking reset.
+    #[inline]
+    fn note(&mut self, li: usize) {
+        if self.touched_gen[li] != self.gen {
+            self.touched_gen[li] = self.gen;
+            self.touched.push(li as u32);
+        }
+    }
+
     fn set_meta(&mut self, li: usize, tag: u32, valid: bool, dirty: bool) {
+        self.note(li);
         self.tags[li] = tag
             | (u32::from(valid) << self.geom.tag_bits())
             | (u32::from(dirty) << (self.geom.tag_bits() + 1));
@@ -89,6 +143,7 @@ impl Cache {
     }
 
     fn touch(&mut self, li: usize) {
+        self.note(li);
         self.tick = self.tick.wrapping_add(1);
         self.lru[li] = self.tick;
     }
@@ -146,10 +201,10 @@ impl Cache {
             }
         }
         let evicted = if !found_invalid && self.meta_dirty(victim) {
-            Some(Eviction {
-                addr: self.line_addr(victim),
-                data: self.line_data(victim).to_vec(),
-            })
+            Some(Eviction::new(
+                self.line_addr(victim),
+                self.line_data(victim),
+            ))
         } else {
             None
         };
@@ -179,10 +234,7 @@ impl Cache {
         let mut out = Vec::new();
         for li in 0..self.tags.len() {
             if self.meta_valid(li) && self.meta_dirty(li) {
-                out.push(Eviction {
-                    addr: self.line_addr(li),
-                    data: self.line_data(li).to_vec(),
-                });
+                out.push(Eviction::new(self.line_addr(li), self.line_data(li)));
                 let tag = self.meta_tag(li);
                 self.set_meta(li, tag, true, false);
             }
@@ -210,6 +262,7 @@ impl Cache {
         let li = (bit / per) as usize;
         let b = (bit % per) as u32;
         assert!(li < self.tags.len(), "tag bit out of range");
+        self.note(li);
         self.tags[li] ^= 1 << b;
     }
 
@@ -221,7 +274,51 @@ impl Cache {
     pub fn flip_data_bit(&mut self, bit: u64) {
         let byte = (bit / 8) as usize;
         assert!(byte < self.data.len(), "data bit out of range");
+        self.note(byte / self.geom.line_bytes as usize);
         self.data[byte] ^= 1 << (bit % 8);
+    }
+
+    /// Resets the dirty-line journal: subsequent mutations are tracked
+    /// relative to the cache's current contents.
+    pub fn clear_tracking(&mut self) {
+        self.touched.clear();
+        if self.gen == u32::MAX {
+            self.touched_gen.fill(0);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Restores this cache to `snap`'s state by copying back only the lines
+    /// journaled as touched since the last tracking reset — valid only when
+    /// this cache's contents were bit-identical to `snap` at that reset
+    /// (enforced by the `Sim` snapshot machinery). O(touched lines).
+    pub fn restore_from(&mut self, snap: &Cache) {
+        debug_assert_eq!(self.geom, snap.geom);
+        let lb = self.geom.line_bytes as usize;
+        let touched = core::mem::take(&mut self.touched);
+        for &li in &touched {
+            let li = li as usize;
+            self.tags[li] = snap.tags[li];
+            self.lru[li] = snap.lru[li];
+            self.data[li * lb..(li + 1) * lb].copy_from_slice(&snap.data[li * lb..(li + 1) * lb]);
+        }
+        self.touched = touched;
+        self.tick = snap.tick;
+        self.clear_tracking();
+    }
+
+    /// Restores this cache to `snap`'s state by copying everything — the
+    /// allocation-free fallback when the journal's baseline does not match
+    /// `snap` (e.g. the scratch simulator switches checkpoints).
+    pub fn copy_full_from(&mut self, snap: &Cache) {
+        debug_assert_eq!(self.geom, snap.geom);
+        self.tags.copy_from_slice(&snap.tags);
+        self.data.copy_from_slice(&snap.data);
+        self.lru.copy_from_slice(&snap.lru);
+        self.tick = snap.tick;
+        self.clear_tracking();
     }
 }
 
@@ -238,8 +335,8 @@ mod tests {
         })
     }
 
-    fn line_of(byte: u8) -> Vec<u8> {
-        vec![byte; 64]
+    fn line_of(byte: u8) -> [u8; 64] {
+        [byte; 64]
     }
 
     #[test]
@@ -266,7 +363,8 @@ mod tests {
         let (e2, _) = c.fill(0x0200, &line_of(7));
         let ev = e2.expect("dirty line evicted");
         assert_eq!(ev.addr, 0x0000);
-        assert_eq!(&ev.data[8..12], &[1, 2, 3, 4]);
+        assert_eq!(ev.data().len(), 64);
+        assert_eq!(&ev.data()[8..12], &[1, 2, 3, 4]);
     }
 
     #[test]
@@ -352,5 +450,59 @@ mod tests {
             c.drain_dirty().is_empty(),
             "dirty bit cleared by fault: writeback lost"
         );
+    }
+
+    /// Exercises every mutation kind against the journaled restore: after
+    /// `restore_from`, the scratch must be observationally identical to the
+    /// snapshot it started from.
+    #[test]
+    fn journaled_restore_undoes_every_mutation_kind() {
+        let mut base = small_cache();
+        base.fill(0x0000, &line_of(1));
+        let (_, li) = base.fill(0x1000, &line_of(2));
+        base.write_resident(li, 0x1000, &[0x55]);
+
+        let mut scratch = base.clone();
+        scratch.clear_tracking(); // sync point: scratch == base
+
+        // Mutate through every tracked path.
+        scratch.lookup(0x0000); // LRU touch
+        scratch.fill(0x0200, &line_of(9)); // fill + possible eviction
+        let (_, li2) = scratch.fill(0x2000, &line_of(4));
+        scratch.write_resident(li2, 0x2004, &[7, 7]);
+        scratch.mark_dirty(li2);
+        scratch.flip_tag_bit(3);
+        scratch.flip_data_bit(64 * 8 + 5);
+        scratch.drain_dirty();
+
+        scratch.restore_from(&base);
+
+        // Bit-identical observables: same hits, same data, same dirty set.
+        for addr in [0x0000u32, 0x1000, 0x0200, 0x2000] {
+            assert_eq!(
+                scratch.lookup(addr).is_some(),
+                base.lookup(addr).is_some(),
+                "hit/miss diverged at {addr:#x}"
+            );
+        }
+        let d_s = scratch.drain_dirty();
+        let d_b = base.drain_dirty();
+        assert_eq!(d_s, d_b, "dirty lines diverged after restore");
+    }
+
+    #[test]
+    fn full_copy_restore_matches_journaled_restore() {
+        let mut base = small_cache();
+        base.fill(0x0400, &line_of(3));
+        let mut a = base.clone();
+        a.clear_tracking();
+        let mut b = base.clone();
+        a.fill(0x0800, &line_of(8));
+        b.fill(0x0c00, &line_of(9));
+        a.restore_from(&base); // journaled path
+        b.copy_full_from(&base); // full path
+        assert_eq!(a.drain_dirty(), b.drain_dirty());
+        assert_eq!(a.lookup(0x0400), b.lookup(0x0400));
+        assert_eq!(a.lookup(0x0800), b.lookup(0x0800));
     }
 }

@@ -222,7 +222,18 @@ impl MuarchConfig {
                 "{label}.line_bytes must be a power of two"
             );
             assert!(g.ways >= 1, "{label}.ways must be >= 1");
+            assert!(
+                g.line_bytes as usize <= crate::cache::MAX_LINE_BYTES,
+                "{label}.line_bytes exceeds MAX_LINE_BYTES"
+            );
         }
+        // The pipeline stages lines between levels in one inline buffer and
+        // slices per level, which is only address-correct when all levels
+        // agree on the line size.
+        assert!(
+            self.l1i.line_bytes == self.l2.line_bytes && self.l1d.line_bytes == self.l2.line_bytes,
+            "all cache levels must share one line size"
+        );
         assert!(
             self.phys_regs > u32::from(avgi_isa::NUM_ARCH_REGS),
             "need free physical regs"

@@ -57,7 +57,7 @@ pub mod trace;
 
 pub use config::MuarchConfig;
 pub use fault::{Fault, FaultSite, Structure};
-pub use pipeline::{capture_golden, Sim};
+pub use pipeline::{capture_golden, Sim, Snapshot};
 pub use program::Program;
 pub use run::{RunControl, RunOutcome, RunReport, TrapKind};
 pub use trace::{CommitRecord, Deviation, GoldenRun};

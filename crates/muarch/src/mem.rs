@@ -11,6 +11,17 @@
 //! Virtual addresses are identity-mapped; the TLBs exist so translation
 //! *state* is fault-injectable (a corrupted TLB entry redirects an access to
 //! the wrong physical page, exactly like the paper's TLB experiments).
+//!
+//! Storage is a paged copy-on-write store: memory is a table of
+//! [`PAGE_BYTES`]-sized pages behind `Arc`s. Cloning a `Memory` (and
+//! therefore a checkpointed `Sim`) only clones the page table — every clean
+//! page stays shared with the source image — and the first write to a shared
+//! page splits off a private copy. Per-injection run setup is thus O(pages
+//! the faulty run actually dirties), not O([`MEM_SIZE`]), which is what
+//! makes checkpoint-based campaigns cheap (the ZOFI-style fork trick, done
+//! in-process).
+
+use std::sync::{Arc, OnceLock};
 
 /// Base address of the code region.
 pub const CODE_BASE: u32 = 0x0000_0000;
@@ -22,8 +33,21 @@ pub const STACK_TOP: u32 = 0x0008_0000;
 pub const OUTPUT_BASE: u32 = 0x0008_0000;
 /// Total physical memory size in bytes.
 pub const MEM_SIZE: u32 = 0x000C_0000; // 768 KiB
-/// Page size used by the TLBs.
+/// Page size used by the TLBs and by the copy-on-write page store.
 pub const PAGE_BYTES: u32 = 4096;
+
+/// Page size as a usize (copy-on-write granularity).
+pub const PAGE_SIZE: usize = PAGE_BYTES as usize;
+const NUM_PAGES: usize = (MEM_SIZE as usize) / PAGE_SIZE;
+
+type Page = [u8; PAGE_SIZE];
+
+/// The process-wide all-zero page every fresh `Memory` starts from, so
+/// constructing a memory image allocates nothing but the page table.
+fn zero_page() -> Arc<Page> {
+    static ZERO: OnceLock<Arc<Page>> = OnceLock::new();
+    Arc::clone(ZERO.get_or_init(|| Arc::new([0u8; PAGE_SIZE])))
+}
 
 /// Why a memory access faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,23 +75,26 @@ impl core::fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
-/// Flat backing memory with region protection.
+/// Paged copy-on-write backing memory with region protection.
 ///
 /// This is the *physical* memory behind the cache hierarchy; the caches
 /// read/write whole lines through [`Memory::read_line`]/[`Memory::write_line`].
+/// Cloning shares every page with the source; the first write to a shared
+/// page copies it (write triggers page split).
 #[derive(Debug, Clone)]
 pub struct Memory {
-    bytes: Vec<u8>,
+    pages: Vec<Arc<Page>>,
     code_limit: u32,
 }
 
 impl Memory {
     /// Creates zeroed memory with the code region spanning
-    /// `CODE_BASE..code_limit`.
+    /// `CODE_BASE..code_limit`. All pages start shared with the process-wide
+    /// zero page, so this allocates only the page table.
     pub fn new(code_limit: u32) -> Self {
         assert!(code_limit <= DATA_BASE, "code region overflows into data");
         Memory {
-            bytes: vec![0; MEM_SIZE as usize],
+            pages: (0..NUM_PAGES).map(|_| zero_page()).collect(),
             code_limit,
         }
     }
@@ -102,10 +129,37 @@ impl Memory {
         Ok(())
     }
 
-    /// Reads one cache line (`len` bytes) starting at `addr` (line-aligned).
+    /// Copies `buf.len()` bytes starting at `addr` out of memory, spanning
+    /// pages as needed.
+    fn read_bytes(&self, addr: u32, mut buf: &mut [u8]) {
+        let mut a = addr as usize;
+        while !buf.is_empty() {
+            let (pi, off) = (a / PAGE_SIZE, a % PAGE_SIZE);
+            let n = buf.len().min(PAGE_SIZE - off);
+            let (head, rest) = buf.split_at_mut(n);
+            head.copy_from_slice(&self.pages[pi][off..off + n]);
+            buf = rest;
+            a += n;
+        }
+    }
+
+    /// Copies `src` into memory at `addr`, splitting every shared page it
+    /// touches.
+    fn write_bytes(&mut self, addr: u32, mut src: &[u8]) {
+        let mut a = addr as usize;
+        while !src.is_empty() {
+            let (pi, off) = (a / PAGE_SIZE, a % PAGE_SIZE);
+            let n = src.len().min(PAGE_SIZE - off);
+            Arc::make_mut(&mut self.pages[pi])[off..off + n].copy_from_slice(&src[..n]);
+            src = &src[n..];
+            a += n;
+        }
+    }
+
+    /// Reads one cache line (`buf.len()` bytes) starting at `addr`
+    /// (line-aligned).
     pub fn read_line(&self, addr: u32, buf: &mut [u8]) {
-        let a = addr as usize;
-        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        self.read_bytes(addr, buf);
     }
 
     /// Writes one cache line starting at `addr` (line-aligned).
@@ -114,50 +168,76 @@ impl Memory {
     /// fall outside physical memory are dropped (the bus ignores them),
     /// which mirrors a writeback to an unpopulated physical address.
     pub fn write_line(&mut self, addr: u32, buf: &[u8]) {
-        let a = addr as usize;
-        if a + buf.len() <= self.bytes.len() {
-            self.bytes[a..a + buf.len()].copy_from_slice(buf);
+        if addr as usize + buf.len() <= MEM_SIZE as usize {
+            self.write_bytes(addr, buf);
         }
     }
 
     /// Raw byte read (no protection check); used for loading images and for
     /// reading results after the caches are flushed.
     pub fn read_u8(&self, addr: u32) -> u8 {
-        self.bytes[addr as usize]
+        let a = addr as usize;
+        self.pages[a / PAGE_SIZE][a % PAGE_SIZE]
     }
 
     /// Little-endian 32-bit read (no protection check).
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let a = addr as usize;
-        u32::from_le_bytes([
-            self.bytes[a],
-            self.bytes[a + 1],
-            self.bytes[a + 2],
-            self.bytes[a + 3],
-        ])
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b);
+        u32::from_le_bytes(b)
     }
 
     /// Raw byte write (no protection check); used when loading images.
     pub fn write_u8(&mut self, addr: u32, v: u8) {
-        self.bytes[addr as usize] = v;
+        let a = addr as usize;
+        Arc::make_mut(&mut self.pages[a / PAGE_SIZE])[a % PAGE_SIZE] = v;
     }
 
     /// Little-endian 32-bit write (no protection check).
     pub fn write_u32(&mut self, addr: u32, v: u32) {
-        let a = addr as usize;
-        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        self.write_bytes(addr, &v.to_le_bytes());
     }
 
     /// Copies `src` into memory at `addr` (no protection check).
     pub fn load_image(&mut self, addr: u32, src: &[u8]) {
-        let a = addr as usize;
-        self.bytes[a..a + src.len()].copy_from_slice(src);
+        self.write_bytes(addr, src);
     }
 
     /// Reads `len` bytes starting at `addr` into a fresh vector.
     pub fn read_range(&self, addr: u32, len: u32) -> Vec<u8> {
-        let a = addr as usize;
-        self.bytes[a..a + len as usize].to_vec()
+        let mut out = vec![0u8; len as usize];
+        self.read_bytes(addr, &mut out);
+        out
+    }
+
+    /// Makes this memory bit-identical to `src` without copying page
+    /// contents: pages already shared with `src` are left untouched; any
+    /// page this image split off (dirtied) is dropped and re-pointed at
+    /// `src`'s page. Cost is O(pages) pointer compares plus O(dirty) `Arc`
+    /// swaps — the restore half of the snapshot/restore hot path.
+    pub fn restore_from(&mut self, src: &Memory) {
+        debug_assert_eq!(self.pages.len(), src.pages.len());
+        self.code_limit = src.code_limit;
+        for (d, s) in self.pages.iter_mut().zip(&src.pages) {
+            if !Arc::ptr_eq(d, s) {
+                *d = Arc::clone(s);
+            }
+        }
+    }
+
+    /// Number of pages physically shared (same backing allocation) between
+    /// two images — instrumentation for CoW tests and benchmarks.
+    pub fn shared_pages_with(&self, other: &Memory) -> usize {
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Total number of pages in the physical address space.
+    pub fn page_count(&self) -> usize {
+        NUM_PAGES
     }
 }
 
@@ -171,6 +251,7 @@ mod tests {
         const { assert!(DATA_BASE < OUTPUT_BASE) };
         const { assert!(OUTPUT_BASE < MEM_SIZE) };
         assert_eq!(STACK_TOP, OUTPUT_BASE);
+        const { assert!((MEM_SIZE as usize).is_multiple_of(PAGE_SIZE)) };
     }
 
     #[test]
@@ -224,5 +305,63 @@ mod tests {
         let mut m = Memory::new(0x1000);
         m.write_line(MEM_SIZE - 32, &[1u8; 64]); // would overflow: dropped
         assert_eq!(m.read_u8(MEM_SIZE - 32), 0);
+    }
+
+    #[test]
+    fn page_spanning_accesses() {
+        let mut m = Memory::new(0x1000);
+        let base = DATA_BASE + PAGE_BYTES - 2; // straddles a page boundary
+        m.load_image(base, &[1, 2, 3, 4]);
+        assert_eq!(m.read_range(base, 4), vec![1, 2, 3, 4]);
+        m.write_u32(base, 0xA1B2_C3D4);
+        assert_eq!(m.read_u32(base), 0xA1B2_C3D4);
+    }
+
+    #[test]
+    fn fresh_memories_share_every_page() {
+        let a = Memory::new(0x1000);
+        let b = Memory::new(0x1000);
+        assert_eq!(a.shared_pages_with(&b), a.page_count());
+    }
+
+    #[test]
+    fn clone_shares_until_write_splits_one_page() {
+        let mut a = Memory::new(0x1000);
+        a.write_u32(DATA_BASE, 7); // private page in the source
+        let mut b = a.clone();
+        assert_eq!(
+            b.shared_pages_with(&a),
+            a.page_count(),
+            "clone is all-shared"
+        );
+        b.write_u8(DATA_BASE + 1, 0xCC);
+        assert_eq!(
+            b.shared_pages_with(&a),
+            a.page_count() - 1,
+            "one write splits exactly one page"
+        );
+        // The write is visible in the clone and invisible in the source.
+        assert_eq!(b.read_u8(DATA_BASE + 1), 0xCC);
+        assert_eq!(a.read_u32(DATA_BASE), 7);
+        assert_eq!(a.read_u8(DATA_BASE + 1), 0);
+    }
+
+    #[test]
+    fn restore_reattaches_dirty_pages() {
+        let mut base = Memory::new(0x1000);
+        base.load_image(DATA_BASE, &[9u8; 128]);
+        let mut scratch = base.clone();
+        scratch.write_u8(DATA_BASE, 1);
+        scratch.write_u8(OUTPUT_BASE, 2);
+        assert_eq!(scratch.shared_pages_with(&base), base.page_count() - 2);
+        scratch.restore_from(&base);
+        assert_eq!(
+            scratch.shared_pages_with(&base),
+            base.page_count(),
+            "restore re-shares every page"
+        );
+        assert_eq!(scratch.read_u8(DATA_BASE), 9);
+        assert_eq!(scratch.read_u8(OUTPUT_BASE), 0);
+        assert_eq!(scratch.code_limit(), base.code_limit());
     }
 }

@@ -6,7 +6,7 @@
 //! numbers included), which is what makes on-the-fly golden-trace comparison
 //! — and therefore the paper's `ETE` manifestation class — meaningful.
 
-use crate::cache::{Cache, Eviction};
+use crate::cache::{Cache, Eviction, MAX_LINE_BYTES};
 use crate::config::MuarchConfig;
 use crate::exec;
 use crate::fault::{Fault, Structure};
@@ -23,6 +23,7 @@ use crate::trace::{CommitRecord, Deviation, GoldenRun};
 use avgi_isa::instr::{decode, Instr};
 use avgi_isa::opcode::Opcode;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const NO_DEST: u8 = 0xFF;
@@ -40,7 +41,7 @@ enum EntryState {
     Done,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct RobEntry {
     seq: u64,
     pc: u32,
@@ -81,7 +82,7 @@ struct SqShadow {
     data: u32,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Fetched {
     pc: u32,
     raw: u32,
@@ -144,8 +145,13 @@ pub struct Sim {
 
     // Fault injection.
     pending_faults: Vec<Fault>, // sorted by cycle, ascending
+    faults_next: usize,         // cursor into `pending_faults` (applied prefix)
     first_inject_cycle: Option<u64>,
     faults_applied: bool,
+
+    // Snapshot id this scratch simulator was last synchronised with (gates
+    // the journaled O(dirty) cache restore in [`Sim::restore_from`]).
+    scratch_base: Option<u64>,
 
     // Tracing.
     trace: Vec<CommitRecord>,
@@ -194,8 +200,10 @@ impl Sim {
             output_addr: program.output_addr,
             output_len: program.output_len,
             pending_faults: Vec::new(),
+            faults_next: 0,
             first_inject_cycle: None,
             faults_applied: false,
+            scratch_base: None,
             trace: Vec::new(),
             commit_index: 0,
             first_deviation: None,
@@ -215,8 +223,16 @@ impl Sim {
             self.first_inject_cycle
                 .map_or(fault.cycle, |c| c.min(fault.cycle)),
         );
-        self.pending_faults.push(fault);
-        self.pending_faults.sort_by_key(|f| f.cycle);
+        // Binary-search insertion keeps `pending_faults` sorted without
+        // re-sorting the whole vector per call. The insertion point never
+        // lands before the already-applied prefix: if it would, every
+        // unapplied fault is later than this one and inserting at the cursor
+        // preserves order.
+        let pos = self
+            .pending_faults
+            .partition_point(|f| f.cycle <= fault.cycle)
+            .max(self.faults_next);
+        self.pending_faults.insert(pos, fault);
     }
 
     /// Runs to completion under `ctl` and reports.
@@ -308,14 +324,14 @@ impl Sim {
     // ----- fault application -----
 
     fn apply_due_faults(&mut self) {
-        while let Some(f) = self.pending_faults.first() {
+        while let Some(&f) = self.pending_faults.get(self.faults_next) {
             if f.cycle > self.cycle {
                 break;
             }
-            let f = self.pending_faults.remove(0);
+            self.faults_next += 1;
             self.flip(f.site.structure, f.site.bit);
         }
-        if self.pending_faults.is_empty() {
+        if self.faults_next == self.pending_faults.len() {
             self.faults_applied = true;
         }
     }
@@ -344,20 +360,21 @@ impl Sim {
     }
 
     /// Gets a line from L2 (filling from memory on miss); returns the line
-    /// bytes and the added latency beyond L1.
-    fn l2_get_line(&mut self, line_addr: u32) -> (Vec<u8>, u64) {
+    /// bytes in an inline stack buffer (first `line_bytes` valid) and the
+    /// added latency beyond L1.
+    fn l2_get_line(&mut self, line_addr: u32) -> ([u8; MAX_LINE_BYTES], u64) {
+        let lb = self.cfg.l2.line_bytes as usize;
+        let mut buf = [0u8; MAX_LINE_BYTES];
         if let Some(li) = self.l2.lookup(line_addr) {
-            let mut buf = vec![0u8; self.cfg.l2.line_bytes as usize];
-            self.l2.read_resident(li, line_addr, &mut buf);
+            self.l2.read_resident(li, line_addr, &mut buf[..lb]);
             (buf, self.cfg.lat.l2)
         } else {
             self.stats.l2_misses += 1;
-            let mut buf = vec![0u8; self.cfg.l2.line_bytes as usize];
-            if u64::from(line_addr) + buf.len() as u64 <= u64::from(crate::mem::MEM_SIZE) {
-                self.mem.read_line(line_addr, &mut buf);
+            if u64::from(line_addr) + lb as u64 <= u64::from(crate::mem::MEM_SIZE) {
+                self.mem.read_line(line_addr, &mut buf[..lb]);
             }
-            if let (Some(ev), _) = self.l2.fill(line_addr, &buf) {
-                self.mem.write_line(ev.addr, &ev.data);
+            if let (Some(ev), _) = self.l2.fill(line_addr, &buf[..lb]) {
+                self.mem.write_line(ev.addr, ev.data());
             }
             if self.cfg.prefetch_next_line {
                 let next = line_addr.wrapping_add(self.cfg.l2.line_bytes);
@@ -365,10 +382,10 @@ impl Sim {
                     <= u64::from(crate::mem::MEM_SIZE)
                     && self.l2.lookup(next).is_none()
                 {
-                    let mut pbuf = vec![0u8; self.cfg.l2.line_bytes as usize];
-                    self.mem.read_line(next, &mut pbuf);
-                    if let (Some(ev), _) = self.l2.fill(next, &pbuf) {
-                        self.mem.write_line(ev.addr, &ev.data);
+                    let mut pbuf = [0u8; MAX_LINE_BYTES];
+                    self.mem.read_line(next, &mut pbuf[..lb]);
+                    if let (Some(ev), _) = self.l2.fill(next, &pbuf[..lb]) {
+                        self.mem.write_line(ev.addr, ev.data());
                     }
                 }
             }
@@ -379,12 +396,12 @@ impl Sim {
     fn writeback_to_l2(&mut self, ev: Eviction) {
         let line_addr = self.line_base(ev.addr);
         if let Some(li) = self.l2.lookup(line_addr) {
-            self.l2.write_resident(li, line_addr, &ev.data);
+            self.l2.write_resident(li, line_addr, ev.data());
         } else {
-            let (ev2, li) = self.l2.fill(line_addr, &ev.data);
+            let (ev2, li) = self.l2.fill(line_addr, ev.data());
             self.l2.mark_dirty(li);
             if let Some(ev2) = ev2 {
-                self.mem.write_line(ev2.addr, &ev2.data);
+                self.mem.write_line(ev2.addr, ev2.data());
             }
         }
     }
@@ -400,7 +417,9 @@ impl Sim {
                 let line_addr = self.line_base(paddr);
                 let (line, extra) = self.l2_get_line(line_addr);
                 lat += extra;
-                let (ev, li) = self.l1d.fill(line_addr, &line);
+                let (ev, li) = self
+                    .l1d
+                    .fill(line_addr, &line[..self.cfg.l1d.line_bytes as usize]);
                 if let Some(ev) = ev {
                     self.writeback_to_l2(ev);
                 }
@@ -421,7 +440,9 @@ impl Sim {
                 self.stats.l1d_misses += 1;
                 let line_addr = self.line_base(paddr);
                 let (line, _) = self.l2_get_line(line_addr);
-                let (ev, li) = self.l1d.fill(line_addr, &line);
+                let (ev, li) = self
+                    .l1d
+                    .fill(line_addr, &line[..self.cfg.l1d.line_bytes as usize]);
                 if let Some(ev) = ev {
                     self.writeback_to_l2(ev);
                 }
@@ -441,7 +462,10 @@ impl Sim {
                 let line_addr = self.line_base(paddr);
                 let (line, extra) = self.l2_get_line(line_addr);
                 lat += extra;
-                let (_, li) = self.l1i.fill(line_addr, &line); // I-lines never dirty
+                // I-lines never dirty.
+                let (_, li) = self
+                    .l1i
+                    .fill(line_addr, &line[..self.cfg.l1i.line_bytes as usize]);
                 li
             }
         };
@@ -455,7 +479,7 @@ impl Sim {
             self.writeback_to_l2(ev);
         }
         for ev in self.l2.drain_dirty() {
-            self.mem.write_line(ev.addr, &ev.data);
+            self.mem.write_line(ev.addr, ev.data());
         }
     }
 
@@ -1104,7 +1128,7 @@ impl Sim {
             if !done {
                 return None;
             }
-            let e = self.rob[head].as_ref().expect("checked").clone();
+            let e = self.rob[head].expect("checked");
 
             // Commit-side integrity checks: the injectable entry images must
             // match the authoritative shadow state (the paper's `PRE`
@@ -1240,6 +1264,134 @@ impl Sim {
     pub fn stats(&self) -> &ExecStats {
         &self.stats
     }
+
+    // ----- snapshot / restore -----
+
+    /// Captures an immutable image of the full machine state.
+    ///
+    /// The capture itself is a `Clone` (memory pages are copy-on-write
+    /// shared, so it is far cheaper than a deep copy); the payoff is
+    /// [`Sim::restore_from`], which rewinds a scratch simulator to the
+    /// snapshot in O(dirty state) without allocating.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            sim: self.clone(),
+            id: NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Reserves trace capacity ahead of a trace-recording run.
+    pub fn reserve_trace(&mut self, n: usize) {
+        self.trace.reserve(n);
+    }
+
+    /// Rewinds this simulator to `snap`'s state in place, reusing every
+    /// existing allocation.
+    ///
+    /// Memory re-attaches to the snapshot's pages (CoW: only pages this
+    /// simulator dirtied are re-pointed). Caches use their dirty-line
+    /// journal when this simulator was last synchronised with the *same*
+    /// snapshot (the common campaign case: one worker hammering one
+    /// checkpoint), and fall back to a full — but still allocation-free —
+    /// copy when switching checkpoints. A restored simulator behaves
+    /// bit-identically to a fresh `snap.spawn()`.
+    pub fn restore_from(&mut self, snap: &Snapshot) {
+        let src = &snap.sim;
+        debug_assert_eq!(
+            self.rob.len(),
+            src.rob.len(),
+            "restore_from across different configurations"
+        );
+        self.cycle = src.cycle;
+        self.seq_next = src.seq_next;
+        self.fetch_pc = src.fetch_pc;
+        self.fetch_ready_cycle = src.fetch_ready_cycle;
+        self.fetch_paused = src.fetch_paused;
+        self.decode_q.clear();
+        self.decode_q.extend(src.decode_q.iter().copied());
+        self.rf.restore_from(&src.rf);
+        self.rob.copy_from_slice(&src.rob);
+        self.rob_head = src.rob_head;
+        self.rob_tail = src.rob_tail;
+        self.rob_count = src.rob_count;
+        self.rob_img.restore_from(&src.rob_img);
+        self.iq.clear();
+        self.iq.extend_from_slice(&src.iq);
+        self.lq.copy_from_slice(&src.lq);
+        self.lq_head = src.lq_head;
+        self.lq_tail = src.lq_tail;
+        self.lq_count = src.lq_count;
+        self.lq_img.restore_from(&src.lq_img);
+        self.sq.copy_from_slice(&src.sq);
+        self.sq_head = src.sq_head;
+        self.sq_tail = src.sq_tail;
+        self.sq_count = src.sq_count;
+        self.sq_img.restore_from(&src.sq_img);
+        if self.scratch_base == Some(snap.id) {
+            self.l1i.restore_from(&src.l1i);
+            self.l1d.restore_from(&src.l1d);
+            self.l2.restore_from(&src.l2);
+        } else {
+            self.l1i.copy_full_from(&src.l1i);
+            self.l1d.copy_full_from(&src.l1d);
+            self.l2.copy_full_from(&src.l2);
+            self.scratch_base = Some(snap.id);
+        }
+        self.itlb.restore_from(&src.itlb);
+        self.dtlb.restore_from(&src.dtlb);
+        self.mem.restore_from(&src.mem);
+        self.pred.restore_from(&src.pred);
+        self.output_addr = src.output_addr;
+        self.output_len = src.output_len;
+        self.pending_faults.clear();
+        self.pending_faults.extend_from_slice(&src.pending_faults);
+        self.faults_next = src.faults_next;
+        self.first_inject_cycle = src.first_inject_cycle;
+        self.faults_applied = src.faults_applied;
+        self.trace.clear();
+        self.trace.extend_from_slice(&src.trace);
+        self.commit_index = src.commit_index;
+        self.first_deviation = src.first_deviation;
+        self.stats = src.stats;
+    }
+}
+
+static NEXT_SNAPSHOT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable image of a [`Sim`] at one instant, taken with
+/// [`Sim::snapshot`].
+///
+/// The unique snapshot id gates the journaled O(dirty) cache restore: a
+/// scratch simulator remembers which snapshot it was last synchronised with
+/// and only trusts its dirty-line journal against that same snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    sim: Sim,
+    id: u64,
+}
+
+impl Snapshot {
+    /// The cycle the snapshot was captured at (start-of-cycle state).
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle
+    }
+
+    /// Read access to the captured machine state.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Builds a scratch simulator synchronised with this snapshot, eligible
+    /// for the fast journaled restore on subsequent
+    /// [`Sim::restore_from`] calls.
+    pub fn spawn(&self) -> Sim {
+        let mut s = self.sim.clone();
+        s.l1i.clear_tracking();
+        s.l1d.clear_tracking();
+        s.l2.clear_tracking();
+        s.scratch_base = Some(self.id);
+        s
+    }
 }
 
 /// Captures the golden (fault-free) run of `program` under `cfg`.
@@ -1250,6 +1402,9 @@ impl Sim {
 /// programs are required to halt.
 pub fn capture_golden(program: &Program, cfg: &MuarchConfig, max_cycles: u64) -> Arc<GoldenRun> {
     let mut sim = Sim::new(program, cfg.clone());
+    // Pre-size the trace from a committed-instruction estimate (IPC ≈ 1,
+    // bounded) so recording does not grow the vector incrementally.
+    sim.reserve_trace((max_cycles as usize).clamp(4096, 1 << 18));
     let ctl = RunControl {
         max_cycles,
         record_trace: true,

@@ -65,6 +65,15 @@ impl Predictor {
         self.btb_targets[i] = target;
         self.btb_valid[i] = true;
     }
+
+    /// Overwrites this predictor with `src`'s state without reallocating.
+    pub fn restore_from(&mut self, src: &Predictor) {
+        debug_assert_eq!(self.counters.len(), src.counters.len());
+        self.counters.copy_from_slice(&src.counters);
+        self.btb_tags.copy_from_slice(&src.btb_tags);
+        self.btb_targets.copy_from_slice(&src.btb_targets);
+        self.btb_valid.copy_from_slice(&src.btb_valid);
+    }
 }
 
 #[cfg(test)]

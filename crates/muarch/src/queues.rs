@@ -89,6 +89,12 @@ impl QueueArray {
         assert!(e < self.entries.len(), "queue bit out of range");
         self.entries[e] ^= 1 << (bit % u64::from(self.entry_bits));
     }
+
+    /// Overwrites this array with `src`'s contents without reallocating.
+    pub fn restore_from(&mut self, src: &QueueArray) {
+        debug_assert_eq!(self.entry_bits, src.entry_bits);
+        self.entries.copy_from_slice(&src.entries);
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,20 @@ impl RegFile {
         assert!(r < self.values.len(), "register bit out of range");
         self.values[r] ^= 1 << (bit % 32);
     }
+
+    /// Overwrites this register file with `src`'s state, reusing every
+    /// existing allocation.
+    pub fn restore_from(&mut self, src: &RegFile) {
+        debug_assert_eq!(self.values.len(), src.values.len());
+        self.values.copy_from_slice(&src.values);
+        self.ready.copy_from_slice(&src.ready);
+        self.rename = src.rename;
+        self.free.clear();
+        self.free.extend_from_slice(&src.free);
+        self.last_write.copy_from_slice(&src.last_write);
+        self.last_read.copy_from_slice(&src.last_read);
+        self.ace_cycles = src.ace_cycles;
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,13 @@ impl Tlb {
         assert!(e < self.entries.len(), "TLB bit out of range");
         self.entries[e] ^= 1 << b;
     }
+
+    /// Overwrites this TLB with `src`'s state without reallocating.
+    pub fn restore_from(&mut self, src: &Tlb) {
+        debug_assert_eq!(self.entries.len(), src.entries.len());
+        self.entries.copy_from_slice(&src.entries);
+        self.next = src.next;
+    }
 }
 
 #[cfg(test)]

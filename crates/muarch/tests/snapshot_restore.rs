@@ -1,0 +1,209 @@
+//! Snapshot/restore and copy-on-write semantics: a rewound scratch
+//! simulator must be indistinguishable from a freshly cloned one, and no
+//! state may leak between simulators sharing CoW memory pages.
+
+use avgi_isa::asm::Assembler;
+use avgi_isa::reg::{A0, T0, T1, ZERO};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::{Fault, FaultSite, Structure};
+use avgi_muarch::mem::OUTPUT_BASE;
+use avgi_muarch::pipeline::{capture_golden, Sim};
+use avgi_muarch::program::Program;
+use avgi_muarch::run::{RunControl, RunOutcome, RunReport};
+
+const MAX: u64 = 2_000_000;
+
+/// sum 1..=n, store to output.
+fn sum_program(n: u32) -> Program {
+    let mut a = Assembler::new(0);
+    a.li32(T0, n);
+    a.li32(T1, 0);
+    a.label("loop");
+    a.add(T1, T1, T0);
+    a.addi(T0, T0, -1);
+    a.bne(T0, ZERO, "loop");
+    a.li32(A0, OUTPUT_BASE);
+    a.sw(A0, T1, 0);
+    a.halt();
+    Program::new("sum", a.assemble().unwrap(), 4)
+}
+
+fn reg_fault(phys: u64, cycle: u64) -> Fault {
+    Fault {
+        site: FaultSite {
+            structure: Structure::RegFile,
+            bit: phys * 32 + 2,
+        },
+        cycle,
+    }
+}
+
+fn assert_reports_equal(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.first_deviation, b.first_deviation);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.inject_cycle, b.inject_cycle);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn restore_reproduces_fresh_spawn_report() {
+    let p = sum_program(800);
+    let cfg = MuarchConfig::big();
+    let golden = capture_golden(&p, &cfg, MAX);
+    let ctl = RunControl {
+        max_cycles: MAX,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
+
+    let mut sim = Sim::new(&p, cfg);
+    assert!(sim.run_to_cycle(golden.cycles / 3, &ctl).is_none());
+    let snap = sim.snapshot();
+
+    // Reference: a fresh spawn per fault.
+    let faults = [
+        reg_fault(26, golden.cycles / 2),
+        reg_fault(30, golden.cycles * 2 / 3),
+        reg_fault(27, golden.cycles / 2 + 7),
+    ];
+    let reference: Vec<RunReport> = faults
+        .iter()
+        .map(|&f| {
+            let mut s = snap.spawn();
+            s.inject(f);
+            s.run(&ctl)
+        })
+        .collect();
+
+    // One scratch simulator rewound between runs.
+    let mut scratch = snap.spawn();
+    for (f, want) in faults.iter().zip(&reference) {
+        scratch.restore_from(&snap);
+        scratch.inject(*f);
+        let got = scratch.run(&ctl);
+        assert_reports_equal(&got, want);
+    }
+}
+
+#[test]
+fn restore_across_different_snapshots_stays_exact() {
+    // Switching a scratch simulator between checkpoints exercises the
+    // full-copy fallback; coming back to a snapshot re-arms the journaled
+    // fast path. Both must stay bit-exact.
+    let p = sum_program(900);
+    let cfg = MuarchConfig::big();
+    let golden = capture_golden(&p, &cfg, MAX);
+    let ctl = RunControl {
+        max_cycles: MAX,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
+
+    let mut sim = Sim::new(&p, cfg);
+    assert!(sim.run_to_cycle(golden.cycles / 4, &ctl).is_none());
+    let early = sim.snapshot();
+    assert!(sim.run_to_cycle(golden.cycles / 2, &ctl).is_none());
+    let late = sim.snapshot();
+
+    let fault = reg_fault(26, golden.cycles / 2 + 50);
+    let mut want_early = early.spawn();
+    want_early.inject(fault);
+    let want_early = want_early.run(&ctl);
+    let mut want_late = late.spawn();
+    want_late.inject(fault);
+    let want_late = want_late.run(&ctl);
+
+    let mut scratch = early.spawn();
+    for snap_then_want in [
+        (&early, &want_early),
+        (&late, &want_late),
+        (&early, &want_early),
+        (&early, &want_early),
+        (&late, &want_late),
+    ] {
+        let (snap, want) = snap_then_want;
+        scratch.restore_from(snap);
+        scratch.inject(fault);
+        let got = scratch.run(&ctl);
+        assert_reports_equal(&got, want);
+    }
+}
+
+#[test]
+fn cow_write_in_one_clone_does_not_leak_into_siblings() {
+    // Two simulators spawned from one snapshot share every clean memory
+    // page. A run that corrupts the output region in one of them must leave
+    // the sibling's (and the golden image's) bytes untouched.
+    let p = sum_program(600);
+    let cfg = MuarchConfig::big();
+    let golden = capture_golden(&p, &cfg, MAX);
+    let ctl = RunControl {
+        max_cycles: MAX,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
+
+    let mut sim = Sim::new(&p, cfg);
+    assert!(sim.run_to_cycle(golden.cycles / 3, &ctl).is_none());
+    let snap = sim.snapshot();
+
+    // Corrupt one clone aggressively: flip bits in many live registers.
+    let mut dirty = snap.spawn();
+    for phys in 0..16 {
+        dirty.inject(reg_fault(phys, golden.cycles / 2));
+    }
+    let _ = dirty.run(&ctl);
+
+    // The sibling, run fault-free afterwards, must still match golden —
+    // including the output-region bytes materialised by flush_caches.
+    let mut clean = snap.spawn();
+    let r = clean.run(&ctl);
+    assert_eq!(r.outcome, RunOutcome::Completed);
+    assert!(r.first_deviation.is_none(), "CoW leak corrupted sibling");
+    assert_eq!(r.output.as_deref(), Some(&golden.output[..]));
+    assert_eq!(r.cycles, golden.cycles);
+}
+
+#[test]
+fn out_of_cycle_order_injection_applies_in_cycle_order() {
+    // Faults armed out of cycle order must behave exactly like the same
+    // faults armed in order (insertion keeps `pending_faults` sorted).
+    let p = sum_program(700);
+    let cfg = MuarchConfig::big();
+    let golden = capture_golden(&p, &cfg, MAX);
+    let ctl = RunControl {
+        max_cycles: MAX,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
+    let faults = [
+        reg_fault(28, golden.cycles / 2),
+        reg_fault(25, golden.cycles / 5),
+        reg_fault(30, golden.cycles * 3 / 4),
+        reg_fault(26, golden.cycles / 3),
+        reg_fault(27, golden.cycles / 5), // duplicate cycle
+    ];
+
+    let mut sorted = faults;
+    sorted.sort_by_key(|f| f.cycle);
+    let mut a = Sim::new(&p, cfg.clone());
+    for f in sorted {
+        a.inject(f);
+    }
+    let ra = a.run(&ctl);
+
+    let mut b = Sim::new(&p, cfg);
+    for f in faults {
+        b.inject(f);
+    }
+    let rb = b.run(&ctl);
+
+    assert_reports_equal(&ra, &rb);
+    assert_eq!(
+        ra.inject_cycle,
+        Some(golden.cycles / 5),
+        "earliest fault cycle wins regardless of arm order"
+    );
+}
