@@ -13,7 +13,7 @@
 
 use crate::imm::{Imm, ImmClass};
 use avgi_faultsim::InjectionResult;
-use avgi_isa::encoding::opcode_bits;
+use avgi_isa::encoding::{opcode_bits, OPCODE_SHIFT};
 use avgi_isa::instr::decode;
 use avgi_muarch::run::RunOutcome;
 use avgi_muarch::trace::Deviation;
@@ -105,8 +105,11 @@ fn deviation_conditions(d: &Deviation) -> Conditions {
     let f = d.faulty;
     let pc_correct = g.pc == f.pc;
     let opcode_correct = opcode_bits(g.raw) == opcode_bits(f.raw);
-    // Operand fields are everything below the opcode byte.
-    let operand_fields_match = g.raw == f.raw;
+    // Operand fields are everything below the opcode byte — an opcode-only
+    // corruption must not also read as an operand mismatch (`Conditions` is
+    // public; the diagram's evaluation order would mask the error, a
+    // direct consumer of the struct would not).
+    let operand_fields_match = (g.raw ^ f.raw) & ((1 << OPCODE_SHIFT) - 1) == 0;
     // "Known to the ISA": the faulty word decodes, or fails only on its
     // opcode (operand errors are what UNO captures).
     let operands_known = match decode(f.raw) {
@@ -222,6 +225,25 @@ mod tests {
         let f = rec(10, 0x40, valid_word() ^ (1 << 30), 0, 1); // flip an opcode bit
         let c = deviation_conditions(&dev(g, f));
         assert_eq!(classify_conditions(c), ImmClass::Manifested(Imm::Irp));
+    }
+
+    #[test]
+    fn opcode_only_corruption_leaves_operands_correct() {
+        // `operands_correct` covers only the sub-opcode field bits, as the
+        // `Conditions` doc states. Pre-fix it was derived from the full
+        // word, so an opcode-only flip falsely read as an operand mismatch
+        // too (masked by the diagram's evaluation order, but wrong for any
+        // direct consumer of the public struct).
+        let g = rec(10, 0x40, valid_word(), 0, 1);
+        let f = rec(10, 0x40, valid_word() ^ (1 << 30), 0, 1);
+        let c = deviation_conditions(&dev(g, f));
+        assert!(!c.opcode_correct);
+        assert!(c.operands_correct, "operand fields are untouched");
+        // And the converse: an operand-only flip leaves the opcode intact.
+        let f = rec(10, 0x40, valid_word() ^ (1 << (OPCODE_SHIFT - 1)), 0, 1);
+        let c = deviation_conditions(&dev(g, f));
+        assert!(c.opcode_correct);
+        assert!(!c.operands_correct);
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub fn ert_window_for_coverage(
         return None;
     }
     lats.sort_unstable();
-    let idx = ((lats.len() - 1) as f64 * coverage.clamp(0.0, 1.0)) as usize;
+    // The window is pessimistic: take the smallest latency whose rank
+    // covers at least `coverage` of the pool — a ceiling, not a floor (a
+    // floored index under-covers, e.g. rank 48 of 50 for coverage 0.99).
+    let rank = (lats.len() as f64 * coverage.clamp(0.0, 1.0)).ceil() as usize;
+    let idx = rank.max(1).min(lats.len()) - 1;
     let w = lats[idx];
     Some(w + w * margin_percent / 100)
 }
@@ -98,19 +102,39 @@ mod tests {
         );
     }
 
-    #[test]
-    fn measured_window_adds_margin() {
+    fn mk(lat: u64) -> JointAnalysis {
         use crate::imm::{NUM_EFFECTS, NUM_IMMS};
-        let mk = |lat| JointAnalysis {
+        JointAnalysis {
             workload: "w".into(),
             structure: Structure::RegFile,
             counts: [[0; NUM_EFFECTS]; NUM_IMMS + 1],
             max_manifestation_latency: lat,
             manifestation_latencies: if lat > 0 { vec![lat] } else { Vec::new() },
             total: 0,
-        };
+        }
+    }
+
+    #[test]
+    fn measured_window_adds_margin() {
         assert_eq!(measure_ert_window(&[mk(100), mk(250)], 20), Some(300));
         assert_eq!(measure_ert_window(&[mk(0)], 20), None);
         assert_eq!(measure_ert_window(&[], 20), None);
+    }
+
+    #[test]
+    fn coverage_quantile_rounds_up() {
+        // Latencies 1..=50: coverage 0.99 needs ceil(0.99 * 50) = 50 ranks,
+        // i.e. the maximum latency 50. Pre-fix, the floored index picked
+        // rank 49 (latency 49) and silently under-covered.
+        let analyses: Vec<JointAnalysis> = (1..=50).map(mk).collect();
+        assert_eq!(ert_window_for_coverage(&analyses, 0.99, 0), Some(50));
+        // Exact-rank coverages are unchanged by the ceiling.
+        assert_eq!(ert_window_for_coverage(&analyses, 0.5, 0), Some(25));
+        assert_eq!(ert_window_for_coverage(&analyses, 1.0, 0), Some(50));
+        // Degenerate coverages stay in range instead of panicking.
+        assert_eq!(ert_window_for_coverage(&analyses, 0.0, 0), Some(1));
+        assert_eq!(ert_window_for_coverage(&analyses, -3.0, 0), Some(1));
+        assert_eq!(ert_window_for_coverage(&analyses, 7.0, 10), Some(55));
+        assert_eq!(ert_window_for_coverage(&[], 0.99, 0), None);
     }
 }

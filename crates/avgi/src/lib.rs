@@ -60,7 +60,9 @@ pub use ert::{default_ert_window, ert_window_for_coverage, measure_ert_window};
 pub use esc::EscModel;
 pub use fit::{chip_fit, structure_fit, RAW_FIT_PER_BIT};
 pub use imm::{FaultEffect, Imm, ImmClass, NUM_EFFECTS, NUM_IMMS};
-pub use pipeline::{assess, exhaustive, AvgiAssessment, AvgiOptions, ExhaustiveAssessment};
-pub use report::EffectDistribution;
+pub use pipeline::{
+    assess, exhaustive, exhaustive_observed, AvgiAssessment, AvgiOptions, ExhaustiveAssessment,
+};
+pub use report::{imm_collector, imm_labels, EffectDistribution, TelemetrySummary};
 pub use study::{leave_one_out, Study, StudyRow};
 pub use weights::{learn_weights, WeightTable};

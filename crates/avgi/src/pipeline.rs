@@ -15,6 +15,7 @@ use crate::esc::EscModel;
 use crate::imm::{FaultEffect, Imm, ImmClass, NUM_IMMS};
 use crate::report::EffectDistribution;
 use crate::weights::WeightTable;
+use avgi_faultsim::telemetry::CampaignObserver;
 use avgi_faultsim::{run_campaign, CampaignConfig, RunMode};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
@@ -184,12 +185,25 @@ pub fn exhaustive(
     faults: usize,
     seed: u64,
 ) -> ExhaustiveAssessment {
-    let campaign = run_campaign(
-        workload,
-        cfg,
-        golden,
-        &CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed),
-    );
+    exhaustive_observed(workload, cfg, golden, structure, faults, seed, None)
+}
+
+/// Like [`exhaustive`], but attaching a telemetry observer to the campaign
+/// (e.g. [`crate::report::imm_collector`] behind a
+/// [`avgi_faultsim::telemetry::ProgressObserver`]). Observation never
+/// changes the assessment.
+pub fn exhaustive_observed(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    structure: Structure,
+    faults: usize,
+    seed: u64,
+    observer: Option<Arc<dyn CampaignObserver>>,
+) -> ExhaustiveAssessment {
+    let mut ccfg = CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed);
+    ccfg.observer = observer;
+    let campaign = run_campaign(workload, cfg, golden, &ccfg);
     let analysis = JointAnalysis::from_campaign(&campaign);
     ExhaustiveAssessment {
         effect: EffectDistribution::from_array(analysis.effect_distribution()),

@@ -9,6 +9,7 @@
 //! for the CI smoke variant).
 
 use avgi_core::ert::default_ert_window;
+use avgi_faultsim::telemetry::ProgressObserver;
 use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
@@ -100,6 +101,35 @@ fn main() {
         "campaign_throughput"
     );
 
+    // Same campaign with the full telemetry stack attached (IMM-classifying
+    // collector + periodic progress emission). The acceptance bar is that
+    // the observed runs/sec stays within 2% of the bare run above.
+    let progress = std::sync::Arc::new(ProgressObserver::stderr(
+        std::sync::Arc::new(avgi_core::imm_collector()),
+        Duration::from_millis(500),
+    ));
+    let occfg = ccfg.clone().with_observer(progress.clone());
+    let start = Instant::now();
+    let oc = run_campaign(&w, &cfg, &golden, &occfg);
+    let osecs = start.elapsed().as_secs_f64();
+    let snap = progress.collector().snapshot();
+    // The collector's counters must agree exactly with the campaign result.
+    assert_eq!(snap.completed, oc.len() as u64);
+    assert_eq!(snap.aborted(), oc.aborted_count() as u64);
+    let runs_per_sec_observed = campaign_faults as f64 / osecs.max(1e-9);
+    let overhead_pct = 100.0 * (runs_per_sec - runs_per_sec_observed) / runs_per_sec.max(1e-9);
+    println!(
+        "{:<28} {runs_per_sec_observed:>12.0} runs/sec",
+        "campaign_observed"
+    );
+    println!("{:<28} {overhead_pct:>12.2} %", "telemetry_overhead");
+
+    let metrics_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../metrics.json");
+    match std::fs::write(metrics_path, snap.to_json() + "\n") {
+        Ok(()) => println!("wrote {metrics_path}"),
+        Err(e) => eprintln!("could not write {metrics_path}: {e}"),
+    }
+
     // Hand-rolled JSON baseline at the repository root.
     let json = format!(
         "{{\n  \"bench\": \"snapshot_restore\",\n  \"quick\": {quick},\n  \
@@ -107,7 +137,9 @@ fn main() {
          \"clone_us\": {clone_us:.3},\n  \"restore_us\": {restore_us:.3},\n  \
          \"restore_speedup\": {speedup:.2},\n  \
          \"campaign_faults\": {campaign_faults},\n  \
-         \"campaign_runs_per_sec\": {runs_per_sec:.1}\n}}\n",
+         \"campaign_runs_per_sec\": {runs_per_sec:.1},\n  \
+         \"campaign_runs_per_sec_observed\": {runs_per_sec_observed:.1},\n  \
+         \"telemetry_overhead_pct\": {overhead_pct:.2}\n}}\n",
         w.name
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");

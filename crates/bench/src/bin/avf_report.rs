@@ -5,13 +5,14 @@
 //! cargo run --release -p avgi-bench --bin avf_report -- --faults 300
 //! ```
 
-use avgi_bench::{pct, print_header, ExpArgs, GoldenCache};
+use avgi_bench::{pct, print_header, ExpArgs, ExpTelemetry, GoldenCache};
 use avgi_core::fit::structure_fit;
-use avgi_core::pipeline::exhaustive;
+use avgi_core::pipeline::exhaustive_observed;
 use avgi_muarch::fault::Structure;
 
 fn main() {
     let args = ExpArgs::parse(250);
+    let telemetry = ExpTelemetry::from_args(&args);
     let cfg = args.config();
     let name = args
         .workload
@@ -35,7 +36,15 @@ fn main() {
         );
         let mut chip_fit = 0.0;
         for &s in Structure::all() {
-            let e = exhaustive(&w, &cfg, &golden, s, args.faults, args.seed);
+            let e = exhaustive_observed(
+                &w,
+                &cfg,
+                &golden,
+                s,
+                args.faults,
+                args.seed,
+                Some(telemetry.observer()),
+            );
             let fit = structure_fit(s, &cfg, e.effect.avf());
             chip_fit += fit;
             println!(
@@ -50,4 +59,5 @@ fn main() {
         }
         println!("{:>11} {:>46.4}", "CHIP FIT", chip_fit);
     }
+    telemetry.finish();
 }

@@ -11,7 +11,15 @@ fn main() {
     let args = ExpArgs::parse(200);
     let cfg = args.config();
     let workloads = avgi_workloads::all();
-    let analyses = analysis_grid(Structure::all(), &workloads, &cfg, args.faults, args.seed);
+    let telemetry = avgi_bench::ExpTelemetry::from_args(&args);
+    let analyses = analysis_grid(
+        Structure::all(),
+        &workloads,
+        &cfg,
+        args.faults,
+        args.seed,
+        Some(&telemetry),
+    );
 
     println!("\n== IMM distribution over corruptions (mean across workloads) ==");
     let mut cols = vec!["structure", "benign%"];
@@ -75,4 +83,5 @@ fn main() {
             }
         }
     }
+    telemetry.finish();
 }

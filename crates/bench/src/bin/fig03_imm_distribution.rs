@@ -74,7 +74,15 @@ fn main() {
         Structure::Lq,
         Structure::Sq,
     ];
-    let analyses = analysis_grid(&structures, &workloads, &cfg, args.faults, args.seed);
+    let telemetry = avgi_bench::ExpTelemetry::from_args(&args);
+    let analyses = analysis_grid(
+        &structures,
+        &workloads,
+        &cfg,
+        args.faults,
+        args.seed,
+        Some(&telemetry),
+    );
     for s in structures {
         panel(&analyses, s);
     }
@@ -82,4 +90,5 @@ fn main() {
         "\npaper comparison: distributions are structure-specific and roughly uniform \
          across workloads; ROB/LQ/SQ manifest only as PRE."
     );
+    telemetry.finish();
 }

@@ -18,12 +18,14 @@ fn main() {
         "Fig. 4 — P(final effect | IMM) for L1I data across workloads ({}, {} faults/cell)",
         cfg.name, args.faults
     );
+    let telemetry = avgi_bench::ExpTelemetry::from_args(&args);
     let analyses = analysis_grid(
         &[Structure::L1IData],
         &workloads,
         &cfg,
         args.faults,
         args.seed,
+        Some(&telemetry),
     );
 
     for effect in FaultEffect::all() {
@@ -61,4 +63,5 @@ fn main() {
         println!("{row}");
     }
     println!("\npaper comparison: per-IMM std-dev across workloads in the 0.1%-2.4% band.");
+    telemetry.finish();
 }

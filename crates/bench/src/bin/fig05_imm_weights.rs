@@ -19,8 +19,16 @@ fn main() {
         "Fig. 5 — IMM weights per structure ({}, {} faults/cell)",
         cfg.name, args.faults
     );
+    let telemetry = avgi_bench::ExpTelemetry::from_args(&args);
     for &s in Structure::all() {
-        let analyses = analysis_grid(&[s], &workloads, &cfg, args.faults, args.seed);
+        let analyses = analysis_grid(
+            &[s],
+            &workloads,
+            &cfg,
+            args.faults,
+            args.seed,
+            Some(&telemetry),
+        );
         let table = learn_weights(&analyses, None);
         println!("\n--- {} ---", s.label());
         print_header(
@@ -53,4 +61,5 @@ fn main() {
         "\npaper comparison: weights are structure-specific; unobserved IMMs (e.g. IRP/UNO/OFS \
          on the register file) match the paper's zero-probability entries."
     );
+    telemetry.finish();
 }

@@ -28,10 +28,18 @@ fn main() {
         Structure::L2Tag,
         Structure::L2Data,
     ];
+    let telemetry = avgi_bench::ExpTelemetry::from_args(&args);
     let mut total_abs_err = 0.0;
     let mut rows = 0u32;
     for &s in &structures {
-        let analyses = analysis_grid(&[s], &workloads, &cfg, args.faults, args.seed);
+        let analyses = analysis_grid(
+            &[s],
+            &workloads,
+            &cfg,
+            args.faults,
+            args.seed,
+            Some(&telemetry),
+        );
         println!("\n--- {} ---", s.label());
         print_header(
             &[
@@ -61,4 +69,5 @@ fn main() {
          paper reports small divergences around the diagonal that do not move the final AVF.",
         total_abs_err / f64::from(rows.max(1))
     );
+    telemetry.finish();
 }

@@ -47,7 +47,8 @@ fn main() {
             );
         }
     }
-    let margin = avgi_faultsim::error_margin(args.faults, avgi_faultsim::Confidence::C99);
+    let margin =
+        avgi_faultsim::error_margin(args.faults, avgi_faultsim::Confidence::C99).unwrap_or(1.0);
     println!(
         "\nworst per-class |real - AVGI| across all structures/workloads: {} \
          (SDC only: {}); statistical error margin at n={}: {}",

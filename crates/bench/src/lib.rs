@@ -9,13 +9,18 @@
 //! Cortex-A15-like configuration).
 
 use avgi_core::JointAnalysis;
+use avgi_faultsim::telemetry::{
+    CampaignObserver, MetricsCollector, MetricsSnapshot, ProgressObserver,
+};
 use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, CampaignResult, RunMode};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
 use avgi_muarch::trace::GoldenRun;
 use avgi_workloads::Workload;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Common command-line options for experiment binaries.
 #[derive(Debug, Clone)]
@@ -28,11 +33,16 @@ pub struct ExpArgs {
     pub small: bool,
     /// Restrict to one workload by name (tools that support it).
     pub workload: Option<String>,
+    /// Write a machine-readable `metrics.json` telemetry dump here.
+    pub metrics: Option<PathBuf>,
+    /// Minimum milliseconds between live progress lines.
+    pub progress_ms: u64,
 }
 
 impl ExpArgs {
-    /// Parses `--faults N`, `--seed S`, `--small` from `std::env::args`,
-    /// with the given default sample size.
+    /// Parses `--faults N`, `--seed S`, `--small`, `--workload NAME`,
+    /// `--metrics PATH`, `--progress-ms N` from `std::env::args`, with the
+    /// given default sample size.
     ///
     /// # Panics
     ///
@@ -43,6 +53,8 @@ impl ExpArgs {
             seed: 0xA461_0001,
             small: false,
             workload: None,
+            metrics: None,
+            progress_ms: 2_000,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -54,15 +66,27 @@ impl ExpArgs {
                         .expect("--faults needs a number");
                 }
                 "--seed" => {
-                    args.seed =
-                        it.next().and_then(|v| v.parse().ok()).expect("--seed needs a number");
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
                 }
                 "--small" => args.small = true,
                 "--workload" => {
                     args.workload = Some(it.next().expect("--workload needs a name"));
                 }
+                "--metrics" => {
+                    args.metrics = Some(PathBuf::from(it.next().expect("--metrics needs a path")));
+                }
+                "--progress-ms" => {
+                    args.progress_ms = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--progress-ms needs a number");
+                }
                 other => panic!(
-                    "unknown argument `{other}` (supported: --faults N --seed S --small --workload NAME)"
+                    "unknown argument `{other}` (supported: --faults N --seed S --small \
+                     --workload NAME --metrics PATH --progress-ms N)"
                 ),
             }
         }
@@ -75,6 +99,60 @@ impl ExpArgs {
             MuarchConfig::small()
         } else {
             MuarchConfig::big()
+        }
+    }
+}
+
+/// The experiment binaries' telemetry bundle: an IMM-tallying
+/// [`MetricsCollector`] behind a stderr [`ProgressObserver`], plus the
+/// optional `metrics.json` destination from `--metrics`.
+///
+/// One bundle observes every campaign a binary runs; [`finish`]
+/// (ExpTelemetry::finish) prints the folded summary and writes the dump.
+pub struct ExpTelemetry {
+    collector: Arc<MetricsCollector>,
+    observer: Arc<ProgressObserver>,
+    metrics_path: Option<PathBuf>,
+}
+
+impl ExpTelemetry {
+    /// Builds the bundle from parsed arguments.
+    pub fn from_args(args: &ExpArgs) -> Self {
+        let collector = Arc::new(avgi_core::imm_collector());
+        let observer = Arc::new(ProgressObserver::stderr(
+            collector.clone(),
+            Duration::from_millis(args.progress_ms),
+        ));
+        ExpTelemetry {
+            collector,
+            observer,
+            metrics_path: args.metrics.clone(),
+        }
+    }
+
+    /// The observer to attach to campaigns.
+    pub fn observer(&self) -> Arc<dyn CampaignObserver> {
+        self.observer.clone()
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.collector.snapshot()
+    }
+
+    /// Prints the folded telemetry summary to stderr and, when `--metrics`
+    /// was given, writes the machine-readable dump.
+    pub fn finish(&self) {
+        let snap = self.collector.snapshot();
+        if snap.completed == 0 {
+            return;
+        }
+        eprint!("{}", avgi_core::TelemetrySummary(&snap));
+        if let Some(path) = &self.metrics_path {
+            match std::fs::write(path, snap.to_json()) {
+                Ok(()) => eprintln!("[telemetry] wrote {}", path.display()),
+                Err(e) => eprintln!("[telemetry] could not write {}: {e}", path.display()),
+            }
         }
     }
 }
@@ -131,7 +209,8 @@ pub fn report_campaign_health(c: &CampaignResult) {
 }
 
 /// Runs an instrumented (end-to-end + deviation capture) campaign and
-/// returns its joint analysis.
+/// returns its joint analysis. `observer` attaches campaign telemetry
+/// (`None` = unobserved).
 pub fn instrumented_analysis(
     workload: &Workload,
     cfg: &MuarchConfig,
@@ -139,25 +218,25 @@ pub fn instrumented_analysis(
     structure: Structure,
     faults: usize,
     seed: u64,
+    observer: Option<Arc<dyn CampaignObserver>>,
 ) -> JointAnalysis {
-    let c = run_campaign(
-        workload,
-        cfg,
-        golden,
-        &CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed),
-    );
+    let mut ccfg = CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed);
+    ccfg.observer = observer;
+    let c = run_campaign(workload, cfg, golden, &ccfg);
     report_campaign_health(&c);
     JointAnalysis::from_campaign(&c)
 }
 
 /// Runs instrumented campaigns for every (structure, workload) pair in the
-/// grid, printing progress to stderr.
+/// grid, printing progress to stderr. `telemetry` observes every campaign
+/// in the grid when given.
 pub fn analysis_grid(
     structures: &[Structure],
     workloads: &[Workload],
     cfg: &MuarchConfig,
     faults: usize,
     seed: u64,
+    telemetry: Option<&ExpTelemetry>,
 ) -> Vec<JointAnalysis> {
     let mut cache = GoldenCache::new();
     let mut out = Vec::with_capacity(structures.len() * workloads.len());
@@ -165,7 +244,10 @@ pub fn analysis_grid(
         for w in workloads {
             eprintln!("[grid] {} / {} ({} faults)", s, w.name, faults);
             let golden = cache.get(w, cfg);
-            out.push(instrumented_analysis(w, cfg, &golden, s, faults, seed));
+            let observer = telemetry.map(ExpTelemetry::observer);
+            out.push(instrumented_analysis(
+                w, cfg, &golden, s, faults, seed, observer,
+            ));
         }
     }
     out

@@ -13,6 +13,7 @@
 use crate::error::CampaignError;
 use crate::journal::{CampaignKey, Journal};
 use crate::sampling::{multi_bit_burst, sample_faults};
+use crate::telemetry::{CampaignObserver, NullObserver};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::{Fault, Structure};
 use avgi_muarch::pipeline::{capture_golden, Sim, Snapshot};
@@ -25,7 +26,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How far each injected run simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +48,7 @@ pub enum RunMode {
 }
 
 /// Campaign parameters.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignConfig {
     /// Target structure.
     pub structure: Structure,
@@ -79,6 +80,30 @@ pub struct CampaignConfig {
     /// it are *not* guaranteed reproducible run-to-run, which is why the
     /// default leaves it off.
     pub wall_budget: Option<Duration>,
+    /// Telemetry observer driven by the engine (`None` = unobserved).
+    ///
+    /// The observer sees every run — fresh, retried, or replayed from a
+    /// journal — see [`CampaignObserver`] for the hook contract. Observation
+    /// never changes campaign results; it is excluded from [`fmt::Debug`]
+    /// output so journal keys and config hashes are unaffected.
+    pub observer: Option<Arc<dyn CampaignObserver>>,
+}
+
+impl std::fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Matches the previously derived output (the observer is
+        // deliberately omitted: it carries no campaign identity).
+        f.debug_struct("CampaignConfig")
+            .field("structure", &self.structure)
+            .field("faults", &self.faults)
+            .field("seed", &self.seed)
+            .field("mode", &self.mode)
+            .field("threads", &self.threads)
+            .field("burst_width", &self.burst_width)
+            .field("checkpoints", &self.checkpoints)
+            .field("wall_budget", &self.wall_budget)
+            .finish()
+    }
 }
 
 impl CampaignConfig {
@@ -93,6 +118,7 @@ impl CampaignConfig {
             burst_width: 1,
             checkpoints: 8,
             wall_budget: None,
+            observer: None,
         }
     }
 
@@ -117,6 +143,14 @@ impl CampaignConfig {
     /// Sets the per-run wall-clock budget.
     pub fn with_wall_budget(mut self, budget: Duration) -> Self {
         self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Attaches a telemetry observer (e.g. a
+    /// [`MetricsCollector`](crate::telemetry::MetricsCollector) or
+    /// [`ProgressObserver`](crate::telemetry::ProgressObserver)).
+    pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -463,6 +497,8 @@ fn run_one_isolated(
     wall_budget: Option<Duration>,
     scratch: &mut Option<Sim>,
     checkpoints: Option<&CheckpointSet>,
+    structure: Structure,
+    observer: &dyn CampaignObserver,
 ) -> InjectionResult {
     install_quiet_panic_hook();
     let attempt = |ckpt: Option<&CheckpointSet>, scratch: &mut Option<Sim>| {
@@ -492,6 +528,7 @@ fn run_one_isolated(
     };
     let payload = if checkpoints.is_some() {
         // Graceful degradation: retry once from a fresh simulator.
+        observer.on_retry(structure);
         match attempt(None, &mut None) {
             Ok(r) => return r,
             Err(p) => p,
@@ -610,6 +647,10 @@ fn run_campaign_engine(
     done: BTreeMap<usize, InjectionResult>,
     journal: Option<&Mutex<Journal>>,
 ) -> Result<(Vec<InjectionResult>, Vec<String>), CampaignError> {
+    static NULL_OBSERVER: NullObserver = NullObserver;
+    let observer: &dyn CampaignObserver = ccfg.observer.as_deref().unwrap_or(&NULL_OBSERVER);
+    observer.on_campaign_start(ccfg.structure, faults.len());
+
     let mut warnings = Vec::new();
     let checkpoints = if ccfg.checkpoints > 0 {
         match CheckpointSet::build(workload, cfg, golden, ccfg.checkpoints) {
@@ -625,6 +666,9 @@ fn run_campaign_engine(
 
     let mut results: Vec<Option<InjectionResult>> = vec![None; faults.len()];
     for (i, r) in done {
+        // Journaled results replay into the tallies without a wall-clock
+        // sample (no simulation happens on resume).
+        observer.on_resumed(ccfg.structure, &r);
         results[i] = Some(r);
     }
     let mut pending: Vec<usize> = Vec::with_capacity(faults.len());
@@ -655,6 +699,7 @@ fn run_campaign_engine(
                         break;
                     }
                     let i = pending[n];
+                    let t0 = Instant::now();
                     let r = run_one_isolated(
                         workload,
                         cfg,
@@ -665,7 +710,10 @@ fn run_campaign_engine(
                         ccfg.wall_budget,
                         &mut scratch,
                         checkpoints.as_ref(),
+                        ccfg.structure,
+                        observer,
                     );
+                    observer.on_run(ccfg.structure, &r, t0.elapsed());
                     if let Some(j) = journal {
                         if let Err(e) = j.lock().unwrap().append(i, &r) {
                             journal_err.lock().unwrap().get_or_insert(e);
@@ -676,6 +724,8 @@ fn run_campaign_engine(
             });
         }
     });
+
+    observer.on_campaign_end(ccfg.structure);
 
     if let Some(e) = journal_err.into_inner().unwrap() {
         return Err(CampaignError::Io(e));

@@ -37,6 +37,7 @@ pub mod error;
 pub mod journal;
 pub mod json;
 pub mod sampling;
+pub mod telemetry;
 
 pub use campaign::{
     golden_for, run_campaign, run_campaign_journaled, run_campaign_with_faults, run_one,
@@ -44,4 +45,10 @@ pub use campaign::{
 };
 pub use error::CampaignError;
 pub use journal::{config_hash, CampaignKey, Journal};
-pub use sampling::{error_margin, multi_bit_burst, sample_faults, sample_size, Confidence};
+pub use sampling::{
+    error_margin, multi_bit_burst, sample_faults, sample_size, Confidence, SamplingError,
+};
+pub use telemetry::{
+    CampaignObserver, HistogramSnapshot, LatencyHistogram, MetricsCollector, MetricsSnapshot,
+    NullObserver, ProgressObserver,
+};

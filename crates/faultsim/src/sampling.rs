@@ -32,23 +32,64 @@ impl Confidence {
     }
 }
 
+/// A statistically meaningless input to [`error_margin`] or
+/// [`sample_size`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingError {
+    /// `error_margin` was asked about an empty campaign: no margin exists
+    /// for zero samples.
+    ZeroSamples,
+    /// `sample_size` was given a margin that is zero, negative, NaN, or
+    /// infinite: no finite campaign achieves it.
+    InvalidMargin,
+}
+
+impl std::fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplingError::ZeroSamples => {
+                write!(f, "error margin is undefined for zero samples")
+            }
+            SamplingError::InvalidMargin => {
+                write!(f, "sample size requires a finite error margin > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
 /// Error margin for `n` samples at the given confidence, with the
 /// worst-case proportion p = 0.5 (infinite fault population).
 ///
+/// Fails with [`SamplingError::ZeroSamples`] for `n == 0` (the naive
+/// formula would divide by zero and report an infinite margin).
+///
 /// ```
 /// use avgi_faultsim::sampling::{error_margin, Confidence};
-/// let e = error_margin(2_000, Confidence::C99);
+/// let e = error_margin(2_000, Confidence::C99).unwrap();
 /// assert!((e - 0.0288).abs() < 0.0002, "paper's operating point");
 /// ```
-pub fn error_margin(n: usize, confidence: Confidence) -> f64 {
-    confidence.z() * (0.25 / n as f64).sqrt()
+pub fn error_margin(n: usize, confidence: Confidence) -> Result<f64, SamplingError> {
+    if n == 0 {
+        return Err(SamplingError::ZeroSamples);
+    }
+    Ok(confidence.z() * (0.25 / n as f64).sqrt())
 }
 
 /// Sample size needed for error margin `e` at the given confidence
 /// (worst-case p = 0.5, infinite population).
-pub fn sample_size(e: f64, confidence: Confidence) -> usize {
+///
+/// Fails with [`SamplingError::InvalidMargin`] unless `e` is finite and
+/// positive. For margins so tight the count overflows `usize`, the result
+/// saturates at `usize::MAX` (the float-to-int cast saturates) rather than
+/// wrapping.
+pub fn sample_size(e: f64, confidence: Confidence) -> Result<usize, SamplingError> {
+    if !(e.is_finite() && e > 0.0) {
+        return Err(SamplingError::InvalidMargin);
+    }
     let z = confidence.z();
-    (z * z * 0.25 / (e * e)).ceil() as usize
+    Ok((z * z * 0.25 / (e * e)).ceil() as usize)
 }
 
 /// Draws `n` uniform single-bit transient faults for `structure`: uniform
@@ -76,11 +117,14 @@ pub fn sample_faults(
 
 /// Expands a single-bit fault into a spatially adjacent multi-bit burst of
 /// `width` bits (§VII.A): neighbouring bits of the same structure flipped
-/// at the same cycle, clamped at the end of the array.
+/// at the same cycle, clamped at the end of the array. A burst wider than
+/// the structure covers exactly the structure's bits — never sites beyond
+/// them.
 pub fn multi_bit_burst(fault: Fault, width: u32, cfg: &MuarchConfig) -> Vec<Fault> {
     let bits = fault.site.structure.bit_count(cfg);
-    let start = fault.site.bit.min(bits.saturating_sub(u64::from(width)));
-    (0..u64::from(width))
+    let len = u64::from(width.max(1)).min(bits);
+    let start = fault.site.bit.min(bits - len);
+    (0..len)
         .map(|k| Fault {
             site: FaultSite {
                 structure: fault.site.structure,
@@ -97,17 +141,43 @@ mod tests {
 
     #[test]
     fn paper_operating_point() {
-        let e = error_margin(2_000, Confidence::C99);
+        let e = error_margin(2_000, Confidence::C99).unwrap();
         assert!((e - 0.0288).abs() < 2e-4, "got {e}");
         // Inverse direction.
-        let n = sample_size(0.0288, Confidence::C99);
+        let n = sample_size(0.0288, Confidence::C99).unwrap();
         assert!((1_900..2_100).contains(&n), "got {n}");
     }
 
     #[test]
     fn margin_shrinks_with_samples() {
-        assert!(error_margin(4_000, Confidence::C99) < error_margin(1_000, Confidence::C99));
-        assert!(error_margin(1_000, Confidence::C90) < error_margin(1_000, Confidence::C99));
+        let m = |n, c| error_margin(n, c).unwrap();
+        assert!(m(4_000, Confidence::C99) < m(1_000, Confidence::C99));
+        assert!(m(1_000, Confidence::C90) < m(1_000, Confidence::C99));
+    }
+
+    #[test]
+    fn degenerate_sampling_inputs_are_domain_errors() {
+        // Pre-fix, these divided by zero: error_margin(0, _) returned inf
+        // and sample_size(0.0, _) cast inf to usize.
+        assert_eq!(
+            error_margin(0, Confidence::C99),
+            Err(SamplingError::ZeroSamples)
+        );
+        for bad in [0.0, -0.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(
+                sample_size(bad, Confidence::C95),
+                Err(SamplingError::InvalidMargin),
+                "margin {bad}"
+            );
+        }
+        // One sample is degenerate but defined; a large finite margin too.
+        assert!(error_margin(1, Confidence::C90).unwrap().is_finite());
+        assert_eq!(sample_size(1.0, Confidence::C90).unwrap(), 1);
+        // Ludicrously tight margins saturate instead of wrapping.
+        assert_eq!(
+            sample_size(f64::MIN_POSITIVE, Confidence::C99).unwrap(),
+            usize::MAX
+        );
     }
 
     #[test]
@@ -166,5 +236,25 @@ mod tests {
         let burst = multi_bit_burst(f, 4, &cfg);
         assert_eq!(burst.last().unwrap().site.bit, bits - 1);
         assert_eq!(burst.len(), 4);
+    }
+
+    #[test]
+    fn burst_wider_than_the_structure_stays_in_range() {
+        // Pre-fix, `start` saturated to 0 but the burst still spanned
+        // `width` bits, emitting fault sites past the end of the array.
+        let cfg = MuarchConfig::big();
+        let structure = Structure::Itlb;
+        let bits = structure.bit_count(&cfg);
+        let width = u32::try_from(bits + 7).expect("test structure small enough");
+        let f = Fault {
+            site: FaultSite { structure, bit: 3 },
+            cycle: 1,
+        };
+        let burst = multi_bit_burst(f, width, &cfg);
+        assert_eq!(burst.len() as u64, bits, "burst clamps to the structure");
+        for (k, b) in burst.iter().enumerate() {
+            assert!(b.site.bit < bits, "bit {} out of range", b.site.bit);
+            assert_eq!(b.site.bit, k as u64, "burst covers the whole structure");
+        }
     }
 }

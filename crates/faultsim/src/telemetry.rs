@@ -1,0 +1,816 @@
+//! Live campaign observability: lock-free metrics, run-latency histograms,
+//! and structured telemetry snapshots.
+//!
+//! A 2,000-fault campaign (the paper's §II.D operating point) can run for
+//! minutes; without telemetry it is a black box until the final
+//! [`CampaignResult`](crate::CampaignResult) lands. This module makes the
+//! in-flight state observable, in the spirit of ZOFI's and CHAOS's live
+//! campaign statistics:
+//!
+//! * [`CampaignObserver`] — the hook trait the campaign engine drives. All
+//!   methods have empty defaults, so observers implement only what they
+//!   need; [`NullObserver`] is the no-op used when no observer is attached.
+//! * [`MetricsCollector`] — the default observer: per-worker updates land
+//!   on shared atomics (relaxed; only counter totals matter), so the hot
+//!   injection path pays a handful of uncontended `fetch_add`s per run and
+//!   no locks. Tracks per-structure run counts, per-outcome tallies,
+//!   optional per-class tallies (e.g. IMM classes, via a pluggable
+//!   classifier), abort/retry counts, and two log2-bucket histograms:
+//!   post-injection simulated cycles and wall-clock run latency.
+//! * [`MetricsSnapshot`] — a consistent-enough point-in-time copy of the
+//!   counters with derived rates (runs/sec, ETA), a human-readable
+//!   [`progress_line`](MetricsSnapshot::progress_line), and machine-readable
+//!   JSON ([`to_json`](MetricsSnapshot::to_json) for dashboards,
+//!   [`deterministic_counters_json`](MetricsSnapshot::deterministic_counters_json)
+//!   for reproducibility checks).
+//! * [`ProgressObserver`] — wraps a collector and emits a snapshot to a
+//!   sink at a configurable interval, plus a guaranteed final snapshot at
+//!   campaign end.
+//!
+//! Determinism contract: every counter except wall-clock-derived data
+//! (`elapsed`, `runs_per_sec`, `eta`, the wall-latency histogram) and the
+//! `resumed` bookkeeping count is a pure function of the campaign's
+//! (seed, fault list, mode) — identical across thread counts and across
+//! journal interruptions. `deterministic_counters_json` serializes exactly
+//! that subset.
+
+use crate::campaign::InjectionResult;
+use avgi_muarch::fault::Structure;
+use avgi_muarch::run::RunOutcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log2 histogram buckets: bucket 0 holds the value 0, bucket
+/// `k` (1..=64) holds values in `[2^(k-1), 2^k)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index for a value (see [`HIST_BUCKETS`]).
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The `[lo, hi)` value range of bucket `i`; bucket 64's upper bound
+/// saturates at `u64::MAX`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HIST_BUCKETS, "bucket index out of range: {i}");
+    if i == 0 {
+        (0, 1)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i == 64 { u64::MAX } else { 1u64 << i };
+        (lo, hi)
+    }
+}
+
+/// A lock-free log2-bucket histogram of `u64` samples.
+///
+/// Recording is one relaxed `fetch_add`; buckets trade resolution for a
+/// fixed footprint (65 counters cover the full `u64` range), which is the
+/// right shape for latency-style distributions spanning many decades.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// One count per bucket (length [`HIST_BUCKETS`]).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// An upper bound on the `q`-quantile (0..=1): the exclusive upper
+    /// edge of the first bucket at which the cumulative count reaches
+    /// `ceil(q * total)`. `None` on an empty histogram.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let need = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cum += n;
+            if cum >= need {
+                return Some(bucket_bounds(i).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// The bucket counts as a JSON array, trimmed after the last non-zero
+    /// bucket (an empty histogram serializes as `[]`).
+    pub fn to_json(&self) -> String {
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let mut out = String::from("[");
+        for (i, n) in self.counts[..last].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Stable labels for the [`RunOutcome`] families, in tally order.
+pub const OUTCOME_LABELS: [&str; 8] = [
+    "Completed",
+    "Trap",
+    "IntegrityViolation",
+    "Watchdog",
+    "StoppedAtDeviation",
+    "ErtExpired",
+    "WallClockExpired",
+    "SimAbort",
+];
+
+/// Index of `SimAbort` in [`OUTCOME_LABELS`] (the campaign abort counter).
+pub const SIM_ABORT_INDEX: usize = 7;
+
+fn outcome_index(o: RunOutcome) -> usize {
+    match o {
+        RunOutcome::Completed => 0,
+        RunOutcome::Trap(_) => 1,
+        RunOutcome::IntegrityViolation(_) => 2,
+        RunOutcome::Watchdog => 3,
+        RunOutcome::StoppedAtDeviation => 4,
+        RunOutcome::ErtExpired => 5,
+        RunOutcome::WallClockExpired => 6,
+        RunOutcome::SimAbort => SIM_ABORT_INDEX,
+    }
+}
+
+fn structure_index(s: Structure) -> usize {
+    Structure::all()
+        .iter()
+        .position(|&x| x == s)
+        .expect("Structure::all() covers every structure")
+}
+
+/// Hooks the campaign engine drives while a campaign executes.
+///
+/// All methods have empty default bodies. Implementations must be cheap
+/// and non-blocking: `on_run` sits on the injection hot path of every
+/// worker thread.
+pub trait CampaignObserver: Send + Sync {
+    /// A campaign is starting: `planned_runs` injections will be accounted
+    /// for (freshly executed or replayed from a journal).
+    fn on_campaign_start(&self, _structure: Structure, _planned_runs: usize) {}
+
+    /// One injected run finished executing, taking `wall` of host time.
+    fn on_run(&self, _structure: Structure, _result: &InjectionResult, _wall: Duration) {}
+
+    /// One already-journaled result was replayed during a resume (no
+    /// simulation happened; there is no meaningful wall time).
+    fn on_resumed(&self, _structure: Structure, _result: &InjectionResult) {}
+
+    /// A panicking run is being retried without its checkpoint.
+    fn on_retry(&self, _structure: Structure) {}
+
+    /// The campaign finished (all planned runs accounted for).
+    fn on_campaign_end(&self, _structure: Structure) {}
+}
+
+/// The no-op observer used when a campaign has none attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {}
+
+type Classifier = dyn Fn(&InjectionResult) -> usize + Send + Sync;
+
+/// The default [`CampaignObserver`]: lock-free per-worker counters
+/// aggregated on shared atomics.
+///
+/// One collector can observe several consecutive campaigns (e.g. a
+/// 12-structure report grid); `planned` then accumulates across them and
+/// the per-structure counts keep the campaigns apart.
+pub struct MetricsCollector {
+    started: Instant,
+    planned: AtomicU64,
+    completed: AtomicU64,
+    resumed: AtomicU64,
+    retries: AtomicU64,
+    outcomes: [AtomicU64; OUTCOME_LABELS.len()],
+    structures: [AtomicU64; 12],
+    class_labels: Vec<&'static str>,
+    class_counts: Vec<AtomicU64>,
+    classifier: Option<Box<Classifier>>,
+    post_inject_cycles: LatencyHistogram,
+    wall_latency_us: LatencyHistogram,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsCollector {
+    /// A collector with no per-class tallies.
+    pub fn new() -> Self {
+        MetricsCollector {
+            started: Instant::now(),
+            planned: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            outcomes: std::array::from_fn(|_| AtomicU64::new(0)),
+            structures: std::array::from_fn(|_| AtomicU64::new(0)),
+            class_labels: Vec::new(),
+            class_counts: Vec::new(),
+            classifier: None,
+            post_inject_cycles: LatencyHistogram::new(),
+            wall_latency_us: LatencyHistogram::new(),
+        }
+    }
+
+    /// A collector that additionally tallies a custom classification of
+    /// every result (e.g. IMM classes — see `avgi_core::report`'s
+    /// IMM-wired constructor). `classify` must return an index into
+    /// `labels`; out-of-range results are ignored.
+    pub fn with_classes(
+        labels: Vec<&'static str>,
+        classify: impl Fn(&InjectionResult) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        let mut c = Self::new();
+        c.class_counts = (0..labels.len()).map(|_| AtomicU64::new(0)).collect();
+        c.class_labels = labels;
+        c.classifier = Some(Box::new(classify));
+        c
+    }
+
+    /// Host time since the collector was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    fn record(&self, structure: Structure, r: &InjectionResult) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.outcomes[outcome_index(r.outcome)].fetch_add(1, Ordering::Relaxed);
+        self.structures[structure_index(structure)].fetch_add(1, Ordering::Relaxed);
+        self.post_inject_cycles.record(r.post_inject_cycles);
+        if let Some(classify) = &self.classifier {
+            let idx = classify(r);
+            if let Some(slot) = self.class_counts.get(idx) {
+                slot.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every counter plus derived rates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            planned: self.planned.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            elapsed: self.elapsed(),
+            outcomes: OUTCOME_LABELS
+                .iter()
+                .zip(&self.outcomes)
+                .map(|(&l, n)| (l, n.load(Ordering::Relaxed)))
+                .collect(),
+            classes: self
+                .class_labels
+                .iter()
+                .zip(&self.class_counts)
+                .map(|(&l, n)| (l, n.load(Ordering::Relaxed)))
+                .collect(),
+            structures: Structure::all()
+                .iter()
+                .zip(&self.structures)
+                .map(|(&s, n)| (s, n.load(Ordering::Relaxed)))
+                .collect(),
+            post_inject_cycles: self.post_inject_cycles.snapshot(),
+            wall_latency_us: self.wall_latency_us.snapshot(),
+        }
+    }
+}
+
+impl CampaignObserver for MetricsCollector {
+    fn on_campaign_start(&self, _structure: Structure, planned_runs: usize) {
+        self.planned
+            .fetch_add(planned_runs as u64, Ordering::Relaxed);
+    }
+
+    fn on_run(&self, structure: Structure, result: &InjectionResult, wall: Duration) {
+        self.record(structure, result);
+        self.wall_latency_us
+            .record(u64::try_from(wall.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    fn on_resumed(&self, structure: Structure, result: &InjectionResult) {
+        self.record(structure, result);
+        self.resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_retry(&self, _structure: Structure) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of a [`MetricsCollector`] at one point in time.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Runs the observed campaigns planned in total.
+    pub planned: u64,
+    /// Runs accounted for so far (freshly executed plus resumed).
+    pub completed: u64,
+    /// Of `completed`, how many were replayed from a journal.
+    pub resumed: u64,
+    /// Checkpoint-free retries of panicking runs.
+    pub retries: u64,
+    /// Host time since the collector was created.
+    pub elapsed: Duration,
+    /// Per-outcome-family tallies, in [`OUTCOME_LABELS`] order.
+    pub outcomes: Vec<(&'static str, u64)>,
+    /// Per-class tallies (empty unless the collector has a classifier).
+    pub classes: Vec<(&'static str, u64)>,
+    /// Per-structure run counts, in [`Structure::all`] order.
+    pub structures: Vec<(Structure, u64)>,
+    /// Histogram of post-injection simulated cycles per run.
+    pub post_inject_cycles: HistogramSnapshot,
+    /// Histogram of wall-clock run latency, in microseconds.
+    pub wall_latency_us: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Runs recorded as [`RunOutcome::SimAbort`].
+    pub fn aborted(&self) -> u64 {
+        self.outcomes[SIM_ABORT_INDEX].1
+    }
+
+    /// Freshly executed runs per second of host time (resumed replays are
+    /// excluded: they cost no simulation).
+    pub fn runs_per_sec(&self) -> f64 {
+        let fresh = self.completed.saturating_sub(self.resumed);
+        fresh as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Estimated time to completion at the current rate; `None` when done
+    /// or when no fresh run has finished yet.
+    pub fn eta(&self) -> Option<Duration> {
+        let remaining = self.planned.saturating_sub(self.completed);
+        if remaining == 0 {
+            return None;
+        }
+        let rate = self.runs_per_sec();
+        if rate <= 0.0 {
+            return None;
+        }
+        Some(Duration::from_secs_f64(remaining as f64 / rate))
+    }
+
+    /// One human-readable progress line: completion, runs/sec, ETA, and
+    /// the non-zero per-outcome counts plus abort/retry counters.
+    pub fn progress_line(&self) -> String {
+        use core::fmt::Write as _;
+        let pct = if self.planned > 0 {
+            100.0 * self.completed as f64 / self.planned as f64
+        } else {
+            100.0
+        };
+        let eta = self
+            .eta()
+            .map_or_else(|| "-".to_string(), |d| format!("{:.1}s", d.as_secs_f64()));
+        let mut line = format!(
+            "{}/{} runs ({pct:.1}%) | {:.1} runs/s | ETA {eta}",
+            self.completed,
+            self.planned,
+            self.runs_per_sec(),
+        );
+        for (label, n) in &self.outcomes {
+            if *n > 0 {
+                let _ = write!(line, " | {label} {n}");
+            }
+        }
+        let _ = write!(
+            line,
+            " | aborts {} retries {}",
+            self.aborted(),
+            self.retries
+        );
+        line
+    }
+
+    fn labelled_counts_json(pairs: impl Iterator<Item = (String, u64)>) -> String {
+        let mut out = String::from("{");
+        for (i, (label, n)) in pairs.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{n}", crate::json::escape(&label)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The full snapshot as one JSON object (floats included — this is the
+    /// `metrics.json` dump format for external consumers).
+    pub fn to_json(&self) -> String {
+        let eta_us = self
+            .eta()
+            .map_or_else(|| "null".to_string(), |d| d.as_micros().to_string());
+        format!(
+            "{{\"kind\":\"avgi-campaign-metrics\",\"version\":1,\
+             \"planned\":{},\"completed\":{},\"resumed\":{},\"retries\":{},\"aborted\":{},\
+             \"elapsed_us\":{},\"runs_per_sec\":{:.1},\"eta_us\":{eta_us},\
+             \"outcomes\":{},\"classes\":{},\"structures\":{},\
+             \"post_inject_cycles_hist\":{},\"wall_latency_us_hist\":{}}}",
+            self.planned,
+            self.completed,
+            self.resumed,
+            self.retries,
+            self.aborted(),
+            self.elapsed.as_micros(),
+            self.runs_per_sec(),
+            Self::labelled_counts_json(self.outcomes.iter().map(|(l, n)| ((*l).to_string(), *n))),
+            Self::labelled_counts_json(self.classes.iter().map(|(l, n)| ((*l).to_string(), *n))),
+            Self::labelled_counts_json(
+                self.structures
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(s, n)| (s.ident().to_string(), *n))
+            ),
+            self.post_inject_cycles.to_json(),
+            self.wall_latency_us.to_json(),
+        )
+    }
+
+    /// The deterministic subset of [`to_json`](Self::to_json): everything
+    /// that is a pure function of the campaign definition. Excludes wall
+    /// time, rates, the wall-latency histogram, and the `resumed`
+    /// bookkeeping count (which reflects interruption history, not campaign
+    /// content). Two campaigns with the same seed and fault list produce
+    /// byte-identical strings here, regardless of thread count or resume
+    /// pattern.
+    pub fn deterministic_counters_json(&self) -> String {
+        format!(
+            "{{\"planned\":{},\"completed\":{},\"retries\":{},\"aborted\":{},\
+             \"outcomes\":{},\"classes\":{},\"structures\":{},\
+             \"post_inject_cycles_hist\":{}}}",
+            self.planned,
+            self.completed,
+            self.retries,
+            self.aborted(),
+            Self::labelled_counts_json(self.outcomes.iter().map(|(l, n)| ((*l).to_string(), *n))),
+            Self::labelled_counts_json(self.classes.iter().map(|(l, n)| ((*l).to_string(), *n))),
+            Self::labelled_counts_json(
+                self.structures
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(s, n)| (s.ident().to_string(), *n))
+            ),
+            self.post_inject_cycles.to_json(),
+        )
+    }
+}
+
+type SnapshotSink = dyn Fn(&MetricsSnapshot) + Send + Sync;
+
+/// Wraps a [`MetricsCollector`] and emits periodic snapshots to a sink.
+///
+/// Snapshots are emitted at most once per `interval` (checked on each
+/// finished run; no timer thread), plus one guaranteed final snapshot at
+/// campaign end — so even a campaign shorter than the interval produces at
+/// least one progress line.
+pub struct ProgressObserver {
+    collector: std::sync::Arc<MetricsCollector>,
+    interval_us: u64,
+    last_emit_us: AtomicU64,
+    sink: Box<SnapshotSink>,
+}
+
+impl ProgressObserver {
+    /// A progress observer with a custom sink.
+    pub fn with_sink(
+        collector: std::sync::Arc<MetricsCollector>,
+        interval: Duration,
+        sink: impl Fn(&MetricsSnapshot) + Send + Sync + 'static,
+    ) -> Self {
+        ProgressObserver {
+            collector,
+            interval_us: u64::try_from(interval.as_micros()).unwrap_or(u64::MAX),
+            last_emit_us: AtomicU64::new(0),
+            sink: Box::new(sink),
+        }
+    }
+
+    /// A progress observer printing `[progress] <line>` to stderr.
+    pub fn stderr(collector: std::sync::Arc<MetricsCollector>, interval: Duration) -> Self {
+        Self::with_sink(collector, interval, |snap| {
+            eprintln!("[progress] {}", snap.progress_line());
+        })
+    }
+
+    /// The wrapped collector.
+    pub fn collector(&self) -> &std::sync::Arc<MetricsCollector> {
+        &self.collector
+    }
+
+    fn maybe_emit(&self, force: bool) {
+        let now = u64::try_from(self.collector.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let last = self.last_emit_us.load(Ordering::Relaxed);
+        let due = force || now.saturating_sub(last) >= self.interval_us;
+        if due
+            && self
+                .last_emit_us
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            (self.sink)(&self.collector.snapshot());
+        }
+    }
+}
+
+impl CampaignObserver for ProgressObserver {
+    fn on_campaign_start(&self, structure: Structure, planned_runs: usize) {
+        self.collector.on_campaign_start(structure, planned_runs);
+    }
+
+    fn on_run(&self, structure: Structure, result: &InjectionResult, wall: Duration) {
+        self.collector.on_run(structure, result, wall);
+        self.maybe_emit(false);
+    }
+
+    fn on_resumed(&self, structure: Structure, result: &InjectionResult) {
+        self.collector.on_resumed(structure, result);
+    }
+
+    fn on_retry(&self, structure: Structure) {
+        self.collector.on_retry(structure);
+    }
+
+    fn on_campaign_end(&self, _structure: Structure) {
+        self.maybe_emit(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avgi_muarch::fault::{Fault, FaultSite};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn result(outcome: RunOutcome, post: u64) -> InjectionResult {
+        InjectionResult {
+            fault: Fault {
+                site: FaultSite {
+                    structure: Structure::RegFile,
+                    bit: 1,
+                },
+                cycle: 10,
+            },
+            outcome,
+            deviation: None,
+            output_matches: Some(true),
+            cycles: post + 10,
+            post_inject_cycles: post,
+            abort_message: None,
+        }
+    }
+
+    #[test]
+    fn log2_buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi, "bucket {i} is empty");
+            assert_eq!(bucket_of(lo), i, "lower bound of bucket {i}");
+            if i < 64 {
+                assert_eq!(bucket_of(hi - 1), i, "upper bound of bucket {i}");
+                assert_eq!(bucket_of(hi), i + 1, "buckets must abut");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.counts[bucket_of(0)], 1);
+        assert_eq!(s.counts[bucket_of(5)], 2);
+        // Median falls in the [4, 8) bucket; its upper edge bounds it.
+        assert_eq!(s.approx_quantile(0.5), Some(8));
+        assert_eq!(s.approx_quantile(1.0), Some(1024));
+        assert!(LatencyHistogram::new()
+            .snapshot()
+            .approx_quantile(0.5)
+            .is_none());
+        assert_eq!(LatencyHistogram::new().snapshot().to_json(), "[]");
+        assert_eq!(s.to_json().matches(',').count() + 1, bucket_of(1000) + 1);
+    }
+
+    #[test]
+    fn collector_counts_runs_outcomes_and_structures() {
+        let c = MetricsCollector::new();
+        c.on_campaign_start(Structure::RegFile, 3);
+        c.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::Completed, 100),
+            Duration::from_micros(50),
+        );
+        c.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::SimAbort, 0),
+            Duration::from_micros(70),
+        );
+        c.on_retry(Structure::RegFile);
+        c.on_resumed(Structure::Rob, &result(RunOutcome::Watchdog, 9));
+        let s = c.snapshot();
+        assert_eq!(s.planned, 3);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.resumed, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.aborted(), 1);
+        let get = |label: &str| {
+            s.outcomes
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, n)| *n)
+                .unwrap()
+        };
+        assert_eq!(get("Completed"), 1);
+        assert_eq!(get("SimAbort"), 1);
+        assert_eq!(get("Watchdog"), 1);
+        let rf = s
+            .structures
+            .iter()
+            .find(|(st, _)| *st == Structure::RegFile)
+            .unwrap()
+            .1;
+        assert_eq!(rf, 2);
+        assert_eq!(s.post_inject_cycles.total(), 3);
+        // Resumed replays have no wall-latency sample.
+        assert_eq!(s.wall_latency_us.total(), 2);
+        assert!(s.eta().is_none(), "campaign complete");
+        assert!(s.progress_line().contains("3/3 runs"));
+        assert!(s.progress_line().contains("aborts 1 retries 1"));
+    }
+
+    #[test]
+    fn classifier_tallies_are_counted() {
+        let c = MetricsCollector::with_classes(vec!["short", "long"], |r| {
+            usize::from(r.post_inject_cycles >= 100)
+        });
+        c.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::Completed, 5),
+            Duration::ZERO,
+        );
+        c.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::Completed, 500),
+            Duration::ZERO,
+        );
+        c.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::Completed, 501),
+            Duration::ZERO,
+        );
+        let s = c.snapshot();
+        assert_eq!(s.classes, vec![("short", 1), ("long", 2)]);
+    }
+
+    #[test]
+    fn snapshot_json_shapes_parse() {
+        let c = MetricsCollector::with_classes(vec!["a"], |_| 0);
+        c.on_campaign_start(Structure::Lq, 1);
+        c.on_run(
+            Structure::Lq,
+            &result(RunOutcome::Completed, 1 << 20),
+            Duration::from_millis(3),
+        );
+        let s = c.snapshot();
+        // Both dumps are valid JSON for our own parser (the deterministic
+        // one is float-free by construction; the full one keeps floats out
+        // of everything the parser needs to see in tests).
+        let det = crate::json::parse(&s.deterministic_counters_json()).unwrap();
+        assert_eq!(det.get("completed").unwrap().as_u64(), Some(1));
+        assert_eq!(det.get("aborted").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            det.get("structures").unwrap().get("Lq").unwrap().as_u64(),
+            Some(1)
+        );
+        let hist = det
+            .get("post_inject_cycles_hist")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(hist.len(), bucket_of(1 << 20) + 1);
+        assert!(s.to_json().contains("\"kind\":\"avgi-campaign-metrics\""));
+        assert!(s.to_json().contains("\"runs_per_sec\":"));
+    }
+
+    #[test]
+    fn progress_observer_emits_final_snapshot() {
+        let collector = Arc::new(MetricsCollector::new());
+        let emitted = Arc::new(AtomicUsize::new(0));
+        let seen = emitted.clone();
+        let p =
+            ProgressObserver::with_sink(collector.clone(), Duration::from_secs(3600), move |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+        p.on_campaign_start(Structure::RegFile, 2);
+        p.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::Completed, 1),
+            Duration::ZERO,
+        );
+        p.on_run(
+            Structure::RegFile,
+            &result(RunOutcome::Completed, 2),
+            Duration::ZERO,
+        );
+        assert_eq!(emitted.load(Ordering::Relaxed), 0, "interval not reached");
+        p.on_campaign_end(Structure::RegFile);
+        assert_eq!(
+            emitted.load(Ordering::Relaxed),
+            1,
+            "final snapshot is forced"
+        );
+        assert_eq!(p.collector().snapshot().completed, 2);
+    }
+
+    #[test]
+    fn zero_interval_emits_on_every_run() {
+        let collector = Arc::new(MetricsCollector::new());
+        let emitted = Arc::new(AtomicUsize::new(0));
+        let seen = emitted.clone();
+        let p = ProgressObserver::with_sink(collector, Duration::ZERO, move |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        p.on_campaign_start(Structure::RegFile, 3);
+        for i in 0..3 {
+            p.on_run(
+                Structure::RegFile,
+                &result(RunOutcome::Completed, i),
+                Duration::ZERO,
+            );
+        }
+        assert_eq!(emitted.load(Ordering::Relaxed), 3);
+    }
+}

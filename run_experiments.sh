@@ -8,14 +8,21 @@ run() {
   echo "=== $bin $* ==="
   cargo run --release -p avgi-bench --bin "$bin" -- "$@" >"results/$bin.txt" 2>"results/$bin.log"
 }
+# Campaign-driving binaries also emit machine-readable telemetry: live
+# progress snapshots land in results/$bin.log, final counters + latency
+# histograms in results/$bin.metrics.json.
+runm() {
+  bin=$1; shift
+  run "$bin" --metrics "results/$bin.metrics.json" "$@"
+}
 run fig02_imm_diagram
 run fig01_ace_vs_sfi --faults 400
-run fig04_effects_per_imm --faults 400
+runm fig04_effects_per_imm --faults 400
 run fig08_ert_inclusive_exclusive --faults 400
-run fig07_esc_prediction --faults 300
-run fig03_imm_distribution --faults 300
+runm fig07_esc_prediction --faults 300
+runm fig03_imm_distribution --faults 300
 run table2_speedup --faults 200
-run fig05_imm_weights --faults 200
+runm fig05_imm_weights --faults 200
 run fig10_accuracy --faults 200
 run fig12_case_study --faults 150
 run fig11_fit_rates --faults 150

@@ -102,8 +102,8 @@ fn margin_size_inverse() {
     let mut rng = Rng::seed_from_u64(0x1004);
     for _ in 0..512 {
         let n = 100 + rng.gen_range_usize(100_000 - 100);
-        let e = error_margin(n, Confidence::C99);
-        let n2 = sample_size(e, Confidence::C99);
+        let e = error_margin(n, Confidence::C99).unwrap();
+        let n2 = sample_size(e, Confidence::C99).unwrap();
         // Within rounding of each other.
         assert!((n2 as i64 - n as i64).abs() <= 2, "{n} -> {e} -> {n2}");
     }
