@@ -63,6 +63,6 @@ pub use imm::{FaultEffect, Imm, ImmClass, NUM_EFFECTS, NUM_IMMS};
 pub use pipeline::{
     assess, exhaustive, exhaustive_observed, AvgiAssessment, AvgiOptions, ExhaustiveAssessment,
 };
-pub use report::{imm_collector, imm_labels, EffectDistribution, TelemetrySummary};
+pub use report::{grid_report, imm_collector, imm_labels, EffectDistribution, TelemetrySummary};
 pub use study::{leave_one_out, Study, StudyRow};
 pub use weights::{learn_weights, WeightTable};

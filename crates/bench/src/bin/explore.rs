@@ -19,6 +19,7 @@ fn main() {
         args.faults,
         args.seed,
         Some(&telemetry),
+        args.shard,
     );
 
     println!("\n== IMM distribution over corruptions (mean across workloads) ==");

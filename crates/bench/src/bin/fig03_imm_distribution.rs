@@ -82,6 +82,7 @@ fn main() {
         args.faults,
         args.seed,
         Some(&telemetry),
+        args.shard,
     );
     for s in structures {
         panel(&analyses, s);

@@ -26,6 +26,7 @@ fn main() {
         args.faults,
         args.seed,
         Some(&telemetry),
+        args.shard,
     );
 
     for effect in FaultEffect::all() {

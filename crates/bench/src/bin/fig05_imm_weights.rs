@@ -28,6 +28,7 @@ fn main() {
             args.faults,
             args.seed,
             Some(&telemetry),
+            args.shard,
         );
         let table = learn_weights(&analyses, None);
         println!("\n--- {} ---", s.label());

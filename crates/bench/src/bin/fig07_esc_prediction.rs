@@ -39,6 +39,7 @@ fn main() {
             args.faults,
             args.seed,
             Some(&telemetry),
+            args.shard,
         );
         println!("\n--- {} ---", s.label());
         print_header(

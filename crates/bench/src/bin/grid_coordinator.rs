@@ -1,0 +1,187 @@
+//! Distributed-campaign coordinator (`DESIGN.md` §10).
+//!
+//! Binds a TCP endpoint, serves cycle-sorted fault leases to any
+//! `grid_worker` that connects, and prints the merged campaign report once
+//! every index has exactly one accepted result. With `--verify` the same
+//! campaign is additionally run single-process in this process and the
+//! merged results plus telemetry deterministic counters are compared
+//! bit-for-bit — the acceptance check the CI smoke test leans on.
+//!
+//! ```text
+//! grid_coordinator --workload bitcount --structure RegFile --faults 200 \
+//!     --bind 127.0.0.1:4810 [--batch N] [--lease-ms N] [--journal PATH] \
+//!     [--deadline-s N] [--seed S] [--small] [--mode end|instr] [--verify]
+//! ```
+
+use avgi_faultsim::telemetry::MetricsCollector;
+use avgi_faultsim::{run_campaign, CampaignConfig, RunMode};
+use avgi_grid::{Coordinator, GridConfig, GridOutcome};
+use avgi_muarch::Structure;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    workload: String,
+    structure: Structure,
+    faults: usize,
+    seed: u64,
+    small: bool,
+    mode: RunMode,
+    bind: String,
+    batch: usize,
+    lease_ms: u64,
+    journal: Option<PathBuf>,
+    deadline_s: Option<u64>,
+    verify: bool,
+}
+
+const USAGE: &str = "grid_coordinator --workload NAME --structure IDENT [--faults N] \
+     [--seed S] [--small] [--mode end|instr] [--bind ADDR] [--batch N] \
+     [--lease-ms N] [--journal PATH] [--deadline-s N] [--verify]";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "bitcount".into(),
+        structure: Structure::RegFile,
+        faults: 200,
+        seed: 0xA461_0001,
+        small: false,
+        mode: RunMode::Instrumented,
+        bind: "127.0.0.1:4810".into(),
+        batch: 16,
+        lease_ms: 30_000,
+        journal: None,
+        deadline_s: None,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let next = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value\nusage: {USAGE}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => args.workload = next("--workload", &mut it),
+            "--structure" => {
+                let s = next("--structure", &mut it);
+                args.structure =
+                    Structure::from_ident(&s).unwrap_or_else(|| panic!("unknown structure `{s}`"));
+            }
+            "--faults" => args.faults = next("--faults", &mut it).parse().expect("--faults N"),
+            "--seed" => args.seed = next("--seed", &mut it).parse().expect("--seed S"),
+            "--small" => args.small = true,
+            "--mode" => {
+                args.mode = match next("--mode", &mut it).as_str() {
+                    "end" => RunMode::EndToEnd,
+                    "instr" => RunMode::Instrumented,
+                    other => panic!("unknown mode `{other}` (end|instr)"),
+                };
+            }
+            "--bind" => args.bind = next("--bind", &mut it),
+            "--batch" => args.batch = next("--batch", &mut it).parse().expect("--batch N"),
+            "--lease-ms" => {
+                args.lease_ms = next("--lease-ms", &mut it).parse().expect("--lease-ms N");
+            }
+            "--journal" => args.journal = Some(PathBuf::from(next("--journal", &mut it))),
+            "--deadline-s" => {
+                args.deadline_s = Some(
+                    next("--deadline-s", &mut it)
+                        .parse()
+                        .expect("--deadline-s N"),
+                );
+            }
+            "--verify" => args.verify = true,
+            other => panic!("unknown argument `{other}`\nusage: {USAGE}"),
+        }
+    }
+    args
+}
+
+/// Reruns the campaign single-process and compares it to the grid outcome.
+/// Returns `false` on any divergence.
+fn verify(args: &Args, ccfg: &CampaignConfig, outcome: &GridOutcome) -> bool {
+    let w = avgi_workloads::by_name(&args.workload).expect("workload verified at bind");
+    let cfg = preset(args).config();
+    let golden = avgi_faultsim::golden_for(&w, &cfg);
+    let collector = Arc::new(MetricsCollector::new());
+    let reference = run_campaign(
+        &w,
+        &cfg,
+        &golden,
+        &ccfg.clone().with_observer(collector.clone()),
+    );
+    let mut ok = true;
+    if outcome.result.results != reference.results {
+        eprintln!("[verify] FAIL: merged results differ from single-process reference");
+        ok = false;
+    }
+    let grid_counters = outcome.telemetry.deterministic_counters_json();
+    let ref_counters = collector.snapshot().deterministic_counters_json();
+    if grid_counters != ref_counters {
+        eprintln!("[verify] FAIL: merged telemetry counters differ");
+        eprintln!("[verify]   grid: {grid_counters}");
+        eprintln!("[verify]    ref: {ref_counters}");
+        ok = false;
+    }
+    if ok {
+        eprintln!(
+            "[verify] OK: {} results and telemetry counters bit-identical to single-process",
+            reference.results.len()
+        );
+    }
+    ok
+}
+
+fn preset(args: &Args) -> avgi_grid::ConfigPreset {
+    if args.small {
+        avgi_grid::ConfigPreset::Small
+    } else {
+        avgi_grid::ConfigPreset::Big
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let w = avgi_workloads::by_name(&args.workload)
+        .unwrap_or_else(|| panic!("unknown workload `{}`", args.workload));
+    let ccfg = CampaignConfig::new(args.structure, args.faults, args.mode).with_seed(args.seed);
+    let grid = GridConfig {
+        bind: args.bind.clone(),
+        batch: args.batch,
+        lease_timeout: Duration::from_millis(args.lease_ms),
+        journal: args.journal.clone(),
+        deadline: args.deadline_s.map(Duration::from_secs),
+    };
+    let coord = Coordinator::bind(&w, preset(&args), &ccfg, &grid)
+        .unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let addr = coord.local_addr().expect("bound socket has an address");
+    eprintln!(
+        "[coordinator] serving {} / {} ({} faults, batch {}, lease {}ms) on {addr}",
+        args.structure, args.workload, args.faults, args.batch, args.lease_ms
+    );
+    let outcome = match coord.run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("[coordinator] campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!(
+        "{}",
+        avgi_core::grid_report(&outcome.result, &outcome.telemetry)
+    );
+    eprintln!(
+        "[coordinator] workers {} | leases {} granted / {} reassigned | \
+         batches rejected {} | protocol errors {} | resumed {}",
+        outcome.stats.workers_seen,
+        outcome.stats.leases_granted,
+        outcome.stats.leases_reassigned,
+        outcome.stats.batches_rejected,
+        outcome.stats.protocol_errors,
+        outcome.stats.resumed,
+    );
+    if args.verify && !verify(&args, &ccfg, &outcome) {
+        std::process::exit(1);
+    }
+}

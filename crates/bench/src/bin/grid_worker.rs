@@ -1,0 +1,51 @@
+//! Distributed-campaign worker (`DESIGN.md` §10).
+//!
+//! Connects to a `grid_coordinator`, rebuilds the campaign locally from the
+//! welcome spec (workload, configuration, golden run, fault list,
+//! checkpoints — all deterministic), and executes leases until the
+//! coordinator declares the campaign done.
+//!
+//! ```text
+//! grid_worker --connect 127.0.0.1:4810 [--threads N] [--connect-timeout-s N]
+//! ```
+
+use avgi_grid::{run_worker, WorkerConfig};
+use std::time::Duration;
+
+const USAGE: &str = "grid_worker --connect ADDR [--threads N] [--connect-timeout-s N]";
+
+fn main() {
+    let mut wcfg = WorkerConfig::new("127.0.0.1:4810");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value\nusage: {USAGE}"))
+        };
+        match a.as_str() {
+            "--connect" => wcfg.addr = next("--connect"),
+            "--threads" => wcfg.threads = next("--threads").parse().expect("--threads N"),
+            "--connect-timeout-s" => {
+                wcfg.connect_timeout = Duration::from_secs(
+                    next("--connect-timeout-s")
+                        .parse()
+                        .expect("--connect-timeout-s N"),
+                );
+            }
+            other => panic!("unknown argument `{other}`\nusage: {USAGE}"),
+        }
+    }
+    eprintln!("[worker] connecting to {}", wcfg.addr);
+    match run_worker(&wcfg) {
+        Ok(stats) => {
+            eprintln!(
+                "[worker] campaign done: {} batches, {} runs",
+                stats.batches, stats.runs
+            );
+        }
+        Err(e) => {
+            eprintln!("[worker] failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,6 +37,11 @@ pub struct ExpArgs {
     pub metrics: Option<PathBuf>,
     /// Minimum milliseconds between live progress lines.
     pub progress_ms: u64,
+    /// Offline sharding: run only interleaved shard `I` of `N` of every
+    /// campaign (`--shard I/N`). Each shard is a uniform subsample, so
+    /// per-shard statistics remain unbiased; `N` processes (or machines)
+    /// cover the full sample between them.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl ExpArgs {
@@ -55,6 +60,7 @@ impl ExpArgs {
             workload: None,
             metrics: None,
             progress_ms: 2_000,
+            shard: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -84,13 +90,26 @@ impl ExpArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--progress-ms needs a number");
                 }
+                "--shard" => {
+                    let spec = it.next().expect("--shard needs I/N");
+                    args.shard = Some(parse_shard(&spec));
+                }
                 other => panic!(
                     "unknown argument `{other}` (supported: --faults N --seed S --small \
-                     --workload NAME --metrics PATH --progress-ms N)"
+                     --workload NAME --metrics PATH --progress-ms N --shard I/N)"
                 ),
             }
         }
         args
+    }
+
+    /// The selected microarchitecture configuration as a named preset.
+    pub fn preset(&self) -> avgi_grid::ConfigPreset {
+        if self.small {
+            avgi_grid::ConfigPreset::Small
+        } else {
+            avgi_grid::ConfigPreset::Big
+        }
     }
 
     /// The selected microarchitecture configuration.
@@ -157,6 +176,21 @@ impl ExpTelemetry {
     }
 }
 
+/// Parses a `--shard I/N` specification (0-based shard index).
+///
+/// # Panics
+///
+/// Panics with a usage message when the spec is malformed or `I >= N`.
+pub fn parse_shard(spec: &str) -> (usize, usize) {
+    let parse = || -> Option<(usize, usize)> {
+        let (i, n) = spec.split_once('/')?;
+        let i: usize = i.parse().ok()?;
+        let n: usize = n.parse().ok()?;
+        (i < n).then_some((i, n))
+    };
+    parse().unwrap_or_else(|| panic!("--shard wants I/N with 0 <= I < N, got `{spec}`"))
+}
+
 /// Caches golden runs per workload (they are identical across campaigns).
 #[derive(Default)]
 pub struct GoldenCache {
@@ -210,7 +244,10 @@ pub fn report_campaign_health(c: &CampaignResult) {
 
 /// Runs an instrumented (end-to-end + deviation capture) campaign and
 /// returns its joint analysis. `observer` attaches campaign telemetry
-/// (`None` = unobserved).
+/// (`None` = unobserved). With `shard = Some((i, n))` only interleaved
+/// shard `i` of `n` executes — a uniform subsample of the campaign, for
+/// splitting a figure's work across independent processes.
+#[allow(clippy::too_many_arguments)]
 pub fn instrumented_analysis(
     workload: &Workload,
     cfg: &MuarchConfig,
@@ -219,10 +256,29 @@ pub fn instrumented_analysis(
     faults: usize,
     seed: u64,
     observer: Option<Arc<dyn CampaignObserver>>,
+    shard: Option<(usize, usize)>,
 ) -> JointAnalysis {
     let mut ccfg = CampaignConfig::new(structure, faults, RunMode::Instrumented).with_seed(seed);
-    ccfg.observer = observer;
-    let c = run_campaign(workload, cfg, golden, &ccfg);
+    let c = match shard {
+        None => {
+            ccfg.observer = observer;
+            run_campaign(workload, cfg, golden, &ccfg)
+        }
+        Some((index, count)) => {
+            let runner = avgi_faultsim::ShardRunner::new(workload, cfg, golden, &ccfg);
+            let results = runner
+                .run_interleaved(index, count, observer)
+                .expect("interleaved shard indices are always in range");
+            CampaignResult {
+                workload: workload.name.to_string(),
+                structure,
+                mode: ccfg.mode,
+                golden_cycles: golden.cycles,
+                results: results.into_iter().map(|(_, r)| r).collect(),
+                warnings: runner.warnings().to_vec(),
+            }
+        }
+    };
     report_campaign_health(&c);
     JointAnalysis::from_campaign(&c)
 }
@@ -237,16 +293,23 @@ pub fn analysis_grid(
     faults: usize,
     seed: u64,
     telemetry: Option<&ExpTelemetry>,
+    shard: Option<(usize, usize)>,
 ) -> Vec<JointAnalysis> {
     let mut cache = GoldenCache::new();
     let mut out = Vec::with_capacity(structures.len() * workloads.len());
     for &s in structures {
         for w in workloads {
-            eprintln!("[grid] {} / {} ({} faults)", s, w.name, faults);
+            match shard {
+                None => eprintln!("[grid] {} / {} ({} faults)", s, w.name, faults),
+                Some((i, n)) => eprintln!(
+                    "[grid] {} / {} ({} faults, shard {i}/{n})",
+                    s, w.name, faults
+                ),
+            }
             let golden = cache.get(w, cfg);
             let observer = telemetry.map(ExpTelemetry::observer);
             out.push(instrumented_analysis(
-                w, cfg, &golden, s, faults, seed, observer,
+                w, cfg, &golden, s, faults, seed, observer, shard,
             ));
         }
     }

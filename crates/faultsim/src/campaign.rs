@@ -153,6 +153,19 @@ impl CampaignConfig {
         self.observer = Some(observer);
         self
     }
+
+    /// The resolved worker-thread count: `threads`, with the configured `0`
+    /// standing for all available cores. This is the single source of truth
+    /// for the pool size — both the engine's spawn count and the
+    /// worker-count figure reported through telemetry derive from it, so
+    /// metrics never echo the raw `0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
 }
 
 /// Mid-run simulator snapshots for skipping the pre-injection period.
@@ -576,9 +589,19 @@ pub fn run_campaign_with_faults(
     ccfg: &CampaignConfig,
     faults: &[Fault],
 ) -> CampaignResult {
-    let (results, warnings) =
-        run_campaign_engine(workload, cfg, golden, ccfg, faults, BTreeMap::new(), None)
-            .expect("journal-free campaign cannot fail");
+    let (checkpoints, mut warnings) = build_checkpoints(workload, cfg, golden, ccfg);
+    let (results, engine_warnings) = run_campaign_engine(
+        workload,
+        cfg,
+        golden,
+        ccfg,
+        faults,
+        BTreeMap::new(),
+        None,
+        checkpoints.as_ref(),
+    )
+    .expect("journal-free campaign cannot fail");
+    warnings.extend(engine_warnings);
     CampaignResult {
         workload: workload.name.to_string(),
         structure: ccfg.structure,
@@ -623,8 +646,18 @@ pub fn run_campaign_journaled(
         }
     }
     let journal = Mutex::new(journal);
-    let (results, warnings) =
-        run_campaign_engine(workload, cfg, golden, ccfg, &faults, done, Some(&journal))?;
+    let (checkpoints, mut warnings) = build_checkpoints(workload, cfg, golden, ccfg);
+    let (results, engine_warnings) = run_campaign_engine(
+        workload,
+        cfg,
+        golden,
+        ccfg,
+        &faults,
+        done,
+        Some(&journal),
+        checkpoints.as_ref(),
+    )?;
+    warnings.extend(engine_warnings);
     Ok(CampaignResult {
         workload: workload.name.to_string(),
         structure: ccfg.structure,
@@ -635,9 +668,146 @@ pub fn run_campaign_journaled(
     })
 }
 
+/// A reusable shard executor: the unit of work distribution behind
+/// `avgi-grid` and the offline `--shard I/N` mode.
+///
+/// Construction performs the per-campaign setup exactly once — the full
+/// fault list is sampled from `ccfg.seed` and the checkpoint set is built —
+/// and [`run_indices`](ShardRunner::run_indices) then executes any subset
+/// of that list through the same engine as [`run_campaign`]. Because each
+/// injected run is deterministic and independent, the results of a
+/// partition of `0..ccfg.faults` concatenated in index order are
+/// bit-identical to the unsharded campaign's, regardless of how the
+/// indices are split across runners, processes, or machines.
+pub struct ShardRunner<'a> {
+    workload: &'a Workload,
+    cfg: &'a MuarchConfig,
+    golden: Arc<GoldenRun>,
+    ccfg: CampaignConfig,
+    faults: Vec<Fault>,
+    checkpoints: Option<CheckpointSet>,
+    warnings: Vec<String>,
+}
+
+impl<'a> ShardRunner<'a> {
+    /// Samples the campaign's fault list and builds its checkpoint set.
+    ///
+    /// Any observer already attached to `ccfg` is kept as the default for
+    /// [`run_indices`](ShardRunner::run_indices) calls that do not supply
+    /// their own.
+    pub fn new(
+        workload: &'a Workload,
+        cfg: &'a MuarchConfig,
+        golden: &Arc<GoldenRun>,
+        ccfg: &CampaignConfig,
+    ) -> Self {
+        let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+        let (checkpoints, warnings) = build_checkpoints(workload, cfg, golden, ccfg);
+        ShardRunner {
+            workload,
+            cfg,
+            golden: golden.clone(),
+            ccfg: ccfg.clone(),
+            faults,
+            checkpoints,
+            warnings,
+        }
+    }
+
+    /// The full sampled fault list (index space shared by every shard).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Setup degradations (e.g. checkpointing disabled).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The golden run the shards replay against.
+    pub fn golden(&self) -> &Arc<GoldenRun> {
+        &self.golden
+    }
+
+    /// Executes the faults at `indices` (any order, duplicates allowed) and
+    /// returns `(index, result)` pairs in the order given.
+    ///
+    /// `observer` overrides the campaign config's observer for this batch —
+    /// a distributed worker attaches a fresh collector per batch so the
+    /// batch's telemetry delta can be streamed back and merged. The batch
+    /// runs on [`CampaignConfig::effective_threads`] workers like any
+    /// campaign.
+    pub fn run_indices(
+        &self,
+        indices: &[usize],
+        observer: Option<Arc<dyn CampaignObserver>>,
+    ) -> Result<Vec<(usize, InjectionResult)>, CampaignError> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.faults.len()) {
+            return Err(CampaignError::ShardIndexOutOfRange {
+                index: bad,
+                faults: self.faults.len(),
+            });
+        }
+        let subset: Vec<Fault> = indices.iter().map(|&i| self.faults[i]).collect();
+        let mut ccfg = self.ccfg.clone();
+        if observer.is_some() {
+            ccfg.observer = observer;
+        }
+        let (results, _) = run_campaign_engine(
+            self.workload,
+            self.cfg,
+            &self.golden,
+            &ccfg,
+            &subset,
+            BTreeMap::new(),
+            None,
+            self.checkpoints.as_ref(),
+        )
+        .expect("journal-free shard cannot fail");
+        Ok(indices.iter().copied().zip(results).collect())
+    }
+
+    /// Executes interleaved shard `index` of `count` (indices `i` with
+    /// `i % count == index`) — the offline `--shard I/N` split, which keeps
+    /// every shard a uniform subsample of the campaign.
+    pub fn run_interleaved(
+        &self,
+        index: usize,
+        count: usize,
+        observer: Option<Arc<dyn CampaignObserver>>,
+    ) -> Result<Vec<(usize, InjectionResult)>, CampaignError> {
+        let indices: Vec<usize> = (index..self.faults.len()).step_by(count.max(1)).collect();
+        self.run_indices(&indices, observer)
+    }
+}
+
+/// Builds the checkpoint set a campaign configuration asks for, degrading
+/// to checkpoint-free execution (with a warning) when the golden prefix
+/// cannot support it.
+fn build_checkpoints(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+) -> (Option<CheckpointSet>, Vec<String>) {
+    if ccfg.checkpoints == 0 {
+        return (None, Vec::new());
+    }
+    match CheckpointSet::build(workload, cfg, golden, ccfg.checkpoints) {
+        Ok(set) => (Some(set), Vec::new()),
+        Err(e) => (
+            None,
+            vec![format!("checkpointing disabled, running fresh: {e}")],
+        ),
+    }
+}
+
 /// The shared worker-pool core: executes every fault not already in `done`,
 /// optionally appending each fresh result to a journal, and returns results
-/// in sampling order plus any degradation warnings.
+/// in sampling order plus any degradation warnings. Checkpoints are built
+/// by the caller (see [`build_checkpoints`]) so shard runners can reuse one
+/// set across many engine invocations.
+#[allow(clippy::too_many_arguments)]
 fn run_campaign_engine(
     workload: &Workload,
     cfg: &MuarchConfig,
@@ -646,24 +816,13 @@ fn run_campaign_engine(
     faults: &[Fault],
     done: BTreeMap<usize, InjectionResult>,
     journal: Option<&Mutex<Journal>>,
+    checkpoints: Option<&CheckpointSet>,
 ) -> Result<(Vec<InjectionResult>, Vec<String>), CampaignError> {
     static NULL_OBSERVER: NullObserver = NullObserver;
     let observer: &dyn CampaignObserver = ccfg.observer.as_deref().unwrap_or(&NULL_OBSERVER);
     observer.on_campaign_start(ccfg.structure, faults.len());
 
-    let mut warnings = Vec::new();
-    let checkpoints = if ccfg.checkpoints > 0 {
-        match CheckpointSet::build(workload, cfg, golden, ccfg.checkpoints) {
-            Ok(set) => Some(set),
-            Err(e) => {
-                warnings.push(format!("checkpointing disabled, running fresh: {e}"));
-                None
-            }
-        }
-    } else {
-        None
-    };
-
+    let warnings = Vec::new();
     let mut results: Vec<Option<InjectionResult>> = vec![None; faults.len()];
     for (i, r) in done {
         // Journaled results replay into the tallies without a wall-clock
@@ -679,17 +838,16 @@ fn run_campaign_engine(
     // output order (and determinism) is unchanged.
     pending.sort_by_key(|&i| faults[i].cycle);
 
-    let threads = if ccfg.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        ccfg.threads
-    };
+    // One resolution of the pool size, shared by the spawn loop below and
+    // the worker-count figure telemetry reports.
+    let workers = ccfg.effective_threads().min(pending.len().max(1));
+    observer.on_worker_pool(workers);
     let next = AtomicUsize::new(0);
     let sink = Mutex::new(&mut results);
     let journal_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(pending.len().max(1)) {
+        for _ in 0..workers {
             scope.spawn(|| {
                 // One scratch simulator per worker, rewound between runs.
                 let mut scratch: Option<Sim> = None;
@@ -709,7 +867,7 @@ fn run_campaign_engine(
                         ccfg.burst_width,
                         ccfg.wall_budget,
                         &mut scratch,
-                        checkpoints.as_ref(),
+                        checkpoints,
                         ccfg.structure,
                         observer,
                     );

@@ -38,6 +38,14 @@ pub enum CampaignError {
         /// Value found in the journal header.
         found: String,
     },
+    /// A shard was asked to run a fault index outside the campaign's
+    /// sampled fault list (a corrupt or mismatched work lease).
+    ShardIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of faults in the campaign.
+        faults: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -52,6 +60,10 @@ impl fmt::Display for CampaignError {
             CampaignError::JournalMismatch { field, expected, found } => write!(
                 f,
                 "journal belongs to a different campaign: {field} is {found}, expected {expected}"
+            ),
+            CampaignError::ShardIndexOutOfRange { index, faults } => write!(
+                f,
+                "shard lease names fault index {index}, but the campaign samples only {faults} faults"
             ),
         }
     }

@@ -364,7 +364,13 @@ pub fn record_line(idx: usize, r: &InjectionResult) -> String {
 
 /// Parses one record line back into `(fault index, result)`.
 pub fn parse_record(line: &str) -> Result<(usize, InjectionResult), String> {
-    let v = parse(line)?;
+    record_from_json(&parse(line)?)
+}
+
+/// Decodes one already-parsed record object back into
+/// `(fault index, result)` — the same shape [`record_line`] writes, also
+/// used as the per-result element of `avgi-grid` batch frames.
+pub fn record_from_json(v: &Json) -> Result<(usize, InjectionResult), String> {
     let idx = v.get("i").and_then(Json::as_u64).ok_or("missing index")? as usize;
     let f = v.get("fault").ok_or("missing fault")?;
     let fault = Fault {

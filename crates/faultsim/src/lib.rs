@@ -42,6 +42,7 @@ pub mod telemetry;
 pub use campaign::{
     golden_for, run_campaign, run_campaign_journaled, run_campaign_with_faults, run_one,
     run_one_from, CampaignConfig, CampaignResult, CheckpointSet, InjectionResult, RunMode,
+    ShardRunner,
 };
 pub use error::CampaignError;
 pub use journal::{config_hash, CampaignKey, Journal};

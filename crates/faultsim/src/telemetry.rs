@@ -115,6 +115,24 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An all-zero histogram (the identity of [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Adds another histogram's counts into this one, bucket by bucket.
+    /// Tolerates trimmed (shorter) count vectors on either side.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
     /// Total samples recorded.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -216,6 +234,12 @@ pub trait CampaignObserver: Send + Sync {
     /// simulation happened; there is no meaningful wall time).
     fn on_resumed(&self, _structure: Structure, _result: &InjectionResult) {}
 
+    /// The engine resolved its worker pool: `workers` threads will execute
+    /// this campaign (the *effective* count — a configured `0` has already
+    /// been resolved to the available cores and clamped to the pending run
+    /// count, so telemetry never echoes the raw configuration value).
+    fn on_worker_pool(&self, _workers: usize) {}
+
     /// A panicking run is being retried without its checkpoint.
     fn on_retry(&self, _structure: Structure) {}
 
@@ -243,6 +267,7 @@ pub struct MetricsCollector {
     completed: AtomicU64,
     resumed: AtomicU64,
     retries: AtomicU64,
+    workers: AtomicU64,
     outcomes: [AtomicU64; OUTCOME_LABELS.len()],
     structures: [AtomicU64; 12],
     class_labels: Vec<&'static str>,
@@ -267,6 +292,7 @@ impl MetricsCollector {
             completed: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
             outcomes: std::array::from_fn(|_| AtomicU64::new(0)),
             structures: std::array::from_fn(|_| AtomicU64::new(0)),
             class_labels: Vec::new(),
@@ -317,6 +343,7 @@ impl MetricsCollector {
             completed: self.completed.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
             elapsed: self.elapsed(),
             outcomes: OUTCOME_LABELS
                 .iter()
@@ -360,6 +387,12 @@ impl CampaignObserver for MetricsCollector {
     fn on_retry(&self, _structure: Structure) {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
+
+    fn on_worker_pool(&self, workers: usize) {
+        // One collector may observe several consecutive campaigns; keep the
+        // widest pool seen.
+        self.workers.fetch_max(workers as u64, Ordering::Relaxed);
+    }
 }
 
 /// A plain-data copy of a [`MetricsCollector`] at one point in time.
@@ -373,6 +406,9 @@ pub struct MetricsSnapshot {
     pub resumed: u64,
     /// Checkpoint-free retries of panicking runs.
     pub retries: u64,
+    /// Widest effective worker pool observed (0 until an engine reports
+    /// one). Host-dependent, so excluded from the deterministic subset.
+    pub workers: u64,
     /// Host time since the collector was created.
     pub elapsed: Duration,
     /// Per-outcome-family tallies, in [`OUTCOME_LABELS`] order.
@@ -467,7 +503,7 @@ impl MetricsSnapshot {
         format!(
             "{{\"kind\":\"avgi-campaign-metrics\",\"version\":1,\
              \"planned\":{},\"completed\":{},\"resumed\":{},\"retries\":{},\"aborted\":{},\
-             \"elapsed_us\":{},\"runs_per_sec\":{:.1},\"eta_us\":{eta_us},\
+             \"workers\":{},\"elapsed_us\":{},\"runs_per_sec\":{:.1},\"eta_us\":{eta_us},\
              \"outcomes\":{},\"classes\":{},\"structures\":{},\
              \"post_inject_cycles_hist\":{},\"wall_latency_us_hist\":{}}}",
             self.planned,
@@ -475,6 +511,7 @@ impl MetricsSnapshot {
             self.resumed,
             self.retries,
             self.aborted(),
+            self.workers,
             self.elapsed.as_micros(),
             self.runs_per_sec(),
             Self::labelled_counts_json(self.outcomes.iter().map(|(l, n)| ((*l).to_string(), *n))),
@@ -516,6 +553,151 @@ impl MetricsSnapshot {
             ),
             self.post_inject_cycles.to_json(),
         )
+    }
+
+    /// An all-zero snapshot: the identity of [`merge`](Self::merge), used
+    /// as the accumulator when folding shard deltas together.
+    pub fn empty() -> Self {
+        MetricsSnapshot {
+            planned: 0,
+            completed: 0,
+            resumed: 0,
+            retries: 0,
+            workers: 0,
+            elapsed: Duration::ZERO,
+            outcomes: OUTCOME_LABELS.iter().map(|&l| (l, 0)).collect(),
+            classes: Vec::new(),
+            structures: Structure::all().iter().map(|&s| (s, 0)).collect(),
+            post_inject_cycles: HistogramSnapshot::empty(),
+            wall_latency_us: HistogramSnapshot::empty(),
+        }
+    }
+
+    /// Adds another snapshot's counters into this one.
+    ///
+    /// This is the aggregation a distributed campaign relies on: if the
+    /// shards of a partition each record their runs into separate
+    /// collectors, merging the shard snapshots yields exactly the counters
+    /// a single-process campaign over the whole fault list produces — its
+    /// [`deterministic_counters_json`](Self::deterministic_counters_json)
+    /// is byte-identical. Additive counters and histograms sum; labelled
+    /// tallies align by label (labels unknown to `self` are appended);
+    /// `workers` takes the maximum and `elapsed` the longest shard (shards
+    /// overlap in wall time, so summing would overstate it).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn merge_labelled(mine: &mut Vec<(&'static str, u64)>, theirs: &[(&'static str, u64)]) {
+            for &(label, n) in theirs {
+                match mine.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, m)) => *m += n,
+                    None => mine.push((label, n)),
+                }
+            }
+        }
+        self.planned += other.planned;
+        self.completed += other.completed;
+        self.resumed += other.resumed;
+        self.retries += other.retries;
+        self.workers = self.workers.max(other.workers);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        merge_labelled(&mut self.outcomes, &other.outcomes);
+        merge_labelled(&mut self.classes, &other.classes);
+        for &(structure, n) in &other.structures {
+            match self.structures.iter_mut().find(|(s, _)| *s == structure) {
+                Some((_, m)) => *m += n,
+                None => self.structures.push((structure, n)),
+            }
+        }
+        self.post_inject_cycles.merge(&other.post_inject_cycles);
+        self.wall_latency_us.merge(&other.wall_latency_us);
+    }
+
+    /// Rebuilds the deterministic counters from a
+    /// [`deterministic_counters_json`](Self::deterministic_counters_json)
+    /// document — the wire format of a shard's telemetry delta.
+    ///
+    /// Wall-clock fields are not on the wire and come back zeroed. Class
+    /// labels are resolved against `class_labels` (the label set the
+    /// sending collector was built with); an unknown outcome, structure, or
+    /// class label is an error rather than a silently dropped count.
+    pub fn from_deterministic_json(
+        json: &str,
+        class_labels: &[&'static str],
+    ) -> Result<MetricsSnapshot, String> {
+        Self::from_deterministic_value(&crate::json::parse(json)?, class_labels)
+    }
+
+    /// [`from_deterministic_json`](Self::from_deterministic_json) over an
+    /// already-parsed value (e.g. a delta embedded in a larger message).
+    pub fn from_deterministic_value(
+        v: &crate::json::Json,
+        class_labels: &[&'static str],
+    ) -> Result<MetricsSnapshot, String> {
+        use crate::json::Json;
+        let int = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing counter `{key}`"))
+        };
+        let pairs = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            match v.get(key) {
+                Some(Json::Object(fields)) => fields
+                    .iter()
+                    .map(|(label, n)| {
+                        n.as_u64()
+                            .map(|n| (label.clone(), n))
+                            .ok_or_else(|| format!("bad count for `{label}` in `{key}`"))
+                    })
+                    .collect(),
+                _ => Err(format!("missing object `{key}`")),
+            }
+        };
+        let mut snap = MetricsSnapshot::empty();
+        snap.planned = int("planned")?;
+        snap.completed = int("completed")?;
+        snap.retries = int("retries")?;
+        for (label, n) in pairs("outcomes")? {
+            let slot = snap
+                .outcomes
+                .iter_mut()
+                .find(|(l, _)| *l == label)
+                .ok_or_else(|| format!("unknown outcome label `{label}`"))?;
+            slot.1 = n;
+        }
+        for (label, n) in pairs("classes")? {
+            let resolved = class_labels
+                .iter()
+                .find(|l| **l == label)
+                .ok_or_else(|| format!("unknown class label `{label}`"))?;
+            snap.classes.push((resolved, n));
+        }
+        for (label, n) in pairs("structures")? {
+            let structure = Structure::from_ident(&label)
+                .ok_or_else(|| format!("unknown structure `{label}`"))?;
+            snap.structures
+                .iter_mut()
+                .find(|(s, _)| *s == structure)
+                .expect("Structure::all() covers every structure")
+                .1 = n;
+        }
+        let hist = v
+            .get("post_inject_cycles_hist")
+            .and_then(Json::as_array)
+            .ok_or("missing `post_inject_cycles_hist`")?;
+        if hist.len() > HIST_BUCKETS {
+            return Err(format!("histogram has {} buckets", hist.len()));
+        }
+        for (i, n) in hist.iter().enumerate() {
+            snap.post_inject_cycles.counts[i] = n.as_u64().ok_or("bad histogram bucket count")?;
+        }
+        let aborted = int("aborted")?;
+        if aborted != snap.aborted() {
+            return Err(format!(
+                "aborted counter {} disagrees with SimAbort tally {}",
+                aborted,
+                snap.aborted()
+            ));
+        }
+        Ok(snap)
     }
 }
 
@@ -592,6 +774,10 @@ impl CampaignObserver for ProgressObserver {
 
     fn on_retry(&self, structure: Structure) {
         self.collector.on_retry(structure);
+    }
+
+    fn on_worker_pool(&self, workers: usize) {
+        self.collector.on_worker_pool(workers);
     }
 
     fn on_campaign_end(&self, _structure: Structure) {

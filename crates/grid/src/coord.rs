@@ -1,0 +1,648 @@
+//! The campaign coordinator: owns the fault list, leases batches to
+//! workers, merges their results and telemetry, and survives worker death.
+//!
+//! One coordinator drives one campaign. It captures the golden run and
+//! samples the full fault list itself (so the spec it hands out carries the
+//! `golden_cycles`/`config_hash` cross-checks), then serves leases — cycle-
+//! sorted index batches — to any worker that connects. Liveness is
+//! heartbeat-based: a worker that neither reports nor heartbeats before its
+//! lease deadline is presumed dead and the lease's indices return to the
+//! front of the queue for reassignment. A batch report is accepted only
+//! while its lease is still active *and* owned by the reporting connection;
+//! late duplicates (from a worker that stalled past its deadline) are
+//! discarded wholly — results and telemetry delta together — so nothing is
+//! ever double-counted. See `DESIGN.md` §10 for the lease state machine.
+//!
+//! With a journal attached the coordinator is restartable: accepted results
+//! stream to disk exactly as in [`run_campaign_journaled`]
+//! (avgi_faultsim::run_campaign_journaled), and a restarted coordinator
+//! resumes from the journal, re-leasing only the missing indices.
+
+use crate::proto::{send, FrameBuffer, FrameError, Msg};
+use crate::spec::{CampaignSpec, ConfigPreset};
+use avgi_faultsim::campaign::golden_for;
+use avgi_faultsim::error::CampaignError;
+use avgi_faultsim::journal::{config_hash, CampaignKey, Journal};
+use avgi_faultsim::sampling::sample_faults;
+use avgi_faultsim::telemetry::{CampaignObserver, MetricsCollector, MetricsSnapshot};
+use avgi_faultsim::{CampaignConfig, CampaignResult, InjectionResult};
+use avgi_muarch::fault::Fault;
+use avgi_workloads::Workload;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a grid campaign failed.
+#[derive(Debug)]
+pub enum GridError {
+    /// Socket or journal I/O failed.
+    Io(std::io::Error),
+    /// Campaign-level failure (journal mismatch, bad shard index, …).
+    Campaign(CampaignError),
+    /// Framing failure on a connection the caller owns (worker side).
+    Frame(FrameError),
+    /// The peer violated the protocol (bad handshake, rejection, …).
+    Protocol(String),
+    /// The spec could not be satisfied locally (unknown workload, golden
+    /// or config cross-check failed, …).
+    Spec(String),
+}
+
+impl core::fmt::Display for GridError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GridError::Io(e) => write!(f, "I/O failed: {e}"),
+            GridError::Campaign(e) => write!(f, "campaign failed: {e}"),
+            GridError::Frame(e) => write!(f, "framing failed: {e}"),
+            GridError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            GridError::Spec(m) => write!(f, "unsatisfiable spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<std::io::Error> for GridError {
+    fn from(e: std::io::Error) -> Self {
+        GridError::Io(e)
+    }
+}
+
+impl From<CampaignError> for GridError {
+    fn from(e: CampaignError) -> Self {
+        GridError::Campaign(e)
+    }
+}
+
+impl From<FrameError> for GridError {
+    fn from(e: FrameError) -> Self {
+        GridError::Frame(e)
+    }
+}
+
+/// Coordinator-side tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Address to listen on (`"127.0.0.1:0"` picks a free port).
+    pub bind: String,
+    /// Faults per lease.
+    pub batch: usize,
+    /// How long a lease stays valid without a heartbeat or report.
+    pub lease_timeout: Duration,
+    /// Campaign journal path (`None` = not restartable).
+    pub journal: Option<PathBuf>,
+    /// Overall wall-clock deadline (`None` = wait forever). A failsafe for
+    /// tests and CI; an expired deadline fails the campaign rather than
+    /// hanging it.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            bind: "127.0.0.1:0".into(),
+            batch: 16,
+            lease_timeout: Duration::from_secs(30),
+            journal: None,
+            deadline: None,
+        }
+    }
+}
+
+/// Coordinator-side campaign statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Workers that completed the handshake.
+    pub workers_seen: u64,
+    /// Leases granted (including re-grants of reassigned indices).
+    pub leases_granted: u64,
+    /// Leases whose indices were requeued (expiry or disconnect).
+    pub leases_reassigned: u64,
+    /// Batch reports discarded because their lease was no longer owned by
+    /// the reporting connection (nothing from them was counted).
+    pub batches_rejected: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Results restored from the journal instead of executed.
+    pub resumed: u64,
+}
+
+/// A finished distributed campaign.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// The merged campaign result — bit-identical to a single-process
+    /// [`run_campaign`](avgi_faultsim::run_campaign) of the same spec.
+    pub result: CampaignResult,
+    /// Merged telemetry: the sum of every accepted batch delta (plus the
+    /// journal replay on resume). Its deterministic counters match a
+    /// single-process campaign's; wall-clock fields are meaningless here.
+    pub telemetry: MetricsSnapshot,
+    /// Distribution statistics.
+    pub stats: GridStats,
+}
+
+struct Lease {
+    conn: u64,
+    indices: Vec<usize>,
+    deadline: Instant,
+}
+
+struct State {
+    queue: VecDeque<usize>,
+    leases: HashMap<u64, Lease>,
+    results: Vec<Option<InjectionResult>>,
+    remaining: usize,
+    telemetry: MetricsSnapshot,
+    journal: Option<Journal>,
+    stats: GridStats,
+    next_lease: u64,
+    fatal: Option<String>,
+}
+
+struct Shared {
+    spec: CampaignSpec,
+    faults: Vec<Fault>,
+    state: Mutex<State>,
+    done: AtomicBool,
+    batch: usize,
+    lease_timeout: Duration,
+    next_conn: AtomicU64,
+    /// Live connection-handler threads; [`Coordinator::run`] drains to zero
+    /// before returning so every connected worker hears [`Msg::Done`] even
+    /// when the coordinator process exits right after.
+    active_conns: AtomicU64,
+}
+
+/// Decrements the live-handler count on every `handle_connection` exit path.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A bound, resumable campaign coordinator.
+pub struct Coordinator {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    workload: String,
+    deadline: Option<Duration>,
+}
+
+impl Coordinator {
+    /// Captures the golden run, samples the fault list, loads any journaled
+    /// results, and binds the listening socket. Workers may connect as soon
+    /// as this returns; nothing is served until [`run`](Coordinator::run).
+    pub fn bind(
+        workload: &Workload,
+        preset: ConfigPreset,
+        ccfg: &CampaignConfig,
+        grid: &GridConfig,
+    ) -> Result<Coordinator, GridError> {
+        let workload_id = avgi_workloads::index_of(workload.name).ok_or_else(|| {
+            GridError::Spec(format!("workload {:?} not in registry", workload.name))
+        })?;
+        let cfg = preset.config();
+        let golden = golden_for(workload, &cfg);
+        let faults = sample_faults(ccfg.structure, &cfg, golden.cycles, ccfg.faults, ccfg.seed);
+        let spec = CampaignSpec {
+            workload: workload.name.to_string(),
+            workload_id,
+            preset,
+            structure: ccfg.structure,
+            faults: ccfg.faults,
+            seed: ccfg.seed,
+            mode: ccfg.mode,
+            burst_width: ccfg.burst_width,
+            checkpoints: ccfg.checkpoints,
+            golden_cycles: golden.cycles,
+            config_hash: config_hash(&cfg),
+            lease_timeout_ms: u64::try_from(grid.lease_timeout.as_millis()).unwrap_or(u64::MAX),
+        };
+
+        let mut results: Vec<Option<InjectionResult>> = vec![None; ccfg.faults];
+        let mut telemetry = MetricsSnapshot::empty();
+        let mut stats = GridStats::default();
+        let journal = match &grid.journal {
+            None => None,
+            Some(path) => {
+                let key = CampaignKey::new(workload.name, &cfg, golden.cycles, ccfg);
+                let (journal, done) = Journal::open(path, &key)?;
+                // Journaled faults must match the freshly sampled list (the
+                // same cross-check run_campaign_journaled performs).
+                for (&i, r) in &done {
+                    if r.fault != faults[i] {
+                        return Err(GridError::Campaign(CampaignError::JournalMismatch {
+                            field: "fault",
+                            expected: format!("{:?}", faults[i]),
+                            found: format!("{:?}", r.fault),
+                        }));
+                    }
+                }
+                // Replay restored results through a collector so the merged
+                // telemetry accounts for them exactly as a single-process
+                // resumed campaign would.
+                if !done.is_empty() {
+                    let collector = MetricsCollector::new();
+                    collector.on_campaign_start(ccfg.structure, done.len());
+                    for r in done.values() {
+                        collector.on_resumed(ccfg.structure, r);
+                    }
+                    telemetry = collector.snapshot();
+                }
+                stats.resumed = done.len() as u64;
+                for (i, r) in done {
+                    results[i] = Some(r);
+                }
+                Some(journal)
+            }
+        };
+        let remaining = results.iter().filter(|r| r.is_none()).count();
+        let mut pending: Vec<usize> = (0..ccfg.faults).filter(|&i| results[i].is_none()).collect();
+        // Lease batches in injection-cycle order: consecutive indices then
+        // tend to share a checkpoint on the worker, exactly like the
+        // single-process engine's cycle-sorted work order.
+        pending.sort_by_key(|&i| faults[i].cycle);
+
+        let listener = TcpListener::bind(grid.bind.as_str())?;
+        listener.set_nonblocking(true)?;
+        Ok(Coordinator {
+            shared: Arc::new(Shared {
+                spec,
+                faults,
+                state: Mutex::new(State {
+                    queue: pending.into(),
+                    leases: HashMap::new(),
+                    results,
+                    remaining,
+                    telemetry,
+                    journal,
+                    stats,
+                    next_lease: 1,
+                    fatal: None,
+                }),
+                done: AtomicBool::new(remaining == 0),
+                batch: grid.batch.max(1),
+                lease_timeout: grid.lease_timeout,
+                next_conn: AtomicU64::new(1),
+                active_conns: AtomicU64::new(0),
+            }),
+            listener,
+            workload: workload.name.to_string(),
+            deadline: grid.deadline,
+        })
+    }
+
+    /// The bound listening address (useful with `"127.0.0.1:0"`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves the campaign until every fault index has exactly one accepted
+    /// result, then returns the merged outcome.
+    pub fn run(self) -> Result<GridOutcome, GridError> {
+        let started = Instant::now();
+        loop {
+            // Accept every waiting connection.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = self.shared.clone();
+                        let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+                        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                        std::thread::spawn(move || {
+                            let _guard = ConnGuard(&shared);
+                            handle_connection(&shared, stream, conn);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(GridError::Io(e)),
+                }
+            }
+            // Sweep expired leases back onto the queue.
+            let now = Instant::now();
+            {
+                let mut st = self.shared.state.lock().unwrap();
+                if let Some(msg) = st.fatal.take() {
+                    return Err(GridError::Protocol(msg));
+                }
+                let expired: Vec<u64> = st
+                    .leases
+                    .iter()
+                    .filter(|(_, l)| l.deadline <= now)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in expired {
+                    let lease = st.leases.remove(&id).expect("lease id just listed");
+                    for &i in lease.indices.iter().rev() {
+                        st.queue.push_front(i);
+                    }
+                    st.stats.leases_reassigned += 1;
+                }
+                if st.remaining == 0 {
+                    self.shared.done.store(true, Ordering::SeqCst);
+                    let telemetry = st.telemetry.clone();
+                    let stats = st.stats.clone();
+                    let results = st
+                        .results
+                        .iter_mut()
+                        .map(|r| r.take().expect("remaining == 0"))
+                        .collect();
+                    drop(st);
+                    // Drain: give every connected worker a chance to hear
+                    // `Done` before the caller (possibly the whole process)
+                    // goes away. Handlers notice the done flag within one
+                    // read-timeout tick; the cap covers wedged peers.
+                    let drain_deadline = Instant::now() + Duration::from_secs(2);
+                    while self.shared.active_conns.load(Ordering::SeqCst) > 0
+                        && Instant::now() < drain_deadline
+                    {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    return Ok(GridOutcome {
+                        result: CampaignResult {
+                            workload: self.workload.clone(),
+                            structure: self.shared.spec.structure,
+                            mode: self.shared.spec.mode,
+                            golden_cycles: self.shared.spec.golden_cycles,
+                            results,
+                            warnings: Vec::new(),
+                        },
+                        telemetry,
+                        stats,
+                    });
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if started.elapsed() > deadline {
+                    return Err(GridError::Protocol(format!(
+                        "campaign deadline ({deadline:?}) exceeded"
+                    )));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Returns this connection's leased indices to the queue front.
+fn requeue_conn(shared: &Shared, conn: u64) {
+    let mut st = shared.state.lock().unwrap();
+    let ids: Vec<u64> = st
+        .leases
+        .iter()
+        .filter(|(_, l)| l.conn == conn)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in ids {
+        let lease = st.leases.remove(&id).expect("lease id just listed");
+        for &i in lease.indices.iter().rev() {
+            st.queue.push_front(i);
+        }
+        st.stats.leases_reassigned += 1;
+    }
+}
+
+fn protocol_error(shared: &Shared, conn: u64, stream: &mut TcpStream, reason: &str) {
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.stats.protocol_errors += 1;
+    }
+    let _ = send(
+        stream,
+        &Msg::Reject {
+            reason: reason.to_string(),
+        },
+    );
+    requeue_conn(shared, conn);
+}
+
+/// Drives one worker connection: handshake, then lease/report cycles until
+/// the campaign completes or the worker goes away. Runs on a detached
+/// thread; every exit path requeues the connection's outstanding leases.
+fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut fb = FrameBuffer::new();
+    // Handshake: first frame must be a matching hello.
+    let hello = loop {
+        match fb.poll(&mut stream) {
+            Ok(Some(payload)) => break payload,
+            Ok(None) => {
+                if shared.done.load(Ordering::SeqCst) {
+                    let _ = send(&mut stream, &Msg::Done);
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    match Msg::from_json(&hello) {
+        Ok(Msg::Hello {
+            proto: crate::proto::PROTO_VERSION,
+        }) => {}
+        Ok(Msg::Hello { proto }) => {
+            protocol_error(
+                shared,
+                conn,
+                &mut stream,
+                &format!(
+                    "protocol version {proto} unsupported (want {})",
+                    crate::proto::PROTO_VERSION
+                ),
+            );
+            return;
+        }
+        _ => {
+            protocol_error(shared, conn, &mut stream, "expected hello");
+            return;
+        }
+    }
+    if send(
+        &mut stream,
+        &Msg::Welcome {
+            spec: shared.spec.clone(),
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.stats.workers_seen += 1;
+    }
+
+    loop {
+        let payload = match fb.poll(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                // Idle poll: if the campaign finished while this worker was
+                // between requests, tell it to go home.
+                if shared.done.load(Ordering::SeqCst) {
+                    let _ = send(&mut stream, &Msg::Done);
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => {
+                requeue_conn(shared, conn);
+                return;
+            }
+            Err(_) => {
+                // Truncated frame, oversized prefix, I/O failure: drop the
+                // connection, reassign its work, keep serving others.
+                protocol_error(shared, conn, &mut stream, "bad frame");
+                return;
+            }
+        };
+        let msg = match Msg::from_json(&payload) {
+            Ok(m) => m,
+            Err(e) => {
+                protocol_error(shared, conn, &mut stream, &format!("bad message: {e}"));
+                return;
+            }
+        };
+        match msg {
+            Msg::LeaseRequest => {
+                let reply = {
+                    let mut st = shared.state.lock().unwrap();
+                    if st.remaining == 0 {
+                        Msg::Done
+                    } else {
+                        let take = shared.batch.min(st.queue.len());
+                        if take == 0 {
+                            Msg::Drain
+                        } else {
+                            let indices: Vec<usize> = st.queue.drain(..take).collect();
+                            let id = st.next_lease;
+                            st.next_lease += 1;
+                            st.leases.insert(
+                                id,
+                                Lease {
+                                    conn,
+                                    indices: indices.clone(),
+                                    deadline: Instant::now() + shared.lease_timeout,
+                                },
+                            );
+                            st.stats.leases_granted += 1;
+                            Msg::Lease { lease: id, indices }
+                        }
+                    }
+                };
+                let is_done = matches!(reply, Msg::Done);
+                if send(&mut stream, &reply).is_err() {
+                    requeue_conn(shared, conn);
+                    return;
+                }
+                if is_done {
+                    return;
+                }
+            }
+            Msg::Heartbeat { lease } => {
+                let mut st = shared.state.lock().unwrap();
+                if let Some(l) = st.leases.get_mut(&lease) {
+                    if l.conn == conn {
+                        l.deadline = Instant::now() + shared.lease_timeout;
+                    }
+                }
+                // A heartbeat for a lease this connection no longer owns is
+                // harmless: the batch report will be rejected later anyway.
+            }
+            Msg::BatchDone {
+                lease,
+                results,
+                telemetry,
+            } => {
+                match accept_batch(shared, conn, lease, results, &telemetry) {
+                    Ok(()) => {}
+                    Err(Some(reason)) => {
+                        protocol_error(shared, conn, &mut stream, &reason);
+                        return;
+                    }
+                    // Silent discard: the lease was reassigned; the worker
+                    // just continues with its next lease request.
+                    Err(None) => {}
+                }
+            }
+            Msg::Hello { .. }
+            | Msg::Welcome { .. }
+            | Msg::Lease { .. }
+            | Msg::Drain
+            | Msg::Done
+            | Msg::Reject { .. } => {
+                protocol_error(shared, conn, &mut stream, "unexpected message");
+                return;
+            }
+        }
+    }
+}
+
+/// Accepts or rejects one batch report under the state lock.
+///
+/// `Err(None)` is a silent rejection (stale lease — the indices live on
+/// under a new lease, so the report is dropped wholly: no results stored,
+/// no telemetry merged, no double count). `Err(Some(reason))` is a protocol
+/// violation that should drop the connection.
+fn accept_batch(
+    shared: &Shared,
+    conn: u64,
+    lease: u64,
+    results: Vec<(usize, InjectionResult)>,
+    telemetry: &MetricsSnapshot,
+) -> Result<(), Option<String>> {
+    let mut st = shared.state.lock().unwrap();
+    let owned = st.leases.get(&lease).is_some_and(|l| l.conn == conn);
+    if !owned {
+        st.stats.batches_rejected += 1;
+        return Err(None);
+    }
+    // First-responder-wins is decided above; everything below validates
+    // that the report discharges exactly the leased indices with the
+    // faults the coordinator sampled.
+    let lease_obj = &st.leases[&lease];
+    if results.len() != lease_obj.indices.len()
+        || results
+            .iter()
+            .zip(&lease_obj.indices)
+            .any(|((i, _), &want)| *i != want)
+    {
+        return Err(Some("batch does not match its lease".into()));
+    }
+    if let Some((i, r)) = results
+        .iter()
+        .find(|(i, r)| shared.faults.get(*i) != Some(&r.fault))
+    {
+        return Err(Some(format!(
+            "fault mismatch at index {i}: reported {:?}",
+            r.fault
+        )));
+    }
+    st.leases.remove(&lease);
+    for (i, r) in results {
+        if st.results[i].is_none() {
+            if let Some(journal) = &mut st.journal {
+                if let Err(e) = journal.append(i, &r) {
+                    st.fatal = Some(format!("journal append failed: {e}"));
+                }
+            }
+            st.results[i] = Some(r);
+            st.remaining -= 1;
+        }
+    }
+    st.telemetry.merge(telemetry);
+    if st.remaining == 0 {
+        shared.done.store(true, Ordering::SeqCst);
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # avgi-grid — the distributed campaign fabric
+//!
+//! Shards a fault-injection campaign across processes (or machines): one
+//! [`Coordinator`] owns the fault list and hands out cycle-sorted work
+//! leases over a hand-rolled, length-prefixed binary protocol on TCP;
+//! any number of [workers](run_worker) rebuild the campaign locally from a
+//! compact [`CampaignSpec`], execute leased index batches through the same
+//! [`ShardRunner`](avgi_faultsim::ShardRunner) hot path a single-process
+//! campaign uses, and stream back results plus mergeable telemetry deltas.
+//!
+//! The fabric inherits the framework's determinism contract: every injected
+//! run is a pure function of `(seed, fault index, mode)`, so the merged
+//! [`CampaignResult`](avgi_faultsim::CampaignResult) — and the merged
+//! telemetry's deterministic counters — are bit-identical to a
+//! single-process [`run_campaign`](avgi_faultsim::run_campaign) of the same
+//! configuration, no matter how many workers participate, how batches
+//! interleave, or how many workers die mid-campaign (dead workers' leases
+//! are detected by heartbeat expiry and reassigned; late duplicate reports
+//! are discarded wholly, so nothing is double-counted).
+//!
+//! ```no_run
+//! use avgi_faultsim::{CampaignConfig, RunMode};
+//! use avgi_grid::{Coordinator, ConfigPreset, GridConfig};
+//! use avgi_muarch::Structure;
+//!
+//! let w = avgi_workloads::by_name("sha").unwrap();
+//! let ccfg = CampaignConfig::new(Structure::RegFile, 500, RunMode::EndToEnd);
+//! let coord = Coordinator::bind(&w, ConfigPreset::Big, &ccfg, &GridConfig::default()).unwrap();
+//! println!("listening on {}", coord.local_addr().unwrap());
+//! let outcome = coord.run().unwrap(); // blocks until workers finish it
+//! assert_eq!(outcome.result.len(), 500);
+//! ```
+//!
+//! The protocol (frame layout, lease state machine, merge semantics) is
+//! documented in `DESIGN.md` §10; `README.md` shows the two-terminal
+//! localhost workflow via the `grid_coordinator`/`grid_worker` binaries.
+
+pub mod coord;
+pub mod proto;
+pub mod spec;
+pub mod worker;
+
+pub use coord::{Coordinator, GridConfig, GridError, GridOutcome, GridStats};
+pub use spec::{CampaignSpec, ConfigPreset};
+pub use worker::{run_worker, WorkerConfig, WorkerStats};

@@ -1,0 +1,449 @@
+//! The grid wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON (the same hand-rolled JSON subset the
+//! campaign journal uses — see [`avgi_faultsim::json`]). Framing keeps the
+//! stream self-synchronizing for well-behaved peers and makes misbehaviour
+//! cheap to reject: a length prefix above [`MAX_FRAME`] is refused before a
+//! single payload byte is read, and a payload that does not parse as a
+//! known message drops the connection (the coordinator then requeues the
+//! peer's leases — see `DESIGN.md` §10 for the frame layout and the lease
+//! state machine).
+//!
+//! Result payloads reuse the journal's record encoding
+//! ([`avgi_faultsim::journal::record_line`]), so a batch frame is literally
+//! a list of journal records plus the batch's telemetry delta in
+//! [`MetricsSnapshot::deterministic_counters_json`] form — one encoding for
+//! disk and wire.
+
+use crate::spec::CampaignSpec;
+use avgi_faultsim::journal::{record_from_json, record_line};
+use avgi_faultsim::json::{escape, parse, Json};
+use avgi_faultsim::telemetry::MetricsSnapshot;
+use avgi_faultsim::InjectionResult;
+use std::io::{Read, Write};
+
+/// Protocol version; peers with a different version are rejected at hello.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Upper bound on a frame payload (a batch of a few thousand records fits
+/// with a wide margin; anything larger is a corrupt or hostile prefix).
+pub const MAX_FRAME: u32 = 32 << 20;
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The stream ended or errored mid-frame (truncated length prefix or
+    /// payload).
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`]; nothing after it was read.
+    TooLarge(u32),
+    /// The payload is not valid UTF-8 or not a known message.
+    Malformed(String),
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes it.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload too long")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame payload.
+///
+/// Distinguishes a clean close at a frame boundary ([`FrameError::Closed`])
+/// from a truncated frame ([`FrameError::Io`] with `UnexpectedEof`), and
+/// refuses an oversized length prefix before reading any payload.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..])? {
+            0 if got == 0 => return Err(FrameError::Closed),
+            0 => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated length prefix",
+                )))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload).map_err(|e| FrameError::Malformed(format!("not UTF-8: {e}")))
+}
+
+/// An incremental frame decoder for sockets read with a timeout.
+///
+/// [`read_frame`] assumes a blocking stream: abandoning it on a read
+/// timeout mid-frame would tear the stream position. The coordinator's
+/// connection handlers instead read with short timeouts (so they can keep
+/// checking campaign completion); `FrameBuffer` accumulates whatever bytes
+/// arrive and yields a frame only once it is complete, so a timeout between
+/// polls never desynchronizes the stream.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_frame(&mut self) -> Result<Option<String>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        match String::from_utf8(payload) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) => Err(FrameError::Malformed(format!("not UTF-8: {e}"))),
+        }
+    }
+
+    /// Polls the stream once and returns a complete frame if one is
+    /// available.
+    ///
+    /// `Ok(None)` means no complete frame yet (the read timed out, was
+    /// interrupted, or more bytes are needed); [`FrameError::Closed`] means
+    /// the peer closed cleanly at a frame boundary, while a close mid-frame
+    /// is an I/O error (truncated frame).
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<String>, FrameError> {
+        if let Some(f) = self.take_frame()? {
+            return Ok(Some(f));
+        }
+        let mut tmp = [0u8; 4096];
+        match r.read(&mut tmp) {
+            Ok(0) if self.buf.is_empty() => Err(FrameError::Closed),
+            Ok(0) => Err(FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ))),
+            Ok(n) => {
+                self.buf.extend_from_slice(&tmp[..n]);
+                self.take_frame()
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(FrameError::Io(e)),
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug)]
+pub enum Msg {
+    /// Worker → coordinator: first frame on a fresh connection.
+    Hello {
+        /// The worker's [`PROTO_VERSION`].
+        proto: u64,
+    },
+    /// Coordinator → worker: the campaign to rebuild locally.
+    Welcome {
+        /// The full campaign spec.
+        spec: CampaignSpec,
+    },
+    /// Worker → coordinator: ready for (more) work.
+    LeaseRequest,
+    /// Coordinator → worker: a batch of fault indices to execute.
+    Lease {
+        /// Lease id (echoed in heartbeats and the batch report).
+        lease: u64,
+        /// Fault indices into the campaign's sampled fault list.
+        indices: Vec<usize>,
+    },
+    /// Coordinator → worker: no work available right now (everything is
+    /// leased out); poll again shortly.
+    Drain,
+    /// Coordinator → worker: the campaign is complete; disconnect.
+    Done,
+    /// Worker → coordinator: still alive and working on `lease`.
+    Heartbeat {
+        /// The lease being extended.
+        lease: u64,
+    },
+    /// Worker → coordinator: a finished batch.
+    BatchDone {
+        /// The lease these results discharge.
+        lease: u64,
+        /// `(fault index, result)` pairs, journal-record encoded.
+        results: Vec<(usize, InjectionResult)>,
+        /// The batch's mergeable telemetry delta (deterministic counters).
+        telemetry: MetricsSnapshot,
+    },
+    /// Coordinator → worker: fatal rejection (bad protocol version, spec
+    /// the worker cannot satisfy, …).
+    Reject {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Msg {
+    /// Serializes the message to its JSON frame payload.
+    pub fn to_json(&self) -> String {
+        match self {
+            Msg::Hello { proto } => format!("{{\"t\":\"hello\",\"proto\":{proto}}}"),
+            Msg::Welcome { spec } => format!("{{\"t\":\"welcome\",\"spec\":{}}}", spec.to_json()),
+            Msg::LeaseRequest => "{\"t\":\"lease_request\"}".into(),
+            Msg::Lease { lease, indices } => {
+                let mut out = format!("{{\"t\":\"lease\",\"lease\":{lease},\"indices\":[");
+                for (k, i) in indices.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&i.to_string());
+                }
+                out.push_str("]}");
+                out
+            }
+            Msg::Drain => "{\"t\":\"drain\"}".into(),
+            Msg::Done => "{\"t\":\"done\"}".into(),
+            Msg::Heartbeat { lease } => format!("{{\"t\":\"heartbeat\",\"lease\":{lease}}}"),
+            Msg::BatchDone {
+                lease,
+                results,
+                telemetry,
+            } => {
+                let mut out = format!("{{\"t\":\"batch_done\",\"lease\":{lease},\"results\":[");
+                for (k, (idx, r)) in results.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let line = record_line(*idx, r);
+                    out.push_str(line.trim_end());
+                }
+                out.push_str("],\"telemetry\":");
+                out.push_str(&telemetry.deterministic_counters_json());
+                out.push('}');
+                out
+            }
+            Msg::Reject { reason } => {
+                format!("{{\"t\":\"reject\",\"reason\":\"{}\"}}", escape(reason))
+            }
+        }
+    }
+
+    /// Parses a frame payload back into a message.
+    pub fn from_json(payload: &str) -> Result<Msg, String> {
+        let v = parse(payload)?;
+        let int = |v: &Json, key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing `{key}`"))
+        };
+        match v.get("t").and_then(Json::as_str) {
+            Some("hello") => Ok(Msg::Hello {
+                proto: int(&v, "proto")?,
+            }),
+            Some("welcome") => Ok(Msg::Welcome {
+                spec: CampaignSpec::from_json_value(v.get("spec").ok_or("missing `spec`")?)?,
+            }),
+            Some("lease_request") => Ok(Msg::LeaseRequest),
+            Some("lease") => {
+                let indices = v
+                    .get("indices")
+                    .and_then(Json::as_array)
+                    .ok_or("missing `indices`")?
+                    .iter()
+                    .map(|i| i.as_u64().map(|n| n as usize).ok_or("bad index"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Msg::Lease {
+                    lease: int(&v, "lease")?,
+                    indices,
+                })
+            }
+            Some("drain") => Ok(Msg::Drain),
+            Some("done") => Ok(Msg::Done),
+            Some("heartbeat") => Ok(Msg::Heartbeat {
+                lease: int(&v, "lease")?,
+            }),
+            Some("batch_done") => {
+                let results = v
+                    .get("results")
+                    .and_then(Json::as_array)
+                    .ok_or("missing `results`")?
+                    .iter()
+                    .map(record_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                let telemetry = MetricsSnapshot::from_deterministic_value(
+                    v.get("telemetry").ok_or("missing `telemetry`")?,
+                    &[],
+                )?;
+                Ok(Msg::BatchDone {
+                    lease: int(&v, "lease")?,
+                    results,
+                    telemetry,
+                })
+            }
+            Some("reject") => Ok(Msg::Reject {
+                reason: v
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            }),
+            other => Err(format!("unknown message tag {other:?}")),
+        }
+    }
+}
+
+/// Writes one message as a frame.
+pub fn send(w: &mut impl Write, msg: &Msg) -> std::io::Result<()> {
+    write_frame(w, &msg.to_json())
+}
+
+/// Reads and parses one message.
+pub fn recv(r: &mut impl Read) -> Result<Msg, FrameError> {
+    let payload = read_frame(r)?;
+    Msg::from_json(&payload).map_err(FrameError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), "hello");
+        assert_eq!(read_frame(&mut r).unwrap(), "");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_without_reading_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        match read_frame(&mut &buf[..]) {
+            Err(FrameError::TooLarge(n)) => assert_eq!(n, u32::MAX),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_distinctly() {
+        // Torn length prefix.
+        let buf = [0u8, 0];
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Io(_))));
+        // Complete prefix, torn payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"shor");
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn simple_messages_round_trip() {
+        for msg in [
+            Msg::Hello { proto: 1 },
+            Msg::LeaseRequest,
+            Msg::Lease {
+                lease: 7,
+                indices: vec![3, 1, 4],
+            },
+            Msg::Drain,
+            Msg::Done,
+            Msg::Heartbeat { lease: 9 },
+            Msg::Reject {
+                reason: "bad \"spec\"".into(),
+            },
+        ] {
+            let back = Msg::from_json(&msg.to_json()).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{msg:?}"));
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "first").unwrap();
+        write_frame(&mut wire, "second").unwrap();
+        let mut fb = FrameBuffer::new();
+        // Feed the bytes one at a time: every intermediate poll must report
+        // "incomplete" without corrupting the stream position.
+        let mut got = Vec::new();
+        for b in &wire {
+            if let Some(f) = fb.poll(&mut &[*b][..]).unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec!["first".to_string(), "second".to_string()]);
+        assert!(matches!(fb.poll(&mut &[][..]), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_prefix_and_mid_frame_close() {
+        let mut fb = FrameBuffer::new();
+        let mut wire = u32::MAX.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"junk");
+        assert!(matches!(
+            fb.poll(&mut &wire[..]),
+            Err(FrameError::TooLarge(_))
+        ));
+        // A peer vanishing mid-frame is an I/O error, not a clean close.
+        let mut fb = FrameBuffer::new();
+        let torn = 10u32.to_be_bytes();
+        assert!(fb.poll(&mut &torn[..]).unwrap().is_none());
+        assert!(matches!(fb.poll(&mut &[][..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_tags_and_garbage_are_rejected() {
+        assert!(Msg::from_json("{\"t\":\"launch_missiles\"}").is_err());
+        assert!(Msg::from_json("not json").is_err());
+        assert!(Msg::from_json("{\"no_tag\":1}").is_err());
+    }
+}

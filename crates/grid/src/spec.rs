@@ -1,0 +1,232 @@
+//! The campaign spec: everything a remote worker needs to rebuild the
+//! coordinator's campaign locally.
+//!
+//! A spec is deliberately compact — a workload registry id, a named
+//! microarchitecture preset, and the sampling parameters — rather than a
+//! serialized machine image: fault sampling and checkpoint construction are
+//! deterministic, so shipping `(workload_id, preset, seed, …)` is enough
+//! for every worker to arrive at bit-identical faults and snapshots. Two
+//! cross-check fields guard the reconstruction: `golden_cycles` (pins the
+//! golden run) and `config_hash` (pins the microarchitecture
+//! configuration); a worker whose local rebuild disagrees refuses the
+//! campaign instead of contributing wrong results.
+
+use avgi_faultsim::campaign::RunMode;
+use avgi_faultsim::json::Json;
+use avgi_faultsim::CampaignConfig;
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+
+/// A named microarchitecture configuration.
+///
+/// Only presets go on the wire: the two configurations the reproduction
+/// studies are [`MuarchConfig::big`] and [`MuarchConfig::small`], and a
+/// name plus [`config_hash`](avgi_faultsim::journal::config_hash)
+/// cross-check is both smaller and safer than serializing every field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigPreset {
+    /// The paper's big (Skylake-like) core.
+    Big,
+    /// The paper's small (Cortex-A15-like) core.
+    Small,
+}
+
+impl ConfigPreset {
+    /// The wire name.
+    pub fn ident(self) -> &'static str {
+        match self {
+            ConfigPreset::Big => "big",
+            ConfigPreset::Small => "small",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_ident(s: &str) -> Option<Self> {
+        match s {
+            "big" => Some(ConfigPreset::Big),
+            "small" => Some(ConfigPreset::Small),
+            _ => None,
+        }
+    }
+
+    /// Builds the configuration this preset names.
+    pub fn config(self) -> MuarchConfig {
+        match self {
+            ConfigPreset::Big => MuarchConfig::big(),
+            ConfigPreset::Small => MuarchConfig::small(),
+        }
+    }
+}
+
+/// The complete description of a distributed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Workload name (human-readable cross-check for `workload_id`).
+    pub workload: String,
+    /// Workload registry id ([`avgi_workloads::NAMES`] index).
+    pub workload_id: usize,
+    /// Microarchitecture preset.
+    pub preset: ConfigPreset,
+    /// Target structure.
+    pub structure: Structure,
+    /// Number of injections in the campaign.
+    pub faults: usize,
+    /// Fault-sampling seed.
+    pub seed: u64,
+    /// Run mode.
+    pub mode: RunMode,
+    /// Multi-bit burst width.
+    pub burst_width: u32,
+    /// Checkpoint count.
+    pub checkpoints: u32,
+    /// Fault-free execution length the coordinator measured; a worker whose
+    /// local golden capture disagrees must refuse the campaign.
+    pub golden_cycles: u64,
+    /// [`config_hash`](avgi_faultsim::journal::config_hash) of the
+    /// coordinator's microarchitecture configuration (second cross-check).
+    pub config_hash: u64,
+    /// Lease duration in milliseconds; workers derive their heartbeat
+    /// interval from it.
+    pub lease_timeout_ms: u64,
+}
+
+impl CampaignSpec {
+    /// The microarchitecture configuration of this campaign.
+    pub fn muarch_config(&self) -> MuarchConfig {
+        self.preset.config()
+    }
+
+    /// The [`CampaignConfig`] this spec describes (no observer; callers
+    /// attach their own).
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let mut ccfg = CampaignConfig::new(self.structure, self.faults, self.mode)
+            .with_seed(self.seed)
+            .with_burst(self.burst_width);
+        ccfg.checkpoints = self.checkpoints;
+        ccfg
+    }
+
+    /// Serializes the spec (embedded in the `welcome` frame).
+    pub fn to_json(&self) -> String {
+        let (mode, ert) = match self.mode {
+            RunMode::EndToEnd => ("EndToEnd", None),
+            RunMode::Instrumented => ("Instrumented", None),
+            RunMode::FirstDeviation { ert_window } => ("FirstDeviation", ert_window),
+        };
+        let ert = ert.map_or_else(|| "null".to_string(), |n| n.to_string());
+        format!(
+            "{{\"workload\":\"{}\",\"workload_id\":{},\"preset\":\"{}\",\"structure\":\"{}\",\"faults\":{},\"seed\":{},\"mode\":\"{mode}\",\"ert_window\":{ert},\"burst\":{},\"checkpoints\":{},\"golden_cycles\":{},\"config_hash\":{},\"lease_timeout_ms\":{}}}",
+            avgi_faultsim::json::escape(&self.workload),
+            self.workload_id,
+            self.preset.ident(),
+            self.structure.ident(),
+            self.faults,
+            self.seed,
+            self.burst_width,
+            self.checkpoints,
+            self.golden_cycles,
+            self.config_hash,
+            self.lease_timeout_ms,
+        )
+    }
+
+    /// Decodes a spec from an already-parsed JSON value.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let int = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("spec: missing `{key}`"))
+        };
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("spec: missing `{key}`"))
+        };
+        let ert = match v.get("ert_window") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(w.as_u64().ok_or("spec: bad ert_window")?),
+        };
+        let mode = match s("mode")? {
+            "EndToEnd" => RunMode::EndToEnd,
+            "Instrumented" => RunMode::Instrumented,
+            "FirstDeviation" => RunMode::FirstDeviation { ert_window: ert },
+            other => return Err(format!("spec: unknown mode {other:?}")),
+        };
+        Ok(CampaignSpec {
+            workload: s("workload")?.to_string(),
+            workload_id: int("workload_id")? as usize,
+            preset: ConfigPreset::from_ident(s("preset")?)
+                .ok_or_else(|| "spec: unknown preset".to_string())?,
+            structure: Structure::from_ident(s("structure")?)
+                .ok_or_else(|| "spec: unknown structure".to_string())?,
+            faults: int("faults")? as usize,
+            seed: int("seed")?,
+            mode,
+            burst_width: int("burst")? as u32,
+            checkpoints: int("checkpoints")? as u32,
+            golden_cycles: int("golden_cycles")?,
+            config_hash: int("config_hash")?,
+            lease_timeout_ms: int("lease_timeout_ms")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avgi_faultsim::json::parse;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = CampaignSpec {
+            workload: "sha".into(),
+            workload_id: 1,
+            preset: ConfigPreset::Big,
+            structure: Structure::RegFile,
+            faults: 240,
+            seed: 0xDEAD,
+            mode: RunMode::FirstDeviation {
+                ert_window: Some(2_000),
+            },
+            burst_width: 2,
+            checkpoints: 8,
+            golden_cycles: 123_456,
+            config_hash: 42,
+            lease_timeout_ms: 30_000,
+        };
+        let back = CampaignSpec::from_json_value(&parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        // And with a None ert_window / different preset.
+        let spec = CampaignSpec {
+            mode: RunMode::EndToEnd,
+            preset: ConfigPreset::Small,
+            ..spec
+        };
+        let back = CampaignSpec::from_json_value(&parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn campaign_config_matches_spec() {
+        let spec = CampaignSpec {
+            workload: "crc32".into(),
+            workload_id: 2,
+            preset: ConfigPreset::Big,
+            structure: Structure::L1DData,
+            faults: 64,
+            seed: 7,
+            mode: RunMode::Instrumented,
+            burst_width: 3,
+            checkpoints: 5,
+            golden_cycles: 1,
+            config_hash: 1,
+            lease_timeout_ms: 1_000,
+        };
+        let ccfg = spec.campaign_config();
+        assert_eq!(ccfg.structure, Structure::L1DData);
+        assert_eq!(ccfg.faults, 64);
+        assert_eq!(ccfg.seed, 7);
+        assert_eq!(ccfg.burst_width, 3);
+        assert_eq!(ccfg.checkpoints, 5);
+    }
+}

@@ -1,0 +1,224 @@
+//! The campaign worker: rebuilds the campaign locally from the spec, then
+//! executes leases until the coordinator says the campaign is done.
+//!
+//! A worker carries no campaign state of its own. It rebuilds everything —
+//! workload, microarchitecture configuration, golden run, fault list,
+//! checkpoints — deterministically from the compact [`CampaignSpec`] in the
+//! welcome frame, validates the rebuild against the spec's `golden_cycles`
+//! and `config_hash` cross-checks, and then loops: request a lease, run the
+//! leased indices through the shared [`ShardRunner`] hot path, report the
+//! results plus a fresh per-batch telemetry delta. A heartbeat thread keeps
+//! the active lease alive while long batches execute, so slow workers are
+//! distinguished from dead ones.
+
+use crate::coord::GridError;
+use crate::proto::{recv, send, FrameError, Msg, PROTO_VERSION};
+use crate::spec::CampaignSpec;
+use avgi_faultsim::campaign::golden_for;
+use avgi_faultsim::journal::config_hash;
+use avgi_faultsim::telemetry::MetricsCollector;
+use avgi_faultsim::ShardRunner;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Worker-side configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// Threads for batch execution (`0` = all available cores).
+    pub threads: usize,
+    /// How long to keep retrying the initial connection (covers the worker
+    /// starting before the coordinator).
+    pub connect_timeout: Duration,
+    /// Test hook: after completing this many batches, drop the connection
+    /// abruptly on the next lease instead of executing it — simulating a
+    /// worker dying mid-campaign (`None` = run to completion).
+    pub max_batches: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// A worker for `addr` with default tuning.
+    pub fn new(addr: impl Into<String>) -> Self {
+        WorkerConfig {
+            addr: addr.into(),
+            threads: 0,
+            connect_timeout: Duration::from_secs(10),
+            max_batches: None,
+        }
+    }
+}
+
+/// What one worker contributed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Batches executed and reported.
+    pub batches: u64,
+    /// Individual injections executed.
+    pub runs: u64,
+}
+
+fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, GridError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(GridError::Io(e));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Rebuilds the campaign the spec describes and cross-checks it.
+fn rebuild(
+    spec: &CampaignSpec,
+) -> Result<
+    (
+        avgi_workloads::Workload,
+        avgi_muarch::config::MuarchConfig,
+        std::sync::Arc<avgi_muarch::trace::GoldenRun>,
+    ),
+    GridError,
+> {
+    let workload = avgi_workloads::by_index(spec.workload_id)
+        .ok_or_else(|| GridError::Spec(format!("unknown workload id {}", spec.workload_id)))?;
+    if workload.name != spec.workload {
+        return Err(GridError::Spec(format!(
+            "workload id {} is {:?} here, coordinator calls it {:?} — registry skew",
+            spec.workload_id, workload.name, spec.workload
+        )));
+    }
+    let cfg = spec.muarch_config();
+    let local_hash = config_hash(&cfg);
+    if local_hash != spec.config_hash {
+        return Err(GridError::Spec(format!(
+            "config hash mismatch for preset {:?}: local {local_hash}, coordinator {}",
+            spec.preset, spec.config_hash
+        )));
+    }
+    let golden = golden_for(&workload, &cfg);
+    if golden.cycles != spec.golden_cycles {
+        return Err(GridError::Spec(format!(
+            "golden run mismatch: local {} cycles, coordinator {}",
+            golden.cycles, spec.golden_cycles
+        )));
+    }
+    Ok((workload, cfg, golden))
+}
+
+/// Connects to a coordinator and works until the campaign completes.
+///
+/// Returns the worker's own contribution statistics; the authoritative
+/// merged campaign lives on the coordinator.
+pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
+    let mut stream = connect_with_retry(&wcfg.addr, wcfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    // Generous read timeout: the coordinator answers every request promptly,
+    // so a silent minute means it is gone.
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    send(
+        &mut stream,
+        &Msg::Hello {
+            proto: PROTO_VERSION,
+        },
+    )?;
+    let spec = match recv(&mut stream)? {
+        Msg::Welcome { spec } => spec,
+        Msg::Reject { reason } => return Err(GridError::Protocol(reason)),
+        other => {
+            return Err(GridError::Protocol(format!(
+                "expected welcome, got {other:?}"
+            )))
+        }
+    };
+    let (workload, cfg, golden) = rebuild(&spec)?;
+    let mut ccfg = spec.campaign_config();
+    ccfg.threads = wcfg.threads;
+    let runner = ShardRunner::new(&workload, &cfg, &golden, &ccfg);
+
+    // The heartbeat thread shares the write half of the socket and the id
+    // of the lease currently executing; it pings often enough that three
+    // missed beats are needed before the coordinator declares us dead.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let current_lease: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = Duration::from_millis((spec.lease_timeout_ms / 3).max(10));
+    let heartbeat = {
+        let writer = writer.clone();
+        let current_lease = current_lease.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut last = Instant::now();
+            while !stop.load(Ordering::SeqCst) {
+                // Sleep in short steps so shutdown never waits a full beat.
+                std::thread::sleep(Duration::from_millis(10));
+                if last.elapsed() < beat {
+                    continue;
+                }
+                last = Instant::now();
+                let lease = *current_lease.lock().unwrap();
+                if let Some(lease) = lease {
+                    if send(&mut *writer.lock().unwrap(), &Msg::Heartbeat { lease }).is_err() {
+                        return; // coordinator gone; main thread will notice
+                    }
+                }
+            }
+        })
+    };
+
+    let mut stats = WorkerStats::default();
+    let outcome = (|| -> Result<(), GridError> {
+        loop {
+            send(&mut *writer.lock().unwrap(), &Msg::LeaseRequest)?;
+            match recv(&mut stream) {
+                Ok(Msg::Lease { lease, indices }) => {
+                    if wcfg
+                        .max_batches
+                        .is_some_and(|max| stats.batches as usize >= max)
+                    {
+                        // Test hook: die abruptly with a lease in hand. The
+                        // shutdown closes the connection even though the
+                        // heartbeat thread still holds a cloned handle.
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return Ok(());
+                    }
+                    *current_lease.lock().unwrap() = Some(lease);
+                    let collector = Arc::new(MetricsCollector::new());
+                    let results = runner.run_indices(&indices, Some(collector.clone()))?;
+                    *current_lease.lock().unwrap() = None;
+                    stats.batches += 1;
+                    stats.runs += results.len() as u64;
+                    send(
+                        &mut *writer.lock().unwrap(),
+                        &Msg::BatchDone {
+                            lease,
+                            results,
+                            telemetry: collector.snapshot(),
+                        },
+                    )?;
+                }
+                Ok(Msg::Drain) => std::thread::sleep(Duration::from_millis(50)),
+                Ok(Msg::Done) => return Ok(()),
+                Ok(Msg::Reject { reason }) => return Err(GridError::Protocol(reason)),
+                Ok(other) => {
+                    return Err(GridError::Protocol(format!("unexpected message {other:?}")))
+                }
+                Err(FrameError::Closed) => {
+                    return Err(GridError::Protocol(
+                        "coordinator closed the connection".into(),
+                    ))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    })();
+    stop.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    outcome.map(|()| stats)
+}

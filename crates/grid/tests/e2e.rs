@@ -1,0 +1,144 @@
+//! End-to-end grid campaigns over real localhost TCP sockets.
+//!
+//! The acceptance bar for the fabric: a coordinator plus several workers
+//! must produce a merged [`CampaignResult`] *and* merged telemetry
+//! deterministic counters bit-identical to a single-process
+//! [`run_campaign`] of the same configuration — including when a worker
+//! dies mid-campaign and when the coordinator restarts from its journal.
+
+use avgi_faultsim::telemetry::MetricsCollector;
+use avgi_faultsim::{run_campaign, CampaignConfig, CampaignResult, MetricsSnapshot, RunMode};
+use avgi_grid::{ConfigPreset, Coordinator, GridConfig, GridOutcome, WorkerConfig};
+use avgi_muarch::Structure;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FAULTS: usize = 48;
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::new(Structure::RegFile, FAULTS, RunMode::Instrumented).with_seed(0xE2E)
+}
+
+/// The single-process reference: results plus observed telemetry.
+fn reference() -> (CampaignResult, MetricsSnapshot) {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let cfg = ConfigPreset::Big.config();
+    let golden = avgi_faultsim::golden_for(&w, &cfg);
+    let collector = Arc::new(MetricsCollector::new());
+    let ccfg = campaign_config().with_observer(collector.clone());
+    let result = run_campaign(&w, &cfg, &golden, &ccfg);
+    (result, collector.snapshot())
+}
+
+/// Runs a distributed campaign with the given worker configurations.
+fn run_grid(grid: GridConfig, workers: Vec<WorkerConfig>) -> GridOutcome {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let coord = Coordinator::bind(&w, ConfigPreset::Big, &campaign_config(), &grid).unwrap();
+    let addr = coord.local_addr().unwrap().to_string();
+    let coord_thread = std::thread::spawn(move || coord.run());
+    let worker_threads: Vec<_> = workers
+        .into_iter()
+        .map(|mut wcfg| {
+            wcfg.addr = addr.clone();
+            std::thread::spawn(move || avgi_grid::run_worker(&wcfg))
+        })
+        .collect();
+    let outcome = coord_thread.join().unwrap().unwrap();
+    for t in worker_threads {
+        // Healthy workers must exit cleanly; the death-hook worker returns
+        // Ok with its partial stats.
+        t.join().unwrap().unwrap();
+    }
+    outcome
+}
+
+fn assert_matches_reference(outcome: &GridOutcome) {
+    let (reference, telemetry) = reference();
+    assert_eq!(outcome.result.results, reference.results);
+    assert_eq!(outcome.result.workload, reference.workload);
+    assert_eq!(outcome.result.golden_cycles, reference.golden_cycles);
+    assert_eq!(
+        outcome.telemetry.deterministic_counters_json(),
+        telemetry.deterministic_counters_json(),
+        "merged telemetry must be bit-identical to single-process"
+    );
+}
+
+#[test]
+fn three_workers_match_single_process_bit_for_bit() {
+    let grid = GridConfig {
+        batch: 7, // deliberately not a divisor of the fault count
+        lease_timeout: Duration::from_secs(20),
+        deadline: Some(Duration::from_secs(300)),
+        ..GridConfig::default()
+    };
+    let workers = (0..3)
+        .map(|_| {
+            let mut w = WorkerConfig::new(String::new());
+            w.threads = 2;
+            w
+        })
+        .collect();
+    let outcome = run_grid(grid, workers);
+    assert_matches_reference(&outcome);
+    assert_eq!(outcome.stats.workers_seen, 3);
+    assert!(outcome.stats.leases_granted >= (FAULTS / 7) as u64);
+    assert_eq!(outcome.stats.batches_rejected, 0);
+}
+
+#[test]
+fn worker_death_mid_campaign_converges_via_lease_reassignment() {
+    let grid = GridConfig {
+        // Small batches: plenty of leases remain when the dying worker asks
+        // for its fatal second one, so the death always happens mid-campaign.
+        batch: 4,
+        lease_timeout: Duration::from_secs(20),
+        deadline: Some(Duration::from_secs(300)),
+        ..GridConfig::default()
+    };
+    // One worker dies holding a lease after its first completed batch; the
+    // healthy worker must pick up the abandoned indices.
+    let mut dying = WorkerConfig::new(String::new());
+    dying.threads = 2;
+    dying.max_batches = Some(1);
+    let mut healthy = WorkerConfig::new(String::new());
+    healthy.threads = 2;
+    let outcome = run_grid(grid, vec![dying, healthy]);
+    assert_matches_reference(&outcome);
+    assert!(
+        outcome.stats.leases_reassigned >= 1,
+        "the dead worker's lease must be reassigned, stats: {:?}",
+        outcome.stats
+    );
+}
+
+#[test]
+fn coordinator_restart_resumes_from_journal() {
+    let journal =
+        std::env::temp_dir().join(format!("avgi-grid-resume-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let grid = GridConfig {
+        batch: 8,
+        lease_timeout: Duration::from_secs(20),
+        journal: Some(journal.clone()),
+        deadline: Some(Duration::from_secs(300)),
+        ..GridConfig::default()
+    };
+    let mut w1 = WorkerConfig::new(String::new());
+    w1.threads = 2;
+    let outcome = run_grid(grid.clone(), vec![w1.clone()]);
+    assert_matches_reference(&outcome);
+
+    // Simulate a coordinator crash partway through: keep the journal header
+    // plus half the records, then restart. The resumed coordinator must
+    // re-lease only the missing half and still match the reference exactly.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    assert_eq!(lines.len(), 1 + FAULTS);
+    std::fs::write(&journal, lines[..1 + FAULTS / 2].concat()).unwrap();
+
+    let outcome = run_grid(grid, vec![w1]);
+    assert_matches_reference(&outcome);
+    assert_eq!(outcome.stats.resumed, (FAULTS / 2) as u64);
+    let _ = std::fs::remove_file(&journal);
+}

@@ -1,0 +1,165 @@
+//! Adversarial peers against a live coordinator.
+//!
+//! Each scenario pairs one misbehaving raw socket with one healthy worker:
+//! the coordinator must survive the misbehaviour (no hang, no crash),
+//! reassign any lease the bad peer held, and still deliver a campaign
+//! bit-identical to the single-process reference — proving nothing the bad
+//! peer did was double-counted or lost.
+
+use avgi_faultsim::{run_campaign, CampaignConfig, RunMode};
+use avgi_grid::proto::{read_frame, send, write_frame, Msg, PROTO_VERSION};
+use avgi_grid::{ConfigPreset, Coordinator, GridConfig, GridOutcome, WorkerConfig};
+use avgi_muarch::Structure;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const FAULTS: usize = 24;
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::new(Structure::RegFile, FAULTS, RunMode::EndToEnd).with_seed(0xBAD)
+}
+
+/// Runs a grid campaign: one healthy worker plus an adversary driven by
+/// `misbehave` against a raw socket connected to the coordinator.
+fn run_with_adversary(
+    lease_timeout: Duration,
+    misbehave: impl FnOnce(TcpStream) + Send + 'static,
+) -> GridOutcome {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let grid = GridConfig {
+        batch: 4,
+        lease_timeout,
+        deadline: Some(Duration::from_secs(300)),
+        ..GridConfig::default()
+    };
+    let coord = Coordinator::bind(&w, ConfigPreset::Big, &campaign_config(), &grid).unwrap();
+    let addr = coord.local_addr().unwrap();
+    let coord_thread = std::thread::spawn(move || coord.run());
+    // Let the adversary strike first so it actually grabs work before the
+    // healthy worker drains the queue.
+    let adversary = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        misbehave(stream);
+    });
+    adversary.join().unwrap();
+    let mut wcfg = WorkerConfig::new(addr.to_string());
+    wcfg.threads = 2;
+    let worker = std::thread::spawn(move || avgi_grid::run_worker(&wcfg));
+    let outcome = coord_thread.join().unwrap().unwrap();
+    worker.join().unwrap().unwrap();
+    outcome
+}
+
+fn assert_matches_reference(outcome: &GridOutcome) {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let cfg = ConfigPreset::Big.config();
+    let golden = avgi_faultsim::golden_for(&w, &cfg);
+    let reference = run_campaign(&w, &cfg, &golden, &campaign_config());
+    assert_eq!(outcome.result.results, reference.results);
+    // Telemetry totals account for every fault exactly once.
+    assert_eq!(outcome.telemetry.planned, FAULTS as u64);
+    assert_eq!(outcome.telemetry.completed, FAULTS as u64);
+}
+
+/// Performs the hello/welcome handshake on a raw socket.
+fn handshake(stream: &mut TcpStream) {
+    send(
+        stream,
+        &Msg::Hello {
+            proto: PROTO_VERSION,
+        },
+    )
+    .unwrap();
+    match Msg::from_json(&read_frame(stream).unwrap()).unwrap() {
+        Msg::Welcome { .. } => {}
+        other => panic!("expected welcome, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_frame_drops_the_peer_not_the_campaign() {
+    let outcome = run_with_adversary(Duration::from_secs(20), |mut stream| {
+        handshake(&mut stream);
+        // A frame that promises 100 bytes and delivers 4, then vanishes.
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(b"oops").unwrap();
+        drop(stream);
+    });
+    assert_matches_reference(&outcome);
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let outcome = run_with_adversary(Duration::from_secs(20), |mut stream| {
+        handshake(&mut stream);
+        // Claim a 4 GiB frame; the coordinator must refuse the prefix
+        // rather than trusting it, and drop the connection.
+        stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        stream
+            .write_all(b"garbage that never amounts to a frame")
+            .unwrap();
+        // Keep the socket open: the refusal must come from the prefix
+        // check, not from our disconnect.
+        std::thread::sleep(Duration::from_millis(300));
+        drop(stream);
+    });
+    assert_matches_reference(&outcome);
+    assert!(outcome.stats.protocol_errors >= 1);
+}
+
+#[test]
+fn silent_leaseholder_expires_and_work_is_reassigned_once() {
+    // The adversary takes a lease and then neither heartbeats nor reports:
+    // the death mode lease timeouts exist for. The timeout is short so the
+    // sweep fires quickly; the healthy worker then redoes the indices and
+    // the totals must show no double count.
+    let outcome = run_with_adversary(Duration::from_millis(500), |mut stream| {
+        handshake(&mut stream);
+        send(&mut stream, &Msg::LeaseRequest).unwrap();
+        match Msg::from_json(&read_frame(&mut stream).unwrap()).unwrap() {
+            Msg::Lease { indices, .. } => assert!(!indices.is_empty()),
+            other => panic!("expected a lease, got {other:?}"),
+        }
+        // Hold the socket open silently past the lease deadline.
+        std::thread::sleep(Duration::from_millis(1_200));
+        drop(stream);
+    });
+    assert_matches_reference(&outcome);
+    assert!(
+        outcome.stats.leases_reassigned >= 1,
+        "silent lease must expire: {:?}",
+        outcome.stats
+    );
+}
+
+#[test]
+fn late_report_after_reassignment_is_discarded_wholly() {
+    // The adversary takes a lease, goes silent past the deadline, and THEN
+    // reports a (fabricated) batch for the now-reassigned lease. The
+    // coordinator must reject the whole report — results and telemetry —
+    // or the campaign would double-count.
+    let outcome = run_with_adversary(Duration::from_millis(400), |mut stream| {
+        handshake(&mut stream);
+        send(&mut stream, &Msg::LeaseRequest).unwrap();
+        let (lease, indices) = match Msg::from_json(&read_frame(&mut stream).unwrap()).unwrap() {
+            Msg::Lease { lease, indices } => (lease, indices),
+            other => panic!("expected a lease, got {other:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(1_000));
+        // Report garbage results under the expired lease: a malformed
+        // batch_done body exercises the rejection path. Easiest well-formed
+        // frame: an empty results list (wrong length for the lease).
+        let payload = format!(
+            "{{\"t\":\"batch_done\",\"lease\":{lease},\"results\":[],\"telemetry\":{{\"planned\":{n},\"completed\":{n},\"retries\":0,\"aborted\":0,\"outcomes\":{{}},\"classes\":{{}},\"structures\":{{}},\"post_inject_cycles_hist\":[]}}}}",
+            n = indices.len()
+        );
+        let _ = write_frame(&mut stream, &payload);
+        std::thread::sleep(Duration::from_millis(200));
+        drop(stream);
+    });
+    assert_matches_reference(&outcome);
+    assert!(outcome.stats.batches_rejected >= 1, "{:?}", outcome.stats);
+    assert!(outcome.stats.leases_reassigned >= 1, "{:?}", outcome.stats);
+}

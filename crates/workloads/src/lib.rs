@@ -65,7 +65,31 @@ impl Workload {
     }
 }
 
-/// Builds all 14 workloads in a stable order (11 MiBench-style + 3
+/// The workload registry: every workload name in builder order, known
+/// without constructing any program.
+///
+/// The position of a name in this array is the workload's stable numeric
+/// id — the compact identifier `avgi-grid` campaign specs put on the wire
+/// so a remote worker can rebuild the exact workload locally. Entries are
+/// append-only: reordering or removing one would silently rebind ids.
+pub const NAMES: [&str; 14] = [
+    "bitcount",
+    "sha",
+    "crc32",
+    "qsort",
+    "stringsearch",
+    "dijkstra",
+    "blowfish",
+    "rijndael",
+    "basicmath",
+    "susan",
+    "fft",
+    "nas_is",
+    "nas_mg",
+    "nas_cg",
+];
+
+/// Builds all 14 workloads in [`NAMES`] order (11 MiBench-style + 3
 /// NAS-style; the paper uses 10 + 3 — the extra kernel only tightens the
 /// cross-workload statistics).
 pub fn all() -> Vec<Workload> {
@@ -89,12 +113,26 @@ pub fn all() -> Vec<Workload> {
 
 /// Names of all workloads, in the same order as [`all`].
 pub fn names() -> Vec<&'static str> {
-    all().iter().map(|w| w.name).collect()
+    NAMES.to_vec()
+}
+
+/// The registry id of a workload name (its index in [`NAMES`]).
+pub fn index_of(name: &str) -> Option<usize> {
+    NAMES.iter().position(|&n| n == name)
+}
+
+/// Builds the workload with registry id `index` (see [`NAMES`]).
+pub fn by_index(index: usize) -> Option<Workload> {
+    if index < NAMES.len() {
+        all().into_iter().nth(index)
+    } else {
+        None
+    }
 }
 
 /// Looks up one workload by name.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    index_of(name).and_then(by_index)
 }
 
 #[cfg(test)]
@@ -148,5 +186,19 @@ mod tests {
             assert_eq!(by_name(name).unwrap().name, name);
         }
         assert!(by_name("no-such").is_none());
+    }
+
+    #[test]
+    fn registry_matches_builders() {
+        // NAMES is the wire-stable id space; it must agree with the actual
+        // builder order or remote workers would rebuild the wrong program.
+        let built: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(built, NAMES.to_vec());
+        for (i, &name) in NAMES.iter().enumerate() {
+            assert_eq!(index_of(name), Some(i));
+            assert_eq!(by_index(i).unwrap().name, name);
+        }
+        assert!(by_index(NAMES.len()).is_none());
+        assert_eq!(index_of("no-such"), None);
     }
 }

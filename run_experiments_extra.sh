@@ -7,12 +7,19 @@ run() {
   echo "=== $bin $* ==="
   cargo run --release -p avgi-bench --bin "$bin" -- "$@" >"results/$bin.txt" 2>"results/$bin.log"
 }
-run fig03_imm_distribution --faults 250
-run fig04_effects_per_imm --faults 2000
-run fig07_esc_prediction --faults 250
+# Campaign-driving binaries also emit machine-readable telemetry: live
+# progress snapshots land in results/$bin.log, final counters + latency
+# histograms in results/$bin.metrics.json.
+runm() {
+  bin=$1; shift
+  run "$bin" --metrics "results/$bin.metrics.json" "$@"
+}
+runm fig03_imm_distribution --faults 250
+runm fig04_effects_per_imm --faults 2000
+runm fig07_esc_prediction --faults 250
 run fig08_ert_inclusive_exclusive --faults 300
 run ablation_ert_window --faults 150
 run ablation_prefetch --faults 200
-run avf_report --faults 200 --workload dijkstra
+runm avf_report --faults 200 --workload dijkstra
 run trace_dump --workload sha
 echo "extras complete"
