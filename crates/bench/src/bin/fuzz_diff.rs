@@ -1,0 +1,132 @@
+//! Coverage-directed differential fuzzing of the out-of-order simulator
+//! against the `avgi-refmodel` architectural interpreter.
+//!
+//! Generates random AvgIsa programs (valid and invalid encodings, branches,
+//! aliasing loads/stores), runs each on the full pipeline with commit
+//! tracing, and lockstep-checks every committed instruction plus the final
+//! output bytes against the reference model. Any divergence is shrunk to a
+//! minimal reproducer and printed; the process exits nonzero.
+//!
+//! ```sh
+//! cargo run --release -p avgi-bench --bin fuzz_diff -- \
+//!     --programs 10000 --seed 0xD1FF5EED0001 --max-instrs 96
+//! ```
+//!
+//! The run is deterministic for a given `--seed`, independent of
+//! `--threads`; CI uses a small `--programs` smoke while the committed
+//! corpus test (`crates/refmodel/tests/corpus.rs`) pins the full sweep.
+
+use avgi_isa::instr::disassemble;
+use avgi_refmodel::{run_fuzz, FuzzConfig};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut cfg = FuzzConfig::new(2_000, 0xD1FF_5EED_0001);
+    let mut small = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--programs" => {
+                cfg.programs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--programs needs a number");
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .as_deref()
+                    .and_then(parse_u64)
+                    .expect("--seed needs a number (decimal or 0x hex)");
+            }
+            "--max-instrs" => {
+                cfg.max_instrs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-instrs needs a number");
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--small" => small = true,
+            "--no-shrink" => cfg.shrink = false,
+            other => panic!(
+                "unknown argument `{other}` (supported: --programs N --seed S \
+                 --max-instrs K --threads T --small --no-shrink)"
+            ),
+        }
+    }
+    if small {
+        cfg.config = avgi_muarch::config::MuarchConfig::small();
+    }
+
+    eprintln!(
+        "[fuzz_diff] {} programs, seed {:#x}, max {} instrs, config {}",
+        cfg.programs, cfg.seed, cfg.max_instrs, cfg.config.name
+    );
+    let started = std::time::Instant::now();
+    let report = run_fuzz(&cfg);
+    let elapsed = started.elapsed();
+
+    println!("{}", report.coverage.table());
+    let (ops, all_ops) = report.coverage.opcode_coverage();
+    let (pairs, all_pairs) = report.coverage.format_pair_coverage();
+    println!(
+        "programs {} | opcode coverage {ops}/{all_ops} | format-pair coverage {pairs}/{all_pairs}",
+        report.programs
+    );
+    println!(
+        "outcomes: {} completed, {} trapped, {} watchdogged | {} invalid-encoding commits",
+        report.coverage.completed,
+        report.coverage.trapped,
+        report.coverage.watchdogged,
+        report.coverage.invalid_commits
+    );
+    eprintln!(
+        "[fuzz_diff] {:.2}s ({:.0} programs/s)",
+        elapsed.as_secs_f64(),
+        report.programs as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+
+    if !report.coverage.uncovered_opcodes().is_empty() {
+        eprintln!(
+            "[fuzz_diff] warning: uncovered opcodes {:?} (raise --programs)",
+            report.coverage.uncovered_opcodes()
+        );
+    }
+
+    if report.failures.is_empty() {
+        println!("no divergence between pipeline and reference model");
+        return;
+    }
+
+    for f in &report.failures {
+        eprintln!(
+            "\n=== divergence: program {} (seed {:#x}, {} words, minimized to {}) ===",
+            f.index,
+            f.seed,
+            f.original.len(),
+            f.minimized.len()
+        );
+        eprintln!("minimized reproducer:");
+        for (i, w) in f.minimized.iter().enumerate() {
+            eprintln!("  [{i:3}] {w:#010x}  {}", disassemble(*w));
+        }
+        eprintln!("{}", f.divergence);
+    }
+    eprintln!(
+        "\n[fuzz_diff] {} diverging program(s)",
+        report.failures.len()
+    );
+    std::process::exit(1);
+}

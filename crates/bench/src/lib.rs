@@ -100,6 +100,7 @@ impl ExpArgs {
                 ),
             }
         }
+        validate_workloads();
         args
     }
 
@@ -191,7 +192,47 @@ pub fn parse_shard(spec: &str) -> (usize, usize) {
     parse().unwrap_or_else(|| panic!("--shard wants I/N with 0 <= I < N, got `{spec}`"))
 }
 
+/// Architectural startup validation: executes every registered workload on
+/// the `avgi-refmodel` reference interpreter and panics if any fails to
+/// reach a clean halt. Runs automatically from [`ExpArgs::parse`], so a
+/// workload image corrupted by a bad edit (or a reference-model regression)
+/// aborts every experiment binary before any campaign spends cycles on it.
+///
+/// The interpreter is untimed, so this costs milliseconds for the full
+/// suite. Returns the number of workloads validated.
+///
+/// # Panics
+///
+/// Panics naming the first workload whose reference execution does not
+/// complete.
+pub fn validate_workloads() -> usize {
+    let workloads = avgi_workloads::all();
+    for w in &workloads {
+        let (model, run) = avgi_refmodel::reference_run(&w.program, 0);
+        assert_eq!(
+            run.outcome,
+            Some(avgi_refmodel::RefOutcome::Completed),
+            "workload `{}` fails architectural validation: {:?} after {} steps (pc {:#x})",
+            w.name,
+            run.outcome,
+            run.steps,
+            model.pc()
+        );
+        assert!(
+            model.output().iter().any(|&b| b != 0),
+            "workload `{}` produced an all-zero output region",
+            w.name
+        );
+    }
+    workloads.len()
+}
+
 /// Caches golden runs per workload (they are identical across campaigns).
+///
+/// Every capture is lockstep-verified against the `avgi-refmodel`
+/// architectural interpreter before being handed out: the cache refuses to
+/// serve a golden trace the reference model disagrees with, so experiment
+/// statistics can never be built on a miscommitting substrate.
 #[derive(Default)]
 pub struct GoldenCache {
     cache: HashMap<String, Arc<GoldenRun>>,
@@ -203,11 +244,26 @@ impl GoldenCache {
         Self::default()
     }
 
-    /// The golden run for `workload` under `cfg`, captured on first use.
+    /// The golden run for `workload` under `cfg`, captured and
+    /// lockstep-verified on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first architectural divergence if the simulator's
+    /// golden commit trace disagrees with the reference model.
     pub fn get(&mut self, workload: &Workload, cfg: &MuarchConfig) -> Arc<GoldenRun> {
         self.cache
             .entry(workload.name.to_string())
-            .or_insert_with(|| golden_for(workload, cfg))
+            .or_insert_with(|| {
+                let golden = golden_for(workload, cfg);
+                if let Err(d) = avgi_refmodel::verify_golden(&workload.program, &golden) {
+                    panic!(
+                        "golden run of `{}` fails architectural lockstep:\n{d}",
+                        workload.name
+                    );
+                }
+                golden
+            })
             .clone()
     }
 }
@@ -393,6 +449,11 @@ mod tests {
         let a = cache.get(&w, &cfg);
         let b = cache.get(&w, &cfg);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn startup_validation_accepts_every_workload() {
+        assert_eq!(validate_workloads(), avgi_workloads::all().len());
     }
 
     #[test]

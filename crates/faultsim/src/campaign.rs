@@ -87,12 +87,29 @@ pub struct CampaignConfig {
     /// never changes campaign results; it is excluded from [`fmt::Debug`]
     /// output so journal keys and config hashes are unaffected.
     pub observer: Option<Arc<dyn CampaignObserver>>,
+    /// Debug-assert mode: differentially verify Masked classifications
+    /// against the `avgi-refmodel` architectural reference model.
+    ///
+    /// When set, the golden run is lockstep-checked against an independent
+    /// reference execution before any fault is injected (panicking if the
+    /// simulation substrate itself is architecturally wrong), and every
+    /// completed injected run whose output matches the golden output — i.e.
+    /// every run the campaign classifies Masked — is re-checked against the
+    /// reference model's own output bytes. Any violation panics *after* the
+    /// engine drains, with the offending faults listed: a violation means
+    /// classifications cannot be trusted, not that one run misbehaved.
+    ///
+    /// Verification never changes campaign results; like `observer` it is
+    /// excluded from [`fmt::Debug`] output so journal keys and config
+    /// hashes are unaffected.
+    pub verify_masked: bool,
 }
 
 impl std::fmt::Debug for CampaignConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Matches the previously derived output (the observer is
-        // deliberately omitted: it carries no campaign identity).
+        // Matches the previously derived output (the observer and the
+        // verify_masked debug mode are deliberately omitted: they carry no
+        // campaign identity).
         f.debug_struct("CampaignConfig")
             .field("structure", &self.structure)
             .field("faults", &self.faults)
@@ -119,6 +136,7 @@ impl CampaignConfig {
             checkpoints: 8,
             wall_budget: None,
             observer: None,
+            verify_masked: false,
         }
     }
 
@@ -151,6 +169,13 @@ impl CampaignConfig {
     /// [`ProgressObserver`](crate::telemetry::ProgressObserver)).
     pub fn with_observer(mut self, observer: Arc<dyn CampaignObserver>) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Enables reference-model verification of Masked classifications (see
+    /// [`CampaignConfig::verify_masked`]).
+    pub fn with_masked_verification(mut self) -> Self {
+        self.verify_masked = true;
         self
     }
 
@@ -336,6 +361,69 @@ fn watchdog(golden_cycles: u64) -> u64 {
     2 * golden_cycles + 20_000
 }
 
+/// Architectural oracle backing [`CampaignConfig::verify_masked`].
+///
+/// Built once per campaign: construction runs the workload on the
+/// `avgi-refmodel` reference interpreter and lockstep-verifies the golden
+/// pipeline capture against it, panicking immediately on any divergence —
+/// if the fault-free substrate is architecturally wrong, every
+/// classification derived from it is garbage.
+///
+/// Per-run checks only *record* violations (engine workers run inside
+/// `catch_unwind`, where a panic would be silently folded into a
+/// [`RunOutcome::SimAbort`]); [`MaskedOracle::assert_clean`] panics with the
+/// collected list after the engine drains.
+struct MaskedOracle {
+    /// Output bytes of the independent reference execution.
+    expected: Vec<u8>,
+    violations: Mutex<Vec<String>>,
+}
+
+impl MaskedOracle {
+    fn new(workload: &Workload, golden: &Arc<GoldenRun>) -> Self {
+        if let Err(d) = avgi_refmodel::verify_golden(&workload.program, golden) {
+            panic!(
+                "verify_masked: golden run of `{}` fails architectural lockstep:\n{d}",
+                workload.name
+            );
+        }
+        let (model, run) = avgi_refmodel::reference_run(&workload.program, 0);
+        assert_eq!(
+            run.outcome,
+            Some(avgi_refmodel::RefOutcome::Completed),
+            "verify_masked: reference model did not complete `{}`",
+            workload.name
+        );
+        MaskedOracle {
+            expected: model.output(),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Re-check a completed injected run: a run whose output matches the
+    /// golden output (and will therefore classify Masked) must also match
+    /// the reference model's independently computed bytes.
+    fn check_completed(&self, fault: &Fault, output: &[u8], golden_output: &[u8]) {
+        if output == golden_output && output != self.expected {
+            self.violations.lock().unwrap().push(format!(
+                "fault {fault:?}: output matches golden but not the reference model"
+            ));
+        }
+    }
+
+    fn assert_clean(&self, workload: &Workload) {
+        let violations = self.violations.lock().unwrap();
+        assert!(
+            violations.is_empty(),
+            "verify_masked: {} run(s) of `{}` classified Masked are not architecturally \
+             equivalent to the reference execution:\n{}",
+            violations.len(),
+            workload.name,
+            violations.join("\n")
+        );
+    }
+}
+
 /// Executes one injected run.
 pub fn run_one(
     workload: &Workload,
@@ -354,6 +442,7 @@ pub fn run_one(
         burst_width,
         None,
         &mut None,
+        None,
         None,
     )
 }
@@ -379,6 +468,7 @@ pub fn run_one_from(
         None,
         &mut None,
         Some(checkpoints),
+        None,
     )
 }
 
@@ -393,6 +483,7 @@ fn run_one_inner(
     wall_budget: Option<Duration>,
     scratch: &mut Option<Sim>,
     checkpoints: Option<&CheckpointSet>,
+    oracle: Option<&MaskedOracle>,
 ) -> InjectionResult {
     // Checkpointed runs reuse the caller's scratch simulator, rewinding it
     // in place (O(dirty state), allocation-free after the first run) instead
@@ -440,6 +531,9 @@ fn run_one_inner(
         },
     };
     let report = sim.run(&ctl);
+    if let (Some(oracle), Some(output)) = (oracle, report.output.as_ref()) {
+        oracle.check_completed(&fault, output, &golden.output);
+    }
     InjectionResult {
         fault,
         outcome: report.outcome,
@@ -512,6 +606,7 @@ fn run_one_isolated(
     checkpoints: Option<&CheckpointSet>,
     structure: Structure,
     observer: &dyn CampaignObserver,
+    oracle: Option<&MaskedOracle>,
 ) -> InjectionResult {
     install_quiet_panic_hook();
     let attempt = |ckpt: Option<&CheckpointSet>, scratch: &mut Option<Sim>| {
@@ -527,6 +622,7 @@ fn run_one_isolated(
                 wall_budget,
                 scratch,
                 ckpt,
+                oracle,
             )
         }));
         IN_ISOLATED_RUN.with(|f| f.set(false));
@@ -820,6 +916,11 @@ fn run_campaign_engine(
 ) -> Result<(Vec<InjectionResult>, Vec<String>), CampaignError> {
     static NULL_OBSERVER: NullObserver = NullObserver;
     let observer: &dyn CampaignObserver = ccfg.observer.as_deref().unwrap_or(&NULL_OBSERVER);
+    // Built before any injection: construction lockstep-verifies the golden
+    // run against the reference model and panics if the substrate is wrong.
+    let oracle = ccfg
+        .verify_masked
+        .then(|| MaskedOracle::new(workload, golden));
     observer.on_campaign_start(ccfg.structure, faults.len());
 
     let warnings = Vec::new();
@@ -870,6 +971,7 @@ fn run_campaign_engine(
                         checkpoints,
                         ccfg.structure,
                         observer,
+                        oracle.as_ref(),
                     );
                     observer.on_run(ccfg.structure, &r, t0.elapsed());
                     if let Some(j) = journal {
@@ -884,6 +986,12 @@ fn run_campaign_engine(
     });
 
     observer.on_campaign_end(ccfg.structure);
+
+    // Outside the workers' catch_unwind isolation: a violation here must be
+    // loud, not folded into a SimAbort tally.
+    if let Some(oracle) = &oracle {
+        oracle.assert_clean(workload);
+    }
 
     if let Some(e) = journal_err.into_inner().unwrap() {
         return Err(CampaignError::Io(e));
@@ -1228,5 +1336,43 @@ mod tests {
                 "zero budget cannot complete"
             );
         }
+    }
+
+    #[test]
+    fn masked_verification_passes_and_preserves_results() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let base = CampaignConfig::new(Structure::RegFile, 40, RunMode::EndToEnd);
+        let plain = run_campaign(&w, &cfg, &golden, &base);
+        let checked = run_campaign(&w, &cfg, &golden, &base.clone().with_masked_verification());
+        // The oracle is observational: it must not perturb sampling,
+        // outcomes, or classification.
+        assert_eq!(plain.results.len(), checked.results.len());
+        for (x, y) in plain.results.iter().zip(&checked.results) {
+            assert_eq!(x.fault, y.fault);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.output_matches, y.output_matches);
+        }
+        assert!(checked
+            .results
+            .iter()
+            .any(|r| r.output_matches == Some(true)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep")]
+    fn masked_verification_rejects_a_doctored_golden_trace() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        // Corrupt one golden output byte: the oracle's construction-time
+        // lockstep of the fault-free run must catch the substrate lying
+        // about architectural state before any injection happens.
+        let mut doctored = (*golden).clone();
+        doctored.output[0] ^= 0x01;
+        let ccfg = CampaignConfig::new(Structure::RegFile, 4, RunMode::EndToEnd)
+            .with_masked_verification();
+        let _ = run_campaign(&w, &cfg, &Arc::new(doctored), &ccfg);
     }
 }

@@ -1,0 +1,108 @@
+//! Randomized property tests of the encode/decode invariants.
+//!
+//! These lived in the top-level `tests/proptests.rs` suite; they only
+//! exercise `avgi-isa`, so they live here to keep `cargo test -p avgi-isa`
+//! self-contained. Originally `proptest` properties; the repository must
+//! build fully offline, so they are deterministic loops over the in-repo
+//! xoshiro256** generator (`avgi-rng`) — same invariants, fixed seeds,
+//! reproducible failures.
+
+use avgi_isa::instr::{decode, Instr};
+use avgi_isa::opcode::Opcode;
+use avgi_isa::reg::Reg;
+use avgi_rng::Rng;
+
+fn arb_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range_u64(u64::from(avgi_isa::NUM_ARCH_REGS)) as u8).expect("in range")
+}
+
+/// Every valid instruction survives an encode/decode roundtrip.
+#[test]
+fn encode_decode_roundtrip() {
+    use avgi_isa::opcode::Format;
+    let mut rng = Rng::seed_from_u64(0x1001);
+    for _ in 0..4096 {
+        let op = *rng.choose(Opcode::all());
+        let (rd, rs1, rs2) = (arb_reg(&mut rng), arb_reg(&mut rng), arb_reg(&mut rng));
+        let imm = rng.gen_range_i32(-8192, 8192);
+        let imm = match op.format() {
+            Format::J => imm * 16, // wider field; still in range
+            Format::N | Format::R => 0,
+            _ => imm,
+        };
+        let i = Instr::new(op, rd, rs1, rs2, imm);
+        let d = decode(i.encode()).expect("valid instruction decodes");
+        assert_eq!(d.op, op);
+        assert_eq!(d.imm, imm);
+    }
+}
+
+/// Decoding never panics on arbitrary 32-bit words (totality).
+#[test]
+fn decode_is_total() {
+    let mut rng = Rng::seed_from_u64(0x1002);
+    for _ in 0..100_000 {
+        let _ = decode(rng.next_u32());
+    }
+    // Plus the low words and boundaries exhaustively enough to matter.
+    for w in 0..=u32::from(u16::MAX) {
+        let _ = decode(w);
+        let _ = decode(w.rotate_left(16));
+    }
+}
+
+/// Cross-validation of the encoding's field map against the decoder: the
+/// field a flipped bit lands in determines the decode outcome — the root
+/// mechanism behind the IRP/UNO/OFS manifestation classes.
+#[test]
+fn bit_field_map_predicts_decode_outcome() {
+    use avgi_isa::encoding::{field_of_bit, Field};
+    use avgi_isa::instr::DecodeError;
+    use avgi_isa::opcode::Format;
+
+    let mut rng = Rng::seed_from_u64(0x1008);
+    for _ in 0..8192 {
+        let op = *rng.choose(Opcode::all());
+        let (rd, rs1, rs2) = (arb_reg(&mut rng), arb_reg(&mut rng), arb_reg(&mut rng));
+        let imm = rng.gen_range_i32(0, 8192);
+        let bit = rng.gen_range_u64(32) as u32;
+
+        let imm = if op.format() == Format::N || op.format() == Format::R {
+            0
+        } else {
+            imm
+        };
+        let i = Instr::new(op, rd, rs1, rs2, imm);
+        let original = i.encode();
+        let corrupted = original ^ (1u32 << bit);
+        match field_of_bit(op.format(), bit) {
+            Field::Imm => {
+                // Immediate flips always stay in the ISA, different value.
+                let d = decode(corrupted).expect("imm flip keeps a valid word");
+                assert_eq!(d.op, op);
+                assert_ne!(d.imm, i.imm);
+            }
+            Field::Pad => {
+                // Pad was zero; a flip sets it: operand error (UNO path).
+                match decode(corrupted) {
+                    Err(e) => assert!(e.is_operand_error()),
+                    Ok(_) => panic!("pad flip must not decode"),
+                }
+            }
+            Field::Rd | Field::Rs1 | Field::Rs2 => match decode(corrupted) {
+                Ok(d) => {
+                    assert_eq!(d.op, op);
+                    assert_ne!(d.encode(), original, "some register changed");
+                }
+                Err(DecodeError::UnknownRegister { .. }) => {} // UNO
+                Err(e) => panic!("unexpected error {e:?}"),
+            },
+            Field::Opcode => {
+                // Decoding either lands on a different op (IRP) or traps.
+                if let Ok(d) = decode(corrupted) {
+                    assert_ne!(d.op, op);
+                }
+            }
+        }
+    }
+}

@@ -1,11 +1,18 @@
 //! Differential testing: random programs run on the out-of-order simulator
-//! must produce exactly the architectural results of a simple sequential
-//! interpreter. Any divergence is a pipeline bug (renaming, forwarding,
-//! speculation, cache coherence...).
+//! must commit exactly the architectural instruction stream of the
+//! `avgi-refmodel` reference interpreter. Any divergence is a pipeline bug
+//! (renaming, forwarding, speculation, cache coherence...).
 //!
-//! Originally a `proptest` property; the repository must build fully
-//! offline, so generation now uses the in-repo xoshiro256** generator
-//! (`avgi-rng`) with fixed seeds — same oracle, reproducible failures.
+//! This test predates the `refmodel` crate and used to carry its own partial
+//! inline interpreter, comparing only a register spill and a scratch
+//! checksum. It now lockstep-checks the *entire commit trace* — every
+//! committed `(pc, raw, ea, val)` — plus the final output bytes, so a
+//! transient mid-program divergence can no longer hide behind a correct
+//! final state, and no architectural register has to be excluded from the
+//! comparison.
+//!
+//! Generation uses the in-repo xoshiro256** generator (`avgi-rng`) with a
+//! fixed seed — reproducible offline, like the original.
 
 use avgi_isa::instr::Instr;
 use avgi_isa::opcode::Opcode;
@@ -15,69 +22,10 @@ use avgi_muarch::mem::{DATA_BASE, OUTPUT_BASE};
 use avgi_muarch::pipeline::Sim;
 use avgi_muarch::program::Program;
 use avgi_muarch::run::{RunControl, RunOutcome};
+use avgi_refmodel::verify_report;
 use avgi_rng::Rng;
 
 const SCRATCH_WORDS: u32 = 64;
-
-/// A tiny architectural interpreter: in-order, no timing, no caches.
-fn interpret(code: &[Instr], out_words: u32) -> Vec<u8> {
-    let mut regs = [0u32; avgi_isa::NUM_ARCH_REGS as usize];
-    let mut scratch = vec![0u32; SCRATCH_WORDS as usize];
-    let mut output = vec![0u8; (out_words * 4) as usize];
-    let mut pc = 0usize;
-    let mut steps = 0;
-    while pc < code.len() {
-        steps += 1;
-        assert!(steps < 100_000, "interpreter ran away");
-        let i = code[pc];
-        let rd = i.rd.index() as usize;
-        let a = regs[i.rs1.index() as usize];
-        let b = regs[i.rs2.index() as usize];
-        match i.op {
-            Opcode::Halt => break,
-            Opcode::Nop => {}
-            Opcode::Lw => {
-                // Address = scratch base + bounded immediate (see codegen).
-                let w = (i.imm as u32 / 4) as usize % scratch.len();
-                if rd != 0 {
-                    regs[rd] = scratch[w];
-                }
-            }
-            Opcode::Sw => {
-                let w = (i.imm as u32 / 4) as usize % scratch.len();
-                scratch[w] = b;
-            }
-            op if op.is_branch() => {
-                if avgi_muarch::exec::branch_taken(op, a, b) {
-                    pc = (pc as i64 + i.imm as i64) as usize;
-                    continue;
-                }
-            }
-            op => {
-                let operand_b = if matches!(op.format(), avgi_isa::opcode::Format::I) {
-                    i.imm as u32
-                } else {
-                    b
-                };
-                if let Some(v) = avgi_muarch::exec::alu(op, a, operand_b) {
-                    if rd != 0 {
-                        regs[rd] = v;
-                    }
-                }
-            }
-        }
-        pc += 1;
-    }
-    // Spill every register to the output region (little-endian), then the
-    // scratch memory checksum.
-    for (k, &v) in regs.iter().enumerate() {
-        output[k * 4..k * 4 + 4].copy_from_slice(&v.to_le_bytes());
-    }
-    let sum = scratch.iter().fold(0u32, |acc, &w| acc.wrapping_add(w));
-    let base = regs.len() * 4;
-    output[base..base + 4].copy_from_slice(&sum.to_le_bytes());
-    output
-}
 
 #[derive(Debug, Clone)]
 enum GenOp {
@@ -173,22 +121,21 @@ fn materialize(ops: &[GenOp]) -> Vec<Instr> {
     code
 }
 
-/// Emits the spill epilogue (registers + scratch checksum to the output
-/// region) and halt, mirroring the interpreter's output format.
+/// Emits a spill epilogue (registers + scratch checksum to the output
+/// region) and halt, so the final output bytes summarize the whole
+/// architectural state and exercise the cache-flush path.
 fn epilogue(code: &mut Vec<Instr>) {
     let zero = Reg::new(0).unwrap();
     // Landing pad: a trailing forward branch may skip up to 3 instructions
-    // past the body; in the oracle that means "fall off the end" (halt),
-    // so the simulator must reach the epilogue intact either way.
+    // past the body; the simulator must reach the epilogue intact either way.
     for _ in 0..4 {
         code.push(Instr::new(Opcode::Nop, zero, zero, zero, 0));
     }
-    let base = Reg::new(23).unwrap(); // still DATA_BASE; reload for OUTPUT
-                                      // Checksum scratch into r22 BEFORE clobbering anything.
+    let base = Reg::new(23).unwrap(); // still DATA_BASE
     let acc = Reg::new(22).unwrap();
     let tmp = Reg::new(21).unwrap();
-    // acc = 0; spill registers first requires base = OUTPUT; but we must
-    // checksum scratch via r23 (DATA_BASE). Order: checksum, then spill.
+    // Checksum scratch via r23 (DATA_BASE) first, then repoint r23 at the
+    // output region and spill.
     code.push(Instr::new(Opcode::Addi, acc, zero, zero, 0));
     for w in 0..SCRATCH_WORDS {
         code.push(Instr::new(Opcode::Lw, tmp, base, zero, (w * 4) as i32));
@@ -212,25 +159,21 @@ fn epilogue(code: &mut Vec<Instr>) {
 }
 
 #[test]
-fn ooo_simulator_matches_sequential_interpreter() {
+fn ooo_simulator_commits_in_lockstep_with_reference_model() {
     let mut rng = Rng::seed_from_u64(0x5EED_D1FF);
     for case in 0..48 {
         let n_ops = 1 + rng.gen_range_usize(119);
         let ops: Vec<GenOp> = (0..n_ops).map(|_| arb_genop(&mut rng)).collect();
-        let body = materialize(&ops);
-        let out_words = u32::from(avgi_isa::NUM_ARCH_REGS) + 1;
-
-        // Oracle sees the body only (it models base registers implicitly);
-        // run it over the same decoded instructions minus prologue.
-        let oracle = interpret(&body[1..], out_words);
-
-        let mut code = body;
+        let mut code = materialize(&ops);
         epilogue(&mut code);
+        let out_words = u32::from(avgi_isa::NUM_ARCH_REGS) + 1;
         let words: Vec<u32> = code.iter().map(Instr::encode).collect();
         let program = Program::new("random", words, out_words * 4);
+
         let mut sim = Sim::new(&program, MuarchConfig::big());
         let r = sim.run(&RunControl {
             max_cycles: 5_000_000,
+            record_trace: true,
             ..Default::default()
         });
         assert_eq!(
@@ -238,19 +181,12 @@ fn ooo_simulator_matches_sequential_interpreter() {
             RunOutcome::Completed,
             "case {case}: program must halt"
         );
-        let out = r.output.expect("completed");
-
-        // The spilled registers: r23 differs by design (the sim uses it as
-        // base pointer; the oracle keeps it 0). r21/r22 are clobbered by the
-        // epilogue. Compare r0..=r20 and the scratch checksum.
-        for k in 0..21usize {
-            let sim_v = u32::from_le_bytes(out[k * 4..k * 4 + 4].try_into().unwrap());
-            let ora_v = u32::from_le_bytes(oracle[k * 4..k * 4 + 4].try_into().unwrap());
-            assert_eq!(sim_v, ora_v, "case {case}: register r{k} diverged");
-        }
-        let base = avgi_isa::NUM_ARCH_REGS as usize * 4;
-        let sim_sum = u32::from_le_bytes(out[base..base + 4].try_into().unwrap());
-        let ora_sum = u32::from_le_bytes(oracle[base..base + 4].try_into().unwrap());
-        assert_eq!(sim_sum, ora_sum, "case {case}: scratch memory diverged");
+        let report = verify_report(&program, &r)
+            .unwrap_or_else(|d| panic!("case {case}: lockstep divergence:\n{d}"));
+        assert_eq!(
+            report.committed,
+            r.trace.as_ref().map(Vec::len).unwrap_or(0) as u64,
+            "case {case}: lockstep must consume the whole trace"
+        );
     }
 }

@@ -1,0 +1,415 @@
+//! The single-step architectural reference model.
+//!
+//! [`RefModel`] executes AvgIsa programs one instruction at a time with *no*
+//! microarchitecture: no pipeline, no caches, no speculation. It is an
+//! independent re-implementation of the ISA semantics — it deliberately does
+//! **not** call into `avgi_muarch::exec`, so a bug in the pipeline's ALU or
+//! branch unit cannot hide by being mirrored here.
+//!
+//! Every step yields a [`RefStep`] whose `(pc, raw, ea, val)` fields are
+//! defined to match the corresponding fields of the pipeline's
+//! [`CommitRecord`](avgi_muarch::CommitRecord) for the same committed
+//! instruction (the `cycle` field of a commit record is timing, not
+//! architecture, and has no reference-model counterpart):
+//!
+//! * `pc`  — address of the instruction, or of the faulting fetch;
+//! * `raw` — the fetched instruction word (`0` when the fetch itself faults);
+//! * `ea`  — effective byte address for loads and stores (including the ones
+//!   that trap with a memory fault), `0` otherwise;
+//! * `val` — the ALU result / loaded value (after sign- or zero-extension) /
+//!   size-masked store data / link address. Note `val` is defined even when
+//!   the destination is `r0` and no architectural write happens.
+//!
+//! The model reuses [`avgi_muarch::mem::Memory`] (and the program loader) so
+//! that address-space layout and access checks are shared with the pipeline;
+//! the *semantics* on top of them are independent.
+
+use avgi_isa::instr::{decode, disassemble};
+use avgi_isa::opcode::{Format, Opcode};
+use avgi_isa::reg::Reg;
+use avgi_isa::NUM_ARCH_REGS;
+use avgi_muarch::mem::Memory;
+use avgi_muarch::{Program, TrapKind};
+
+/// Step budget used by [`RefModel::run`] callers that just want "don't hang".
+///
+/// Workload programs commit a few million instructions at most; anything
+/// beyond this is a runaway (diverging loop) by definition.
+pub const DEFAULT_MAX_STEPS: u64 = 50_000_000;
+
+/// How a finished reference execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefOutcome {
+    /// A `halt` instruction committed.
+    Completed,
+    /// The program trapped (undefined instruction or memory fault).
+    Trap(TrapKind),
+}
+
+/// The architectural effect of one committed instruction, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// No architectural state changed beyond the PC (nop, untaken branch,
+    /// or a write to the hardwired zero register).
+    None,
+    /// A register writeback.
+    RegWrite { rd: u8, value: u32 },
+    /// A memory store of `size` bytes.
+    Store { addr: u32, size: u32, value: u32 },
+    /// A control transfer (branch or jump). `link` records the register
+    /// writeback of `jal`/`jalr` when the destination is not `r0`.
+    Control {
+        taken: bool,
+        target: u32,
+        link: Option<(u8, u32)>,
+    },
+    /// The program halted.
+    Halt,
+    /// The instruction trapped; no architectural state changed.
+    Trap(TrapKind),
+}
+
+/// One committed instruction of the reference execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefStep {
+    /// Zero-based commit index.
+    pub index: u64,
+    /// Address of the instruction (or faulting fetch).
+    pub pc: u32,
+    /// Fetched instruction word; `0` if the fetch itself faulted.
+    pub raw: u32,
+    /// Effective address for loads/stores (even trapping ones), else `0`.
+    pub ea: u32,
+    /// Result value (see module docs), else `0`.
+    pub val: u32,
+    /// PC after this instruction (== `pc` for halt/trap).
+    pub next_pc: u32,
+    /// Architectural effect, for divergence reports.
+    pub effect: Effect,
+}
+
+impl std::fmt::Display for RefStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "#{} pc={:#010x} raw={:#010x} [{}] ea={:#010x} val={:#010x} -> {:?}",
+            self.index,
+            self.pc,
+            self.raw,
+            disassemble(self.raw),
+            self.ea,
+            self.val,
+            self.effect
+        )
+    }
+}
+
+/// Result of driving a [`RefModel`] to completion with a step budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefRun {
+    /// `None` means the step budget expired first (runaway program).
+    pub outcome: Option<RefOutcome>,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// In-order, untimed architectural interpreter for AvgIsa.
+pub struct RefModel {
+    pc: u32,
+    regs: [u32; NUM_ARCH_REGS as usize],
+    mem: Memory,
+    output_addr: u32,
+    output_len: u32,
+    steps: u64,
+    outcome: Option<RefOutcome>,
+}
+
+impl RefModel {
+    /// Build a model with the program's initial memory image, entry point and
+    /// all registers zeroed (the same reset state the pipeline starts from).
+    pub fn new(program: &Program) -> Self {
+        RefModel {
+            pc: program.entry,
+            regs: [0; NUM_ARCH_REGS as usize],
+            mem: program.build_memory(),
+            output_addr: program.output_addr,
+            output_len: program.output_len,
+            steps: 0,
+            outcome: None,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Architectural register file.
+    pub fn regs(&self) -> &[u32; NUM_ARCH_REGS as usize] {
+        &self.regs
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// `Some` once the program halted or trapped; `None` while runnable.
+    pub fn outcome(&self) -> Option<RefOutcome> {
+        self.outcome
+    }
+
+    /// The program's output window, read straight from memory.
+    pub fn output(&self) -> Vec<u8> {
+        self.mem.read_range(self.output_addr, self.output_len)
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u32) -> Effect {
+        if r.is_zero() {
+            Effect::None
+        } else {
+            self.regs[r.index() as usize] = v;
+            Effect::RegWrite {
+                rd: r.index(),
+                value: v,
+            }
+        }
+    }
+
+    /// Execute one instruction. Returns `None` once the program has finished
+    /// (the step that halts or traps is itself returned, with `outcome` set).
+    pub fn step(&mut self) -> Option<RefStep> {
+        self.step_inner()
+    }
+
+    /// Drive the model until it finishes or `max_steps` is exhausted.
+    pub fn run(&mut self, max_steps: u64) -> RefRun {
+        while self.outcome.is_none() && self.steps < max_steps {
+            self.step();
+        }
+        RefRun {
+            outcome: self.outcome,
+            steps: self.steps,
+        }
+    }
+}
+
+/// Bytes accessed by a load/store opcode.
+fn access_size(op: Opcode) -> u32 {
+    match op {
+        Opcode::Lw | Opcode::Sw => 4,
+        Opcode::Lh | Opcode::Lhu | Opcode::Sh => 2,
+        _ => 1,
+    }
+}
+
+/// ALU semantics, re-derived from the ISA definition (not from `muarch`).
+fn alu_value(op: Opcode, a: u32, b: u32) -> u32 {
+    match op {
+        Opcode::Add | Opcode::Addi => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::And | Opcode::Andi => a & b,
+        Opcode::Or | Opcode::Ori => a | b,
+        Opcode::Xor | Opcode::Xori => a ^ b,
+        Opcode::Sll | Opcode::Slli => a.wrapping_shl(b & 31),
+        Opcode::Srl | Opcode::Srli => a.wrapping_shr(b & 31),
+        Opcode::Sra | Opcode::Srai => ((a as i32).wrapping_shr(b & 31)) as u32,
+        Opcode::Slt | Opcode::Slti => u32::from((a as i32) < (b as i32)),
+        Opcode::Sltu => u32::from(a < b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        Opcode::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+        Opcode::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        Opcode::Lui => b << 18,
+        _ => unreachable!("alu_value called on non-ALU opcode {op:?}"),
+    }
+}
+
+/// Branch condition semantics, re-derived from the ISA definition.
+fn cond_holds(op: Opcode, a: u32, b: u32) -> bool {
+    match op {
+        Opcode::Beq => a == b,
+        Opcode::Bne => a != b,
+        Opcode::Blt => (a as i32) < (b as i32),
+        Opcode::Bge => (a as i32) >= (b as i32),
+        Opcode::Bltu => a < b,
+        Opcode::Bgeu => a >= b,
+        _ => unreachable!("cond_holds called on non-branch opcode {op:?}"),
+    }
+}
+
+/// Zero/sign extension applied to a loaded value.
+fn extend_load(op: Opcode, raw: u32) -> u32 {
+    match op {
+        Opcode::Lw => raw,
+        Opcode::Lb => raw as u8 as i8 as i32 as u32,
+        Opcode::Lbu => raw & 0xFF,
+        Opcode::Lh => raw as u16 as i16 as i32 as u32,
+        Opcode::Lhu => raw & 0xFFFF,
+        _ => unreachable!("extend_load called on non-load opcode {op:?}"),
+    }
+}
+
+impl RefModel {
+    fn trap_step(&mut self, index: u64, pc: u32, raw: u32, ea: u32, kind: TrapKind) -> RefStep {
+        self.outcome = Some(RefOutcome::Trap(kind));
+        RefStep {
+            index,
+            pc,
+            raw,
+            ea,
+            val: 0,
+            next_pc: pc,
+            effect: Effect::Trap(kind),
+        }
+    }
+
+    fn step_inner(&mut self) -> Option<RefStep> {
+        if self.outcome.is_some() {
+            return None;
+        }
+        let index = self.steps;
+        self.steps += 1;
+        let pc = self.pc;
+
+        if let Err(f) = self.mem.check_fetch(pc) {
+            return Some(self.trap_step(index, pc, 0, 0, TrapKind::Memory(f)));
+        }
+        let raw = self.mem.read_u32(pc);
+        let i = match decode(raw) {
+            Ok(i) => i,
+            Err(_) => {
+                return Some(self.trap_step(index, pc, raw, 0, TrapKind::UndefinedInstruction));
+            }
+        };
+
+        let mut ea = 0u32;
+        let mut val = 0u32;
+        let mut next_pc = pc.wrapping_add(4);
+        let effect;
+
+        match i.op {
+            Opcode::Nop => {
+                effect = Effect::None;
+            }
+            Opcode::Halt => {
+                self.outcome = Some(RefOutcome::Completed);
+                next_pc = pc;
+                effect = Effect::Halt;
+            }
+            op if op.is_load() => {
+                let vaddr = self.reg(i.rs1).wrapping_add(i.imm as u32);
+                let size = access_size(op);
+                if let Err(f) = self.mem.check_data_access(vaddr, size, false) {
+                    return Some(self.trap_step(index, pc, raw, vaddr, TrapKind::Memory(f)));
+                }
+                ea = vaddr;
+                let mut bytes = [0u8; 4];
+                for (k, b) in bytes.iter_mut().take(size as usize).enumerate() {
+                    *b = self.mem.read_u8(vaddr + k as u32);
+                }
+                val = extend_load(op, u32::from_le_bytes(bytes));
+                effect = self.write_reg(i.rd, val);
+            }
+            op if op.is_store() => {
+                let vaddr = self.reg(i.rs1).wrapping_add(i.imm as u32);
+                let size = access_size(op);
+                if let Err(f) = self.mem.check_data_access(vaddr, size, true) {
+                    return Some(self.trap_step(index, pc, raw, vaddr, TrapKind::Memory(f)));
+                }
+                ea = vaddr;
+                let data = self.reg(i.rs2);
+                let masked = match size {
+                    1 => data & 0xFF,
+                    2 => data & 0xFFFF,
+                    _ => data,
+                };
+                val = masked;
+                let bytes = masked.to_le_bytes();
+                for (k, b) in bytes.iter().take(size as usize).enumerate() {
+                    self.mem.write_u8(vaddr + k as u32, *b);
+                }
+                effect = Effect::Store {
+                    addr: vaddr,
+                    size,
+                    value: masked,
+                };
+            }
+            op if op.is_branch() => {
+                let taken = cond_holds(op, self.reg(i.rs1), self.reg(i.rs2));
+                let target = pc.wrapping_add((i.imm as u32).wrapping_mul(4));
+                if taken {
+                    next_pc = target;
+                }
+                effect = Effect::Control {
+                    taken,
+                    target,
+                    link: None,
+                };
+            }
+            Opcode::Jal => {
+                let target = pc.wrapping_add((i.imm as u32).wrapping_mul(4));
+                let link = pc.wrapping_add(4);
+                val = link;
+                let wb = self.write_reg(i.rd, link);
+                next_pc = target;
+                effect = Effect::Control {
+                    taken: true,
+                    target,
+                    link: match wb {
+                        Effect::RegWrite { rd, value } => Some((rd, value)),
+                        _ => None,
+                    },
+                };
+            }
+            Opcode::Jalr => {
+                // `jalr` targets are *byte* addresses: base + imm, unscaled.
+                let target = self.reg(i.rs1).wrapping_add(i.imm as u32);
+                let link = pc.wrapping_add(4);
+                val = link;
+                let wb = self.write_reg(i.rd, link);
+                next_pc = target;
+                effect = Effect::Control {
+                    taken: true,
+                    target,
+                    link: match wb {
+                        Effect::RegWrite { rd, value } => Some((rd, value)),
+                        _ => None,
+                    },
+                };
+            }
+            op => {
+                // Remaining opcodes are the ALU group (R- and I-format).
+                let a = self.reg(i.rs1);
+                let b = if i.op.format() == Format::I {
+                    i.imm as u32
+                } else {
+                    self.reg(i.rs2)
+                };
+                val = alu_value(op, a, b);
+                effect = self.write_reg(i.rd, val);
+            }
+        }
+
+        self.pc = next_pc;
+        Some(RefStep {
+            index,
+            pc,
+            raw,
+            ea,
+            val,
+            next_pc,
+            effect,
+        })
+    }
+}
