@@ -32,13 +32,14 @@ struct Args {
     batch: usize,
     lease_ms: u64,
     journal: Option<PathBuf>,
+    fsync_every: u64,
     deadline_s: Option<u64>,
     verify: bool,
 }
 
 const USAGE: &str = "grid_coordinator --workload NAME --structure IDENT [--faults N] \
      [--seed S] [--small] [--mode end|instr] [--bind ADDR] [--batch N] \
-     [--lease-ms N] [--journal PATH] [--deadline-s N] [--verify]";
+     [--lease-ms N] [--journal PATH] [--fsync-every N] [--deadline-s N] [--verify]";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -52,6 +53,7 @@ fn parse_args() -> Args {
         batch: 16,
         lease_ms: 30_000,
         journal: None,
+        fsync_every: 0,
         deadline_s: None,
         verify: false,
     };
@@ -84,6 +86,11 @@ fn parse_args() -> Args {
                 args.lease_ms = next("--lease-ms", &mut it).parse().expect("--lease-ms N");
             }
             "--journal" => args.journal = Some(PathBuf::from(next("--journal", &mut it))),
+            "--fsync-every" => {
+                args.fsync_every = next("--fsync-every", &mut it)
+                    .parse()
+                    .expect("--fsync-every N");
+            }
             "--deadline-s" => {
                 args.deadline_s = Some(
                     next("--deadline-s", &mut it)
@@ -151,7 +158,13 @@ fn main() {
         batch: args.batch,
         lease_timeout: Duration::from_millis(args.lease_ms),
         journal: args.journal.clone(),
+        durability: if args.fsync_every > 0 {
+            avgi_faultsim::DurabilityPolicy::FsyncEveryN(args.fsync_every)
+        } else {
+            avgi_faultsim::DurabilityPolicy::Flush
+        },
         deadline: args.deadline_s.map(Duration::from_secs),
+        ..GridConfig::default()
     };
     let coord = Coordinator::bind(&w, preset(&args), &ccfg, &grid)
         .unwrap_or_else(|e| panic!("bind failed: {e}"));
@@ -172,13 +185,18 @@ fn main() {
         avgi_core::grid_report(&outcome.result, &outcome.telemetry)
     );
     eprintln!(
-        "[coordinator] workers {} | leases {} granted / {} reassigned | \
-         batches rejected {} | protocol errors {} | resumed {}",
+        "[coordinator] workers {} (+{} re-attached) | leases {} granted / {} reassigned | \
+         batches rejected {} | protocol errors {} ({} corrupt frames) | \
+         panics {} | shed {} | resumed {}",
         outcome.stats.workers_seen,
+        outcome.stats.sessions_reattached,
         outcome.stats.leases_granted,
         outcome.stats.leases_reassigned,
         outcome.stats.batches_rejected,
         outcome.stats.protocol_errors,
+        outcome.stats.corrupt_frames,
+        outcome.stats.handler_panics,
+        outcome.stats.connections_shed,
         outcome.stats.resumed,
     );
     if args.verify && !verify(&args, &ccfg, &outcome) {

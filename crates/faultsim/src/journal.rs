@@ -8,13 +8,18 @@
 //! order irrelevant) and flush per record, so an interrupted campaign
 //! loses at most the in-flight runs.
 //!
-//! Loading tolerates a truncated tail: parsing stops at the first
-//! malformed line (the classic torn write after a crash) and the
-//! unfinished runs are simply re-executed on resume. Because every run is
+//! Every line carries a CRC32 suffix (`{json} {crc:08x}`), so corruption
+//! anywhere in the file — not just a torn tail — is detected. Loading
+//! stops at the first line that fails its checksum or fails to parse (the
+//! classic torn write after a crash, or a flipped bit mid-file) and the
+//! affected runs are simply re-executed on resume. Because every run is
 //! deterministic, a resumed campaign is bit-identical to an uninterrupted
 //! one. A journal whose header does not match the resuming campaign's key
 //! is rejected with [`CampaignError::JournalMismatch`] rather than
-//! silently mixing incompatible results.
+//! silently mixing incompatible results. The header itself is created
+//! atomically (temp file + `fsync` + rename), so no crash window can leave
+//! a headerless journal behind; how aggressively record appends reach
+//! stable storage is the caller's [`DurabilityPolicy`].
 
 use crate::campaign::{CampaignConfig, InjectionResult, RunMode};
 use crate::error::CampaignError;
@@ -30,7 +35,67 @@ use std::io::Write;
 use std::path::Path;
 
 /// Journal format version; bumped on any incompatible record change.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Version 2 added the per-line CRC32 suffix.
+pub const JOURNAL_VERSION: u64 = 2;
+
+/// CRC32 (IEEE 802.3, reflected) over `bytes` — the checksum behind both
+/// journal line suffixes and `avgi-grid` frame trailers. Bitwise rather
+/// than table-driven: integrity checks are nowhere near any hot path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Seals one journal line: `{json} {crc:08x}\n`. The checksum covers the
+/// JSON text only; `json` must be a compact (space-free) single line, which
+/// everything [`record_line`] and the header emit is.
+fn seal(json: &str) -> String {
+    format!("{json} {:08x}\n", crc32(json.as_bytes()))
+}
+
+/// Verifies and strips a sealed line's checksum suffix, returning the JSON
+/// text. `line` must already be newline-trimmed.
+fn unseal(line: &str) -> Result<&str, String> {
+    let (json, suffix) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "missing checksum suffix".to_string())?;
+    let expected =
+        u32::from_str_radix(suffix, 16).map_err(|_| format!("bad checksum suffix {suffix:?}"))?;
+    let found = crc32(json.as_bytes());
+    if expected != found {
+        return Err(format!(
+            "checksum mismatch: line says {expected:08x}, content is {found:08x}"
+        ));
+    }
+    Ok(json)
+}
+
+/// How aggressively journal appends are pushed to stable storage.
+///
+/// Every append always flushes to the OS, so a *process* crash loses at
+/// most the in-flight record under either policy; the policies differ only
+/// in what a *machine* crash (power cut, kernel panic) can take with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityPolicy {
+    /// Flush only (the default): the OS page cache owns the tail, so a
+    /// machine crash may lose recently appended records. They are simply
+    /// re-executed on resume — for deterministic campaigns this costs
+    /// wall-clock, never correctness.
+    #[default]
+    Flush,
+    /// Additionally `fsync` after every `n` appends (and on
+    /// [`Journal::sync`]), bounding machine-crash loss to `n - 1` records
+    /// at the cost of a disk round-trip per `n` appends. `FsyncEveryN(1)`
+    /// is classic write-ahead-log durability.
+    FsyncEveryN(u64),
+}
 
 /// FNV-1a hash of the microarchitecture configuration (over its canonical
 /// `Debug` rendering): campaigns under different configurations must never
@@ -428,43 +493,76 @@ pub fn record_from_json(v: &Json) -> Result<(usize, InjectionResult), String> {
 #[derive(Debug)]
 pub struct Journal {
     file: File,
+    policy: DurabilityPolicy,
+    /// Appends since the last `fsync` (only tracked under `FsyncEveryN`).
+    unsynced: u64,
 }
 
 impl Journal {
-    /// Opens (or creates) the journal at `path` for the campaign identified
-    /// by `key`, returning the already-journaled results.
-    ///
-    /// * No file / empty file: a fresh journal is created with a header.
-    /// * Existing file: the header must match `key`
-    ///   ([`CampaignError::JournalMismatch`] otherwise); records are loaded
-    ///   up to the first malformed line, so a torn tail from an interrupted
-    ///   campaign is recovered from cleanly.
+    /// Opens (or creates) the journal at `path` with the default
+    /// [`DurabilityPolicy::Flush`]; see [`Journal::open_with`].
     pub fn open(
         path: &Path,
         key: &CampaignKey,
     ) -> Result<(Journal, BTreeMap<usize, InjectionResult>), CampaignError> {
+        Journal::open_with(path, key, DurabilityPolicy::Flush)
+    }
+
+    /// Opens (or creates) the journal at `path` for the campaign identified
+    /// by `key`, returning the already-journaled results.
+    ///
+    /// * No file / empty file: a fresh journal is created with a header,
+    ///   atomically — the header is written and fsynced under a temporary
+    ///   name, then renamed into place, so a crash mid-create leaves either
+    ///   no journal or a complete one, never a torn header.
+    /// * Existing file: the header must match `key`
+    ///   ([`CampaignError::JournalMismatch`] otherwise); records are loaded
+    ///   up to the first line that fails its CRC or fails to parse, so both
+    ///   a torn tail from an interrupted campaign and a corrupt record
+    ///   mid-file are recovered from cleanly (the dropped runs re-execute
+    ///   deterministically on resume).
+    pub fn open_with(
+        path: &Path,
+        key: &CampaignKey,
+        policy: DurabilityPolicy,
+    ) -> Result<(Journal, BTreeMap<usize, InjectionResult>), CampaignError> {
         let mut done = BTreeMap::new();
         let existing = std::fs::read_to_string(path).unwrap_or_default();
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if existing.is_empty() {
+            // Fresh journal (no file, or an empty one from an interrupted
+            // create): build it under a temp name and rename into place.
+            let tmp = std::path::PathBuf::from(format!("{}.tmp", path.display()));
+            let mut tmpf = File::create(&tmp)?;
+            tmpf.write_all(seal(header_line(key).trim_end()).as_bytes())?;
+            tmpf.sync_all()?;
+            drop(tmpf);
+            std::fs::rename(&tmp, path)?;
+            let file = OpenOptions::new().append(true).open(path)?;
+            return Ok((
+                Journal {
+                    file,
+                    policy,
+                    unsynced: 0,
+                },
+                done,
+            ));
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
         let mut lines = existing.split_inclusive('\n');
         let mut valid_len = 0u64;
         match lines.next() {
-            None | Some("") => {
-                // Fresh journal: write the header.
-                let mut file = file;
-                file.write_all(header_line(key).as_bytes())?;
-                file.flush()?;
-                return Ok((Journal { file }, done));
-            }
+            None | Some("") => unreachable!("existing is non-empty"),
             Some(header) if header.ends_with('\n') => {
-                let found = parse_header(header.trim_end())?;
+                let json = unseal(header.trim_end())
+                    .map_err(|e| CampaignError::JournalHeader(format!("bad header: {e}")))?;
+                let found = parse_header(json)?;
                 check_key(key, &found)?;
                 valid_len += header.len() as u64;
                 for line in lines {
                     if !line.ends_with('\n') {
                         break; // torn tail: re-run this record
                     }
-                    match parse_record(line.trim_end()) {
+                    match unseal(line.trim_end()).and_then(parse_record) {
                         Ok((idx, r)) if idx < key.faults => {
                             done.insert(idx, r);
                         }
@@ -484,14 +582,51 @@ impl Journal {
         if valid_len < existing.len() as u64 {
             file.set_len(valid_len)?;
         }
-        Ok((Journal { file }, done))
+        Ok((
+            Journal {
+                file,
+                policy,
+                unsynced: 0,
+            },
+            done,
+        ))
     }
 
-    /// Appends one completed result and flushes it to the OS, so a crash
-    /// immediately after loses nothing.
+    /// Appends one completed result (CRC-sealed) and flushes it to the OS,
+    /// so a process crash immediately after loses nothing; `fsync`s per the
+    /// journal's [`DurabilityPolicy`].
     pub fn append(&mut self, idx: usize, r: &InjectionResult) -> std::io::Result<()> {
-        self.file.write_all(record_line(idx, r).as_bytes())?;
-        self.file.flush()
+        self.file
+            .write_all(seal(record_line(idx, r).trim_end()).as_bytes())?;
+        self.file.flush()?;
+        if let DurabilityPolicy::FsyncEveryN(n) = self.policy {
+            self.unsynced += 1;
+            if self.unsynced >= n.max(1) {
+                self.file.sync_data()?;
+                self.unsynced = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage, regardless of
+    /// policy. Called at campaign completion; also useful before handing a
+    /// journal path to another process.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Best-effort: don't let an FsyncEveryN tail ride only in the page
+        // cache just because the journal went out of scope.
+        if self.unsynced > 0 {
+            let _ = self.file.sync_data();
+        }
     }
 }
 
@@ -611,6 +746,27 @@ mod tests {
             Err(CampaignError::JournalMismatch { field: "seed", .. }) => {}
             other => panic!("expected seed mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sealed_lines_unseal_and_reject_tampering() {
+        let line = seal("{\"i\":3}");
+        assert!(line.ends_with('\n'));
+        assert_eq!(unseal(line.trim_end()).unwrap(), "{\"i\":3}");
+        // Flip one content bit: the checksum no longer matches.
+        let mut bytes = line.trim_end().as_bytes().to_vec();
+        bytes[3] ^= 0x01;
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(unseal(&tampered).unwrap_err().contains("checksum mismatch"));
+        // Damage the suffix itself.
+        assert!(unseal("{\"i\":3}").unwrap_err().contains("suffix"));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use campaign::{
     ShardRunner,
 };
 pub use error::CampaignError;
-pub use journal::{config_hash, CampaignKey, Journal};
+pub use journal::{config_hash, crc32, CampaignKey, DurabilityPolicy, Journal};
 pub use sampling::{
     error_margin, multi_bit_burst, sample_faults, sample_size, Confidence, SamplingError,
 };

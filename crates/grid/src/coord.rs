@@ -1,5 +1,6 @@
 //! The campaign coordinator: owns the fault list, leases batches to
-//! workers, merges their results and telemetry, and survives worker death.
+//! workers, merges their results and telemetry, and survives worker death,
+//! link corruption, and its own restarts.
 //!
 //! One coordinator drives one campaign. It captures the golden run and
 //! samples the full fault list itself (so the spec it hands out carries the
@@ -8,32 +9,56 @@
 //! heartbeat-based: a worker that neither reports nor heartbeats before its
 //! lease deadline is presumed dead and the lease's indices return to the
 //! front of the queue for reassignment. A batch report is accepted only
-//! while its lease is still active *and* owned by the reporting connection;
-//! late duplicates (from a worker that stalled past its deadline) are
-//! discarded wholly — results and telemetry delta together — so nothing is
-//! ever double-counted. See `DESIGN.md` §10 for the lease state machine.
+//! while its lease is still active *and* owned by the reporting session;
+//! late duplicates (from a worker that stalled past its deadline, or a
+//! reconnected worker retransmitting) are discarded wholly — results and
+//! telemetry delta together — so nothing is ever double-counted. See
+//! `DESIGN.md` §10 for the lease state machine.
+//!
+//! Failure containment (`DESIGN.md` §12): every connection runs on its own
+//! thread behind `catch_unwind`, shared state is accessed through
+//! poison-recovering locks, a corrupt or malformed frame drops only the
+//! offending connection, and leases survive an abrupt disconnect so the
+//! session can reconnect (with its handshake token) and retransmit —
+//! abandonment is detected by the same deadline sweep that catches death.
+//! Past [`GridConfig::max_conns`] live connections, new peers are shed with
+//! a `Reject` frame instead of degrading the ones already working.
 //!
 //! With a journal attached the coordinator is restartable: accepted results
 //! stream to disk exactly as in [`run_campaign_journaled`]
-//! (avgi_faultsim::run_campaign_journaled), and a restarted coordinator
-//! resumes from the journal, re-leasing only the missing indices.
+//! (avgi_faultsim::run_campaign_journaled), under the configured
+//! [`DurabilityPolicy`], and a restarted coordinator resumes from the
+//! journal, re-leasing only the missing indices.
 
+use crate::chaos::ChaosInterposer;
 use crate::proto::{send, FrameBuffer, FrameError, Msg};
 use crate::spec::{CampaignSpec, ConfigPreset};
+use crate::transport::{TcpTransport, Transport};
 use avgi_faultsim::campaign::golden_for;
 use avgi_faultsim::error::CampaignError;
-use avgi_faultsim::journal::{config_hash, CampaignKey, Journal};
+use avgi_faultsim::journal::{config_hash, CampaignKey, DurabilityPolicy, Journal};
 use avgi_faultsim::sampling::sample_faults;
 use avgi_faultsim::telemetry::{CampaignObserver, MetricsCollector, MetricsSnapshot};
 use avgi_faultsim::{CampaignConfig, CampaignResult, InjectionResult};
 use avgi_muarch::fault::Fault;
 use avgi_workloads::Workload;
 use std::collections::{HashMap, VecDeque};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// Handler panics are isolated per connection; the data under the state
+/// lock is kept consistent by writing it transactionally (every update
+/// completes before the guard drops or never starts), so a poisoned lock
+/// carries no torn state and recovery is always safe. One panicking
+/// handler must never wedge the whole coordinator.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How a grid campaign failed.
 #[derive(Debug)]
@@ -94,10 +119,19 @@ pub struct GridConfig {
     pub lease_timeout: Duration,
     /// Campaign journal path (`None` = not restartable).
     pub journal: Option<PathBuf>,
+    /// How aggressively journal appends are pushed to stable storage.
+    pub durability: DurabilityPolicy,
     /// Overall wall-clock deadline (`None` = wait forever). A failsafe for
     /// tests and CI; an expired deadline fails the campaign rather than
     /// hanging it.
     pub deadline: Option<Duration>,
+    /// Live-connection cap: beyond it, fresh connections are shed with a
+    /// `Reject` frame instead of being served.
+    pub max_conns: usize,
+    /// Fault injection on every accepted connection's outbound frames
+    /// (`None` = plain TCP). Test/soak instrumentation; see
+    /// [`crate::chaos`].
+    pub chaos: Option<Arc<ChaosInterposer>>,
 }
 
 impl Default for GridConfig {
@@ -107,7 +141,10 @@ impl Default for GridConfig {
             batch: 16,
             lease_timeout: Duration::from_secs(30),
             journal: None,
+            durability: DurabilityPolicy::Flush,
             deadline: None,
+            max_conns: 64,
+            chaos: None,
         }
     }
 }
@@ -115,17 +152,26 @@ impl Default for GridConfig {
 /// Coordinator-side campaign statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GridStats {
-    /// Workers that completed the handshake.
+    /// Workers that completed the handshake (fresh sessions).
     pub workers_seen: u64,
+    /// Reconnections that re-attached to an existing session token.
+    pub sessions_reattached: u64,
     /// Leases granted (including re-grants of reassigned indices).
     pub leases_granted: u64,
-    /// Leases whose indices were requeued (expiry or disconnect).
+    /// Leases whose indices were requeued (expiry or clean disconnect).
     pub leases_reassigned: u64,
     /// Batch reports discarded because their lease was no longer owned by
-    /// the reporting connection (nothing from them was counted).
+    /// the reporting session (nothing from them was counted).
     pub batches_rejected: u64,
     /// Connections dropped for protocol violations.
     pub protocol_errors: u64,
+    /// Frames rejected by the CRC check (counted within `protocol_errors`'
+    /// connection drops, tallied separately for chaos observability).
+    pub corrupt_frames: u64,
+    /// Connection handlers that panicked (isolated; campaign continued).
+    pub handler_panics: u64,
+    /// Connections shed at the [`GridConfig::max_conns`] cap.
+    pub connections_shed: u64,
     /// Results restored from the journal instead of executed.
     pub resumed: u64,
 }
@@ -145,7 +191,7 @@ pub struct GridOutcome {
 }
 
 struct Lease {
-    conn: u64,
+    session: u64,
     indices: Vec<usize>,
     deadline: Instant,
 }
@@ -153,12 +199,15 @@ struct Lease {
 struct State {
     queue: VecDeque<usize>,
     leases: HashMap<u64, Lease>,
+    /// Session token → the connection currently speaking for it.
+    sessions: HashMap<u64, u64>,
     results: Vec<Option<InjectionResult>>,
     remaining: usize,
     telemetry: MetricsSnapshot,
     journal: Option<Journal>,
     stats: GridStats,
     next_lease: u64,
+    next_session: u64,
     fatal: Option<String>,
 }
 
@@ -191,6 +240,8 @@ pub struct Coordinator {
     listener: TcpListener,
     workload: String,
     deadline: Option<Duration>,
+    max_conns: u64,
+    chaos: Option<Arc<ChaosInterposer>>,
 }
 
 impl Coordinator {
@@ -231,7 +282,7 @@ impl Coordinator {
             None => None,
             Some(path) => {
                 let key = CampaignKey::new(workload.name, &cfg, golden.cycles, ccfg);
-                let (journal, done) = Journal::open(path, &key)?;
+                let (journal, done) = Journal::open_with(path, &key, grid.durability)?;
                 // Journaled faults must match the freshly sampled list (the
                 // same cross-check run_campaign_journaled performs).
                 for (&i, r) in &done {
@@ -277,12 +328,14 @@ impl Coordinator {
                 state: Mutex::new(State {
                     queue: pending.into(),
                     leases: HashMap::new(),
+                    sessions: HashMap::new(),
                     results,
                     remaining,
                     telemetry,
                     journal,
                     stats,
                     next_lease: 1,
+                    next_session: 1,
                     fatal: None,
                 }),
                 done: AtomicBool::new(remaining == 0),
@@ -294,6 +347,8 @@ impl Coordinator {
             listener,
             workload: workload.name.to_string(),
             deadline: grid.deadline,
+            max_conns: grid.max_conns.max(1) as u64,
+            chaos: grid.chaos.clone(),
         })
     }
 
@@ -311,12 +366,45 @@ impl Coordinator {
             loop {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
+                        if self.shared.active_conns.load(Ordering::SeqCst) >= self.max_conns {
+                            // Shed gracefully: a Reject frame tells the peer
+                            // it is capacity, not a protocol failure.
+                            let mut st = lock_clean(&self.shared.state);
+                            st.stats.connections_shed += 1;
+                            drop(st);
+                            let _ = stream.set_nonblocking(false);
+                            let mut stream = stream;
+                            let _ = send(
+                                &mut stream,
+                                &Msg::Reject {
+                                    reason: "coordinator at connection capacity".into(),
+                                },
+                            );
+                            continue;
+                        }
+                        let transport: Box<dyn Transport> = match TcpTransport::new(stream) {
+                            Ok(t) => Box::new(t),
+                            Err(_) => continue,
+                        };
+                        let transport = match &self.chaos {
+                            Some(chaos) => chaos.wrap(transport),
+                            None => transport,
+                        };
                         let shared = self.shared.clone();
                         let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                         shared.active_conns.fetch_add(1, Ordering::SeqCst);
                         std::thread::spawn(move || {
                             let _guard = ConnGuard(&shared);
-                            handle_connection(&shared, stream, conn);
+                            // Panic isolation: a bug in one handler must
+                            // cost one connection, never the coordinator.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handle_connection(&shared, transport, conn)
+                                }));
+                            if outcome.is_err() {
+                                let mut st = lock_clean(&shared.state);
+                                st.stats.handler_panics += 1;
+                            }
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -327,7 +415,7 @@ impl Coordinator {
             // Sweep expired leases back onto the queue.
             let now = Instant::now();
             {
-                let mut st = self.shared.state.lock().unwrap();
+                let mut st = lock_clean(&self.shared.state);
                 if let Some(msg) = st.fatal.take() {
                     return Err(GridError::Protocol(msg));
                 }
@@ -346,6 +434,11 @@ impl Coordinator {
                 }
                 if st.remaining == 0 {
                     self.shared.done.store(true, Ordering::SeqCst);
+                    if let Some(journal) = &mut st.journal {
+                        // Final sync so a post-campaign crash cannot eat
+                        // records an FsyncEveryN policy left unsynced.
+                        let _ = journal.sync();
+                    }
                     let telemetry = st.telemetry.clone();
                     let stats = st.stats.clone();
                     let results = st
@@ -390,13 +483,19 @@ impl Coordinator {
     }
 }
 
-/// Returns this connection's leased indices to the queue front.
-fn requeue_conn(shared: &Shared, conn: u64) {
-    let mut st = shared.state.lock().unwrap();
+/// Returns a session's leased indices to the queue front — but only if
+/// `conn` is still the connection speaking for the session. A stale handler
+/// (the session already reconnected elsewhere) must not yank leases out
+/// from under the live connection.
+fn requeue_session_if_current(shared: &Shared, session: u64, conn: u64) {
+    let mut st = lock_clean(&shared.state);
+    if st.sessions.get(&session) != Some(&conn) {
+        return;
+    }
     let ids: Vec<u64> = st
         .leases
         .iter()
-        .filter(|(_, l)| l.conn == conn)
+        .filter(|(_, l)| l.session == session)
         .map(|(&id, _)| id)
         .collect();
     for id in ids {
@@ -408,10 +507,19 @@ fn requeue_conn(shared: &Shared, conn: u64) {
     }
 }
 
-fn protocol_error(shared: &Shared, conn: u64, stream: &mut TcpStream, reason: &str) {
+/// Records a protocol violation and tells the peer before dropping it.
+///
+/// The peer's leases are deliberately *not* requeued here: under link
+/// corruption a "violation" is usually the link's fault, and the worker
+/// will reconnect with its session token and either retransmit or request
+/// fresh work. If it never returns, the deadline sweep reclaims the leases.
+fn protocol_error(shared: &Shared, stream: &mut dyn Transport, reason: &str, corrupt: bool) {
     {
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_clean(&shared.state);
         st.stats.protocol_errors += 1;
+        if corrupt {
+            st.stats.corrupt_frames += 1;
+        }
     }
     let _ = send(
         stream,
@@ -419,104 +527,153 @@ fn protocol_error(shared: &Shared, conn: u64, stream: &mut TcpStream, reason: &s
             reason: reason.to_string(),
         },
     );
-    requeue_conn(shared, conn);
+}
+
+/// Resolves a hello's session field to a token: fresh hellos allocate, a
+/// returning token re-attaches (rebinding the session to this connection).
+fn bind_session(shared: &Shared, conn: u64, requested: Option<u64>) -> u64 {
+    let mut st = lock_clean(&shared.state);
+    match requested {
+        Some(token) => {
+            if st.sessions.insert(token, conn).is_some() {
+                st.stats.sessions_reattached += 1;
+            } else {
+                // Unknown token: a worker outliving a coordinator restart.
+                // Honor it so its retransmissions stay attributable.
+                st.stats.workers_seen += 1;
+            }
+            token
+        }
+        None => {
+            while st.sessions.contains_key(&st.next_session) {
+                st.next_session += 1;
+            }
+            let token = st.next_session;
+            st.next_session += 1;
+            st.sessions.insert(token, conn);
+            st.stats.workers_seen += 1;
+            token
+        }
+    }
 }
 
 /// Drives one worker connection: handshake, then lease/report cycles until
 /// the campaign completes or the worker goes away. Runs on a detached
-/// thread; every exit path requeues the connection's outstanding leases.
-fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
+/// thread behind `catch_unwind`.
+fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64) {
     if stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .is_err()
-        || stream.set_nodelay(true).is_err()
     {
         return;
     }
     let mut fb = FrameBuffer::new();
     // Handshake: first frame must be a matching hello.
     let hello = loop {
-        match fb.poll(&mut stream) {
+        match fb.poll(&mut *stream) {
             Ok(Some(payload)) => break payload,
             Ok(None) => {
                 if shared.done.load(Ordering::SeqCst) {
-                    let _ = send(&mut stream, &Msg::Done);
+                    let _ = send(&mut *stream, &Msg::Done);
                     return;
                 }
             }
             Err(_) => return,
         }
     };
-    match Msg::from_json(&hello) {
-        Ok(Msg::Hello {
-            proto: crate::proto::PROTO_VERSION,
-        }) => {}
-        Ok(Msg::Hello { proto }) => {
-            protocol_error(
-                shared,
-                conn,
-                &mut stream,
-                &format!(
-                    "protocol version {proto} unsupported (want {})",
-                    crate::proto::PROTO_VERSION
-                ),
-            );
-            return;
+    let session = match Msg::from_json(&hello) {
+        Ok(Msg::Hello { proto, session }) => {
+            if proto != crate::proto::PROTO_VERSION {
+                protocol_error(
+                    shared,
+                    &mut *stream,
+                    &format!(
+                        "protocol version {proto} unsupported (want {})",
+                        crate::proto::PROTO_VERSION
+                    ),
+                    false,
+                );
+                return;
+            }
+            bind_session(shared, conn, session)
         }
         _ => {
-            protocol_error(shared, conn, &mut stream, "expected hello");
+            protocol_error(shared, &mut *stream, "expected hello", false);
             return;
         }
-    }
+    };
     if send(
-        &mut stream,
+        &mut *stream,
         &Msg::Welcome {
             spec: shared.spec.clone(),
+            session,
         },
     )
     .is_err()
     {
         return;
     }
-    {
-        let mut st = shared.state.lock().unwrap();
-        st.stats.workers_seen += 1;
-    }
 
+    let mut done_sent = false;
     loop {
-        let payload = match fb.poll(&mut stream) {
+        let payload = match fb.poll(&mut *stream) {
             Ok(Some(payload)) => payload,
             Ok(None) => {
                 // Idle poll: if the campaign finished while this worker was
-                // between requests, tell it to go home.
-                if shared.done.load(Ordering::SeqCst) {
-                    let _ = send(&mut stream, &Msg::Done);
-                    return;
+                // between requests, tell it to go home — but keep serving
+                // until it hangs up. Closing here would race a lease
+                // request already in flight: the RST would flush the very
+                // Done the worker needs, stranding it in reconnect.
+                if shared.done.load(Ordering::SeqCst) && !done_sent {
+                    done_sent = true;
+                    if send(&mut *stream, &Msg::Done).is_err() {
+                        return;
+                    }
                 }
                 continue;
             }
             Err(FrameError::Closed) => {
-                requeue_conn(shared, conn);
+                // A clean close at a frame boundary is the worker leaving
+                // for good; hand its work back immediately.
+                requeue_session_if_current(shared, session, conn);
                 return;
             }
-            Err(_) => {
-                // Truncated frame, oversized prefix, I/O failure: drop the
-                // connection, reassign its work, keep serving others.
-                protocol_error(shared, conn, &mut stream, "bad frame");
+            Err(e) => {
+                // Corrupt frame, truncated frame, oversized prefix, I/O
+                // failure: reject the connection — never the process — and
+                // keep the leases so a reconnecting session can re-attach.
+                let corrupt = matches!(e, FrameError::Crc { .. });
+                protocol_error(shared, &mut *stream, &format!("bad frame: {e}"), corrupt);
                 return;
             }
         };
         let msg = match Msg::from_json(&payload) {
             Ok(m) => m,
             Err(e) => {
-                protocol_error(shared, conn, &mut stream, &format!("bad message: {e}"));
+                protocol_error(shared, &mut *stream, &format!("bad message: {e}"), false);
                 return;
             }
         };
         match msg {
+            Msg::Hello { proto, .. } if proto == crate::proto::PROTO_VERSION => {
+                // A duplicated hello frame (link chaos): the handshake is
+                // idempotent, so just re-welcome rather than dropping a
+                // healthy worker.
+                if send(
+                    &mut *stream,
+                    &Msg::Welcome {
+                        spec: shared.spec.clone(),
+                        session,
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
             Msg::LeaseRequest => {
                 let reply = {
-                    let mut st = shared.state.lock().unwrap();
+                    let mut st = lock_clean(&shared.state);
                     if st.remaining == 0 {
                         Msg::Done
                     } else {
@@ -530,7 +687,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
                             st.leases.insert(
                                 id,
                                 Lease {
-                                    conn,
+                                    session,
                                     indices: indices.clone(),
                                     deadline: Instant::now() + shared.lease_timeout,
                                 },
@@ -541,8 +698,9 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
                     }
                 };
                 let is_done = matches!(reply, Msg::Done);
-                if send(&mut stream, &reply).is_err() {
-                    requeue_conn(shared, conn);
+                if send(&mut *stream, &reply).is_err() {
+                    // The lease (if any) stays put: the session may
+                    // reconnect; otherwise the sweep reclaims it.
                     return;
                 }
                 if is_done {
@@ -550,13 +708,13 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
                 }
             }
             Msg::Heartbeat { lease } => {
-                let mut st = shared.state.lock().unwrap();
+                let mut st = lock_clean(&shared.state);
                 if let Some(l) = st.leases.get_mut(&lease) {
-                    if l.conn == conn {
+                    if l.session == session {
                         l.deadline = Instant::now() + shared.lease_timeout;
                     }
                 }
-                // A heartbeat for a lease this connection no longer owns is
+                // A heartbeat for a lease this session no longer owns is
                 // harmless: the batch report will be rejected later anyway.
             }
             Msg::BatchDone {
@@ -564,10 +722,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
                 results,
                 telemetry,
             } => {
-                match accept_batch(shared, conn, lease, results, &telemetry) {
+                match accept_batch(shared, session, lease, results, &telemetry) {
                     Ok(()) => {}
                     Err(Some(reason)) => {
-                        protocol_error(shared, conn, &mut stream, &reason);
+                        protocol_error(shared, &mut *stream, &reason, false);
                         return;
                     }
                     // Silent discard: the lease was reassigned; the worker
@@ -581,7 +739,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
             | Msg::Drain
             | Msg::Done
             | Msg::Reject { .. } => {
-                protocol_error(shared, conn, &mut stream, "unexpected message");
+                protocol_error(shared, &mut *stream, "unexpected message", false);
                 return;
             }
         }
@@ -596,13 +754,13 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
 /// violation that should drop the connection.
 fn accept_batch(
     shared: &Shared,
-    conn: u64,
+    session: u64,
     lease: u64,
     results: Vec<(usize, InjectionResult)>,
     telemetry: &MetricsSnapshot,
 ) -> Result<(), Option<String>> {
-    let mut st = shared.state.lock().unwrap();
-    let owned = st.leases.get(&lease).is_some_and(|l| l.conn == conn);
+    let mut st = lock_clean(&shared.state);
+    let owned = st.leases.get(&lease).is_some_and(|l| l.session == session);
     if !owned {
         st.stats.batches_rejected += 1;
         return Err(None);

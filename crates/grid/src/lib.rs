@@ -31,15 +31,29 @@
 //! assert_eq!(outcome.result.len(), 500);
 //! ```
 //!
+//! The fabric is also hardened against *itself* failing: frames carry a
+//! CRC32 trailer, workers hold session tokens and reconnect with jittered
+//! exponential backoff ([`Backoff`]), the coordinator isolates handler
+//! panics and sheds excess connections, and the campaign journal seals
+//! every line with a checksum under a configurable
+//! [`DurabilityPolicy`](avgi_faultsim::DurabilityPolicy). All of it is
+//! exercised deterministically by interposing a seeded [`ChaosTransport`]
+//! on the [`Transport`] abstraction — see the [`chaos`] module and
+//! `DESIGN.md` §12.
+//!
 //! The protocol (frame layout, lease state machine, merge semantics) is
 //! documented in `DESIGN.md` §10; `README.md` shows the two-terminal
 //! localhost workflow via the `grid_coordinator`/`grid_worker` binaries.
 
+pub mod chaos;
 pub mod coord;
 pub mod proto;
 pub mod spec;
+pub mod transport;
 pub mod worker;
 
+pub use chaos::{ChaosInterposer, ChaosPolicy, ChaosStats, ChaosTransport};
 pub use coord::{Coordinator, GridConfig, GridError, GridOutcome, GridStats};
 pub use spec::{CampaignSpec, ConfigPreset};
-pub use worker::{run_worker, WorkerConfig, WorkerStats};
+pub use transport::{TcpTransport, Transport};
+pub use worker::{run_worker, Backoff, WorkerConfig, WorkerStats};

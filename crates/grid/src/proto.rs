@@ -1,14 +1,21 @@
-//! The grid wire protocol: length-prefixed JSON frames over TCP.
+//! The grid wire protocol: length-prefixed, CRC-trailed JSON frames.
 //!
-//! Every message is one frame: a 4-byte big-endian payload length followed
-//! by that many bytes of UTF-8 JSON (the same hand-rolled JSON subset the
-//! campaign journal uses — see [`avgi_faultsim::json`]). Framing keeps the
-//! stream self-synchronizing for well-behaved peers and makes misbehaviour
-//! cheap to reject: a length prefix above [`MAX_FRAME`] is refused before a
-//! single payload byte is read, and a payload that does not parse as a
-//! known message drops the connection (the coordinator then requeues the
-//! peer's leases — see `DESIGN.md` §10 for the frame layout and the lease
-//! state machine).
+//! Every message is one frame: a 4-byte big-endian payload length, that
+//! many bytes of UTF-8 JSON (the same hand-rolled JSON subset the campaign
+//! journal uses — see [`avgi_faultsim::json`]), and a 4-byte big-endian
+//! CRC32 of the payload. Framing keeps the stream self-synchronizing for
+//! well-behaved peers and makes misbehaviour cheap to reject: a length
+//! prefix above [`MAX_FRAME`] is refused before a single payload byte is
+//! read, a CRC mismatch ([`FrameError::Crc`]) or a payload that does not
+//! parse as a known message drops the connection — never the process (the
+//! coordinator keeps the peer's leases for its session to reclaim on
+//! reconnect, or for the expiry sweep — see `DESIGN.md` §10/§12 for the
+//! frame layout and the lease state machine).
+//!
+//! The CRC turns link-level bit corruption (see [`crate::chaos`]) into a
+//! detected connection drop instead of a silently wrong lease id or fault
+//! index: an undetected flip would need to beat a 2⁻³² check *and* still
+//! parse as valid JSON.
 //!
 //! Result payloads reuse the journal's record encoding
 //! ([`avgi_faultsim::journal::record_line`]), so a batch frame is literally
@@ -17,29 +24,41 @@
 //! disk and wire.
 
 use crate::spec::CampaignSpec;
-use avgi_faultsim::journal::{record_from_json, record_line};
+use avgi_faultsim::journal::{crc32, record_from_json, record_line};
 use avgi_faultsim::json::{escape, parse, Json};
 use avgi_faultsim::telemetry::MetricsSnapshot;
 use avgi_faultsim::InjectionResult;
 use std::io::{Read, Write};
 
 /// Protocol version; peers with a different version are rejected at hello.
-pub const PROTO_VERSION: u64 = 1;
+/// Version 2 added frame CRC trailers and session-token reconnect.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Upper bound on a frame payload (a batch of a few thousand records fits
 /// with a wide margin; anything larger is a corrupt or hostile prefix).
 pub const MAX_FRAME: u32 = 32 << 20;
+
+/// Bytes of CRC32 trailer after every frame payload.
+pub const FRAME_CRC_BYTES: usize = 4;
 
 /// Why reading a frame failed.
 #[derive(Debug)]
 pub enum FrameError {
     /// The peer closed the connection cleanly at a frame boundary.
     Closed,
-    /// The stream ended or errored mid-frame (truncated length prefix or
-    /// payload).
+    /// The stream ended or errored mid-frame (truncated length prefix,
+    /// payload, or CRC trailer).
     Io(std::io::Error),
     /// The length prefix exceeds [`MAX_FRAME`]; nothing after it was read.
     TooLarge(u32),
+    /// The payload's CRC32 does not match its trailer: the frame was
+    /// corrupted in flight.
+    Crc {
+        /// CRC the trailer claimed.
+        expected: u32,
+        /// CRC the payload actually has.
+        found: u32,
+    },
     /// The payload is not valid UTF-8 or not a known message.
     Malformed(String),
 }
@@ -50,6 +69,12 @@ impl core::fmt::Display for FrameError {
             FrameError::Closed => f.write_str("connection closed"),
             FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
             FrameError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            FrameError::Crc { expected, found } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: trailer {expected:08x}, payload {found:08x}"
+                )
+            }
             FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
         }
     }
@@ -63,22 +88,34 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Writes one frame (length prefix + payload) and flushes it.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+/// Writes one frame (length prefix + payload + CRC trailer) and flushes it.
+pub fn write_frame(w: &mut (impl Write + ?Sized), payload: &str) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame payload too long")
     })?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload.as_bytes())?;
+    w.write_all(&crc32(payload.as_bytes()).to_be_bytes())?;
     w.flush()
+}
+
+/// Verifies a payload against its CRC trailer and decodes it.
+fn decode_payload(payload: Vec<u8>, trailer: [u8; 4]) -> Result<String, FrameError> {
+    let expected = u32::from_be_bytes(trailer);
+    let found = crc32(&payload);
+    if expected != found {
+        return Err(FrameError::Crc { expected, found });
+    }
+    String::from_utf8(payload).map_err(|e| FrameError::Malformed(format!("not UTF-8: {e}")))
 }
 
 /// Reads one frame payload.
 ///
 /// Distinguishes a clean close at a frame boundary ([`FrameError::Closed`])
-/// from a truncated frame ([`FrameError::Io`] with `UnexpectedEof`), and
-/// refuses an oversized length prefix before reading any payload.
-pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+/// from a truncated frame ([`FrameError::Io`] with `UnexpectedEof`),
+/// refuses an oversized length prefix before reading any payload, and
+/// rejects a corrupted payload via its CRC trailer.
+pub fn read_frame(r: &mut (impl Read + ?Sized)) -> Result<String, FrameError> {
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < prefix.len() {
@@ -99,7 +136,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
-    String::from_utf8(payload).map_err(|e| FrameError::Malformed(format!("not UTF-8: {e}")))
+    let mut trailer = [0u8; FRAME_CRC_BYTES];
+    r.read_exact(&mut trailer)?;
+    decode_payload(payload, trailer)
 }
 
 /// An incremental frame decoder for sockets read with a timeout.
@@ -129,16 +168,16 @@ impl FrameBuffer {
         if len > MAX_FRAME {
             return Err(FrameError::TooLarge(len));
         }
-        let total = 4 + len as usize;
+        let total = 4 + len as usize + FRAME_CRC_BYTES;
         if self.buf.len() < total {
             return Ok(None);
         }
-        let payload = self.buf[4..total].to_vec();
+        let payload = self.buf[4..total - FRAME_CRC_BYTES].to_vec();
+        let trailer: [u8; 4] = self.buf[total - FRAME_CRC_BYTES..total]
+            .try_into()
+            .expect("slice is exactly FRAME_CRC_BYTES long");
         self.buf.drain(..total);
-        match String::from_utf8(payload) {
-            Ok(s) => Ok(Some(s)),
-            Err(e) => Err(FrameError::Malformed(format!("not UTF-8: {e}"))),
-        }
+        decode_payload(payload, trailer).map(Some)
     }
 
     /// Polls the stream once and returns a complete frame if one is
@@ -148,7 +187,7 @@ impl FrameBuffer {
     /// interrupted, or more bytes are needed); [`FrameError::Closed`] means
     /// the peer closed cleanly at a frame boundary, while a close mid-frame
     /// is an I/O error (truncated frame).
-    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<String>, FrameError> {
+    pub fn poll(&mut self, r: &mut (impl Read + ?Sized)) -> Result<Option<String>, FrameError> {
         if let Some(f) = self.take_frame()? {
             return Ok(Some(f));
         }
@@ -185,11 +224,17 @@ pub enum Msg {
     Hello {
         /// The worker's [`PROTO_VERSION`].
         proto: u64,
+        /// `None` for a brand-new worker; `Some(token)` when reconnecting
+        /// mid-campaign to re-attach to an existing session (and its live
+        /// leases).
+        session: Option<u64>,
     },
     /// Coordinator → worker: the campaign to rebuild locally.
     Welcome {
         /// The full campaign spec.
         spec: CampaignSpec,
+        /// The session token to present when reconnecting.
+        session: u64,
     },
     /// Worker → coordinator: ready for (more) work.
     LeaseRequest,
@@ -231,8 +276,14 @@ impl Msg {
     /// Serializes the message to its JSON frame payload.
     pub fn to_json(&self) -> String {
         match self {
-            Msg::Hello { proto } => format!("{{\"t\":\"hello\",\"proto\":{proto}}}"),
-            Msg::Welcome { spec } => format!("{{\"t\":\"welcome\",\"spec\":{}}}", spec.to_json()),
+            Msg::Hello { proto, session } => {
+                let session = session.map_or_else(|| "null".to_string(), |s| s.to_string());
+                format!("{{\"t\":\"hello\",\"proto\":{proto},\"session\":{session}}}")
+            }
+            Msg::Welcome { spec, session } => format!(
+                "{{\"t\":\"welcome\",\"spec\":{},\"session\":{session}}}",
+                spec.to_json()
+            ),
             Msg::LeaseRequest => "{\"t\":\"lease_request\"}".into(),
             Msg::Lease { lease, indices } => {
                 let mut out = format!("{{\"t\":\"lease\",\"lease\":{lease},\"indices\":[");
@@ -283,9 +334,14 @@ impl Msg {
         match v.get("t").and_then(Json::as_str) {
             Some("hello") => Ok(Msg::Hello {
                 proto: int(&v, "proto")?,
+                session: match v.get("session") {
+                    None | Some(Json::Null) => None,
+                    Some(s) => Some(s.as_u64().ok_or("bad session")?),
+                },
             }),
             Some("welcome") => Ok(Msg::Welcome {
                 spec: CampaignSpec::from_json_value(v.get("spec").ok_or("missing `spec`")?)?,
+                session: int(&v, "session")?,
             }),
             Some("lease_request") => Ok(Msg::LeaseRequest),
             Some("lease") => {
@@ -337,12 +393,12 @@ impl Msg {
 }
 
 /// Writes one message as a frame.
-pub fn send(w: &mut impl Write, msg: &Msg) -> std::io::Result<()> {
+pub fn send(w: &mut (impl Write + ?Sized), msg: &Msg) -> std::io::Result<()> {
     write_frame(w, &msg.to_json())
 }
 
 /// Reads and parses one message.
-pub fn recv(r: &mut impl Read) -> Result<Msg, FrameError> {
+pub fn recv(r: &mut (impl Read + ?Sized)) -> Result<Msg, FrameError> {
     let payload = read_frame(r)?;
     Msg::from_json(&payload).map_err(FrameError::Malformed)
 }
@@ -388,7 +444,14 @@ mod tests {
     #[test]
     fn simple_messages_round_trip() {
         for msg in [
-            Msg::Hello { proto: 1 },
+            Msg::Hello {
+                proto: 2,
+                session: None,
+            },
+            Msg::Hello {
+                proto: 2,
+                session: Some(17),
+            },
             Msg::LeaseRequest,
             Msg::Lease {
                 lease: 7,
@@ -438,6 +501,33 @@ mod tests {
         let torn = 10u32.to_be_bytes();
         assert!(fb.poll(&mut &torn[..]).unwrap().is_none());
         assert!(matches!(fb.poll(&mut &[][..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_crc_check() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "pristine").unwrap();
+        // Flip one payload bit: both the blocking reader and the
+        // incremental buffer must reject the frame.
+        wire[6] ^= 0x10;
+        match read_frame(&mut &wire[..]) {
+            Err(FrameError::Crc { expected, found }) => assert_ne!(expected, found),
+            other => panic!("expected CRC mismatch, got {other:?}"),
+        }
+        let mut fb = FrameBuffer::new();
+        assert!(matches!(
+            fb.poll(&mut &wire[..]),
+            Err(FrameError::Crc { .. })
+        ));
+        // A flipped trailer bit is equally fatal.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "pristine").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(FrameError::Crc { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The byte-stream abstraction under the frame protocol.
+//!
+//! Production connections are plain TCP ([`TcpTransport`]); tests and the
+//! `grid_chaos` soak bin interpose a [`ChaosTransport`](crate::chaos::ChaosTransport)
+//! that injects deterministic, seeded faults into the stream. Everything
+//! above this layer — framing, the lease state machine, reconnect — is
+//! written against `dyn Transport`, so the fabric's failure handling can be
+//! exercised without real network failures.
+//!
+//! The trait deliberately mirrors the small slice of [`TcpStream`] the
+//! fabric actually uses: blocking reads with an optional timeout,
+//! `try_clone` for the worker's split reader/writer (heartbeats ride a
+//! cloned write handle while the main loop blocks in reads), and `shutdown`
+//! for deliberate disconnects.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A bidirectional byte stream a grid peer talks over.
+///
+/// Implementations must behave like a socket: reads and writes on separate
+/// [`try_clone`](Transport::try_clone) handles may proceed concurrently,
+/// and [`shutdown`](Transport::shutdown) takes down every handle to the
+/// same connection.
+pub trait Transport: Read + Write + Send {
+    /// A second, independently usable handle to the same connection.
+    fn try_clone(&self) -> std::io::Result<Box<dyn Transport>>;
+
+    /// Sets the read timeout for this handle (like
+    /// [`TcpStream::set_read_timeout`]).
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+
+    /// Tears down the connection for every handle.
+    fn shutdown(&self) -> std::io::Result<()>;
+}
+
+/// The production transport: a plain TCP stream with `TCP_NODELAY` set
+/// (frames are small and latency-sensitive).
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps an accepted or connected stream.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        // Accepted sockets must not inherit the listener's non-blocking
+        // mode: the handlers rely on blocking reads with timeouts.
+        stream.set_nonblocking(false)?;
+        Ok(TcpTransport { stream })
+    }
+
+    /// Connects to `addr` and wraps the stream.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        TcpTransport::new(TcpStream::connect(addr)?)
+    }
+}
+
+impl Read for TcpTransport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for TcpTransport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn try_clone(&self) -> std::io::Result<Box<dyn Transport>> {
+        Ok(Box::new(TcpTransport {
+            stream: self.stream.try_clone()?,
+        }))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn shutdown(&self) -> std::io::Result<()> {
+        match self.stream.shutdown(std::net::Shutdown::Both) {
+            // Already closed by the peer (or a prior shutdown): not an error.
+            Err(e) if e.kind() == std::io::ErrorKind::NotConnected => Ok(()),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_transport_round_trips_and_clones() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream).unwrap();
+            let mut buf = [0u8; 5];
+            t.read_exact(&mut buf).unwrap();
+            t.write_all(&buf).unwrap();
+        });
+        let mut t = TcpTransport::connect(&addr.to_string()).unwrap();
+        let mut w = Transport::try_clone(&t).unwrap();
+        w.write_all(b"hello").unwrap();
+        let mut back = [0u8; 5];
+        t.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"hello");
+        server.join().unwrap();
+        t.shutdown().unwrap();
+        t.shutdown().unwrap(); // idempotent
+    }
+}

@@ -10,18 +10,33 @@
 //! results plus a fresh per-batch telemetry delta. A heartbeat thread keeps
 //! the active lease alive while long batches execute, so slow workers are
 //! distinguished from dead ones.
+//!
+//! The worker survives its link, not just its work: the welcome carries a
+//! session token, and when a connection dies mid-campaign (I/O error,
+//! corrupt frame, mid-session rejection) the worker reconnects with
+//! exponential backoff plus deterministic jitter, re-presents the token,
+//! verifies the spec is unchanged, and retransmits its last unacknowledged
+//! batch report. The coordinator's first-responder-wins dedup makes the
+//! retransmission idempotent: if the lease survived the outage the report
+//! is accepted once, and if it expired the report is silently discarded and
+//! the indices re-execute deterministically elsewhere — either way nothing
+//! is double-counted.
 
+use crate::chaos::ChaosInterposer;
 use crate::coord::GridError;
 use crate::proto::{recv, send, FrameError, Msg, PROTO_VERSION};
 use crate::spec::CampaignSpec;
+use crate::transport::{TcpTransport, Transport};
 use avgi_faultsim::campaign::golden_for;
 use avgi_faultsim::journal::config_hash;
 use avgi_faultsim::telemetry::MetricsCollector;
 use avgi_faultsim::ShardRunner;
-use std::net::TcpStream;
+use avgi_rng::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::coord::lock_clean;
 
 /// Worker-side configuration.
 #[derive(Debug, Clone)]
@@ -30,13 +45,35 @@ pub struct WorkerConfig {
     pub addr: String,
     /// Threads for batch execution (`0` = all available cores).
     pub threads: usize,
-    /// How long to keep retrying the initial connection (covers the worker
-    /// starting before the coordinator).
+    /// How long to keep retrying each (re)connection attempt's TCP dial
+    /// (covers the worker starting before the coordinator, and the
+    /// coordinator restarting mid-campaign).
     pub connect_timeout: Duration,
+    /// How long a read may sit silent before the coordinator is presumed
+    /// gone and the session is retried. The coordinator answers every
+    /// request promptly, so this is a liveness bound, not pacing; it also
+    /// caps the heartbeat interval (a beat is always sent well inside one
+    /// timeout window).
+    pub read_timeout: Duration,
+    /// Session-loss budget: how many *consecutive* failed handshake
+    /// attempts the worker tolerates before giving up and reporting the
+    /// underlying error. A successful (re-)attach resets the count — a
+    /// worker that keeps getting real work keeps retrying.
+    pub reconnect_attempts: u32,
+    /// First reconnect backoff delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter (mixed with the attempt
+    /// number; give concurrent workers different seeds to de-thunder them).
+    pub jitter_seed: u64,
     /// Test hook: after completing this many batches, drop the connection
     /// abruptly on the next lease instead of executing it — simulating a
     /// worker dying mid-campaign (`None` = run to completion).
     pub max_batches: Option<usize>,
+    /// Fault injection on this worker's outbound frames (`None` = plain
+    /// TCP). Test/soak instrumentation; see [`crate::chaos`].
+    pub chaos: Option<Arc<ChaosInterposer>>,
 }
 
 impl WorkerConfig {
@@ -46,7 +83,13 @@ impl WorkerConfig {
             addr: addr.into(),
             threads: 0,
             connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(60),
+            reconnect_attempts: 8,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x5EED,
             max_batches: None,
+            chaos: None,
         }
     }
 }
@@ -58,18 +101,94 @@ pub struct WorkerStats {
     pub batches: u64,
     /// Individual injections executed.
     pub runs: u64,
+    /// Sessions lost and re-established mid-campaign.
+    pub reconnects: u64,
 }
 
-fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, GridError> {
-    let deadline = Instant::now() + timeout;
+/// Exponential backoff with deterministic jitter: attempt `n` sleeps a
+/// uniform draw from `[cap_n / 2, cap_n]` where `cap_n = base * 2^n`,
+/// clamped to the ceiling. The draw comes from a seeded [`Rng`], so a
+/// worker's retry schedule is a pure function of (seed, attempt) — chaos
+/// tests replay byte-identically — while distinct seeds still de-thunder a
+/// fleet hitting a restarting coordinator.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: Rng,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule (next delay is the base-scale one).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            rng: Rng::seed_from_u64(seed),
+            base: base.max(Duration::from_millis(1)),
+            cap: cap.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// How many delays have been handed out since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Starts the schedule over (the rng stream continues — a reset replays
+    /// the delay *scale*, not the exact delays).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next delay in the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let scale = self
+            .base
+            .saturating_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let hi = scale.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let lo = hi / 2;
+        Duration::from_nanos(lo + self.rng.gen_range_u64(hi - lo + 1))
+    }
+}
+
+/// Dials the coordinator, retrying until `connect_timeout`, with the same
+/// jittered exponential backoff the session loop uses (the coordinator may
+/// be restarting). Logs attempt counts so a stuck worker is diagnosable.
+fn connect_with_retry(wcfg: &WorkerConfig) -> Result<Box<dyn Transport>, GridError> {
+    let deadline = Instant::now() + wcfg.connect_timeout;
+    let mut backoff = Backoff::new(
+        wcfg.backoff_base,
+        wcfg.backoff_cap,
+        wcfg.jitter_seed ^ 0xD1A1, // distinct stream from session-loss backoff
+    );
     loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
+        match TcpTransport::connect(&wcfg.addr) {
+            Ok(t) => {
+                let t: Box<dyn Transport> = Box::new(t);
+                return Ok(match &wcfg.chaos {
+                    Some(chaos) => chaos.wrap(t),
+                    None => t,
+                });
+            }
             Err(e) => {
                 if Instant::now() >= deadline {
+                    eprintln!(
+                        "avgi-grid worker: giving up on {} after {} attempts: {e}",
+                        wcfg.addr,
+                        backoff.attempts() + 1
+                    );
                     return Err(GridError::Io(e));
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "avgi-grid worker: connect attempt {} to {} failed ({e}); retrying in {delay:?}",
+                    backoff.attempts(),
+                    wcfg.addr
+                );
+                std::thread::sleep(delay);
             }
         }
     }
@@ -112,43 +231,159 @@ fn rebuild(
     Ok((workload, cfg, golden))
 }
 
-/// Connects to a coordinator and works until the campaign completes.
+/// A completed handshake.
+enum Handshake {
+    /// Welcomed into the campaign (possibly re-attached).
+    Attached(Box<dyn Transport>, CampaignSpec, u64),
+    /// The campaign finished while we were away; nothing left to do.
+    Finished,
+}
+
+/// Connects and handshakes, presenting `session` when re-attaching.
+/// Duplicate frames from a chaotic link are tolerated: any number of
+/// welcomes may arrive and the first one wins.
+fn establish(wcfg: &WorkerConfig, session: Option<u64>) -> Result<Handshake, GridError> {
+    let mut stream = connect_with_retry(wcfg)?;
+    stream.set_read_timeout(Some(wcfg.read_timeout))?;
+    send(
+        &mut *stream,
+        &Msg::Hello {
+            proto: PROTO_VERSION,
+            session,
+        },
+    )?;
+    match recv(&mut *stream)? {
+        Msg::Welcome { spec, session } => Ok(Handshake::Attached(stream, spec, session)),
+        Msg::Done => Ok(Handshake::Finished),
+        Msg::Reject { reason } => Err(GridError::Protocol(reason)),
+        other => Err(GridError::Protocol(format!(
+            "expected welcome, got {other:?}"
+        ))),
+    }
+}
+
+/// Why one session ended.
+enum SessionEnd {
+    /// The coordinator said the campaign is complete (or the death-test
+    /// hook fired): the worker is done for good.
+    Finished,
+    /// The link failed; the session may be worth re-attaching.
+    Lost(GridError),
+}
+
+/// Session-loss errors worth a reconnect. `Spec` and `Campaign` failures
+/// are environmental (wrong binary, wrong registry) and never heal by
+/// retrying; everything link-shaped — including a handshake rejection,
+/// which under chaos is usually a corrupted hello — is retryable within
+/// the attempt budget.
+fn retryable(e: &GridError) -> bool {
+    matches!(
+        e,
+        GridError::Io(_) | GridError::Frame(_) | GridError::Protocol(_)
+    )
+}
+
+/// Connects to a coordinator and works until the campaign completes,
+/// reconnecting through link failures.
 ///
 /// Returns the worker's own contribution statistics; the authoritative
 /// merged campaign lives on the coordinator.
 pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
-    let mut stream = connect_with_retry(&wcfg.addr, wcfg.connect_timeout)?;
-    stream.set_nodelay(true)?;
-    // Generous read timeout: the coordinator answers every request promptly,
-    // so a silent minute means it is gone.
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    send(
-        &mut stream,
-        &Msg::Hello {
-            proto: PROTO_VERSION,
-        },
-    )?;
-    let spec = match recv(&mut stream)? {
-        Msg::Welcome { spec } => spec,
-        Msg::Reject { reason } => return Err(GridError::Protocol(reason)),
-        other => {
-            return Err(GridError::Protocol(format!(
-                "expected welcome, got {other:?}"
-            )))
+    let mut backoff = Backoff::new(wcfg.backoff_base, wcfg.backoff_cap, wcfg.jitter_seed);
+    // Even the first handshake retries within the budget: on a chaotic link
+    // the very first welcome can be a casualty.
+    let (mut stream, spec, mut session) = loop {
+        match establish(wcfg, None) {
+            Ok(Handshake::Attached(stream, spec, session)) => break (stream, spec, session),
+            Ok(Handshake::Finished) => return Ok(WorkerStats::default()),
+            Err(e) if retryable(&e) && backoff.attempts() < wcfg.reconnect_attempts => {
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "avgi-grid worker: handshake attempt {} failed ({e}); retrying in {delay:?}",
+                    backoff.attempts()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => return Err(e),
         }
     };
+    backoff.reset();
     let (workload, cfg, golden) = rebuild(&spec)?;
     let mut ccfg = spec.campaign_config();
     ccfg.threads = wcfg.threads;
     let runner = ShardRunner::new(&workload, &cfg, &golden, &ccfg);
 
-    // The heartbeat thread shares the write half of the socket and the id
-    // of the lease currently executing; it pings often enough that three
-    // missed beats are needed before the coordinator declares us dead.
+    let mut stats = WorkerStats::default();
+    // The last batch report whose delivery is unconfirmed; retransmitted on
+    // re-attach (idempotent — see the module docs).
+    let mut pending: Option<Msg> = None;
+    loop {
+        let end = drive_session(wcfg, &spec, stream, &runner, &mut stats, &mut pending);
+        let lost = match end {
+            Ok(SessionEnd::Finished) => return Ok(stats),
+            Ok(SessionEnd::Lost(e)) => e,
+            Err(e) => return Err(e),
+        };
+        // Re-attach loop: each failed attempt burns budget and backs off.
+        stream = loop {
+            if backoff.attempts() >= wcfg.reconnect_attempts {
+                eprintln!(
+                    "avgi-grid worker: session {session} unrecoverable after {} attempts: {lost}",
+                    backoff.attempts()
+                );
+                return Err(lost);
+            }
+            let delay = backoff.next_delay();
+            eprintln!(
+                "avgi-grid worker: session {session} lost ({lost}); re-attach attempt {} in {delay:?}",
+                backoff.attempts()
+            );
+            std::thread::sleep(delay);
+            match establish(wcfg, Some(session)) {
+                Ok(Handshake::Attached(stream, new_spec, new_session)) => {
+                    if new_spec != spec {
+                        return Err(GridError::Spec(
+                            "campaign spec changed across reconnect".into(),
+                        ));
+                    }
+                    session = new_session;
+                    stats.reconnects += 1;
+                    backoff.reset();
+                    break stream;
+                }
+                // The campaign finished during the outage: our pending
+                // report is moot (its indices completed — via us or a
+                // reassignment), so this is success.
+                Ok(Handshake::Finished) => return Ok(stats),
+                Err(e) if retryable(&e) => {
+                    eprintln!("avgi-grid worker: re-attach failed: {e}");
+                }
+                Err(e) => return Err(e),
+            }
+        };
+    }
+}
+
+/// Runs one connected session to its end. `Err` is fatal (no reconnect).
+fn drive_session(
+    wcfg: &WorkerConfig,
+    spec: &CampaignSpec,
+    stream: Box<dyn Transport>,
+    runner: &ShardRunner,
+    stats: &mut WorkerStats,
+    pending: &mut Option<Msg>,
+) -> Result<SessionEnd, GridError> {
+    let mut stream = stream;
+    // The heartbeat thread shares the write half of the connection and the
+    // id of the lease currently executing; it pings often enough that
+    // several missed beats are needed before the coordinator declares us
+    // dead, and always well inside one read-timeout window.
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let current_lease: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
     let stop = Arc::new(AtomicBool::new(false));
-    let beat = Duration::from_millis((spec.lease_timeout_ms / 3).max(10));
+    let beat = Duration::from_millis(spec.lease_timeout_ms / 3)
+        .min(wcfg.read_timeout / 2)
+        .max(Duration::from_millis(10));
     let heartbeat = {
         let writer = writer.clone();
         let current_lease = current_lease.clone();
@@ -162,9 +397,9 @@ pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
                     continue;
                 }
                 last = Instant::now();
-                let lease = *current_lease.lock().unwrap();
+                let lease = *lock_clean(&current_lease);
                 if let Some(lease) = lease {
-                    if send(&mut *writer.lock().unwrap(), &Msg::Heartbeat { lease }).is_err() {
+                    if send(&mut **lock_clean(&writer), &Msg::Heartbeat { lease }).is_err() {
                         return; // coordinator gone; main thread will notice
                     }
                 }
@@ -172,12 +407,38 @@ pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
         })
     };
 
-    let mut stats = WorkerStats::default();
-    let outcome = (|| -> Result<(), GridError> {
+    let outcome = (|| -> Result<SessionEnd, GridError> {
+        let lost = |e: GridError| Ok(SessionEnd::Lost(e));
+        // Retransmit the batch whose delivery the last session never
+        // confirmed.
+        if let Some(msg) = pending.as_ref() {
+            if let Err(e) = send(&mut **lock_clean(&writer), msg) {
+                return lost(e.into());
+            }
+        }
         loop {
-            send(&mut *writer.lock().unwrap(), &Msg::LeaseRequest)?;
-            match recv(&mut stream) {
-                Ok(Msg::Lease { lease, indices }) => {
+            if let Err(e) = send(&mut **lock_clean(&writer), &Msg::LeaseRequest) {
+                return lost(e.into());
+            }
+            // Read until a usable reply: a chaotic link may replay stale
+            // welcomes, which the handshake already consumed once.
+            let reply = loop {
+                match recv(&mut *stream) {
+                    Ok(Msg::Welcome { .. }) => continue,
+                    Ok(msg) => break msg,
+                    Err(FrameError::Closed) => {
+                        return lost(GridError::Protocol(
+                            "coordinator closed the connection".into(),
+                        ))
+                    }
+                    Err(e) => return lost(e.into()),
+                }
+            };
+            // An in-order reply proves every earlier frame we sent — the
+            // retransmission included — was consumed.
+            *pending = None;
+            match reply {
+                Msg::Lease { lease, indices } => {
                     if wcfg
                         .max_batches
                         .is_some_and(|max| stats.batches as usize >= max)
@@ -185,40 +446,36 @@ pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
                         // Test hook: die abruptly with a lease in hand. The
                         // shutdown closes the connection even though the
                         // heartbeat thread still holds a cloned handle.
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                        return Ok(());
+                        let _ = stream.shutdown();
+                        return Ok(SessionEnd::Finished);
                     }
-                    *current_lease.lock().unwrap() = Some(lease);
+                    *lock_clean(&current_lease) = Some(lease);
                     let collector = Arc::new(MetricsCollector::new());
                     let results = runner.run_indices(&indices, Some(collector.clone()))?;
-                    *current_lease.lock().unwrap() = None;
+                    *lock_clean(&current_lease) = None;
                     stats.batches += 1;
                     stats.runs += results.len() as u64;
-                    send(
-                        &mut *writer.lock().unwrap(),
-                        &Msg::BatchDone {
-                            lease,
-                            results,
-                            telemetry: collector.snapshot(),
-                        },
-                    )?;
+                    let report = Msg::BatchDone {
+                        lease,
+                        results,
+                        telemetry: collector.snapshot(),
+                    };
+                    let sent = send(&mut **lock_clean(&writer), &report);
+                    // Hold the report for retransmission until the next
+                    // in-order reply confirms it arrived.
+                    *pending = Some(report);
+                    if let Err(e) = sent {
+                        return lost(e.into());
+                    }
                 }
-                Ok(Msg::Drain) => std::thread::sleep(Duration::from_millis(50)),
-                Ok(Msg::Done) => return Ok(()),
-                Ok(Msg::Reject { reason }) => return Err(GridError::Protocol(reason)),
-                Ok(other) => {
-                    return Err(GridError::Protocol(format!("unexpected message {other:?}")))
-                }
-                Err(FrameError::Closed) => {
-                    return Err(GridError::Protocol(
-                        "coordinator closed the connection".into(),
-                    ))
-                }
-                Err(e) => return Err(e.into()),
+                Msg::Drain => std::thread::sleep(Duration::from_millis(50)),
+                Msg::Done => return Ok(SessionEnd::Finished),
+                Msg::Reject { reason } => return lost(GridError::Protocol(reason)),
+                other => return lost(GridError::Protocol(format!("unexpected message {other:?}"))),
             }
         }
     })();
     stop.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
-    outcome.map(|()| stats)
+    outcome
 }

@@ -1,0 +1,185 @@
+//! Seeded chaos end-to-end: the fabric under deliberate fire.
+//!
+//! Every test here runs a real coordinator and real workers over localhost
+//! TCP with a [`ChaosTransport`](avgi_grid::ChaosTransport) interposed on
+//! one or both sides, so frames get dropped, bit-flipped, duplicated,
+//! delayed, and connections severed mid-frame — deterministically, from a
+//! seeded policy. The acceptance bar does not move: the merged results and
+//! telemetry deterministic counters must be bit-identical to a clean
+//! single-process campaign. Recovery may cost wall-clock; it must never
+//! cost a bit.
+//!
+//! Worker *processes* are allowed to end with an error here: a worker whose
+//! last `Done` was eaten by chaos dies retrying against an exited
+//! coordinator, and that is fine — the coordinator's merged outcome is the
+//! authoritative artifact under test.
+
+use avgi_faultsim::telemetry::MetricsCollector;
+use avgi_faultsim::{run_campaign, CampaignConfig, CampaignResult, MetricsSnapshot, RunMode};
+use avgi_grid::{
+    ChaosInterposer, ChaosPolicy, ConfigPreset, Coordinator, GridConfig, GridOutcome, WorkerConfig,
+};
+use avgi_muarch::Structure;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FAULTS: usize = 48;
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::new(Structure::RegFile, FAULTS, RunMode::Instrumented).with_seed(0xC405)
+}
+
+/// The single-process reference: results plus observed telemetry.
+fn reference() -> (CampaignResult, MetricsSnapshot) {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let cfg = ConfigPreset::Big.config();
+    let golden = avgi_faultsim::golden_for(&w, &cfg);
+    let collector = Arc::new(MetricsCollector::new());
+    let ccfg = campaign_config().with_observer(collector.clone());
+    let result = run_campaign(&w, &cfg, &golden, &ccfg);
+    (result, collector.snapshot())
+}
+
+/// Short-fuse tuning so chaos recovery paths (lease expiry, read timeout,
+/// reconnect) play out in test time rather than production time.
+fn grid_config() -> GridConfig {
+    GridConfig {
+        batch: 5,
+        lease_timeout: Duration::from_secs(2),
+        deadline: Some(Duration::from_secs(180)),
+        ..GridConfig::default()
+    }
+}
+
+fn worker_config(jitter_seed: u64) -> WorkerConfig {
+    let mut w = WorkerConfig::new(String::new());
+    w.threads = 2;
+    w.connect_timeout = Duration::from_secs(2);
+    w.read_timeout = Duration::from_secs(2);
+    w.reconnect_attempts = 6;
+    w.backoff_base = Duration::from_millis(20);
+    w.backoff_cap = Duration::from_millis(250);
+    w.jitter_seed = jitter_seed;
+    w
+}
+
+/// Runs a distributed campaign, tolerating worker-side errors (see the
+/// module docs); the coordinator must succeed.
+fn run_chaos_grid(grid: GridConfig, workers: Vec<WorkerConfig>) -> GridOutcome {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let coord = Coordinator::bind(&w, ConfigPreset::Big, &campaign_config(), &grid).unwrap();
+    let addr = coord.local_addr().unwrap().to_string();
+    let coord_thread = std::thread::spawn(move || coord.run());
+    let worker_threads: Vec<_> = workers
+        .into_iter()
+        .map(|mut wcfg| {
+            wcfg.addr = addr.clone();
+            std::thread::spawn(move || avgi_grid::run_worker(&wcfg))
+        })
+        .collect();
+    let outcome = coord_thread.join().unwrap().unwrap();
+    for t in worker_threads {
+        let _ = t.join().unwrap();
+    }
+    outcome
+}
+
+fn assert_matches_reference(outcome: &GridOutcome) {
+    let (reference, telemetry) = reference();
+    assert_eq!(outcome.result.results, reference.results);
+    assert_eq!(
+        outcome.telemetry.deterministic_counters_json(),
+        telemetry.deterministic_counters_json(),
+        "merged telemetry must be bit-identical to single-process"
+    );
+}
+
+#[test]
+fn chaotic_links_both_ways_stay_bit_identical_across_seeds() {
+    // Two chaos seeds, as the acceptance criteria demand: same storm
+    // profile, different misfortune.
+    for chaos_seed in [0xC4A0_0001_u64, 0xC4A0_0002] {
+        let coord_chaos = Arc::new(ChaosInterposer::new(ChaosPolicy::stormy(chaos_seed)));
+        let worker_chaos = Arc::new(ChaosInterposer::new(ChaosPolicy::stormy(chaos_seed ^ 0xFF)));
+        let grid = GridConfig {
+            chaos: Some(coord_chaos.clone()),
+            ..grid_config()
+        };
+        let workers = (0..2)
+            .map(|i| {
+                let mut w = worker_config(0x5EED_0000 + i);
+                w.chaos = Some(worker_chaos.clone());
+                w
+            })
+            .collect();
+        let outcome = run_chaos_grid(grid, workers);
+        assert_matches_reference(&outcome);
+        let injected = coord_chaos.stats().injected() + worker_chaos.stats().injected();
+        assert!(
+            injected > 0,
+            "storm policy must actually injure the link (seed {chaos_seed:#x})"
+        );
+        eprintln!(
+            "[chaos seed {chaos_seed:#x}] coordinator side: {} | worker side: {} | stats: {:?}",
+            coord_chaos.stats().summary(),
+            worker_chaos.stats().summary(),
+            outcome.stats,
+        );
+    }
+}
+
+#[test]
+fn worker_death_under_chaos_still_converges_bit_identically() {
+    let coord_chaos = Arc::new(ChaosInterposer::new(ChaosPolicy::stormy(0xDEAD_C4A0)));
+    let grid = GridConfig {
+        chaos: Some(coord_chaos.clone()),
+        ..grid_config()
+    };
+    // One worker dies abruptly holding a lease; the healthy one inherits
+    // the abandoned indices — all through a lossy coordinator link.
+    let mut dying = worker_config(0xD1E);
+    dying.max_batches = Some(1);
+    let healthy = worker_config(0x11EA_17B1);
+    let outcome = run_chaos_grid(grid, vec![dying, healthy]);
+    assert_matches_reference(&outcome);
+    assert!(
+        outcome.stats.leases_reassigned >= 1,
+        "the dead worker's lease must be reassigned, stats: {:?}",
+        outcome.stats
+    );
+}
+
+#[test]
+fn coordinator_restart_with_midfile_journal_corruption_resumes_bit_identically() {
+    let journal = std::env::temp_dir().join(format!(
+        "avgi-grid-chaos-resume-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let grid = GridConfig {
+        journal: Some(journal.clone()),
+        ..grid_config()
+    };
+    let outcome = run_chaos_grid(grid.clone(), vec![worker_config(0x1)]);
+    assert_matches_reference(&outcome);
+
+    // A crash plus disk corruption: tear the tail *and* flip one bit in a
+    // record in the middle of what survives. The CRC suffix must catch the
+    // flip, the loader must keep everything before it, and the resumed
+    // campaign must re-execute the rest into a bit-identical merge.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    assert_eq!(lines.len(), 1 + FAULTS);
+    let keep = 1 + (2 * FAULTS / 3);
+    let mut surviving = lines[..keep].concat().into_bytes();
+    let corrupt_at: usize = lines[..keep / 2].iter().map(|l| l.len()).sum::<usize>() + 10;
+    surviving[corrupt_at] ^= 0x04;
+    std::fs::write(&journal, &surviving).unwrap();
+
+    let outcome = run_chaos_grid(grid, vec![worker_config(0x2)]);
+    assert_matches_reference(&outcome);
+    // Everything before the flipped record resumes; the flipped record and
+    // all records after it re-execute.
+    assert_eq!(outcome.stats.resumed, (keep / 2 - 1) as u64);
+    let _ = std::fs::remove_file(&journal);
+}

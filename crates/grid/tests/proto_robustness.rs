@@ -69,6 +69,7 @@ fn handshake(stream: &mut TcpStream) {
         stream,
         &Msg::Hello {
             proto: PROTO_VERSION,
+            session: None,
         },
     )
     .unwrap();
