@@ -1,0 +1,288 @@
+//! Multi-workload campaign throughput trajectory, the CI ratchet, and the
+//! `--xcheck` entry point of the batched engine.
+//!
+//! For each benched workload this measures end-to-end campaign throughput in
+//! the AVGI production mode (`FirstDeviation` + default ERT window,
+//! checkpointed, shared-prefix batched) and then — unless `--no-xcheck` —
+//! cross-checks the batched engine against the unbatched engine and the
+//! architectural reference model ([`avgi_faultsim::run_xcheck`]). The
+//! numbers land in `BENCH_trajectory.json` at the repository root; CI
+//! re-runs the bench with `--check BENCH_trajectory.json`, which fails the
+//! job if any workload regresses more than 10% below its committed
+//! throughput.
+//!
+//! Usage:
+//!   bench_trajectory [--workloads a,b,c] [--faults N] [--trials N]
+//!                    [--small] [--no-xcheck] [--check PATH] [--out PATH]
+//!
+//! Golden captures honor the `AVGI_GOLDEN_CACHE` directory, so a sweep over
+//! several invocations captures each golden run once.
+
+use avgi_bench::GoldenCache;
+use avgi_core::ert::default_ert_window;
+use avgi_faultsim::json::{self, Json};
+use avgi_faultsim::{run_campaign, run_xcheck, CampaignConfig, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+use std::time::Instant;
+
+/// Throughput may drop this far below the committed number before the
+/// ratchet fails (absorbs shared-runner noise; real regressions are bigger).
+const RATCHET_TOLERANCE: f64 = 0.10;
+
+struct WorkloadRow {
+    name: String,
+    faults: usize,
+    golden_cycles: u64,
+    runs_per_sec: u64,
+    runs_per_cpu_sec: u64,
+    us_per_run: u64,
+    xcheck: Option<avgi_faultsim::XcheckReport>,
+}
+
+/// Process CPU seconds (utime + stime) from `/proc/self/stat`, `None` on
+/// non-Linux hosts. CPU time does not advance while the process is
+/// descheduled, so throughput normalized by it is immune to noisy-neighbor
+/// contention on shared runners — which is why the ratchet compares
+/// runs-per-CPU-second, not wall-clock.
+fn cpu_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; real fields start after the ')'.
+    let mut fields = stat.rsplit_once(')')?.1.split_whitespace();
+    let utime: f64 = fields.nth(11)?.parse().ok()?;
+    let stime: f64 = fields.next()?.parse().ok()?;
+    // USER_HZ is 100 on every mainstream Linux.
+    Some((utime + stime) / 100.0)
+}
+
+fn main() {
+    let mut workloads = vec![
+        "crc32".to_string(),
+        "qsort".to_string(),
+        "rijndael".to_string(),
+    ];
+    let mut faults = 240usize;
+    let mut trials = 5usize;
+    let mut small = false;
+    let mut xcheck = true;
+    let mut check: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workloads" => {
+                workloads = it
+                    .next()
+                    .expect("--workloads needs a comma-separated list")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--faults" => {
+                faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--faults needs a number")
+            }
+            "--trials" => {
+                trials = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--trials needs a positive number")
+            }
+            "--small" => small = true,
+            "--no-xcheck" => xcheck = false,
+            "--xcheck" => xcheck = true,
+            "--check" => check = Some(it.next().expect("--check needs a path")),
+            "--out" => out = Some(it.next().expect("--out needs a path")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let cfg = if small {
+        MuarchConfig::small()
+    } else {
+        MuarchConfig::big()
+    };
+
+    let mut cache = GoldenCache::new();
+    let subjects: Vec<_> = workloads
+        .iter()
+        .map(|name| {
+            let w = avgi_workloads::by_name(name).unwrap_or_else(|| panic!("no workload {name}"));
+            let golden = cache.get(&w, &cfg);
+            let window = default_ert_window(Structure::RegFile, golden.cycles);
+            let ccfg = CampaignConfig::new(
+                Structure::RegFile,
+                faults,
+                RunMode::FirstDeviation {
+                    ert_window: Some(window),
+                },
+            )
+            .with_checkpoints(8);
+            (w, golden, ccfg)
+        })
+        .collect();
+    let batch = subjects.first().map_or(0, |(_, _, c)| c.batch);
+    let threads = subjects.first().map_or(0, |(_, _, c)| c.threads);
+
+    // Trials are interleaved round-robin across workloads so a host
+    // contention burst cannot swallow every trial of one workload. Two
+    // statistics per workload: best-of-`trials` wall-clock throughput (the
+    // human-facing number — max, because scheduling noise is one-sided) and
+    // total-CPU-time throughput (the ratchet number — summed over all
+    // trials so the 10 ms USER_HZ granularity averages out).
+    let mut best_secs = vec![f64::INFINITY; subjects.len()];
+    let mut total_cpu = vec![0.0f64; subjects.len()];
+    for _ in 0..trials {
+        for (i, (w, golden, ccfg)) in subjects.iter().enumerate() {
+            let cpu0 = cpu_secs();
+            let t0 = Instant::now();
+            let c = run_campaign(w, &cfg, golden, ccfg);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(c.len(), faults);
+            best_secs[i] = best_secs[i].min(secs);
+            total_cpu[i] += match (cpu0, cpu_secs()) {
+                (Some(a), Some(b)) => (b - a).max(0.0),
+                _ => secs,
+            };
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (i, (w, golden, ccfg)) in subjects.iter().enumerate() {
+        let secs = best_secs[i];
+        let rps = (faults as f64 / secs.max(1e-9)).round() as u64;
+        let cpu_rps = ((faults * trials) as f64 / total_cpu[i].max(1e-9)).round() as u64;
+        println!(
+            "{:<14} {rps:>8} runs/sec  ({cpu_rps} runs/cpu-sec, {:>6.0} us/run, {} golden \
+             cycles, best of {trials})",
+            w.name,
+            secs * 1e6 / faults as f64,
+            golden.cycles
+        );
+        let report = if xcheck {
+            match run_xcheck(w, &cfg, golden, ccfg) {
+                Ok(r) => {
+                    println!("  {r}");
+                    Some(r)
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {}: batched engine cross-check failed:\n{e}", w.name);
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            None
+        };
+        rows.push(WorkloadRow {
+            name: w.name.to_string(),
+            faults,
+            golden_cycles: golden.cycles,
+            runs_per_sec: rps,
+            runs_per_cpu_sec: cpu_rps,
+            us_per_run: (secs * 1e6 / faults as f64).round() as u64,
+            xcheck: report,
+        });
+    }
+
+    if let Some(path) = check {
+        ratchet(&path, &rows);
+        return;
+    }
+
+    let mut body = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        let xc = match &r.xcheck {
+            Some(x) => format!(
+                ",\n      \"xcheck\": true,\n      \"xcheck_runs_compared\": {},\n      \
+                 \"xcheck_forks_traced\": {},\n      \"xcheck_prefix_commits_verified\": {}",
+                x.runs_compared, x.forks_traced, x.prefix_commits_verified
+            ),
+            None => ",\n      \"xcheck\": false".to_string(),
+        };
+        body.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"faults\": {},\n      \
+             \"golden_cycles\": {},\n      \"campaign_runs_per_sec\": {},\n      \
+             \"campaign_runs_per_cpu_sec\": {},\n      \"us_per_run\": {}{xc}\n    }}",
+            json::escape(&r.name),
+            r.faults,
+            r.golden_cycles,
+            r.runs_per_sec,
+            r.runs_per_cpu_sec,
+            r.us_per_run,
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"bench\": \"trajectory\",\n  \"structure\": \"RegFile\",\n  \
+         \"mode\": \"first_deviation\",\n  \"config\": \"{}\",\n  \"threads\": {threads},\n  \
+         \"batch\": {batch},\n  \"workloads\": [\n{body}\n  ]\n}}\n",
+        if small { "small" } else { "big" },
+    );
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trajectory.json");
+    let path = out.as_deref().unwrap_or(default_out);
+    match std::fs::write(path, &doc) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Compares the freshly measured rows against a committed trajectory file;
+/// any workload more than [`RATCHET_TOLERANCE`] below its committed
+/// throughput fails the process.
+///
+/// The comparison uses the CPU-time-normalized statistic, which is immune
+/// to wall-clock contention on shared runners; older baseline files without
+/// it fall back to wall-clock runs/sec.
+fn ratchet(path: &str, rows: &[WorkloadRow]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("could not read ratchet baseline {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    let Some(Json::Array(committed)) = doc.get("workloads") else {
+        panic!("{path} has no `workloads` array");
+    };
+    let committed_rps = |name: &str| -> Option<(u64, &'static str)> {
+        let entry = committed
+            .iter()
+            .find(|w| w.get("name").and_then(Json::as_str) == Some(name))?;
+        if let Some(v) = entry
+            .get("campaign_runs_per_cpu_sec")
+            .and_then(Json::as_u64)
+        {
+            return Some((v, "runs/cpu-sec"));
+        }
+        entry
+            .get("campaign_runs_per_sec")
+            .and_then(Json::as_u64)
+            .map(|v| (v, "runs/sec"))
+    };
+    let mut failed = false;
+    for r in rows {
+        let Some((baseline, unit)) = committed_rps(&r.name) else {
+            println!("{:<14} no committed baseline, skipping", r.name);
+            continue;
+        };
+        let current = if unit == "runs/cpu-sec" {
+            r.runs_per_cpu_sec
+        } else {
+            r.runs_per_sec
+        };
+        let floor = (baseline as f64 * (1.0 - RATCHET_TOLERANCE)).round() as u64;
+        let verdict = if current >= floor { "ok" } else { "REGRESSION" };
+        println!(
+            "{:<14} {current:>8} {unit} vs committed {baseline} (floor {floor}): {verdict}",
+            r.name
+        );
+        failed |= current < floor;
+    }
+    if failed {
+        eprintln!("FAIL: campaign throughput regressed more than 10% below the baseline");
+        std::process::exit(1);
+    }
+}

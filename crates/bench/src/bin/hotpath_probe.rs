@@ -1,0 +1,114 @@
+//! Breaks down where campaign wall-clock goes: golden capture, checkpoint
+//! construction, per-cycle simulation rate, snapshot spawn/restore cost, and
+//! the per-run prefix/window split. Companion to the `bench-prof` cargo
+//! profile for `perf`/flamegraph sessions.
+//!
+//! Usage: `hotpath_probe [--workload NAME] [--faults N] [--small]`
+
+use avgi_core::ert::default_ert_window;
+use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, CheckpointSet, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+use avgi_muarch::pipeline::Sim;
+use avgi_muarch::run::RunControl;
+use std::time::Instant;
+
+fn main() {
+    let mut workload = "crc32".to_string();
+    let mut faults = 120usize;
+    let mut small = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => workload = it.next().expect("--workload needs a name"),
+            "--faults" => {
+                faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--faults needs a number")
+            }
+            "--small" => small = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let w = avgi_workloads::by_name(&workload).unwrap_or_else(|| panic!("no workload {workload}"));
+    let cfg = if small {
+        MuarchConfig::small()
+    } else {
+        MuarchConfig::big()
+    };
+
+    let t0 = Instant::now();
+    let golden = golden_for(&w, &cfg);
+    let golden_t = t0.elapsed();
+    println!(
+        "golden_capture               {:>12.2} ms  ({} cycles, {:.0} ns/cycle)",
+        golden_t.as_secs_f64() * 1e3,
+        golden.cycles,
+        golden_t.as_secs_f64() * 1e9 / golden.cycles as f64
+    );
+
+    let t0 = Instant::now();
+    let ckpts = CheckpointSet::build(&w, &cfg, &golden, 8).unwrap();
+    println!(
+        "checkpoint_build (8)         {:>12.2} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Raw fault-free simulation rate with a golden comparison attached (the
+    // per-cycle cost every injected run pays).
+    let ctl = RunControl {
+        max_cycles: 2 * golden.cycles + 20_000,
+        golden: Some(golden.clone()),
+        ..Default::default()
+    };
+    let mut sim = Sim::new(&w.program, cfg.clone());
+    let t0 = Instant::now();
+    assert!(sim.run_to_cycle(golden.cycles - 1, &ctl).is_none());
+    let dt = t0.elapsed();
+    println!(
+        "fault_free_resim             {:>12.2} ms  ({:.0} ns/cycle)",
+        dt.as_secs_f64() * 1e3,
+        dt.as_secs_f64() * 1e9 / golden.cycles as f64
+    );
+
+    // Snapshot spawn + restore costs at a mid-run checkpoint.
+    let snap = ckpts.nearest(golden.cycles / 2);
+    let t0 = Instant::now();
+    let mut scratch = snap.spawn();
+    println!(
+        "snapshot_spawn               {:>12.2} us",
+        t0.elapsed().as_secs_f64() * 1e6
+    );
+    assert!(scratch.run_to_cycle(snap.cycle() + 500, &ctl).is_none());
+    let t0 = Instant::now();
+    scratch.restore_from(snap);
+    println!(
+        "snapshot_restore             {:>12.2} us",
+        t0.elapsed().as_secs_f64() * 1e6
+    );
+
+    // End-to-end campaign at several thread counts.
+    let window = default_ert_window(Structure::RegFile, golden.cycles);
+    for threads in [1usize, 4] {
+        let ccfg = CampaignConfig {
+            threads,
+            ..CampaignConfig::new(
+                Structure::RegFile,
+                faults,
+                RunMode::FirstDeviation {
+                    ert_window: Some(window),
+                },
+            )
+        };
+        let t0 = Instant::now();
+        let c = run_campaign(&w, &cfg, &golden, &ccfg);
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(c.len(), faults);
+        println!(
+            "campaign t={threads} ({faults} faults)  {:>12.0} runs/sec  ({:.2} ms/run)",
+            faults as f64 / secs,
+            secs * 1e3 / faults as f64
+        );
+    }
+}

@@ -87,6 +87,23 @@ pub struct CampaignConfig {
     /// never changes campaign results; it is excluded from [`fmt::Debug`]
     /// output so journal keys and config hashes are unaffected.
     pub observer: Option<Arc<dyn CampaignObserver>>,
+    /// Maximum number of runs executed as one shared-prefix batch
+    /// (`<= 1` disables batching).
+    ///
+    /// Consecutive runs (in injection-cycle order) that resume from the same
+    /// checkpoint are grouped: one fault-free *carrier* simulator advances
+    /// through the golden prefix once, and each injected run forks off it at
+    /// its injection cycle via [`Sim::restore_from_sim`] — the prefix between
+    /// the checkpoint and the injection cycle is simulated once per batch
+    /// instead of once per run (the ZOFI observation, applied
+    /// per-checkpoint). Results are bit-identical with and without batching;
+    /// like `checkpoints`, the knob only moves cost. Batching is skipped when
+    /// checkpointing is disabled or a wall-clock budget is set (the budget is
+    /// accounted per whole run, which a shared prefix cannot attribute).
+    ///
+    /// Excluded from the [`fmt::Debug`] identity (journal keys and config
+    /// hashes), so journals written at any batch size resume interchangeably.
+    pub batch: usize,
     /// Debug-assert mode: differentially verify Masked classifications
     /// against the `avgi-refmodel` architectural reference model.
     ///
@@ -135,6 +152,7 @@ impl CampaignConfig {
             burst_width: 1,
             checkpoints: 8,
             wall_budget: None,
+            batch: 32,
             observer: None,
             verify_masked: false,
         }
@@ -161,6 +179,12 @@ impl CampaignConfig {
     /// Sets the per-run wall-clock budget.
     pub fn with_wall_budget(mut self, budget: Duration) -> Self {
         self.wall_budget = Some(budget);
+        self
+    }
+
+    /// Sets the shared-prefix batch size (`<= 1` disables batching).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -249,12 +273,22 @@ impl CheckpointSet {
     /// The latest snapshot at or before `cycle`, ready to spawn or rewind a
     /// scratch simulator.
     pub fn nearest(&self, cycle: u64) -> &Snapshot {
-        let idx = match self.cycles.binary_search(&cycle) {
+        &self.snaps[self.nearest_index(cycle)]
+    }
+
+    /// Index of the latest snapshot at or before `cycle` — the batching key:
+    /// runs sharing an index can share one fault-free carrier.
+    pub fn nearest_index(&self, cycle: u64) -> usize {
+        match self.cycles.binary_search(&cycle) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) => i - 1,
-        };
-        &self.snaps[idx]
+        }
+    }
+
+    /// The snapshot at `index` (panics if out of range).
+    pub fn snapshot(&self, index: usize) -> &Snapshot {
+        &self.snaps[index]
     }
 
     /// Number of snapshots held.
@@ -504,6 +538,25 @@ fn run_one_inner(
             &mut fresh
         }
     };
+    inject_burst(sim, fault, burst_width, cfg);
+    let ctl = control_for(mode, golden, wall_budget);
+    let report = sim.run(&ctl);
+    if let (Some(oracle), Some(output)) = (oracle, report.output.as_ref()) {
+        oracle.check_completed(&fault, output, &golden.output);
+    }
+    InjectionResult {
+        fault,
+        outcome: report.outcome,
+        deviation: report.first_deviation,
+        output_matches: report.output.as_ref().map(|o| *o == golden.output),
+        cycles: report.cycles,
+        post_inject_cycles: report.post_inject_cycles(),
+        abort_message: None,
+    }
+}
+
+/// Arms `fault` (or its spatial burst) on a simulator.
+fn inject_burst(sim: &mut Sim, fault: Fault, burst_width: u32, cfg: &MuarchConfig) {
     if burst_width <= 1 {
         // The identity burst must not clamp the sampled bit: an ill-formed
         // bit index should fail loudly in the simulator (and be isolated by
@@ -514,7 +567,17 @@ fn run_one_inner(
             sim.inject(f);
         }
     }
-    let ctl = match mode {
+}
+
+/// The run control a mode prescribes — used identically by whole injected
+/// runs and by the fault-free carrier advance of the batched engine, so a
+/// forked run's state evolution cannot differ from an unbatched run's.
+fn control_for(
+    mode: RunMode,
+    golden: &Arc<GoldenRun>,
+    wall_budget: Option<Duration>,
+) -> RunControl {
+    match mode {
         RunMode::EndToEnd | RunMode::Instrumented => RunControl {
             max_cycles: watchdog(golden.cycles),
             golden: Some(golden.clone()),
@@ -529,19 +592,6 @@ fn run_one_inner(
             wall_budget,
             ..Default::default()
         },
-    };
-    let report = sim.run(&ctl);
-    if let (Some(oracle), Some(output)) = (oracle, report.output.as_ref()) {
-        oracle.check_completed(&fault, output, &golden.output);
-    }
-    InjectionResult {
-        fault,
-        outcome: report.outcome,
-        deviation: report.first_deviation,
-        output_matches: report.output.as_ref().map(|o| *o == golden.output),
-        cycles: report.cycles,
-        post_inject_cycles: report.post_inject_cycles(),
-        abort_message: None,
     }
 }
 
@@ -654,6 +704,140 @@ fn run_one_isolated(
         post_inject_cycles: 0,
         abort_message: Some(panic_message(payload.as_ref())),
     }
+}
+
+/// Per-worker simulators of the batched engine, kept across batches so the
+/// carrier stays on the journaled-restore fast path while consecutive
+/// batches share a checkpoint.
+#[derive(Default)]
+struct BatchWorker {
+    /// Fault-free simulator advanced through the golden prefix.
+    carrier: Option<Sim>,
+    /// Reusable fork target, rewound to the carrier per run.
+    fork: Option<Sim>,
+    /// Scratch for the non-batched fallback path (`run_one_isolated`).
+    scratch: Option<Sim>,
+}
+
+/// Executes one shared-prefix batch: all faults resume from `snap`, sorted
+/// ascending by injection cycle.
+///
+/// The carrier advances fault-free from the checkpoint; each run forks off
+/// it at the *beginning* of its injection cycle, arms its fault, and runs to
+/// its own end. [`Sim::step`] applies pending faults at the start of the
+/// cycle they name, so a fork positioned at the beginning of `fault.cycle`
+/// with the fault newly armed is state-identical to an unbatched scratch
+/// that restored at the checkpoint, armed the same fault, and simulated
+/// forward — the intervening cycles are fault-free in both, and the carrier
+/// advances under the exact [`control_for`] the unbatched run would use.
+/// Any panic (or a carrier that terminates before an injection cycle, which
+/// a valid golden run cannot cause) drops the batch simulators and falls
+/// back to [`run_one_isolated`] per remaining run, preserving the unbatched
+/// engine's retry/abort semantics exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_shared_prefix_batch(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+    batch: &[(usize, Fault)],
+    snap: &Snapshot,
+    worker: &mut BatchWorker,
+    checkpoints: &CheckpointSet,
+    observer: &dyn CampaignObserver,
+    oracle: Option<&MaskedOracle>,
+) -> Vec<(usize, InjectionResult, Duration)> {
+    install_quiet_panic_hook();
+    let prefix_ctl = control_for(ccfg.mode, golden, None);
+    let guarded = |f: &mut dyn FnMut() -> Option<InjectionResult>| {
+        IN_ISOLATED_RUN.with(|flag| flag.set(true));
+        let r = catch_unwind(AssertUnwindSafe(f));
+        IN_ISOLATED_RUN.with(|flag| flag.set(false));
+        r
+    };
+
+    // Position the carrier at the batch's checkpoint (journaled restore when
+    // the previous batch used the same snapshot).
+    let mut carrier_ok = {
+        let carrier = &mut worker.carrier;
+        guarded(&mut || {
+            let had = carrier.is_some();
+            let c = carrier.get_or_insert_with(|| snap.spawn());
+            if had {
+                c.restore_from(snap);
+            }
+            None
+        })
+        .is_ok()
+    };
+    if !carrier_ok {
+        worker.carrier = None;
+    }
+
+    let mut out = Vec::with_capacity(batch.len());
+    for &(index, fault) in batch {
+        let t0 = Instant::now();
+        let mut batched: Option<InjectionResult> = None;
+        if carrier_ok {
+            let carrier = worker.carrier.as_mut().expect("carrier_ok implies carrier");
+            let fork = &mut worker.fork;
+            let attempt = guarded(&mut || {
+                if carrier.run_to_cycle(fault.cycle, &prefix_ctl).is_some() {
+                    return None; // carrier ended before the injection cycle
+                }
+                let had = fork.is_some();
+                let f = fork.get_or_insert_with(|| carrier.clone());
+                if had {
+                    f.restore_from_sim(carrier);
+                }
+                inject_burst(f, fault, ccfg.burst_width, cfg);
+                let report = f.run(&control_for(ccfg.mode, golden, ccfg.wall_budget));
+                if let (Some(oracle), Some(output)) = (oracle, report.output.as_ref()) {
+                    oracle.check_completed(&fault, output, &golden.output);
+                }
+                Some(InjectionResult {
+                    fault,
+                    outcome: report.outcome,
+                    deviation: report.first_deviation,
+                    output_matches: report.output.as_ref().map(|o| *o == golden.output),
+                    cycles: report.cycles,
+                    post_inject_cycles: report.post_inject_cycles(),
+                    abort_message: None,
+                })
+            });
+            match attempt {
+                Ok(Some(r)) => batched = Some(r),
+                Ok(None) => carrier_ok = false,
+                Err(_) => {
+                    // The panic may have torn either simulator mid-update;
+                    // drop both and finish the batch on the fallback path
+                    // (which re-attempts this fault and owns the retry/abort
+                    // decision, exactly as the unbatched engine would).
+                    worker.carrier = None;
+                    worker.fork = None;
+                    carrier_ok = false;
+                }
+            }
+        }
+        let r = batched.unwrap_or_else(|| {
+            run_one_isolated(
+                workload,
+                cfg,
+                golden,
+                fault,
+                ccfg.mode,
+                ccfg.burst_width,
+                ccfg.wall_budget,
+                &mut worker.scratch,
+                Some(checkpoints),
+                ccfg.structure,
+                observer,
+                oracle,
+            )
+        });
+        out.push((index, r, t0.elapsed()));
+    }
+    out
 }
 
 /// Runs a full campaign for one (workload, structure) pair.
@@ -939,6 +1123,32 @@ fn run_campaign_engine(
     // output order (and determinism) is unchanged.
     pending.sort_by_key(|&i| faults[i].cycle);
 
+    // Shared-prefix batching: split the cycle-sorted work into runs of
+    // consecutive faults resuming from the same checkpoint, capped at the
+    // configured batch size. With batching disabled (or inapplicable), each
+    // unit is a single run on the classic scratch path.
+    let batch_set = (ccfg.batch > 1 && ccfg.wall_budget.is_none())
+        .then_some(checkpoints)
+        .flatten();
+    let units: Vec<(usize, &[usize])> = match batch_set {
+        Some(set) => {
+            let mut units: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+            for (n, &i) in pending.iter().enumerate() {
+                let si = set.nearest_index(faults[i].cycle);
+                match units.last_mut() {
+                    Some((s, r)) if *s == si && r.len() < ccfg.batch => r.end = n + 1,
+                    _ => units.push((si, n..n + 1)),
+                }
+            }
+            units.into_iter().map(|(s, r)| (s, &pending[r])).collect()
+        }
+        None => pending
+            .iter()
+            .enumerate()
+            .map(|(n, _)| (0, &pending[n..n + 1]))
+            .collect(),
+    };
+
     // One resolution of the pool size, shared by the spawn loop below and
     // the worker-count figure telemetry reports.
     let workers = ccfg.effective_threads().min(pending.len().max(1));
@@ -950,36 +1160,62 @@ fn run_campaign_engine(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                // One scratch simulator per worker, rewound between runs.
-                let mut scratch: Option<Sim> = None;
-                loop {
-                    let n = next.fetch_add(1, Ordering::Relaxed);
-                    if n >= pending.len() {
-                        break;
-                    }
-                    let i = pending[n];
-                    let t0 = Instant::now();
-                    let r = run_one_isolated(
-                        workload,
-                        cfg,
-                        golden,
-                        faults[i],
-                        ccfg.mode,
-                        ccfg.burst_width,
-                        ccfg.wall_budget,
-                        &mut scratch,
-                        checkpoints,
-                        ccfg.structure,
-                        observer,
-                        oracle.as_ref(),
-                    );
-                    observer.on_run(ccfg.structure, &r, t0.elapsed());
+                // Per-worker simulators, rewound between runs and batches.
+                let mut worker = BatchWorker::default();
+                let record = |i: usize, r: InjectionResult, elapsed: Duration| {
+                    observer.on_run(ccfg.structure, &r, elapsed);
                     if let Some(j) = journal {
                         if let Err(e) = j.lock().unwrap().append(i, &r) {
                             journal_err.lock().unwrap().get_or_insert(e);
                         }
                     }
                     sink.lock().unwrap()[i] = Some(r);
+                };
+                loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    if n >= units.len() {
+                        break;
+                    }
+                    let (snap_idx, unit) = &units[n];
+                    match batch_set {
+                        Some(set) => {
+                            let batch: Vec<(usize, Fault)> =
+                                unit.iter().map(|&i| (i, faults[i])).collect();
+                            for (i, r, elapsed) in run_shared_prefix_batch(
+                                workload,
+                                cfg,
+                                golden,
+                                ccfg,
+                                &batch,
+                                set.snapshot(*snap_idx),
+                                &mut worker,
+                                set,
+                                observer,
+                                oracle.as_ref(),
+                            ) {
+                                record(i, r, elapsed);
+                            }
+                        }
+                        None => {
+                            let i = unit[0];
+                            let t0 = Instant::now();
+                            let r = run_one_isolated(
+                                workload,
+                                cfg,
+                                golden,
+                                faults[i],
+                                ccfg.mode,
+                                ccfg.burst_width,
+                                ccfg.wall_budget,
+                                &mut worker.scratch,
+                                checkpoints,
+                                ccfg.structure,
+                                observer,
+                                oracle.as_ref(),
+                            );
+                            record(i, r, t0.elapsed());
+                        }
+                    }
                 }
             });
         }

@@ -38,6 +38,7 @@ pub mod journal;
 pub mod json;
 pub mod sampling;
 pub mod telemetry;
+pub mod xcheck;
 
 pub use campaign::{
     golden_for, run_campaign, run_campaign_journaled, run_campaign_with_faults, run_one,
@@ -49,6 +50,8 @@ pub use journal::{config_hash, crc32, CampaignKey, DurabilityPolicy, Journal};
 pub use sampling::{
     error_margin, multi_bit_burst, sample_faults, sample_size, Confidence, SamplingError,
 };
+pub use xcheck::{run_xcheck, run_xcheck_fresh, XcheckReport};
+
 pub use telemetry::{
     CampaignObserver, HistogramSnapshot, LatencyHistogram, MetricsCollector, MetricsSnapshot,
     NullObserver, ProgressObserver,

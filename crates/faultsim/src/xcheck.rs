@@ -1,0 +1,296 @@
+//! Lockstep cross-check of the shared-prefix batched engine (`--xcheck`).
+//!
+//! The batched engine claims bit-identity with the classic per-run engine:
+//! same [`InjectionResult`]s, same deterministic telemetry counters, same
+//! commit streams. This module *proves* it for a concrete campaign, three
+//! ways:
+//!
+//! 1. **Substrate**: the golden capture is lockstep-verified against the
+//!    `avgi-refmodel` architectural interpreter — if the fault-free commit
+//!    stream is wrong, equality between two engines proves nothing.
+//! 2. **Campaign equality**: the same campaign runs once batched and once
+//!    with batching disabled, each with a fresh metrics collector; every
+//!    per-run observable and the deterministic telemetry counters must be
+//!    equal.
+//! 3. **Fork anatomy**: for a sample of faults, the carrier/fork execution
+//!    is replayed with full trace recording next to a classic pre-armed run
+//!    from reset, and the two commit streams are compared record-for-record
+//!    (cycle numbers included). The fault-free prefix of each stream —
+//!    everything before the first deviation — is additionally
+//!    lockstep-verified against the reference model via
+//!    [`avgi_refmodel::verify_trace_prefix`].
+//!
+//! Any disagreement is reported as a human-readable error string naming the
+//! fault and the first differing observable.
+
+use crate::campaign::{golden_for, run_campaign, CampaignConfig, CampaignResult};
+use crate::sampling::sample_faults;
+use crate::telemetry::MetricsCollector;
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Fault;
+use avgi_muarch::pipeline::Sim;
+use avgi_muarch::run::{RunControl, RunReport};
+use avgi_muarch::trace::GoldenRun;
+use avgi_workloads::Workload;
+use std::sync::Arc;
+
+/// Outcome of a clean cross-check (see [`run_xcheck`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XcheckReport {
+    /// Workload checked.
+    pub workload: String,
+    /// Injected runs compared between the batched and unbatched engines.
+    pub runs_compared: usize,
+    /// Whether the deterministic telemetry counters were byte-identical.
+    pub telemetry_identical: bool,
+    /// Faults whose fork execution was replayed trace-for-trace.
+    pub forks_traced: usize,
+    /// Fault-free prefix commits lockstep-verified against the reference
+    /// model across all traced forks.
+    pub prefix_commits_verified: u64,
+}
+
+impl std::fmt::Display for XcheckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "xcheck `{}`: {} runs bit-identical, telemetry identical, {} forks traced \
+             ({} prefix commits architecturally verified)",
+            self.workload, self.runs_compared, self.forks_traced, self.prefix_commits_verified
+        )
+    }
+}
+
+/// How many faults get the expensive full-trace fork replay.
+const TRACED_FORKS: usize = 8;
+
+/// Cross-checks the batched engine against the unbatched engine and the
+/// architectural reference model for one campaign configuration.
+///
+/// `ccfg.batch <= 1` is rejected: the check would compare the classic engine
+/// with itself. Observers on `ccfg` are replaced with fresh collectors (the
+/// comparison needs exclusive ones).
+pub fn run_xcheck(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+) -> Result<XcheckReport, String> {
+    if ccfg.batch <= 1 {
+        return Err("xcheck needs a batched configuration (batch > 1)".to_string());
+    }
+    // 1. Substrate: the golden stream itself must be architecturally right.
+    avgi_refmodel::verify_golden(&workload.program, golden)
+        .map_err(|d| format!("golden run of `{}` fails lockstep: {d}", workload.name))?;
+
+    // 2. Campaign equality, batched vs unbatched, telemetry included.
+    let batched_metrics = Arc::new(MetricsCollector::new());
+    let unbatched_metrics = Arc::new(MetricsCollector::new());
+    let mut batched_cfg = ccfg.clone().with_observer(batched_metrics.clone());
+    batched_cfg.verify_masked = false;
+    let unbatched_cfg = batched_cfg
+        .clone()
+        .with_batch(1)
+        .with_observer(unbatched_metrics.clone());
+    let batched = run_campaign(workload, cfg, golden, &batched_cfg);
+    let unbatched = run_campaign(workload, cfg, golden, &unbatched_cfg);
+    compare_campaigns(&batched, &unbatched)?;
+    let bt = batched_metrics.snapshot().deterministic_counters_json();
+    let ut = unbatched_metrics.snapshot().deterministic_counters_json();
+    if bt != ut {
+        return Err(format!(
+            "deterministic telemetry counters differ between engines:\n  batched:   {bt}\n  \
+             unbatched: {ut}"
+        ));
+    }
+
+    // 3. Fork anatomy: replay a sample of faults with full trace recording
+    // through both execution shapes and compare commit streams.
+    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    let step = (faults.len() / TRACED_FORKS).max(1);
+    let sample: Vec<Fault> = faults
+        .iter()
+        .step_by(step)
+        .take(TRACED_FORKS)
+        .copied()
+        .collect();
+    let mut prefix_commits = 0u64;
+    for &fault in &sample {
+        prefix_commits += trace_fork(workload, cfg, golden, ccfg, fault)?;
+    }
+
+    Ok(XcheckReport {
+        workload: workload.name.to_string(),
+        runs_compared: batched.results.len(),
+        telemetry_identical: true,
+        forks_traced: sample.len(),
+        prefix_commits_verified: prefix_commits,
+    })
+}
+
+/// Convenience wrapper capturing the golden run itself.
+pub fn run_xcheck_fresh(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    ccfg: &CampaignConfig,
+) -> Result<XcheckReport, String> {
+    let golden = golden_for(workload, cfg);
+    run_xcheck(workload, cfg, &golden, ccfg)
+}
+
+fn compare_campaigns(batched: &CampaignResult, unbatched: &CampaignResult) -> Result<(), String> {
+    if batched.results.len() != unbatched.results.len() {
+        return Err(format!(
+            "result counts differ: batched {} vs unbatched {}",
+            batched.results.len(),
+            unbatched.results.len()
+        ));
+    }
+    for (i, (b, u)) in batched.results.iter().zip(&unbatched.results).enumerate() {
+        if b != u {
+            return Err(format!(
+                "run #{i} differs between engines:\n  batched:   {b:?}\n  unbatched: {u:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replays one fault through both execution shapes with trace recording and
+/// compares every commit record, the outcome, cycles, and output bytes; the
+/// fault-free prefix is lockstep-verified against the reference model.
+fn trace_fork(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+    fault: Fault,
+) -> Result<u64, String> {
+    let ctl = RunControl {
+        max_cycles: 2 * golden.cycles + 20_000,
+        golden: Some(golden.clone()),
+        record_trace: true,
+        ..match ccfg.mode {
+            crate::campaign::RunMode::FirstDeviation { ert_window } => RunControl {
+                stop_at_first_deviation: true,
+                ert_window,
+                ..Default::default()
+            },
+            _ => RunControl::default(),
+        }
+    };
+
+    // Classic shape: fresh simulator, fault pre-armed at reset.
+    let mut classic = Sim::new(&workload.program, cfg.clone());
+    classic.inject(fault);
+    let classic_report = classic.run(&ctl);
+
+    // Batched shape: fault-free carrier to the beginning of the injection
+    // cycle, fork, arm, run.
+    let mut carrier = Sim::new(&workload.program, cfg.clone());
+    // The carrier records the prefix commits so the fork's stream spans the
+    // whole run, exactly like the classic run's.
+    let prefix_ctl = RunControl {
+        max_cycles: 2 * golden.cycles + 20_000,
+        golden: Some(golden.clone()),
+        record_trace: true,
+        ..Default::default()
+    };
+    if let Some(out) = carrier.run_to_cycle(fault.cycle, &prefix_ctl) {
+        return Err(format!(
+            "carrier terminated with {out:?} before injection cycle {} of fault {fault:?}",
+            fault.cycle
+        ));
+    }
+    let mut fork = carrier.clone();
+    fork.restore_from_sim(&carrier);
+    fork.inject(fault);
+    let fork_report = fork.run(&ctl);
+
+    compare_reports(&classic_report, &fork_report, &fault)?;
+
+    // Architectural check of the fault-free prefix: every commit before the
+    // first deviation must be the reference instruction stream.
+    let trace = fork_report.trace.as_ref().expect("record_trace set");
+    let prefix = fork_report
+        .first_deviation
+        .map_or(trace.len(), |d| d.index as usize);
+    avgi_refmodel::verify_trace_prefix(&workload.program, trace, prefix)
+        .map_err(|d| format!("fault {fault:?}: fault-free prefix fails lockstep: {d}"))
+}
+
+fn compare_reports(classic: &RunReport, fork: &RunReport, fault: &Fault) -> Result<(), String> {
+    if classic.outcome != fork.outcome {
+        return Err(format!(
+            "fault {fault:?}: outcome differs — classic {:?}, fork {:?}",
+            classic.outcome, fork.outcome
+        ));
+    }
+    if classic.cycles != fork.cycles {
+        return Err(format!(
+            "fault {fault:?}: cycle count differs — classic {}, fork {}",
+            classic.cycles, fork.cycles
+        ));
+    }
+    if classic.first_deviation != fork.first_deviation {
+        return Err(format!(
+            "fault {fault:?}: first deviation differs — classic {:?}, fork {:?}",
+            classic.first_deviation, fork.first_deviation
+        ));
+    }
+    if classic.output != fork.output {
+        return Err(format!("fault {fault:?}: output bytes differ"));
+    }
+    let (ct, ft) = (
+        classic.trace.as_ref().expect("record_trace set"),
+        fork.trace.as_ref().expect("record_trace set"),
+    );
+    if ct.len() != ft.len() {
+        return Err(format!(
+            "fault {fault:?}: commit stream lengths differ — classic {}, fork {}",
+            ct.len(),
+            ft.len()
+        ));
+    }
+    for (i, (c, f)) in ct.iter().zip(ft).enumerate() {
+        if c != f {
+            return Err(format!(
+                "fault {fault:?}: commit #{i} differs (cycle included) — classic {c:?}, fork {f:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::RunMode;
+    use avgi_muarch::fault::Structure;
+
+    #[test]
+    fn xcheck_passes_on_a_clean_campaign() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let ccfg = CampaignConfig::new(
+            Structure::RegFile,
+            24,
+            RunMode::FirstDeviation {
+                ert_window: Some(2_000),
+            },
+        );
+        let report = run_xcheck_fresh(&w, &cfg, &ccfg).expect("clean campaign must cross-check");
+        assert_eq!(report.runs_compared, 24);
+        assert!(report.telemetry_identical);
+        assert!(report.forks_traced > 0);
+        assert!(report.prefix_commits_verified > 0);
+    }
+
+    #[test]
+    fn xcheck_rejects_unbatched_configs() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let ccfg = CampaignConfig::new(Structure::RegFile, 4, RunMode::EndToEnd).with_batch(1);
+        assert!(run_xcheck_fresh(&w, &cfg, &ccfg).is_err());
+    }
+}

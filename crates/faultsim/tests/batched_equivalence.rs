@@ -1,0 +1,124 @@
+//! Property test: the shared-prefix batched engine is *observationally
+//! invisible*. Over random fault sets, every combination of worker threads
+//! ∈ {1, 4} and batch size ∈ {1, 8, 64} must produce:
+//!
+//! * the same [`CampaignResult`] records, in fault order,
+//! * the same deterministic telemetry counters, and
+//! * the same journal records (compared as a sorted-line CRC — worker
+//!   threads race for units, so on-disk record *order* is scheduling-
+//!   dependent, but the record *set* is pinned; the header line is skipped
+//!   because the campaign key legitimately includes the thread count).
+//!
+//! `batch = 1` disables batching entirely, so the batched engine is held to
+//! the classic engine across both axes at once.
+
+use avgi_faultsim::journal::crc32;
+use avgi_faultsim::telemetry::MetricsCollector;
+use avgi_faultsim::{run_campaign_journaled, CampaignConfig, CampaignResult, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::Structure;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const FAULTS: usize = 24;
+const THREADS: [usize; 2] = [1, 4];
+const BATCHES: [usize; 3] = [1, 8, 64];
+
+struct Fixture {
+    w: avgi_workloads::Workload,
+    cfg: MuarchConfig,
+    golden: Arc<avgi_muarch::trace::GoldenRun>,
+}
+
+fn fixture() -> Fixture {
+    let w = avgi_workloads::by_name("bitcount").unwrap();
+    let cfg = MuarchConfig::big();
+    let golden = avgi_faultsim::golden_for(&w, &cfg);
+    Fixture { w, cfg, golden }
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("avgi-batcheq-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Everything a campaign exposes to the outside world.
+struct Observables {
+    result: CampaignResult,
+    counters: String,
+    journal_hash: u32,
+}
+
+fn observe(f: &Fixture, base: &CampaignConfig, threads: usize, batch: usize) -> Observables {
+    let metrics = Arc::new(MetricsCollector::new());
+    let ccfg = CampaignConfig {
+        threads,
+        ..base.clone()
+    }
+    .with_batch(batch)
+    .with_observer(metrics.clone());
+    let path = tmp_path(&format!(
+        "{:?}-{}-t{threads}-b{batch}",
+        base.structure, base.seed
+    ));
+    let _ = std::fs::remove_file(&path);
+    let result = run_campaign_journaled(&f.w, &f.cfg, &f.golden, &ccfg, &path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let mut records: Vec<&str> = text.lines().skip(1).collect();
+    assert_eq!(records.len(), FAULTS, "one journal record per fault");
+    records.sort_unstable();
+    Observables {
+        result,
+        counters: metrics.snapshot().deterministic_counters_json(),
+        journal_hash: crc32(records.join("\n").as_bytes()),
+    }
+}
+
+fn assert_grid_identical(f: &Fixture, base: &CampaignConfig) {
+    let reference = observe(f, base, 1, 1);
+    assert_eq!(reference.result.len(), FAULTS);
+    for threads in THREADS {
+        for batch in BATCHES {
+            if (threads, batch) == (1, 1) {
+                continue;
+            }
+            let v = observe(f, base, threads, batch);
+            assert_eq!(
+                v.result.results, reference.result.results,
+                "results differ at threads={threads} batch={batch} (seed {:#x}, {:?})",
+                base.seed, base.structure
+            );
+            assert_eq!(
+                v.counters, reference.counters,
+                "telemetry counters differ at threads={threads} batch={batch}"
+            );
+            assert_eq!(
+                v.journal_hash, reference.journal_hash,
+                "journal records differ at threads={threads} batch={batch}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_engine_is_observationally_identical_in_production_mode() {
+    let f = fixture();
+    for seed in [0xA1u64, 0x5EED_0002] {
+        let base = CampaignConfig::new(
+            Structure::RegFile,
+            FAULTS,
+            RunMode::FirstDeviation {
+                ert_window: Some(2_000),
+            },
+        )
+        .with_seed(seed);
+        assert_grid_identical(&f, &base);
+    }
+}
+
+#[test]
+fn batched_engine_is_observationally_identical_end_to_end_on_the_rob() {
+    let f = fixture();
+    let base = CampaignConfig::new(Structure::Rob, FAULTS, RunMode::EndToEnd).with_seed(0xC3);
+    assert_grid_identical(&f, &base);
+}

@@ -34,13 +34,17 @@ const FLAG_STORE: u8 = 0b0010;
 const FLAG_CONTROL: u8 = 0b0100;
 const FLAG_WRITES: u8 = 0b1000;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EntryState {
-    InIq,
-    Executing,
-    Done,
-}
+/// ROB entry lifecycle states, stored in the dense `rob_state` byte array
+/// (struct-of-arrays) so the per-cycle writeback walk reads one byte per
+/// entry instead of striding through full payload structs.
+const ST_IN_IQ: u8 = 0;
+const ST_EXECUTING: u8 = 1;
+const ST_DONE: u8 = 2;
 
+/// Cold ROB payload. The two fields the per-cycle loops actually poll —
+/// lifecycle state and finish cycle — live in the parallel `rob_state` /
+/// `rob_finish` arrays on [`Sim`]; slot validity is defined by the ring
+/// bounds `[rob_head, rob_head + rob_count)`, not by an `Option` wrapper.
 #[derive(Debug, Clone, Copy)]
 struct RobEntry {
     seq: u64,
@@ -48,8 +52,6 @@ struct RobEntry {
     raw: u32,
     decoded: Option<Instr>,
     exception: Option<TrapKind>,
-    state: EntryState,
-    finish_cycle: u64,
     dest_arch: u8,
     new_phys: PhysReg,
     prev_phys: PhysReg,
@@ -58,12 +60,45 @@ struct RobEntry {
     is_load: bool,
     is_store: bool,
     is_control: bool,
+    /// LQ/SQ ring slot of this instruction (loads/stores only), recorded at
+    /// dispatch so resolution never has to scan the queues for a sequence
+    /// number.
+    lq_slot: u8,
+    sq_slot: u8,
     predicted_next: u32,
     actual_next: u32,
     resolved_control: bool,
     taken: bool,
     ea: u32,
     val: u32,
+}
+
+impl RobEntry {
+    const fn blank() -> Self {
+        RobEntry {
+            seq: 0,
+            pc: 0,
+            raw: 0,
+            decoded: None,
+            exception: None,
+            dest_arch: NO_DEST,
+            new_phys: 0,
+            prev_phys: 0,
+            src1: None,
+            src2: None,
+            is_load: false,
+            is_store: false,
+            is_control: false,
+            lq_slot: 0,
+            sq_slot: 0,
+            predicted_next: 0,
+            actual_next: 0,
+            resolved_control: false,
+            taken: false,
+            ea: 0,
+            val: 0,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +126,64 @@ struct Fetched {
     predicted_next: u32,
 }
 
+/// The growable per-run buffers, grouped into one arena-style unit with a
+/// generation counter.
+///
+/// Rewinding a scratch simulator used to reset these with a cascade of
+/// independent `clear()`/`extend()` calls scattered through `restore_from`;
+/// they now reset as a single bump: [`RunScratch::rewind_to`] advances the
+/// generation and refills every buffer in one place (each reset is an O(1)
+/// length reset plus a copy of only the *live* content). The generation
+/// stamps ROB slots at dispatch, so any index that leaks across a rewind
+/// (a stale issue-queue or decode-queue reference) trips a debug assertion
+/// instead of silently reading a previous run's state.
+#[derive(Debug, Clone)]
+struct RunScratch {
+    /// Bumped on every rewind; compared against `rob_stamp` at use sites.
+    gen: u64,
+    decode_q: VecDeque<Fetched>,
+    iq: Vec<usize>,
+    trace: Vec<CommitRecord>,
+    pending_faults: Vec<Fault>, // sorted by cycle, ascending
+}
+
+impl RunScratch {
+    fn new(cfg: &MuarchConfig) -> Self {
+        RunScratch {
+            gen: 0,
+            decode_q: VecDeque::with_capacity(2 * cfg.fetch_width as usize + 2),
+            iq: Vec::with_capacity(cfg.iq_entries as usize),
+            trace: Vec::new(),
+            pending_faults: Vec::new(),
+        }
+    }
+
+    /// The single bump-reset: invalidate everything from the previous run,
+    /// then adopt `src`'s live content.
+    fn rewind_to(&mut self, src: &RunScratch) {
+        self.gen += 1;
+        self.decode_q.clear();
+        self.decode_q.extend(src.decode_q.iter().copied());
+        self.iq.clear();
+        self.iq.extend_from_slice(&src.iq);
+        self.trace.clear();
+        self.trace.extend_from_slice(&src.trace);
+        self.pending_faults.clear();
+        self.pending_faults.extend_from_slice(&src.pending_faults);
+    }
+}
+
+/// Copies the live ring region `[head, head + count)` (wrapping) from `src`
+/// into `dst`, leaving dead slots untouched — restore cost scales with
+/// occupancy, not capacity.
+fn copy_ring<T: Copy>(dst: &mut [T], src: &[T], head: usize, count: usize) {
+    debug_assert_eq!(dst.len(), src.len());
+    let first = count.min(src.len() - head);
+    dst[head..head + first].copy_from_slice(&src[head..head + first]);
+    let rest = count - first;
+    dst[..rest].copy_from_slice(&src[..rest]);
+}
+
 /// The simulator: one core, one program, one run.
 ///
 /// Construct with [`Sim::new`], optionally arm faults with
@@ -109,22 +202,27 @@ pub struct Sim {
     fetch_pc: u32,
     fetch_ready_cycle: u64,
     fetch_paused: bool,
-    decode_q: VecDeque<Fetched>,
 
-    // Rename + backend.
+    // Rename + backend, struct-of-arrays: the per-cycle scans poll the
+    // dense `rob_state`/`rob_finish` arrays; the payload vector is only
+    // touched for entries that actually change state this cycle. Ring
+    // bounds define validity (no `Option` wrappers); `rob_stamp` carries
+    // the run-scratch generation for stale-index detection.
     rf: RegFile,
-    rob: Vec<Option<RobEntry>>,
+    rob: Vec<RobEntry>,
+    rob_state: Vec<u8>,
+    rob_finish: Vec<u64>,
+    rob_stamp: Vec<u64>,
     rob_head: usize,
     rob_tail: usize,
     rob_count: usize,
     rob_img: QueueArray,
-    iq: Vec<usize>,
-    lq: Vec<Option<LqShadow>>,
+    lq: Vec<LqShadow>,
     lq_head: usize,
     lq_tail: usize,
     lq_count: usize,
     lq_img: QueueArray,
-    sq: Vec<Option<SqShadow>>,
+    sq: Vec<SqShadow>,
     sq_head: usize,
     sq_tail: usize,
     sq_count: usize,
@@ -144,21 +242,24 @@ pub struct Sim {
     output_len: u32,
 
     // Fault injection.
-    pending_faults: Vec<Fault>, // sorted by cycle, ascending
-    faults_next: usize,         // cursor into `pending_faults` (applied prefix)
+    faults_next: usize, // cursor into `scratch.pending_faults` (applied prefix)
     first_inject_cycle: Option<u64>,
     faults_applied: bool,
 
     // Snapshot id this scratch simulator was last synchronised with (gates
-    // the journaled O(dirty) cache restore in [`Sim::restore_from`]).
+    // the journaled O(dirty) cache and memory restores in
+    // [`Sim::restore_from`]).
     scratch_base: Option<u64>,
 
     // Tracing.
-    trace: Vec<CommitRecord>,
     commit_index: u64,
     first_deviation: Option<Deviation>,
 
     stats: ExecStats,
+
+    // Per-run growable buffers (decode queue, issue queue, trace, armed
+    // faults), reset as one unit — see [`RunScratch`].
+    scratch: RunScratch,
 }
 
 impl Sim {
@@ -172,20 +273,37 @@ impl Sim {
             fetch_pc: program.entry,
             fetch_ready_cycle: 0,
             fetch_paused: false,
-            decode_q: VecDeque::with_capacity(2 * cfg.fetch_width as usize + 2),
             rf: RegFile::new(cfg.phys_regs),
-            rob: vec![None; cfg.rob_entries as usize],
+            rob: vec![RobEntry::blank(); cfg.rob_entries as usize],
+            rob_state: vec![ST_IN_IQ; cfg.rob_entries as usize],
+            rob_finish: vec![0; cfg.rob_entries as usize],
+            rob_stamp: vec![0; cfg.rob_entries as usize],
             rob_head: 0,
             rob_tail: 0,
             rob_count: 0,
             rob_img: QueueArray::new(cfg.rob_entries, ROB_ENTRY_BITS),
-            iq: Vec::with_capacity(cfg.iq_entries as usize),
-            lq: vec![None; cfg.lq_entries as usize],
+            lq: vec![
+                LqShadow {
+                    seq: 0,
+                    resolved: false,
+                    paddr: 0
+                };
+                cfg.lq_entries as usize
+            ],
             lq_head: 0,
             lq_tail: 0,
             lq_count: 0,
             lq_img: QueueArray::new(cfg.lq_entries, LQ_ENTRY_BITS),
-            sq: vec![None; cfg.sq_entries as usize],
+            sq: vec![
+                SqShadow {
+                    seq: 0,
+                    resolved: false,
+                    paddr: 0,
+                    size: 0,
+                    data: 0
+                };
+                cfg.sq_entries as usize
+            ],
             sq_head: 0,
             sq_tail: 0,
             sq_count: 0,
@@ -199,15 +317,14 @@ impl Sim {
             pred: Predictor::new(cfg.predictor_entries, cfg.btb_entries),
             output_addr: program.output_addr,
             output_len: program.output_len,
-            pending_faults: Vec::new(),
             faults_next: 0,
             first_inject_cycle: None,
             faults_applied: false,
             scratch_base: None,
-            trace: Vec::new(),
             commit_index: 0,
             first_deviation: None,
             stats: ExecStats::default(),
+            scratch: RunScratch::new(&cfg),
             cfg,
         }
     }
@@ -229,10 +346,11 @@ impl Sim {
         // unapplied fault is later than this one and inserting at the cursor
         // preserves order.
         let pos = self
+            .scratch
             .pending_faults
             .partition_point(|f| f.cycle <= fault.cycle)
             .max(self.faults_next);
-        self.pending_faults.insert(pos, fault);
+        self.scratch.pending_faults.insert(pos, fault);
     }
 
     /// Runs to completion under `ctl` and reports.
@@ -253,7 +371,9 @@ impl Sim {
             cycles: self.cycle,
             first_deviation: self.first_deviation,
             output,
-            trace: ctl.record_trace.then(|| core::mem::take(&mut self.trace)),
+            trace: ctl
+                .record_trace
+                .then(|| core::mem::take(&mut self.scratch.trace)),
             inject_cycle: self.first_inject_cycle,
             stats: self.stats,
         }
@@ -324,14 +444,14 @@ impl Sim {
     // ----- fault application -----
 
     fn apply_due_faults(&mut self) {
-        while let Some(&f) = self.pending_faults.get(self.faults_next) {
+        while let Some(&f) = self.scratch.pending_faults.get(self.faults_next) {
             if f.cycle > self.cycle {
                 break;
             }
             self.faults_next += 1;
             self.flip(f.site.structure, f.site.bit);
         }
-        if self.faults_next == self.pending_faults.len() {
+        if self.faults_next == self.scratch.pending_faults.len() {
             self.faults_applied = true;
         }
     }
@@ -491,12 +611,12 @@ impl Sim {
         }
         let cap = 2 * self.cfg.fetch_width as usize + 2;
         for _ in 0..self.cfg.fetch_width {
-            if self.decode_q.len() >= cap {
+            if self.scratch.decode_q.len() >= cap {
                 break;
             }
             let pc = self.fetch_pc;
             if let Err(f) = self.mem.check_fetch(pc) {
-                self.decode_q.push_back(Fetched {
+                self.scratch.decode_q.push_back(Fetched {
                     pc,
                     raw: 0,
                     decoded: None,
@@ -520,7 +640,7 @@ impl Sim {
                 }
             };
             if u64::from(paddr) + 4 > u64::from(crate::mem::MEM_SIZE) {
-                self.decode_q.push_back(Fetched {
+                self.scratch.decode_q.push_back(Fetched {
                     pc,
                     raw: 0,
                     decoded: None,
@@ -539,7 +659,7 @@ impl Sim {
             match decode(raw) {
                 Ok(instr) => {
                     let (next, end_group) = self.predict_next(pc, &instr);
-                    self.decode_q.push_back(Fetched {
+                    self.scratch.decode_q.push_back(Fetched {
                         pc,
                         raw,
                         decoded: Some(instr),
@@ -556,7 +676,7 @@ impl Sim {
                     }
                 }
                 Err(_) => {
-                    self.decode_q.push_back(Fetched {
+                    self.scratch.decode_q.push_back(Fetched {
                         pc,
                         raw,
                         decoded: None,
@@ -597,7 +717,7 @@ impl Sim {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            let Some(front) = self.decode_q.front() else {
+            let Some(front) = self.scratch.decode_q.front() else {
                 break;
             };
             if self.rob_full() {
@@ -607,7 +727,7 @@ impl Sim {
                 .decoded
                 .as_ref()
                 .is_some_and(|i| !matches!(i.op, Opcode::Nop | Opcode::Halt));
-            if needs_exec && self.iq.len() >= self.cfg.iq_entries as usize {
+            if needs_exec && self.scratch.iq.len() >= self.cfg.iq_entries as usize {
                 break;
             }
             let (is_load, is_store, writes, is_control) = match &front.decoded {
@@ -628,7 +748,7 @@ impl Sim {
             if writes && self.rf.free_count() == 0 {
                 break;
             }
-            let f = self.decode_q.pop_front().expect("checked front");
+            let f = self.scratch.decode_q.pop_front().expect("checked front");
             let seq = self.seq_next;
             self.seq_next += 1;
 
@@ -665,23 +785,27 @@ impl Sim {
             self.rob_tail = (self.rob_tail + 1) % self.rob.len();
             self.rob_count += 1;
 
+            let mut lq_slot = 0u8;
+            let mut sq_slot = 0u8;
             if is_load {
-                self.lq[self.lq_tail] = Some(LqShadow {
+                lq_slot = self.lq_tail as u8;
+                self.lq[self.lq_tail] = LqShadow {
                     seq,
                     resolved: false,
                     paddr: 0,
-                });
+                };
                 self.lq_tail = (self.lq_tail + 1) % self.lq.len();
                 self.lq_count += 1;
             }
             if is_store {
-                self.sq[self.sq_tail] = Some(SqShadow {
+                sq_slot = self.sq_tail as u8;
+                self.sq[self.sq_tail] = SqShadow {
                     seq,
                     resolved: false,
                     paddr: 0,
                     size: 0,
                     data: 0,
-                });
+                };
                 self.sq_tail = (self.sq_tail + 1) % self.sq.len();
                 self.sq_count += 1;
             }
@@ -705,18 +829,12 @@ impl Sim {
             );
 
             let done_now = !needs_exec;
-            self.rob[ridx] = Some(RobEntry {
+            self.rob[ridx] = RobEntry {
                 seq,
                 pc: f.pc,
                 raw: f.raw,
                 decoded: f.decoded,
                 exception: f.exception,
-                state: if done_now {
-                    EntryState::Done
-                } else {
-                    EntryState::InIq
-                },
-                finish_cycle: self.cycle,
                 dest_arch: if writes { dest_arch } else { NO_DEST },
                 new_phys,
                 prev_phys,
@@ -725,15 +843,20 @@ impl Sim {
                 is_load,
                 is_store,
                 is_control,
+                lq_slot,
+                sq_slot,
                 predicted_next: f.predicted_next,
                 actual_next: 0,
                 resolved_control: false,
                 taken: false,
                 ea: 0,
                 val: 0,
-            });
+            };
+            self.rob_state[ridx] = if done_now { ST_DONE } else { ST_IN_IQ };
+            self.rob_finish[ridx] = self.cycle;
+            self.rob_stamp[ridx] = self.scratch.gen;
             if !done_now {
-                self.iq.push(ridx);
+                self.scratch.iq.push(ridx);
             }
         }
     }
@@ -741,17 +864,22 @@ impl Sim {
     // ----- issue / execute -----
 
     fn issue(&mut self) {
-        let mut issued = 0;
-        let mut i = 0;
-        while i < self.iq.len() && issued < self.cfg.issue_width {
-            let ridx = self.iq[i];
-            if self.try_issue(ridx) {
-                self.iq.remove(i);
+        // Order-preserving in-place compaction: the first `issue_width` ready
+        // entries (in age order) issue and drop out; everything else shifts
+        // down without the O(n) `Vec::remove` churn of the old loop.
+        let mut issued = 0u32;
+        let mut w = 0;
+        let len = self.scratch.iq.len();
+        for r in 0..len {
+            let ridx = self.scratch.iq[r];
+            if issued < self.cfg.issue_width && self.try_issue(ridx) {
                 issued += 1;
             } else {
-                i += 1;
+                self.scratch.iq[w] = ridx;
+                w += 1;
             }
         }
+        self.scratch.iq.truncate(w);
     }
 
     fn operand(&mut self, p: Option<PhysReg>) -> Option<u32> {
@@ -769,7 +897,11 @@ impl Sim {
 
     fn try_issue(&mut self, ridx: usize) -> bool {
         let (seq, instr, pc, src1, src2) = {
-            let e = self.rob[ridx].as_ref().expect("iq entry valid");
+            debug_assert_eq!(
+                self.rob_stamp[ridx], self.scratch.gen,
+                "stale issue-queue index crossed a scratch rewind"
+            );
+            let e = &self.rob[ridx];
             (
                 e.seq,
                 e.decoded.expect("iq entries decode"),
@@ -808,12 +940,12 @@ impl Sim {
                 } else {
                     pc.wrapping_add(4)
                 };
-                let e = self.rob[ridx].as_mut().expect("valid");
+                let e = &mut self.rob[ridx];
                 e.taken = taken;
                 e.actual_next = target;
                 e.resolved_control = true;
-                e.state = EntryState::Executing;
-                e.finish_cycle = self.cycle + self.cfg.lat.alu;
+                self.rob_state[ridx] = ST_EXECUTING;
+                self.rob_finish[ridx] = self.cycle + self.cfg.lat.alu;
                 true
             }
             op => {
@@ -823,23 +955,22 @@ impl Sim {
                     b
                 };
                 let val = exec::alu(op, a, operand_b).expect("alu op");
-                let e = self.rob[ridx].as_mut().expect("valid");
-                e.val = val;
-                e.state = EntryState::Executing;
-                e.finish_cycle = self.cycle + exec::latency(op, &self.cfg.lat);
+                self.rob[ridx].val = val;
+                self.rob_state[ridx] = ST_EXECUTING;
+                self.rob_finish[ridx] = self.cycle + exec::latency(op, &self.cfg.lat);
                 true
             }
         }
     }
 
     fn finish_control(&mut self, ridx: usize, target: u32, taken: bool, link: u32) {
-        let e = self.rob[ridx].as_mut().expect("valid");
+        let e = &mut self.rob[ridx];
         e.taken = taken;
         e.actual_next = target;
         e.resolved_control = true;
         e.val = link;
-        e.state = EntryState::Executing;
-        e.finish_cycle = self.cycle + self.cfg.lat.alu;
+        self.rob_state[ridx] = ST_EXECUTING;
+        self.rob_finish[ridx] = self.cycle + self.cfg.lat.alu;
     }
 
     fn mem_size(op: Opcode) -> u32 {
@@ -924,18 +1055,18 @@ impl Sim {
                 Self::extend_load(instr.op, raw)
             }
         };
-        // Resolve the LQ entry (shadow + injectable image).
-        let lqi = self.lq_index_of(seq).expect("load has LQ entry");
-        if let Some(sh) = self.lq[lqi].as_mut() {
-            sh.resolved = true;
-            sh.paddr = paddr;
-        }
+        // Resolve the LQ entry (shadow + injectable image) via the slot index
+        // recorded at dispatch — no seq scan.
+        let lqi = usize::from(self.rob[ridx].lq_slot);
+        debug_assert_eq!(self.lq[lqi].seq, seq, "LQ slot/seq mismatch");
+        self.lq[lqi].resolved = true;
+        self.lq[lqi].paddr = paddr;
         self.lq_img.write(lqi, pack_lq(paddr, seq as u16));
-        let e = self.rob[ridx].as_mut().expect("valid");
+        let e = &mut self.rob[ridx];
         e.ea = vaddr;
         e.val = val;
-        e.state = EntryState::Executing;
-        e.finish_cycle = self.cycle + lat.max(1);
+        self.rob_state[ridx] = ST_EXECUTING;
+        self.rob_finish[ridx] = self.cycle + lat.max(1);
         true
     }
 
@@ -967,60 +1098,36 @@ impl Sim {
             2 => data & 0xFFFF,
             _ => data,
         };
-        let sqi = self.sq_index_of(seq).expect("store has SQ entry");
-        if let Some(sh) = self.sq[sqi].as_mut() {
-            sh.resolved = true;
-            sh.paddr = paddr;
-            sh.size = size as u8;
-            sh.data = masked;
-        }
+        let sqi = usize::from(self.rob[ridx].sq_slot);
+        debug_assert_eq!(self.sq[sqi].seq, seq, "SQ slot/seq mismatch");
+        let sh = &mut self.sq[sqi];
+        sh.resolved = true;
+        sh.paddr = paddr;
+        sh.size = size as u8;
+        sh.data = masked;
         self.sq_img.write(sqi, pack_sq(paddr, masked, seq as u16));
-        let e = self.rob[ridx].as_mut().expect("valid");
+        let e = &mut self.rob[ridx];
         e.ea = vaddr;
         e.val = masked;
-        e.state = EntryState::Executing;
-        e.finish_cycle = self.cycle + (lat + self.cfg.lat.alu).max(1);
+        self.rob_state[ridx] = ST_EXECUTING;
+        self.rob_finish[ridx] = self.cycle + (lat + self.cfg.lat.alu).max(1);
         true
     }
 
     fn complete_with_exception(&mut self, ridx: usize, ea: u32, t: TrapKind) -> bool {
-        let e = self.rob[ridx].as_mut().expect("valid");
+        let e = &mut self.rob[ridx];
         e.ea = ea;
         e.exception = Some(t);
-        e.state = EntryState::Done;
+        self.rob_state[ridx] = ST_DONE;
         true
     }
 
     fn for_each_sq(&self, mut f: impl FnMut(&SqShadow)) {
         let mut i = self.sq_head;
         for _ in 0..self.sq_count {
-            if let Some(s) = &self.sq[i] {
-                f(s);
-            }
+            f(&self.sq[i]);
             i = (i + 1) % self.sq.len();
         }
-    }
-
-    fn lq_index_of(&self, seq: u64) -> Option<usize> {
-        let mut i = self.lq_head;
-        for _ in 0..self.lq_count {
-            if self.lq[i].is_some_and(|s| s.seq == seq) {
-                return Some(i);
-            }
-            i = (i + 1) % self.lq.len();
-        }
-        None
-    }
-
-    fn sq_index_of(&self, seq: u64) -> Option<usize> {
-        let mut i = self.sq_head;
-        for _ in 0..self.sq_count {
-            if self.sq[i].is_some_and(|s| s.seq == seq) {
-                return Some(i);
-            }
-            i = (i + 1) % self.sq.len();
-        }
-        None
     }
 
     // ----- writeback / control resolution -----
@@ -1028,18 +1135,16 @@ impl Sim {
     fn writeback(&mut self) -> Option<RunOutcome> {
         // Walk the ROB head→tail (oldest first) so the oldest mispredicted
         // branch squashes before younger ones resolve.
+        // The hot poll reads only the dense state/finish byte arrays; the
+        // payload vector is touched just for entries finishing this cycle.
         let mut i = self.rob_head;
+        let len = self.rob.len();
         for _ in 0..self.rob_count {
-            let finish = {
-                let Some(e) = &self.rob[i] else { break };
-                e.state == EntryState::Executing && e.finish_cycle <= self.cycle
-            };
-            if finish {
-                let (dest, new_phys, val, is_control) = {
-                    let e = self.rob[i].as_mut().expect("valid");
-                    e.state = EntryState::Done;
-                    (e.dest_arch, e.new_phys, e.val, e.is_control)
-                };
+            if self.rob_state[i] == ST_EXECUTING && self.rob_finish[i] <= self.cycle {
+                self.rob_state[i] = ST_DONE;
+                let e = &self.rob[i];
+                let (dest, new_phys, val, is_control) =
+                    (e.dest_arch, e.new_phys, e.val, e.is_control);
                 if dest != NO_DEST {
                     self.rf.write_at(new_phys, val, self.cycle);
                 }
@@ -1048,7 +1153,10 @@ impl Sim {
                     return None;
                 }
             }
-            i = (i + 1) % self.rob.len();
+            i += 1;
+            if i == len {
+                i = 0;
+            }
         }
         None
     }
@@ -1057,7 +1165,7 @@ impl Sim {
     /// Returns `true` if a squash happened.
     fn resolve_control(&mut self, ridx: usize) -> bool {
         let (pc, op, taken, actual_next, predicted_next, seq) = {
-            let e = self.rob[ridx].as_ref().expect("valid");
+            let e = &self.rob[ridx];
             let op = e.decoded.expect("control decodes").op;
             (e.pc, op, e.taken, e.actual_next, e.predicted_next, e.seq)
         };
@@ -1073,7 +1181,7 @@ impl Sim {
             self.fetch_pc = actual_next;
             self.fetch_ready_cycle = self.cycle + self.cfg.lat.redirect;
             self.fetch_paused = false;
-            self.decode_q.clear();
+            self.scratch.decode_q.clear();
             true
         } else {
             false
@@ -1083,11 +1191,10 @@ impl Sim {
     fn squash_younger_than(&mut self, seq: u64) {
         while self.rob_count > 0 {
             let tail_prev = (self.rob_tail + self.rob.len() - 1) % self.rob.len();
-            let Some(e) = &self.rob[tail_prev] else { break };
+            let e = self.rob[tail_prev];
             if e.seq <= seq {
                 break;
             }
-            let e = self.rob[tail_prev].take().expect("valid");
             self.rob_tail = tail_prev;
             self.rob_count -= 1;
             self.stats.squashed += 1;
@@ -1097,19 +1204,17 @@ impl Sim {
             }
             if e.is_load && self.lq_count > 0 {
                 let t = (self.lq_tail + self.lq.len() - 1) % self.lq.len();
-                debug_assert!(self.lq[t].is_some_and(|s| s.seq == e.seq));
-                self.lq[t] = None;
+                debug_assert_eq!(self.lq[t].seq, e.seq);
                 self.lq_tail = t;
                 self.lq_count -= 1;
             }
             if e.is_store && self.sq_count > 0 {
                 let t = (self.sq_tail + self.sq.len() - 1) % self.sq.len();
-                debug_assert!(self.sq[t].is_some_and(|s| s.seq == e.seq));
-                self.sq[t] = None;
+                debug_assert_eq!(self.sq[t].seq, e.seq);
                 self.sq_tail = t;
                 self.sq_count -= 1;
             }
-            self.iq.retain(|&r| r != tail_prev);
+            self.scratch.iq.retain(|&r| r != tail_prev);
         }
     }
 
@@ -1118,17 +1223,10 @@ impl Sim {
     fn commit(&mut self, ctl: &RunControl) -> Option<RunOutcome> {
         for _ in 0..self.cfg.commit_width {
             let head = self.rob_head;
-            let done = {
-                let e = self.rob.get(head).and_then(|e| e.as_ref())?;
-                if self.rob_count == 0 {
-                    return None;
-                }
-                e.state == EntryState::Done
-            };
-            if !done {
+            if self.rob_count == 0 || self.rob_state[head] != ST_DONE {
                 return None;
             }
-            let e = self.rob[head].expect("checked");
+            let e = self.rob[head];
 
             // Commit-side integrity checks: the injectable entry images must
             // match the authoritative shadow state (the paper's `PRE`
@@ -1161,7 +1259,7 @@ impl Sim {
             }
             if e.is_load && e.exception.is_none() {
                 let lqi = self.lq_head;
-                let sh = self.lq[lqi].expect("load LQ shadow at head");
+                let sh = self.lq[lqi];
                 debug_assert_eq!(sh.seq, e.seq);
                 if sh.resolved && !self.lq_img.matches(lqi, pack_lq(sh.paddr, sh.seq as u16)) {
                     return Some(RunOutcome::IntegrityViolation(Structure::Lq));
@@ -1169,7 +1267,7 @@ impl Sim {
             }
             if e.is_store && e.exception.is_none() {
                 let sqi = self.sq_head;
-                let sh = self.sq[sqi].expect("store SQ shadow at head");
+                let sh = self.sq[sqi];
                 debug_assert_eq!(sh.seq, e.seq);
                 if sh.resolved
                     && !self
@@ -1196,14 +1294,12 @@ impl Sim {
             }
 
             if e.is_store {
-                let sh = self.sq[self.sq_head].expect("resolved store");
+                let sh = self.sq[self.sq_head];
                 self.write_data(sh.paddr, u32::from(sh.size), sh.data);
-                self.sq[self.sq_head] = None;
                 self.sq_head = (self.sq_head + 1) % self.sq.len();
                 self.sq_count -= 1;
             }
             if e.is_load {
-                self.lq[self.lq_head] = None;
                 self.lq_head = (self.lq_head + 1) % self.lq.len();
                 self.lq_count -= 1;
             }
@@ -1214,7 +1310,6 @@ impl Sim {
             if e.dest_arch != NO_DEST {
                 self.rf.release(e.prev_phys);
             }
-            self.rob[head] = None;
             self.rob_head = (head + 1) % self.rob.len();
             self.rob_count -= 1;
 
@@ -1227,7 +1322,7 @@ impl Sim {
 
     fn record_commit(&mut self, rec: CommitRecord, ctl: &RunControl) {
         if ctl.record_trace {
-            self.trace.push(rec);
+            self.scratch.trace.push(rec);
         }
         if self.first_deviation.is_none() {
             if let Some(golden) = &ctl.golden {
@@ -1282,7 +1377,7 @@ impl Sim {
 
     /// Reserves trace capacity ahead of a trace-recording run.
     pub fn reserve_trace(&mut self, n: usize) {
-        self.trace.reserve(n);
+        self.scratch.trace.reserve(n);
     }
 
     /// Rewinds this simulator to `snap`'s state in place, reusing every
@@ -1296,38 +1391,81 @@ impl Sim {
     /// copy when switching checkpoints. A restored simulator behaves
     /// bit-identically to a fresh `snap.spawn()`.
     pub fn restore_from(&mut self, snap: &Snapshot) {
-        let src = &snap.sim;
+        let same_base = self.scratch_base == Some(snap.id);
+        self.restore_impl(&snap.sim, same_base);
+        self.scratch_base = Some(snap.id);
+    }
+
+    /// Rewinds this simulator to the state of another *live* simulator —
+    /// the shared-prefix fork primitive: a campaign batch advances one
+    /// fault-free carrier, then forks each injected run off it at its
+    /// injection cycle.
+    ///
+    /// There is no snapshot id to certify the dirty-line and dirty-page
+    /// journals against, so caches and memory take the full (still
+    /// allocation-free) restore path; subsequent [`Sim::restore_from`]
+    /// calls also fall back to full copies until re-based on a snapshot.
+    pub fn restore_from_sim(&mut self, src: &Sim) {
+        self.restore_impl(src, false);
+        self.scratch_base = None;
+    }
+
+    fn restore_impl(&mut self, src: &Sim, same_base: bool) {
         debug_assert_eq!(
             self.rob.len(),
             src.rob.len(),
-            "restore_from across different configurations"
+            "restore across different configurations"
         );
         self.cycle = src.cycle;
         self.seq_next = src.seq_next;
         self.fetch_pc = src.fetch_pc;
         self.fetch_ready_cycle = src.fetch_ready_cycle;
         self.fetch_paused = src.fetch_paused;
-        self.decode_q.clear();
-        self.decode_q.extend(src.decode_q.iter().copied());
+        // One bump-reset for every growable per-run buffer; the generation
+        // bump invalidates any ROB index that survives the rewind.
+        self.scratch.rewind_to(&src.scratch);
         self.rf.restore_from(&src.rf);
-        self.rob.copy_from_slice(&src.rob);
+        // Shadow queues: copy only the live ring region — dead slots are
+        // never read (validity is defined by the ring bounds), so restore
+        // cost scales with occupancy. The injectable images stay full-copy:
+        // faults may land in architecturally-free slots.
+        copy_ring(&mut self.rob, &src.rob, src.rob_head, src.rob_count);
+        copy_ring(
+            &mut self.rob_state,
+            &src.rob_state,
+            src.rob_head,
+            src.rob_count,
+        );
+        copy_ring(
+            &mut self.rob_finish,
+            &src.rob_finish,
+            src.rob_head,
+            src.rob_count,
+        );
+        let len = self.rob.len();
+        let mut i = src.rob_head;
+        for _ in 0..src.rob_count {
+            self.rob_stamp[i] = self.scratch.gen;
+            i += 1;
+            if i == len {
+                i = 0;
+            }
+        }
         self.rob_head = src.rob_head;
         self.rob_tail = src.rob_tail;
         self.rob_count = src.rob_count;
         self.rob_img.restore_from(&src.rob_img);
-        self.iq.clear();
-        self.iq.extend_from_slice(&src.iq);
-        self.lq.copy_from_slice(&src.lq);
+        copy_ring(&mut self.lq, &src.lq, src.lq_head, src.lq_count);
         self.lq_head = src.lq_head;
         self.lq_tail = src.lq_tail;
         self.lq_count = src.lq_count;
         self.lq_img.restore_from(&src.lq_img);
-        self.sq.copy_from_slice(&src.sq);
+        copy_ring(&mut self.sq, &src.sq, src.sq_head, src.sq_count);
         self.sq_head = src.sq_head;
         self.sq_tail = src.sq_tail;
         self.sq_count = src.sq_count;
         self.sq_img.restore_from(&src.sq_img);
-        if self.scratch_base == Some(snap.id) {
+        if same_base {
             self.l1i.restore_from(&src.l1i);
             self.l1d.restore_from(&src.l1d);
             self.l2.restore_from(&src.l2);
@@ -1335,21 +1473,23 @@ impl Sim {
             self.l1i.copy_full_from(&src.l1i);
             self.l1d.copy_full_from(&src.l1d);
             self.l2.copy_full_from(&src.l2);
-            self.scratch_base = Some(snap.id);
         }
         self.itlb.restore_from(&src.itlb);
         self.dtlb.restore_from(&src.dtlb);
-        self.mem.restore_from(&src.mem);
+        if same_base {
+            // Only pages this scratch dirtied since it last synchronised
+            // with the same snapshot can differ — the dirty bitset names
+            // exactly those.
+            self.mem.restore_from_dirty(&src.mem);
+        } else {
+            self.mem.restore_from(&src.mem);
+        }
         self.pred.restore_from(&src.pred);
         self.output_addr = src.output_addr;
         self.output_len = src.output_len;
-        self.pending_faults.clear();
-        self.pending_faults.extend_from_slice(&src.pending_faults);
         self.faults_next = src.faults_next;
         self.first_inject_cycle = src.first_inject_cycle;
         self.faults_applied = src.faults_applied;
-        self.trace.clear();
-        self.trace.extend_from_slice(&src.trace);
         self.commit_index = src.commit_index;
         self.first_deviation = src.first_deviation;
         self.stats = src.stats;
@@ -1389,6 +1529,7 @@ impl Snapshot {
         s.l1i.clear_tracking();
         s.l1d.clear_tracking();
         s.l2.clear_tracking();
+        s.mem.clear_tracking();
         s.scratch_base = Some(self.id);
         s
     }

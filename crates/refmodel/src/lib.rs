@@ -27,7 +27,8 @@ pub mod model;
 
 pub use fuzz::{run_fuzz, Coverage, FuzzConfig, FuzzFailure, FuzzReport};
 pub use lockstep::{
-    reference_run, verify_golden, verify_report, Divergence, Lockstep, LockstepReport,
+    reference_run, verify_golden, verify_report, verify_trace_prefix, Divergence, Lockstep,
+    LockstepReport,
 };
 pub use model::{Effect, RefModel, RefOutcome, RefRun, RefStep, DEFAULT_MAX_STEPS};
 

@@ -265,6 +265,23 @@ pub fn verify_report(program: &Program, report: &RunReport) -> Result<LockstepRe
     ls.finish(report.outcome, report.output.as_deref())
 }
 
+/// Lockstep-verify the first `upto` records of a commit trace — the
+/// fault-free prefix check of the batched-engine cross-check: everything an
+/// injected run committed *before* its first deviation must still be the
+/// architecturally correct instruction stream. Returns the number of
+/// commits checked.
+pub fn verify_trace_prefix(
+    program: &Program,
+    trace: &[CommitRecord],
+    upto: usize,
+) -> Result<u64, Divergence> {
+    let mut ls = Lockstep::new(program);
+    for rec in trace.iter().take(upto) {
+        ls.on_commit(rec)?;
+    }
+    Ok(ls.committed())
+}
+
 /// Run the reference model alone and return its outcome (used to sanity-check
 /// a program before fuzzing it, and by the workload startup validation).
 pub fn reference_run(program: &Program, max_steps: u64) -> (RefModel, RefRun) {
