@@ -38,7 +38,7 @@ fn bench_run_modes(samples: usize) {
     let w = avgi_workloads::by_name("sha").unwrap();
     let cfg = MuarchConfig::big();
     let golden = golden_for(&w, &cfg);
-    let faults = sample_faults(Structure::RegFile, &cfg, golden.cycles, 10, 7);
+    let faults = sample_faults(Structure::RegFile, &cfg, golden.cycles, 10, 7).unwrap();
     let window = default_ert_window(Structure::RegFile, golden.cycles);
 
     let g = "rf_injection_10_faults";

@@ -10,7 +10,7 @@
 
 use avgi_core::ert::default_ert_window;
 use avgi_faultsim::telemetry::ProgressObserver;
-use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, RunMode};
+use avgi_faultsim::{golden_for, run_campaign, watchdog_budget, CampaignConfig, RunMode};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
 use avgi_muarch::pipeline::Sim;
@@ -38,7 +38,7 @@ fn main() {
     let cfg = MuarchConfig::big();
     let golden = golden_for(&w, &cfg);
     let ctl = RunControl {
-        max_cycles: 2 * golden.cycles + 20_000,
+        max_cycles: watchdog_budget(golden.cycles),
         golden: Some(golden.clone()),
         ..Default::default()
     };

@@ -11,9 +11,17 @@
 //! job if any workload regresses more than 10% below its committed
 //! throughput.
 //!
+//! Each row also times one full architectural run on both execution tiers
+//! (the classic reference interpreter vs the pre-decoded fast tier) and
+//! records the speedup — the figure of merit for fast-tier golden
+//! verification and masked re-runs. `--xtier` additionally runs the
+//! four-leg execution-tier prover ([`avgi_faultsim::run_xtier`]) per
+//! workload.
+//!
 //! Usage:
 //!   bench_trajectory [--workloads a,b,c] [--faults N] [--trials N]
-//!                    [--small] [--no-xcheck] [--check PATH] [--out PATH]
+//!                    [--small] [--no-xcheck] [--xtier] [--check PATH]
+//!                    [--out PATH]
 //!
 //! Golden captures honor the `AVGI_GOLDEN_CACHE` directory, so a sweep over
 //! several invocations captures each golden run once.
@@ -21,9 +29,10 @@
 use avgi_bench::GoldenCache;
 use avgi_core::ert::default_ert_window;
 use avgi_faultsim::json::{self, Json};
-use avgi_faultsim::{run_campaign, run_xcheck, CampaignConfig, RunMode};
+use avgi_faultsim::{run_campaign, run_xcheck, run_xtier, CampaignConfig, RunMode};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
+use avgi_refmodel::ExecTier;
 use std::time::Instant;
 
 /// Throughput may drop this far below the committed number before the
@@ -37,7 +46,34 @@ struct WorkloadRow {
     runs_per_sec: u64,
     runs_per_cpu_sec: u64,
     us_per_run: u64,
+    ref_steps_per_sec: u64,
+    fast_steps_per_sec: u64,
+    tier_speedup: f64,
     xcheck: Option<avgi_faultsim::XcheckReport>,
+    xtier: Option<avgi_faultsim::XtierReport>,
+}
+
+/// Times one full architectural run of `program` on `tier`, best of five
+/// (scheduling noise is one-sided). Returns (steps, seconds). The fast
+/// tier's block cache is built once outside the timed region — in real use
+/// it is `Arc`-shared across every execution of the program (golden
+/// verification, masked re-runs, fuzz reference sides), so the steady-state
+/// per-run figure is the one a campaign actually pays.
+fn time_tier(program: &avgi_muarch::program::Program, tier: ExecTier) -> (u64, f64) {
+    let cache = std::sync::Arc::new(avgi_refmodel::BlockCache::build(program));
+    let mut best = f64::INFINITY;
+    let mut steps = 0;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let run = match tier {
+            ExecTier::Reference => avgi_refmodel::reference_run_tier(program, tier, 0).1,
+            ExecTier::Fast => avgi_refmodel::FastModel::with_cache(program, cache.clone())
+                .run(avgi_refmodel::DEFAULT_MAX_STEPS),
+        };
+        best = best.min(t0.elapsed().as_secs_f64());
+        steps = run.steps;
+    }
+    (steps, best)
 }
 
 /// Process CPU seconds (utime + stime) from `/proc/self/stat`, `None` on
@@ -65,6 +101,7 @@ fn main() {
     let mut trials = 5usize;
     let mut small = false;
     let mut xcheck = true;
+    let mut xtier = false;
     let mut check: Option<String> = None;
     let mut out: Option<String> = None;
     let mut it = std::env::args().skip(1);
@@ -94,6 +131,7 @@ fn main() {
             "--small" => small = true,
             "--no-xcheck" => xcheck = false,
             "--xcheck" => xcheck = true,
+            "--xtier" => xtier = true,
             "--check" => check = Some(it.next().expect("--check needs a path")),
             "--out" => out = Some(it.next().expect("--out needs a path")),
             other => panic!("unknown argument `{other}`"),
@@ -161,6 +199,21 @@ fn main() {
             secs * 1e6 / faults as f64,
             golden.cycles
         );
+        // Execution-tier timing: the same program on both interpreter tiers.
+        let (ref_steps, ref_secs) = time_tier(&w.program, ExecTier::Reference);
+        let (fast_steps, fast_secs) = time_tier(&w.program, ExecTier::Fast);
+        assert_eq!(
+            ref_steps, fast_steps,
+            "{}: tiers retired different step counts",
+            w.name
+        );
+        let tier_speedup = ref_secs / fast_secs.max(1e-9);
+        let sps = |steps: u64, secs: f64| (steps as f64 / secs.max(1e-9)).round() as u64;
+        println!(
+            "  tier: fast {} Msteps/s vs reference {} Msteps/s ({tier_speedup:.1}x)",
+            sps(fast_steps, fast_secs) / 1_000_000,
+            sps(ref_steps, ref_secs) / 1_000_000,
+        );
         let report = if xcheck {
             match run_xcheck(w, &cfg, golden, ccfg) {
                 Ok(r) => {
@@ -175,6 +228,20 @@ fn main() {
         } else {
             None
         };
+        let tier_report = if xtier {
+            match run_xtier(w, &cfg, golden, ccfg) {
+                Ok(r) => {
+                    println!("  {r}");
+                    Some(r)
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {}: execution-tier cross-check failed:\n{e}", w.name);
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            None
+        };
         rows.push(WorkloadRow {
             name: w.name.to_string(),
             faults,
@@ -182,7 +249,11 @@ fn main() {
             runs_per_sec: rps,
             runs_per_cpu_sec: cpu_rps,
             us_per_run: (secs * 1e6 / faults as f64).round() as u64,
+            ref_steps_per_sec: sps(ref_steps, ref_secs),
+            fast_steps_per_sec: sps(fast_steps, fast_secs),
+            tier_speedup,
             xcheck: report,
+            xtier: tier_report,
         });
     }
 
@@ -204,16 +275,31 @@ fn main() {
             ),
             None => ",\n      \"xcheck\": false".to_string(),
         };
+        let xt = match &r.xtier {
+            Some(x) => format!(
+                ",\n      \"xtier\": true,\n      \"xtier_interp_steps\": {},\n      \
+                 \"xtier_commits_compared\": {},\n      \"xtier_runs_compared\": {}",
+                x.interp_steps, x.commits_compared, x.runs_compared
+            ),
+            None => ",\n      \"xtier\": false".to_string(),
+        };
+        // The in-house JSON parser has no float type, so the speedup ratio
+        // is written as a string; the steps/sec figures stay integers.
         body.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"faults\": {},\n      \
              \"golden_cycles\": {},\n      \"campaign_runs_per_sec\": {},\n      \
-             \"campaign_runs_per_cpu_sec\": {},\n      \"us_per_run\": {}{xc}\n    }}",
+             \"campaign_runs_per_cpu_sec\": {},\n      \"us_per_run\": {},\n      \
+             \"tier\": \"fast\",\n      \"ref_steps_per_sec\": {},\n      \
+             \"fast_steps_per_sec\": {},\n      \"tier_speedup\": \"{:.2}\"{xc}{xt}\n    }}",
             json::escape(&r.name),
             r.faults,
             r.golden_cycles,
             r.runs_per_sec,
             r.runs_per_cpu_sec,
             r.us_per_run,
+            r.ref_steps_per_sec,
+            r.fast_steps_per_sec,
+            r.tier_speedup,
         ));
     }
     let doc = format!(

@@ -6,7 +6,9 @@
 //! Usage: `hotpath_probe [--workload NAME] [--faults N] [--small]`
 
 use avgi_core::ert::default_ert_window;
-use avgi_faultsim::{golden_for, run_campaign, CampaignConfig, CheckpointSet, RunMode};
+use avgi_faultsim::{
+    golden_for, run_campaign, watchdog_budget, CampaignConfig, CheckpointSet, RunMode,
+};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
 use avgi_muarch::pipeline::Sim;
@@ -58,7 +60,7 @@ fn main() {
     // Raw fault-free simulation rate with a golden comparison attached (the
     // per-cycle cost every injected run pays).
     let ctl = RunControl {
-        max_cycles: 2 * golden.cycles + 20_000,
+        max_cycles: watchdog_budget(golden.cycles),
         golden: Some(golden.clone()),
         ..Default::default()
     };
@@ -70,6 +72,34 @@ fn main() {
         "fault_free_resim             {:>12.2} ms  ({:.0} ns/cycle)",
         dt.as_secs_f64() * 1e3,
         dt.as_secs_f64() * 1e9 / golden.cycles as f64
+    );
+
+    // Architectural interpreter tiers: the reference step loop vs the
+    // pre-decoded fast tier (what golden verification and masked re-runs
+    // actually pay per invocation, block-cache build included).
+    let t0 = Instant::now();
+    let (_, ref_run) =
+        avgi_refmodel::reference_run_tier(&w.program, avgi_refmodel::ExecTier::Reference, 0);
+    let ref_dt = t0.elapsed();
+    println!(
+        "ref_model_run                {:>12.2} ms  ({} steps, {:.0} ns/step)",
+        ref_dt.as_secs_f64() * 1e3,
+        ref_run.steps,
+        ref_dt.as_secs_f64() * 1e9 / ref_run.steps.max(1) as f64
+    );
+    let t0 = Instant::now();
+    let (_, fast_run) =
+        avgi_refmodel::reference_run_tier(&w.program, avgi_refmodel::ExecTier::Fast, 0);
+    let fast_dt = t0.elapsed();
+    assert_eq!(
+        ref_run.steps, fast_run.steps,
+        "tiers must retire in lockstep"
+    );
+    println!(
+        "fast_tier_run                {:>12.2} ms  ({:.0} ns/step, {:.1}x vs reference)",
+        fast_dt.as_secs_f64() * 1e3,
+        fast_dt.as_secs_f64() * 1e9 / fast_run.steps.max(1) as f64,
+        ref_dt.as_secs_f64() / fast_dt.as_secs_f64().max(1e-9)
     );
 
     // Snapshot spawn + restore costs at a mid-run checkpoint.

@@ -1,0 +1,75 @@
+//! CI smoke prover for the execution tiers.
+//!
+//! Runs the four-leg [`avgi_faultsim::run_xtier`] cross-check — reference
+//! substrate, interpreter identity, pipeline identity, and campaign
+//! equality across verification tiers — on a couple of workloads, and exits
+//! non-zero on the first divergence. The full sweep lives in
+//! `bench_trajectory --xtier`; this binary is the seconds-cheap gate that
+//! keeps every push honest.
+//!
+//! Usage:
+//!   xtier_check [--workloads a,b] [--faults N] [--small]
+
+use avgi_bench::GoldenCache;
+use avgi_core::ert::default_ert_window;
+use avgi_faultsim::{run_xtier, CampaignConfig, RunMode};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+
+fn main() {
+    let mut workloads = vec!["bitcount".to_string(), "crc32".to_string()];
+    let mut faults = 24usize;
+    let mut small = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workloads" => {
+                workloads = it
+                    .next()
+                    .expect("--workloads needs a comma-separated list")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--faults" => {
+                faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--faults needs a positive number")
+            }
+            "--small" => small = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let cfg = if small {
+        MuarchConfig::small()
+    } else {
+        MuarchConfig::big()
+    };
+
+    let mut cache = GoldenCache::new();
+    for name in &workloads {
+        let w = avgi_workloads::by_name(name).unwrap_or_else(|| panic!("no workload {name}"));
+        let golden = cache.get(&w, &cfg);
+        let window = default_ert_window(Structure::RegFile, golden.cycles);
+        let ccfg = CampaignConfig::new(
+            Structure::RegFile,
+            faults,
+            RunMode::FirstDeviation {
+                ert_window: Some(window),
+            },
+        );
+        match run_xtier(&w, &cfg, &golden, &ccfg) {
+            Ok(r) => println!("{r}"),
+            Err(e) => {
+                eprintln!("FAIL: {name}: execution-tier cross-check failed:\n{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "xtier: all {} workloads bit-identical across tiers",
+        workloads.len()
+    );
+}

@@ -210,7 +210,8 @@ pub fn parse_shard(spec: &str) -> (usize, usize) {
 pub fn validate_workloads() -> usize {
     let workloads = avgi_workloads::all();
     for w in &workloads {
-        let (model, run) = avgi_refmodel::reference_run(&w.program, 0);
+        let (model, run) =
+            avgi_refmodel::reference_run_tier(&w.program, avgi_refmodel::ExecTier::Fast, 0);
         assert_eq!(
             run.outcome,
             Some(avgi_refmodel::RefOutcome::Completed),
@@ -292,7 +293,11 @@ impl GoldenCache {
             .and_then(|p| load_golden(p, workload, cfg))
             .unwrap_or_else(|| {
                 let golden = golden_for(workload, cfg);
-                if let Err(d) = avgi_refmodel::verify_golden(&workload.program, &golden) {
+                if let Err(d) = avgi_refmodel::verify_golden_tier(
+                    &workload.program,
+                    &golden,
+                    avgi_refmodel::ExecTier::Fast,
+                ) {
                     panic!(
                         "golden run of `{}` fails architectural lockstep:\n{d}",
                         workload.name
@@ -446,7 +451,7 @@ fn load_golden(
     // A cached file is still held to the same architectural bar as a fresh
     // capture — but a failure here means stale/corrupt cache, not a broken
     // substrate, so fall back instead of panicking.
-    avgi_refmodel::verify_golden(&workload.program, &golden)
+    avgi_refmodel::verify_golden_tier(&workload.program, &golden, avgi_refmodel::ExecTier::Fast)
         .ok()
         .map(|_| golden)
 }

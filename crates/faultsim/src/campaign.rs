@@ -17,8 +17,10 @@ use crate::telemetry::{CampaignObserver, NullObserver};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::{Fault, Structure};
 use avgi_muarch::pipeline::{capture_golden, Sim, Snapshot};
-use avgi_muarch::run::{RunControl, RunOutcome};
+use avgi_muarch::program::Program;
+use avgi_muarch::run::{RunControl, RunOutcome, RunReport};
 use avgi_muarch::trace::{Deviation, GoldenRun};
+use avgi_refmodel::ExecTier;
 use avgi_workloads::Workload;
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -120,6 +122,15 @@ pub struct CampaignConfig {
     /// excluded from [`fmt::Debug`] output so journal keys and config
     /// hashes are unaffected.
     pub verify_masked: bool,
+    /// Which architectural execution tier runs the fault-free verification
+    /// work ([`verify_masked`](CampaignConfig::verify_masked) golden
+    /// lockstep + reference re-execution). Defaults to [`ExecTier::Fast`],
+    /// the pre-decoded interpreter; [`ExecTier::Reference`] selects the
+    /// step-at-a-time oracle. The tiers are bit-identical (the `--xtier`
+    /// cross-check proves it per campaign), so like `observer` and
+    /// `verify_masked` the knob never changes campaign results and is
+    /// excluded from [`fmt::Debug`] output.
+    pub verify_tier: ExecTier,
 }
 
 impl std::fmt::Debug for CampaignConfig {
@@ -155,6 +166,7 @@ impl CampaignConfig {
             batch: 32,
             observer: None,
             verify_masked: false,
+            verify_tier: ExecTier::Fast,
         }
     }
 
@@ -200,6 +212,13 @@ impl CampaignConfig {
     /// [`CampaignConfig::verify_masked`]).
     pub fn with_masked_verification(mut self) -> Self {
         self.verify_masked = true;
+        self
+    }
+
+    /// Selects the architectural tier for fault-free verification work (see
+    /// [`CampaignConfig::verify_tier`]).
+    pub fn with_verify_tier(mut self, tier: ExecTier) -> Self {
+        self.verify_tier = tier;
         self
     }
 
@@ -391,15 +410,25 @@ pub fn golden_for(workload: &Workload, cfg: &MuarchConfig) -> Arc<GoldenRun> {
     capture_golden(&workload.program, cfg, 50_000_000)
 }
 
+/// Cycle budget an injected run gets before it is declared hung: twice the
+/// golden duration plus slack for short runs. Saturating — an adversarially
+/// long golden run must clamp to `u64::MAX`, not wrap around to a tiny
+/// budget that would misclassify every run as a hang.
+pub fn watchdog_budget(golden_cycles: u64) -> u64 {
+    golden_cycles.saturating_mul(2).saturating_add(20_000)
+}
+
 fn watchdog(golden_cycles: u64) -> u64 {
-    2 * golden_cycles + 20_000
+    watchdog_budget(golden_cycles)
 }
 
 /// Architectural oracle backing [`CampaignConfig::verify_masked`].
 ///
 /// Built once per campaign: construction runs the workload on the
-/// `avgi-refmodel` reference interpreter and lockstep-verifies the golden
-/// pipeline capture against it, panicking immediately on any divergence —
+/// `avgi-refmodel` interpreter of the configured
+/// [`verify_tier`](CampaignConfig::verify_tier) — the pre-decoded fast tier
+/// by default — and lockstep-verifies the golden pipeline capture against
+/// it, panicking immediately on any divergence —
 /// if the fault-free substrate is architecturally wrong, every
 /// classification derived from it is garbage.
 ///
@@ -410,18 +439,23 @@ fn watchdog(golden_cycles: u64) -> u64 {
 struct MaskedOracle {
     /// Output bytes of the independent reference execution.
     expected: Vec<u8>,
+    /// The program, kept for post-ERT tail completion.
+    program: Program,
+    /// Pre-decoded block cache shared by every tail completion — built once
+    /// per campaign, like the fast tier's other consumers.
+    cache: Arc<avgi_refmodel::BlockCache>,
     violations: Mutex<Vec<String>>,
 }
 
 impl MaskedOracle {
-    fn new(workload: &Workload, golden: &Arc<GoldenRun>) -> Self {
-        if let Err(d) = avgi_refmodel::verify_golden(&workload.program, golden) {
+    fn new(workload: &Workload, golden: &Arc<GoldenRun>, tier: ExecTier) -> Self {
+        if let Err(d) = avgi_refmodel::verify_golden_tier(&workload.program, golden, tier) {
             panic!(
                 "verify_masked: golden run of `{}` fails architectural lockstep:\n{d}",
                 workload.name
             );
         }
-        let (model, run) = avgi_refmodel::reference_run(&workload.program, 0);
+        let (model, run) = avgi_refmodel::reference_run_tier(&workload.program, tier, 0);
         assert_eq!(
             run.outcome,
             Some(avgi_refmodel::RefOutcome::Completed),
@@ -430,6 +464,8 @@ impl MaskedOracle {
         );
         MaskedOracle {
             expected: model.output(),
+            program: workload.program.clone(),
+            cache: Arc::new(avgi_refmodel::BlockCache::build(&workload.program)),
             violations: Mutex::new(Vec::new()),
         }
     }
@@ -441,6 +477,41 @@ impl MaskedOracle {
         if output == golden_output && output != self.expected {
             self.violations.lock().unwrap().push(format!(
                 "fault {fault:?}: output matches golden but not the reference model"
+            ));
+        }
+    }
+
+    /// Re-check an `ErtExpired` run: the window elapsed with no deviation,
+    /// so the run will classify Benign on the strength of its deviation-free
+    /// commit prefix. Completing that prefix's *architectural tail* on the
+    /// fast tier (the commits the ERT stop skipped) must reach `Completed`
+    /// with the reference output — otherwise the committed count and the
+    /// no-deviation claim are inconsistent with the architectural program.
+    /// This validates the classification's internal consistency, not the
+    /// ERT approximation itself (a latent fault past its residency is
+    /// Benign by the paper's §V.A definition).
+    fn check_ert_expired(&self, fault: &Fault, report: &RunReport) {
+        if report.first_deviation.is_some() {
+            return; // deviated runs are classified by the deviation, not ERT
+        }
+        let mut tail = avgi_refmodel::FastModel::with_cache(&self.program, self.cache.clone());
+        let prefix = tail.run(report.stats.committed);
+        if prefix.outcome.is_some() || prefix.steps != report.stats.committed {
+            self.violations.lock().unwrap().push(format!(
+                "fault {fault:?}: ERT stop after {} commits, but the reference program ends \
+                 ({:?}) at step {}",
+                report.stats.committed, prefix.outcome, prefix.steps
+            ));
+            return;
+        }
+        let end = tail.run(avgi_refmodel::DEFAULT_MAX_STEPS);
+        if end.outcome != Some(avgi_refmodel::RefOutcome::Completed)
+            || tail.output() != self.expected
+        {
+            self.violations.lock().unwrap().push(format!(
+                "fault {fault:?}: post-ERT architectural tail does not complete with the \
+                 reference output (outcome {:?} after {} steps)",
+                end.outcome, end.steps
             ));
         }
     }
@@ -541,8 +612,13 @@ fn run_one_inner(
     inject_burst(sim, fault, burst_width, cfg);
     let ctl = control_for(mode, golden, wall_budget);
     let report = sim.run(&ctl);
-    if let (Some(oracle), Some(output)) = (oracle, report.output.as_ref()) {
-        oracle.check_completed(&fault, output, &golden.output);
+    if let Some(oracle) = oracle {
+        if let Some(output) = report.output.as_ref() {
+            oracle.check_completed(&fault, output, &golden.output);
+        }
+        if report.outcome == RunOutcome::ErtExpired {
+            oracle.check_ert_expired(&fault, &report);
+        }
     }
     InjectionResult {
         fault,
@@ -792,8 +868,13 @@ fn run_shared_prefix_batch(
                 }
                 inject_burst(f, fault, ccfg.burst_width, cfg);
                 let report = f.run(&control_for(ccfg.mode, golden, ccfg.wall_budget));
-                if let (Some(oracle), Some(output)) = (oracle, report.output.as_ref()) {
-                    oracle.check_completed(&fault, output, &golden.output);
+                if let Some(oracle) = oracle {
+                    if let Some(output) = report.output.as_ref() {
+                        oracle.check_completed(&fault, output, &golden.output);
+                    }
+                    if report.outcome == RunOutcome::ErtExpired {
+                        oracle.check_ert_expired(&fault, &report);
+                    }
                 }
                 Some(InjectionResult {
                     fault,
@@ -854,7 +935,8 @@ pub fn run_campaign(
     golden: &Arc<GoldenRun>,
     ccfg: &CampaignConfig,
 ) -> CampaignResult {
-    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed)
+        .expect("run_campaign: cannot sample faults from this golden run");
     run_campaign_with_faults(workload, cfg, golden, ccfg, &faults)
 }
 
@@ -910,7 +992,7 @@ pub fn run_campaign_journaled(
     ccfg: &CampaignConfig,
     path: &Path,
 ) -> Result<CampaignResult, CampaignError> {
-    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed)?;
     let key = CampaignKey::new(workload.name, cfg, golden.cycles, ccfg);
     let (journal, done) = Journal::open(path, &key)?;
     // The key already pins the sampling inputs, so journaled faults must
@@ -981,7 +1063,8 @@ impl<'a> ShardRunner<'a> {
         golden: &Arc<GoldenRun>,
         ccfg: &CampaignConfig,
     ) -> Self {
-        let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+        let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed)
+            .expect("ShardRunner: cannot sample faults from this golden run");
         let (checkpoints, warnings) = build_checkpoints(workload, cfg, golden, ccfg);
         ShardRunner {
             workload,
@@ -1104,10 +1187,10 @@ fn run_campaign_engine(
     // run against the reference model and panics if the substrate is wrong.
     let oracle = ccfg
         .verify_masked
-        .then(|| MaskedOracle::new(workload, golden));
+        .then(|| MaskedOracle::new(workload, golden, ccfg.verify_tier));
     observer.on_campaign_start(ccfg.structure, faults.len());
 
-    let warnings = Vec::new();
+    let mut warnings = Vec::new();
     let mut results: Vec<Option<InjectionResult>> = vec![None; faults.len()];
     for (i, r) in done {
         // Journaled results replay into the tallies without a wall-clock
@@ -1130,6 +1213,21 @@ fn run_campaign_engine(
     let batch_set = (ccfg.batch > 1 && ccfg.wall_budget.is_none())
         .then_some(checkpoints)
         .flatten();
+    if ccfg.batch > 1 && batch_set.is_none() {
+        // Batching was requested but cannot apply — without this warning the
+        // campaign silently falls off a perf cliff with no way to tell which
+        // execution path it actually got.
+        let reason = if ccfg.wall_budget.is_some() {
+            "a wall-clock budget is set (per-run accounting cannot share a prefix)"
+        } else {
+            "no checkpoint set is available"
+        };
+        warnings.push(format!(
+            "shared-prefix batching disabled (batch = {}): {reason}",
+            ccfg.batch
+        ));
+        observer.on_batching_disabled(reason);
+    }
     let units: Vec<(usize, &[usize])> = match batch_set {
         Some(set) => {
             let mut units: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
@@ -1267,6 +1365,112 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_budget_saturates_instead_of_overflowing() {
+        // Pre-fix, `2 * golden_cycles + 20_000` wrapped for huge cycle
+        // counts, producing a tiny watchdog that aborted healthy runs.
+        assert_eq!(watchdog_budget(100), 20_200);
+        assert_eq!(watchdog_budget(u64::MAX), u64::MAX);
+        assert_eq!(watchdog_budget(u64::MAX / 2), u64::MAX);
+        assert_eq!(watchdog_budget(u64::MAX / 2 - 10_001), u64::MAX - 3);
+    }
+
+    #[test]
+    fn nearest_index_boundaries() {
+        let set = CheckpointSet {
+            cycles: vec![10, 100, 250],
+            snaps: Vec::new(),
+        };
+        // Before the first snapshot: clamps to index 0.
+        assert_eq!(set.nearest_index(0), 0);
+        assert_eq!(set.nearest_index(9), 0);
+        // Exactly on a snapshot cycle: that snapshot.
+        assert_eq!(set.nearest_index(10), 0);
+        assert_eq!(set.nearest_index(100), 1);
+        assert_eq!(set.nearest_index(250), 2);
+        // Between snapshots: the latest at or before.
+        assert_eq!(set.nearest_index(99), 0);
+        assert_eq!(set.nearest_index(249), 1);
+        // Past the last snapshot: the last index, not one past it.
+        assert_eq!(set.nearest_index(251), 2);
+        assert_eq!(set.nearest_index(u64::MAX), 2);
+    }
+
+    #[test]
+    fn batching_disablement_is_reported_not_silent() {
+        use crate::telemetry::MetricsCollector;
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+
+        // A wall budget forces per-run accounting; batching cannot engage.
+        let metrics = Arc::new(MetricsCollector::new());
+        let ccfg = CampaignConfig::new(Structure::RegFile, 8, RunMode::EndToEnd)
+            .with_wall_budget(Duration::from_secs(3_600))
+            .with_observer(metrics.clone());
+        assert!(ccfg.batch > 1, "batching is on by default");
+        let c = run_campaign(&w, &cfg, &golden, &ccfg);
+        assert_eq!(c.len(), 8);
+        assert!(
+            c.warnings
+                .iter()
+                .any(|w| w.contains("batching disabled") && w.contains("wall-clock budget")),
+            "expected a batching warning, got {:?}",
+            c.warnings
+        );
+        assert_eq!(metrics.snapshot().batching_disabled, 1);
+
+        // No checkpoints at all: same counter, different reason.
+        let metrics = Arc::new(MetricsCollector::new());
+        let ccfg = CampaignConfig::new(Structure::RegFile, 8, RunMode::EndToEnd)
+            .with_checkpoints(0)
+            .with_observer(metrics.clone());
+        let c = run_campaign(&w, &cfg, &golden, &ccfg);
+        assert!(
+            c.warnings
+                .iter()
+                .any(|w| w.contains("batching disabled") && w.contains("no checkpoint set")),
+            "expected a batching warning, got {:?}",
+            c.warnings
+        );
+        assert_eq!(metrics.snapshot().batching_disabled, 1);
+
+        // The default configuration batches; nothing to warn about.
+        let metrics = Arc::new(MetricsCollector::new());
+        let ccfg = CampaignConfig::new(Structure::RegFile, 8, RunMode::EndToEnd)
+            .with_observer(metrics.clone());
+        let c = run_campaign(&w, &cfg, &golden, &ccfg);
+        assert!(c.warnings.is_empty(), "got {:?}", c.warnings);
+        assert_eq!(metrics.snapshot().batching_disabled, 0);
+    }
+
+    #[test]
+    fn post_ert_tail_verification_passes_on_a_clean_campaign() {
+        // `assert_clean` panics at campaign end if any ERT-expired run's
+        // architectural tail fails to complete with the reference output,
+        // so a passing campaign is the assertion; the any() guard makes
+        // sure the path was actually exercised.
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let golden = golden_for(&w, &cfg);
+        let ccfg = CampaignConfig::new(
+            Structure::RegFile,
+            32,
+            RunMode::FirstDeviation {
+                ert_window: Some(500),
+            },
+        )
+        .with_masked_verification();
+        let c = run_campaign(&w, &cfg, &golden, &ccfg);
+        assert_eq!(c.len(), 32);
+        assert!(
+            c.results
+                .iter()
+                .any(|r| r.outcome == RunOutcome::ErtExpired),
+            "no ERT-expired run; the tail check was never exercised"
+        );
+    }
+
+    #[test]
     fn campaigns_are_reproducible_across_thread_counts() {
         let w = avgi_workloads::by_name("bitcount").unwrap();
         let cfg = MuarchConfig::big();
@@ -1398,7 +1602,7 @@ mod tests {
         n: usize,
         poison_at: &[usize],
     ) -> Vec<Fault> {
-        let mut faults = sample_faults(Structure::RegFile, cfg, golden_cycles, n, 99);
+        let mut faults = sample_faults(Structure::RegFile, cfg, golden_cycles, n, 99).unwrap();
         for &i in poison_at {
             faults[i].site.bit = Structure::RegFile.bit_count(cfg) + 1_000_000;
         }

@@ -46,6 +46,9 @@ pub enum CampaignError {
         /// Number of faults in the campaign.
         faults: usize,
     },
+    /// The campaign's fault list cannot be sampled (e.g. a zero-cycle
+    /// golden run).
+    Sampling(crate::sampling::SamplingError),
 }
 
 impl fmt::Display for CampaignError {
@@ -65,6 +68,7 @@ impl fmt::Display for CampaignError {
                 f,
                 "shard lease names fault index {index}, but the campaign samples only {faults} faults"
             ),
+            CampaignError::Sampling(e) => write!(f, "fault sampling failed: {e}"),
         }
     }
 }
@@ -73,6 +77,7 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Io(e) => Some(e),
+            CampaignError::Sampling(e) => Some(e),
             _ => None,
         }
     }
@@ -81,5 +86,11 @@ impl std::error::Error for CampaignError {
 impl From<std::io::Error> for CampaignError {
     fn from(e: std::io::Error) -> Self {
         CampaignError::Io(e)
+    }
+}
+
+impl From<crate::sampling::SamplingError> for CampaignError {
+    fn from(e: crate::sampling::SamplingError) -> Self {
+        CampaignError::Sampling(e)
     }
 }

@@ -42,15 +42,17 @@ pub mod xcheck;
 
 pub use campaign::{
     golden_for, run_campaign, run_campaign_journaled, run_campaign_with_faults, run_one,
-    run_one_from, CampaignConfig, CampaignResult, CheckpointSet, InjectionResult, RunMode,
-    ShardRunner,
+    run_one_from, watchdog_budget, CampaignConfig, CampaignResult, CheckpointSet, InjectionResult,
+    RunMode, ShardRunner,
 };
 pub use error::CampaignError;
 pub use journal::{config_hash, crc32, CampaignKey, DurabilityPolicy, Journal};
 pub use sampling::{
     error_margin, multi_bit_burst, sample_faults, sample_size, Confidence, SamplingError,
 };
-pub use xcheck::{run_xcheck, run_xcheck_fresh, XcheckReport};
+pub use xcheck::{
+    run_xcheck, run_xcheck_fresh, run_xtier, run_xtier_fresh, XcheckReport, XtierReport,
+};
 
 pub use telemetry::{
     CampaignObserver, HistogramSnapshot, LatencyHistogram, MetricsCollector, MetricsSnapshot,

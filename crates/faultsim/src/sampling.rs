@@ -42,6 +42,9 @@ pub enum SamplingError {
     /// `sample_size` was given a margin that is zero, negative, NaN, or
     /// infinite: no finite campaign achieves it.
     InvalidMargin,
+    /// `sample_faults` was asked to sample injection cycles from a golden
+    /// run of zero cycles: there is no execution to inject into.
+    EmptyGoldenRun,
 }
 
 impl std::fmt::Display for SamplingError {
@@ -52,6 +55,12 @@ impl std::fmt::Display for SamplingError {
             }
             SamplingError::InvalidMargin => {
                 write!(f, "sample size requires a finite error margin > 0")
+            }
+            SamplingError::EmptyGoldenRun => {
+                write!(
+                    f,
+                    "cannot sample injection cycles from a zero-cycle golden run"
+                )
             }
         }
     }
@@ -95,24 +104,32 @@ pub fn sample_size(e: f64, confidence: Confidence) -> Result<usize, SamplingErro
 /// Draws `n` uniform single-bit transient faults for `structure`: uniform
 /// over the structure's storage bits and uniform over the fault-free
 /// execution's `golden_cycles`, as prescribed by the paper's §II.D.
+///
+/// Fails with [`SamplingError::EmptyGoldenRun`] when `golden_cycles == 0`:
+/// a zero-cycle golden run has no execution to inject into, and the old
+/// behavior of silently clamping to one cycle piled every fault onto cycle
+/// 0 with no signal that the campaign was degenerate.
 pub fn sample_faults(
     structure: Structure,
     cfg: &MuarchConfig,
     golden_cycles: u64,
     n: usize,
     seed: u64,
-) -> Vec<Fault> {
+) -> Result<Vec<Fault>, SamplingError> {
+    if golden_cycles == 0 {
+        return Err(SamplingError::EmptyGoldenRun);
+    }
     let bits = structure.bit_count(cfg);
     let mut rng = Rng::seed_from_u64(seed);
-    (0..n)
+    Ok((0..n)
         .map(|_| Fault {
             site: FaultSite {
                 structure,
                 bit: rng.gen_range_u64(bits),
             },
-            cycle: rng.gen_range_u64(golden_cycles.max(1)),
+            cycle: rng.gen_range_u64(golden_cycles),
         })
-        .collect()
+        .collect())
 }
 
 /// Expands a single-bit fault into a spatially adjacent multi-bit burst of
@@ -183,22 +200,36 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_and_in_range() {
         let cfg = MuarchConfig::big();
-        let a = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 42);
-        let b = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 42);
+        let a = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 42).unwrap();
+        let b = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 42).unwrap();
         assert_eq!(a, b);
         let bits = Structure::RegFile.bit_count(&cfg);
         for f in &a {
             assert!(f.site.bit < bits);
             assert!(f.cycle < 10_000);
         }
-        let c = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 43);
+        let c = sample_faults(Structure::RegFile, &cfg, 10_000, 100, 43).unwrap();
         assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn zero_cycle_golden_run_is_a_sampling_error() {
+        // Pre-fix, `golden_cycles == 0` was silently clamped to 1, piling
+        // every fault onto cycle 0 of a run that never executed.
+        let cfg = MuarchConfig::big();
+        assert_eq!(
+            sample_faults(Structure::RegFile, &cfg, 0, 100, 42),
+            Err(SamplingError::EmptyGoldenRun)
+        );
+        // One cycle is degenerate but well-defined: every fault lands on it.
+        let faults = sample_faults(Structure::RegFile, &cfg, 1, 16, 42).unwrap();
+        assert!(faults.iter().all(|f| f.cycle == 0));
     }
 
     #[test]
     fn sampling_covers_the_bit_space() {
         let cfg = MuarchConfig::big();
-        let faults = sample_faults(Structure::L2Data, &cfg, 100_000, 2_000, 7);
+        let faults = sample_faults(Structure::L2Data, &cfg, 100_000, 2_000, 7).unwrap();
         let bits = Structure::L2Data.bit_count(&cfg);
         let lo = faults.iter().filter(|f| f.site.bit < bits / 2).count();
         // Roughly balanced halves (binomial, generous tolerance).

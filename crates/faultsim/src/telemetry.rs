@@ -243,6 +243,13 @@ pub trait CampaignObserver: Send + Sync {
     /// A panicking run is being retried without its checkpoint.
     fn on_retry(&self, _structure: Structure) {}
 
+    /// Shared-prefix batching was requested (`batch > 1`) but the engine
+    /// had to fall back to the classic per-run path — `reason` names why
+    /// (wall-clock budget set, or no checkpoint set available). Fired once
+    /// per affected engine invocation so campaigns can see which execution
+    /// path they actually got.
+    fn on_batching_disabled(&self, _reason: &str) {}
+
     /// The campaign finished (all planned runs accounted for).
     fn on_campaign_end(&self, _structure: Structure) {}
 }
@@ -267,6 +274,7 @@ pub struct MetricsCollector {
     completed: AtomicU64,
     resumed: AtomicU64,
     retries: AtomicU64,
+    batching_disabled: AtomicU64,
     workers: AtomicU64,
     outcomes: [AtomicU64; OUTCOME_LABELS.len()],
     structures: [AtomicU64; 12],
@@ -292,6 +300,7 @@ impl MetricsCollector {
             completed: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            batching_disabled: AtomicU64::new(0),
             workers: AtomicU64::new(0),
             outcomes: std::array::from_fn(|_| AtomicU64::new(0)),
             structures: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -343,6 +352,7 @@ impl MetricsCollector {
             completed: self.completed.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            batching_disabled: self.batching_disabled.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
             elapsed: self.elapsed(),
             outcomes: OUTCOME_LABELS
@@ -388,6 +398,10 @@ impl CampaignObserver for MetricsCollector {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn on_batching_disabled(&self, _reason: &str) {
+        self.batching_disabled.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn on_worker_pool(&self, workers: usize) {
         // One collector may observe several consecutive campaigns; keep the
         // widest pool seen.
@@ -406,6 +420,12 @@ pub struct MetricsSnapshot {
     pub resumed: u64,
     /// Checkpoint-free retries of panicking runs.
     pub retries: u64,
+    /// Engine invocations that requested shared-prefix batching but fell
+    /// back to the classic per-run path (wall-clock budget set, or no
+    /// checkpoint set). Depends on which engine path executed, not on the
+    /// campaign identity, so — like `workers` — it is excluded from the
+    /// deterministic subset and its wire format.
+    pub batching_disabled: u64,
     /// Widest effective worker pool observed (0 until an engine reports
     /// one). Host-dependent, so excluded from the deterministic subset.
     pub workers: u64,
@@ -503,6 +523,7 @@ impl MetricsSnapshot {
         format!(
             "{{\"kind\":\"avgi-campaign-metrics\",\"version\":1,\
              \"planned\":{},\"completed\":{},\"resumed\":{},\"retries\":{},\"aborted\":{},\
+             \"batching_disabled\":{},\
              \"workers\":{},\"elapsed_us\":{},\"runs_per_sec\":{:.1},\"eta_us\":{eta_us},\
              \"outcomes\":{},\"classes\":{},\"structures\":{},\
              \"post_inject_cycles_hist\":{},\"wall_latency_us_hist\":{}}}",
@@ -511,6 +532,7 @@ impl MetricsSnapshot {
             self.resumed,
             self.retries,
             self.aborted(),
+            self.batching_disabled,
             self.workers,
             self.elapsed.as_micros(),
             self.runs_per_sec(),
@@ -563,6 +585,7 @@ impl MetricsSnapshot {
             completed: 0,
             resumed: 0,
             retries: 0,
+            batching_disabled: 0,
             workers: 0,
             elapsed: Duration::ZERO,
             outcomes: OUTCOME_LABELS.iter().map(|&l| (l, 0)).collect(),
@@ -597,6 +620,7 @@ impl MetricsSnapshot {
         self.completed += other.completed;
         self.resumed += other.resumed;
         self.retries += other.retries;
+        self.batching_disabled += other.batching_disabled;
         self.workers = self.workers.max(other.workers);
         self.elapsed = self.elapsed.max(other.elapsed);
         merge_labelled(&mut self.outcomes, &other.outcomes);
@@ -774,6 +798,10 @@ impl CampaignObserver for ProgressObserver {
 
     fn on_retry(&self, structure: Structure) {
         self.collector.on_retry(structure);
+    }
+
+    fn on_batching_disabled(&self, reason: &str) {
+        self.collector.on_batching_disabled(reason);
     }
 
     fn on_worker_pool(&self, workers: usize) {

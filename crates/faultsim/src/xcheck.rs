@@ -22,8 +22,15 @@
 //!
 //! Any disagreement is reported as a human-readable error string naming the
 //! fault and the first differing observable.
+//!
+//! A second prover, [`run_xtier`] (`--xtier`), targets the *execution-tier*
+//! claim instead of the batching claim: the fast pre-decoded interpreter
+//! ([`avgi_refmodel::FastModel`]) must be bit-identical to both the
+//! reference interpreter and the cycle-accurate pipeline, and swapping the
+//! masked-verification oracle between tiers must not change a single
+//! campaign observable.
 
-use crate::campaign::{golden_for, run_campaign, CampaignConfig, CampaignResult};
+use crate::campaign::{golden_for, run_campaign, watchdog_budget, CampaignConfig, CampaignResult};
 use crate::sampling::sample_faults;
 use crate::telemetry::MetricsCollector;
 use avgi_muarch::config::MuarchConfig;
@@ -94,7 +101,7 @@ pub fn run_xcheck(
         .with_observer(unbatched_metrics.clone());
     let batched = run_campaign(workload, cfg, golden, &batched_cfg);
     let unbatched = run_campaign(workload, cfg, golden, &unbatched_cfg);
-    compare_campaigns(&batched, &unbatched)?;
+    compare_campaigns(("batched", &batched), ("unbatched", &unbatched))?;
     let bt = batched_metrics.snapshot().deterministic_counters_json();
     let ut = unbatched_metrics.snapshot().deterministic_counters_json();
     if bt != ut {
@@ -106,7 +113,8 @@ pub fn run_xcheck(
 
     // 3. Fork anatomy: replay a sample of faults with full trace recording
     // through both execution shapes and compare commit streams.
-    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed);
+    let faults = sample_faults(ccfg.structure, cfg, golden.cycles, ccfg.faults, ccfg.seed)
+        .map_err(|e| format!("fault sampling failed: {e}"))?;
     let step = (faults.len() / TRACED_FORKS).max(1);
     let sample: Vec<Fault> = faults
         .iter()
@@ -138,19 +146,141 @@ pub fn run_xcheck_fresh(
     run_xcheck(workload, cfg, &golden, ccfg)
 }
 
-fn compare_campaigns(batched: &CampaignResult, unbatched: &CampaignResult) -> Result<(), String> {
-    if batched.results.len() != unbatched.results.len() {
+/// Outcome of a clean execution-tier cross-check (see [`run_xtier`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XtierReport {
+    /// Workload checked.
+    pub workload: String,
+    /// Architectural steps proven bit-identical between the reference
+    /// interpreter and the fast tier (step-by-step *and* batched `run`).
+    pub interp_steps: u64,
+    /// Commit records compared between the pipeline's golden trace and the
+    /// fast tier.
+    pub commits_compared: u64,
+    /// Injected runs compared between a campaign verifying masked outcomes
+    /// on the fast tier and one verifying on the reference tier.
+    pub runs_compared: usize,
+    /// Whether the deterministic telemetry counters were byte-identical
+    /// across the two verification tiers.
+    pub telemetry_identical: bool,
+}
+
+impl std::fmt::Display for XtierReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "xtier `{}`: {} interpreter steps bit-identical across tiers, {} pipeline commits \
+             matched, {} campaign runs identical under either verification tier",
+            self.workload, self.interp_steps, self.commits_compared, self.runs_compared
+        )
+    }
+}
+
+/// Proves the two execution tiers interchangeable for one workload, four
+/// ways:
+///
+/// 1. **Substrate**: the golden capture is lockstep-verified against the
+///    *reference* tier — the slow interpreter anchors the whole proof, so it
+///    never delegates to the tier under test.
+/// 2. **Interpreter identity**: [`avgi_refmodel::verify_fast_tier`] steps
+///    the reference and fast models side by side over the whole program,
+///    comparing every `RefStep`, then re-runs the fast tier's
+///    block-threaded batch path and requires the same end state.
+/// 3. **Pipeline identity**: the fast tier is replayed as an
+///    [`avgi_muarch::ExecBackend`] against the pipeline's recorded commit
+///    stream ([`avgi_muarch::TraceBackend`]); every commit's
+///    `(pc, raw, ea, val)` and the final output bytes must match.
+/// 4. **Campaign equality**: the same campaign runs twice with masked
+///    verification enabled — once verifying on the fast tier, once on the
+///    reference tier — with fresh metrics collectors; every injection
+///    result and the deterministic telemetry counters must be equal.
+pub fn run_xtier(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    golden: &Arc<GoldenRun>,
+    ccfg: &CampaignConfig,
+) -> Result<XtierReport, String> {
+    // 1. Substrate, pinned to the reference tier.
+    avgi_refmodel::verify_golden_tier(
+        &workload.program,
+        golden,
+        avgi_refmodel::ExecTier::Reference,
+    )
+    .map_err(|d| format!("golden run of `{}` fails lockstep: {d}", workload.name))?;
+
+    // 2. Reference interpreter vs fast tier, step path and batch path.
+    let interp_steps = avgi_refmodel::verify_fast_tier(&workload.program, 0).map_err(|e| {
+        format!(
+            "`{}`: fast tier diverges from reference: {e}",
+            workload.name
+        )
+    })?;
+
+    // 3. Fast tier vs the pipeline's commit stream.
+    let mut pipeline = avgi_muarch::TraceBackend::new(golden);
+    let mut fast = avgi_refmodel::FastModel::new(&workload.program);
+    let commits_compared =
+        avgi_muarch::compare_backends(&mut pipeline, &mut fast, watchdog_budget(golden.cycles))
+            .map_err(|e| format!("`{}`: fast tier diverges from pipeline: {e}", workload.name))?;
+
+    // 4. Campaign equality across verification tiers.
+    let fast_metrics = Arc::new(MetricsCollector::new());
+    let ref_metrics = Arc::new(MetricsCollector::new());
+    let mut fast_cfg = ccfg
+        .clone()
+        .with_observer(fast_metrics.clone())
+        .with_verify_tier(avgi_refmodel::ExecTier::Fast);
+    fast_cfg.verify_masked = true;
+    let ref_cfg = fast_cfg
+        .clone()
+        .with_observer(ref_metrics.clone())
+        .with_verify_tier(avgi_refmodel::ExecTier::Reference);
+    let fast_run = run_campaign(workload, cfg, golden, &fast_cfg);
+    let ref_run = run_campaign(workload, cfg, golden, &ref_cfg);
+    compare_campaigns(("fast", &fast_run), ("reference", &ref_run))
+        .map_err(|e| format!("campaign differs between verification tiers: {e}"))?;
+    let ft = fast_metrics.snapshot().deterministic_counters_json();
+    let rt = ref_metrics.snapshot().deterministic_counters_json();
+    if ft != rt {
         return Err(format!(
-            "result counts differ: batched {} vs unbatched {}",
-            batched.results.len(),
-            unbatched.results.len()
+            "deterministic telemetry counters differ between verification tiers:\n  fast:      \
+             {ft}\n  reference: {rt}"
         ));
     }
-    for (i, (b, u)) in batched.results.iter().zip(&unbatched.results).enumerate() {
-        if b != u {
-            return Err(format!(
-                "run #{i} differs between engines:\n  batched:   {b:?}\n  unbatched: {u:?}"
-            ));
+
+    Ok(XtierReport {
+        workload: workload.name.to_string(),
+        interp_steps,
+        commits_compared,
+        runs_compared: fast_run.results.len(),
+        telemetry_identical: true,
+    })
+}
+
+/// Convenience wrapper capturing the golden run itself.
+pub fn run_xtier_fresh(
+    workload: &Workload,
+    cfg: &MuarchConfig,
+    ccfg: &CampaignConfig,
+) -> Result<XtierReport, String> {
+    let golden = golden_for(workload, cfg);
+    run_xtier(workload, cfg, &golden, ccfg)
+}
+
+fn compare_campaigns(
+    (la, a): (&str, &CampaignResult),
+    (lb, b): (&str, &CampaignResult),
+) -> Result<(), String> {
+    if a.results.len() != b.results.len() {
+        return Err(format!(
+            "result counts differ: {la} {} vs {lb} {}",
+            a.results.len(),
+            b.results.len()
+        ));
+    }
+    for (i, (ra, rb)) in a.results.iter().zip(&b.results).enumerate() {
+        if ra != rb {
+            return Err(format!("run #{i} differs:\n  {la}: {ra:?}\n  {lb}: {rb:?}"));
         }
     }
     Ok(())
@@ -167,7 +297,7 @@ fn trace_fork(
     fault: Fault,
 ) -> Result<u64, String> {
     let ctl = RunControl {
-        max_cycles: 2 * golden.cycles + 20_000,
+        max_cycles: watchdog_budget(golden.cycles),
         golden: Some(golden.clone()),
         record_trace: true,
         ..match ccfg.mode {
@@ -191,7 +321,7 @@ fn trace_fork(
     // The carrier records the prefix commits so the fork's stream spans the
     // whole run, exactly like the classic run's.
     let prefix_ctl = RunControl {
-        max_cycles: 2 * golden.cycles + 20_000,
+        max_cycles: watchdog_budget(golden.cycles),
         golden: Some(golden.clone()),
         record_trace: true,
         ..Default::default()
@@ -284,6 +414,24 @@ mod tests {
         assert!(report.telemetry_identical);
         assert!(report.forks_traced > 0);
         assert!(report.prefix_commits_verified > 0);
+    }
+
+    #[test]
+    fn xtier_passes_on_a_clean_campaign() {
+        let w = avgi_workloads::by_name("bitcount").unwrap();
+        let cfg = MuarchConfig::big();
+        let ccfg = CampaignConfig::new(
+            Structure::RegFile,
+            24,
+            RunMode::FirstDeviation {
+                ert_window: Some(2_000),
+            },
+        );
+        let report = run_xtier_fresh(&w, &cfg, &ccfg).expect("tiers must be interchangeable");
+        assert_eq!(report.runs_compared, 24);
+        assert!(report.interp_steps > 0);
+        assert!(report.commits_compared > 0);
+        assert!(report.telemetry_identical);
     }
 
     #[test]

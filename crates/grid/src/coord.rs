@@ -259,7 +259,8 @@ impl Coordinator {
         })?;
         let cfg = preset.config();
         let golden = golden_for(workload, &cfg);
-        let faults = sample_faults(ccfg.structure, &cfg, golden.cycles, ccfg.faults, ccfg.seed);
+        let faults = sample_faults(ccfg.structure, &cfg, golden.cycles, ccfg.faults, ccfg.seed)
+            .map_err(|e| GridError::Spec(format!("fault sampling failed: {e}")))?;
         let spec = CampaignSpec {
             workload: workload.name.to_string(),
             workload_id,

@@ -1,0 +1,230 @@
+//! The execution-backend boundary between the cycle pipeline and the
+//! architectural tiers.
+//!
+//! AVGI mixes execution tiers: fault-free regions run at architectural
+//! speed on an interpreter while injected windows run on the cycle-accurate
+//! pipeline (the ZOFI idea, in-process). Correctness of the mix rests on one
+//! contract — *every tier produces the same architectural commit stream* —
+//! and this module is that contract made explicit. [`ExecBackend`] is the
+//! smallest interface a tier must offer to be cross-checked: a stream of
+//! [`ArchCommit`]s, a terminal state, and the program's output bytes.
+//!
+//! `muarch` itself implements the trait for a recorded pipeline commit trace
+//! ([`TraceBackend`]); `avgi-refmodel` implements it for the step-by-step
+//! reference interpreter and the pre-decoded fast tier. [`compare_backends`]
+//! drives two backends in lockstep and reports the first disagreement,
+//! which is how the `--xtier` cross-check proves bit-identity.
+
+use crate::run::TrapKind;
+use crate::trace::{CommitRecord, GoldenRun};
+
+/// One architecturally committed instruction, stripped of timing.
+///
+/// The four fields are exactly the architectural subset of a pipeline
+/// [`CommitRecord`] (whose `cycle` field is timing, not architecture) and of
+/// a reference-model step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchCommit {
+    /// Address of the instruction (or of the faulting fetch).
+    pub pc: u32,
+    /// Fetched instruction word (`0` when the fetch itself faulted).
+    pub raw: u32,
+    /// Effective byte address for loads/stores (trapping ones included).
+    pub ea: u32,
+    /// Result value: ALU result / extended load / masked store data / link.
+    pub val: u32,
+}
+
+impl From<&CommitRecord> for ArchCommit {
+    fn from(rec: &CommitRecord) -> Self {
+        ArchCommit {
+            pc: rec.pc,
+            raw: rec.raw,
+            ea: rec.ea,
+            val: rec.val,
+        }
+    }
+}
+
+impl std::fmt::Display for ArchCommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pc={:#010x} raw={:#010x} ea={:#010x} val={:#010x}",
+            self.pc, self.raw, self.ea, self.val
+        )
+    }
+}
+
+/// How a backend's execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendEnd {
+    /// A `halt` instruction committed.
+    Completed,
+    /// The program trapped.
+    Trap(TrapKind),
+}
+
+/// An execution tier viewed as an architectural commit stream.
+///
+/// The stream includes *every* committed instruction, terminal ones too: a
+/// completed run ends with the `halt` commit, a trapping run with the commit
+/// record of the trapping instruction.
+pub trait ExecBackend {
+    /// Short name used in mismatch reports (`"pipeline-trace"`, `"fast"`, …).
+    fn label(&self) -> &'static str;
+
+    /// The next committed instruction, or `None` once execution ended.
+    fn next_commit(&mut self) -> Option<ArchCommit>;
+
+    /// Terminal state, `None` while the backend can still commit (or when it
+    /// stopped on an exhausted step budget).
+    fn end(&self) -> Option<BackendEnd>;
+
+    /// The program's output window as this backend left it.
+    fn output_bytes(&self) -> Vec<u8>;
+}
+
+/// A captured fault-free pipeline run replayed as a backend.
+pub struct TraceBackend<'a> {
+    golden: &'a GoldenRun,
+    at: usize,
+}
+
+impl<'a> TraceBackend<'a> {
+    /// Replay `golden` from its first commit.
+    pub fn new(golden: &'a GoldenRun) -> Self {
+        TraceBackend { golden, at: 0 }
+    }
+}
+
+impl ExecBackend for TraceBackend<'_> {
+    fn label(&self) -> &'static str {
+        "pipeline-trace"
+    }
+
+    fn next_commit(&mut self) -> Option<ArchCommit> {
+        let rec = self.golden.trace.get(self.at)?;
+        self.at += 1;
+        Some(ArchCommit::from(rec))
+    }
+
+    fn end(&self) -> Option<BackendEnd> {
+        // Golden runs are completed fault-free executions by construction.
+        Some(BackendEnd::Completed)
+    }
+
+    fn output_bytes(&self) -> Vec<u8> {
+        self.golden.output.clone()
+    }
+}
+
+/// Drives two backends commit-for-commit and reports the first disagreement:
+/// a differing commit, one stream ending early, differing terminal states,
+/// or differing output bytes. Returns the number of commits compared.
+///
+/// `max_commits` bounds the walk so two agreeing-but-diverging backends (or
+/// a runaway program) cannot hang the check.
+pub fn compare_backends(
+    a: &mut dyn ExecBackend,
+    b: &mut dyn ExecBackend,
+    max_commits: u64,
+) -> Result<u64, String> {
+    let mut compared = 0u64;
+    loop {
+        match (a.next_commit(), b.next_commit()) {
+            (Some(x), Some(y)) => {
+                if x != y {
+                    return Err(format!(
+                        "commit #{compared} differs:\n  {}: {x}\n  {}: {y}",
+                        a.label(),
+                        b.label()
+                    ));
+                }
+                compared += 1;
+                if compared >= max_commits {
+                    return Err(format!(
+                        "commit budget {max_commits} exhausted with both streams still running"
+                    ));
+                }
+            }
+            (None, None) => break,
+            (Some(x), None) => {
+                return Err(format!(
+                    "`{}` ended after {compared} commits but `{}` continues with {x}",
+                    b.label(),
+                    a.label()
+                ));
+            }
+            (None, Some(y)) => {
+                return Err(format!(
+                    "`{}` ended after {compared} commits but `{}` continues with {y}",
+                    a.label(),
+                    b.label()
+                ));
+            }
+        }
+    }
+    if a.end() != b.end() {
+        return Err(format!(
+            "terminal states differ after {compared} commits: {}={:?}, {}={:?}",
+            a.label(),
+            a.end(),
+            b.label(),
+            b.end()
+        ));
+    }
+    let (oa, ob) = (a.output_bytes(), b.output_bytes());
+    if oa != ob {
+        let offset = oa.iter().zip(&ob).position(|(x, y)| x != y);
+        return Err(format!(
+            "output bytes differ between `{}` ({} bytes) and `{}` ({} bytes), first at {offset:?}",
+            a.label(),
+            oa.len(),
+            b.label(),
+            ob.len()
+        ));
+    }
+    Ok(compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MuarchConfig;
+    use crate::pipeline::capture_golden;
+    use crate::program::Program;
+    use avgi_isa::asm::Assembler;
+    use avgi_isa::reg::{A0, ZERO};
+
+    fn tiny_golden() -> std::sync::Arc<GoldenRun> {
+        let mut a = Assembler::new(0);
+        a.li32(A0, 3);
+        a.label("loop");
+        a.addi(A0, A0, -1);
+        a.bne(A0, ZERO, "loop");
+        a.halt();
+        let program = Program::new("tiny", a.assemble().unwrap(), 0);
+        capture_golden(&program, &MuarchConfig::small(), 1_000_000)
+    }
+
+    #[test]
+    fn trace_backend_replays_every_commit_and_agrees_with_itself() {
+        let golden = tiny_golden();
+        let mut a = TraceBackend::new(&golden);
+        let mut b = TraceBackend::new(&golden);
+        let n = compare_backends(&mut a, &mut b, 1_000_000).expect("identical streams");
+        assert_eq!(n, golden.trace.len() as u64);
+    }
+
+    #[test]
+    fn compare_backends_reports_early_end() {
+        let golden = tiny_golden();
+        let mut short = (*golden).clone();
+        short.trace.pop();
+        let mut a = TraceBackend::new(&golden);
+        let mut b = TraceBackend::new(&short);
+        let err = compare_backends(&mut a, &mut b, 1_000_000).unwrap_err();
+        assert!(err.contains("ended after"), "unexpected error: {err}");
+    }
+}

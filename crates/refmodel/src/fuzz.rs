@@ -33,7 +33,8 @@
 //! Failing programs are shrunk with a delta-debugging pass (chunk deletion,
 //! then NOP substitution) to a minimal reproducer; see [`shrink_with`].
 
-use crate::lockstep::{verify_report, Divergence, LockstepReport};
+use crate::fast::ExecTier;
+use crate::lockstep::{verify_report_tier, Divergence, LockstepReport};
 use avgi_isa::encoding::{pack_i, pack_n, pack_r};
 use avgi_isa::opcode::{Format, Opcode};
 use avgi_isa::reg::Reg;
@@ -595,7 +596,11 @@ pub fn run_one(
         ..RunControl::default()
     };
     let report = sim.run(&ctl);
-    let verdict = verify_report(&program, &report);
+    // The reference side of the differential runs on the fast tier: the
+    // block-cache decode and trap paths get hammered by the same hostile
+    // corpus the pipeline does (the tiers themselves are pinned equal by
+    // `verify_fast_tier` and the `--xtier` cross-check).
+    let verdict = verify_report_tier(&program, &report, ExecTier::Fast);
     (report.outcome, report.trace, verdict)
 }
 

@@ -11,6 +11,11 @@
 //!   every AvgIsa opcode, including the deliberately-undefined encoding
 //!   paths, with the same memory map and trap model as the pipeline but
 //!   independently re-implemented semantics;
+//! * [`fast::FastModel`] — the production fault-free tier: the same
+//!   architecture pre-decoded once into a basic-block threaded
+//!   [`fast::BlockCache`] and dispatched over flat memory, bit-identical to
+//!   the oracle but several times faster (pick a tier with
+//!   [`fast::ExecTier`]);
 //! * [`lockstep`] — a differential checker that advances the reference model
 //!   one committed instruction at a time against a `muarch` commit trace and
 //!   reports the first divergence with full architectural context;
@@ -18,17 +23,23 @@
 //!   the pipeline with valid-and-invalid instruction mixes and shrinks any
 //!   divergence to a minimal reproducer.
 //!
+//! Both tiers implement `muarch`'s
+//! [`ExecBackend`](avgi_muarch::backend::ExecBackend) trait, the commit-
+//! stream boundary the `--xtier` cross-check compares tiers across.
+//!
 //! The crate is `std`-only and uses only workspace-local dependencies, like
 //! the rest of the repository.
 
+pub mod fast;
 pub mod fuzz;
 pub mod lockstep;
 pub mod model;
 
+pub use fast::{verify_fast_tier, BlockCache, ExecTier, FastModel, TierModel};
 pub use fuzz::{run_fuzz, Coverage, FuzzConfig, FuzzFailure, FuzzReport};
 pub use lockstep::{
-    reference_run, verify_golden, verify_report, verify_trace_prefix, Divergence, Lockstep,
-    LockstepReport,
+    reference_run, reference_run_tier, verify_golden, verify_golden_tier, verify_report,
+    verify_report_tier, verify_trace_prefix, Divergence, Lockstep, LockstepReport,
 };
 pub use model::{Effect, RefModel, RefOutcome, RefRun, RefStep, DEFAULT_MAX_STEPS};
 

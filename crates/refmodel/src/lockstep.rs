@@ -16,7 +16,8 @@
 //! effect (register writeback / memory store / control transfer) and the
 //! observed commit record.
 
-use crate::model::{RefModel, RefOutcome, RefRun, RefStep, DEFAULT_MAX_STEPS};
+use crate::fast::{ExecTier, TierModel};
+use crate::model::{RefOutcome, RefRun, RefStep, DEFAULT_MAX_STEPS};
 use avgi_isa::instr::disassemble;
 use avgi_muarch::{CommitRecord, GoldenRun, Program, RunOutcome, RunReport};
 
@@ -121,15 +122,23 @@ pub struct LockstepReport {
 
 /// Incremental lockstep checker; see the module docs for the protocol.
 pub struct Lockstep {
-    model: RefModel,
+    model: TierModel,
     committed: u64,
 }
 
 impl Lockstep {
-    /// Start a lockstep check for one program, from reset state.
+    /// Start a lockstep check for one program, from reset state, on the
+    /// oracle ([`ExecTier::Reference`]) tier.
     pub fn new(program: &Program) -> Self {
+        Lockstep::with_tier(program, ExecTier::Reference)
+    }
+
+    /// Start a lockstep check on an explicit execution tier. The fast tier
+    /// yields an identical commit stream at a fraction of the cost; the
+    /// reference tier is the maximally independent oracle.
+    pub fn with_tier(program: &Program, tier: ExecTier) -> Self {
         Lockstep {
-            model: RefModel::new(program),
+            model: TierModel::new(program, tier),
             committed: 0,
         }
     }
@@ -139,8 +148,8 @@ impl Lockstep {
         self.committed
     }
 
-    /// The underlying reference model (e.g. to inspect registers on failure).
-    pub fn model(&self) -> &RefModel {
+    /// The underlying model (e.g. to inspect the PC on failure).
+    pub fn model(&self) -> &TierModel {
         &self.model
     }
 
@@ -232,9 +241,20 @@ impl Lockstep {
 }
 
 /// Lockstep-verify a captured golden run: full trace equality, matching
-/// completion, and matching output bytes.
+/// completion, and matching output bytes — against the oracle tier.
 pub fn verify_golden(program: &Program, golden: &GoldenRun) -> Result<LockstepReport, Divergence> {
-    let mut ls = Lockstep::new(program);
+    verify_golden_tier(program, golden, ExecTier::Reference)
+}
+
+/// [`verify_golden`] on an explicit execution tier. Campaign-time golden
+/// verification runs on [`ExecTier::Fast`]; the cross-checks that anchor the
+/// fast tier itself use [`ExecTier::Reference`].
+pub fn verify_golden_tier(
+    program: &Program,
+    golden: &GoldenRun,
+    tier: ExecTier,
+) -> Result<LockstepReport, Divergence> {
+    let mut ls = Lockstep::with_tier(program, tier);
     for rec in &golden.trace {
         ls.on_commit(rec)?;
     }
@@ -254,11 +274,20 @@ pub fn verify_golden(program: &Program, golden: &GoldenRun) -> Result<LockstepRe
 /// Panics if the report has no recorded trace — that is a harness bug, not a
 /// divergence.
 pub fn verify_report(program: &Program, report: &RunReport) -> Result<LockstepReport, Divergence> {
+    verify_report_tier(program, report, ExecTier::Reference)
+}
+
+/// [`verify_report`] on an explicit execution tier (same panics).
+pub fn verify_report_tier(
+    program: &Program,
+    report: &RunReport,
+    tier: ExecTier,
+) -> Result<LockstepReport, Divergence> {
     let trace = report
         .trace
         .as_ref()
         .expect("verify_report requires RunControl::record_trace");
-    let mut ls = Lockstep::new(program);
+    let mut ls = Lockstep::with_tier(program, tier);
     for rec in trace {
         ls.on_commit(rec)?;
     }
@@ -284,8 +313,23 @@ pub fn verify_trace_prefix(
 
 /// Run the reference model alone and return its outcome (used to sanity-check
 /// a program before fuzzing it, and by the workload startup validation).
-pub fn reference_run(program: &Program, max_steps: u64) -> (RefModel, RefRun) {
-    let mut model = RefModel::new(program);
+pub fn reference_run(program: &Program, max_steps: u64) -> (crate::model::RefModel, RefRun) {
+    let mut model = crate::model::RefModel::new(program);
+    let run = model.run(if max_steps == 0 {
+        DEFAULT_MAX_STEPS
+    } else {
+        max_steps
+    });
+    (model, run)
+}
+
+/// [`reference_run`] on an explicit execution tier.
+pub fn reference_run_tier(
+    program: &Program,
+    tier: ExecTier,
+    max_steps: u64,
+) -> (TierModel, RefRun) {
+    let mut model = TierModel::new(program, tier);
     let run = model.run(if max_steps == 0 {
         DEFAULT_MAX_STEPS
     } else {

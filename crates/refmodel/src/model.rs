@@ -199,7 +199,7 @@ impl RefModel {
 }
 
 /// Bytes accessed by a load/store opcode.
-fn access_size(op: Opcode) -> u32 {
+pub(crate) fn access_size(op: Opcode) -> u32 {
     match op {
         Opcode::Lw | Opcode::Sw => 4,
         Opcode::Lh | Opcode::Lhu | Opcode::Sh => 2,
@@ -208,7 +208,7 @@ fn access_size(op: Opcode) -> u32 {
 }
 
 /// ALU semantics, re-derived from the ISA definition (not from `muarch`).
-fn alu_value(op: Opcode, a: u32, b: u32) -> u32 {
+pub(crate) fn alu_value(op: Opcode, a: u32, b: u32) -> u32 {
     match op {
         Opcode::Add | Opcode::Addi => a.wrapping_add(b),
         Opcode::Sub => a.wrapping_sub(b),
@@ -236,7 +236,7 @@ fn alu_value(op: Opcode, a: u32, b: u32) -> u32 {
 }
 
 /// Branch condition semantics, re-derived from the ISA definition.
-fn cond_holds(op: Opcode, a: u32, b: u32) -> bool {
+pub(crate) fn cond_holds(op: Opcode, a: u32, b: u32) -> bool {
     match op {
         Opcode::Beq => a == b,
         Opcode::Bne => a != b,
@@ -249,7 +249,7 @@ fn cond_holds(op: Opcode, a: u32, b: u32) -> bool {
 }
 
 /// Zero/sign extension applied to a loaded value.
-fn extend_load(op: Opcode, raw: u32) -> u32 {
+pub(crate) fn extend_load(op: Opcode, raw: u32) -> u32 {
     match op {
         Opcode::Lw => raw,
         Opcode::Lb => raw as u8 as i8 as i32 as u32,

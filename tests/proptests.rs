@@ -47,14 +47,14 @@ fn fault_sampling_in_range() {
         let s = *rng.choose(Structure::all());
         let seed = rng.next_u64();
         let cycles = 1 + rng.gen_range_u64(1_000_000);
-        let faults = sample_faults(s, &cfg, cycles, 50, seed);
+        let faults = sample_faults(s, &cfg, cycles, 50, seed).unwrap();
         let bits = s.bit_count(&cfg);
         for f in &faults {
             assert!(f.site.bit < bits);
             assert!(f.cycle < cycles);
             assert_eq!(f.site.structure, s);
         }
-        assert_eq!(faults, sample_faults(s, &cfg, cycles, 50, seed));
+        assert_eq!(faults, sample_faults(s, &cfg, cycles, 50, seed).unwrap());
     }
 }
 
