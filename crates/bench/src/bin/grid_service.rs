@@ -1,0 +1,101 @@
+//! The multi-campaign control plane (`DESIGN.md` §15).
+//!
+//! Serves many concurrent fault-injection campaigns over one shared worker
+//! fleet: campaigns arrive over HTTP (`grid_submit`), survive restarts in
+//! a durable submission queue, and are leased out fair-share to whatever
+//! `grid_worker`s connect — v3 (binary wire) and v2 (JSON) alike.
+//!
+//! ```text
+//! grid_service --bind 127.0.0.1:4810 --http 127.0.0.1:4811 \
+//!     --queue PATH [--journal-dir DIR] [--batch N] [--lease-ms N] \
+//!     [--fsync-every N] [--deadline-s N] [--exit-after N]
+//! ```
+//!
+//! `--exit-after N` makes the service drain the fleet and exit once `N`
+//! campaigns have completed — what the CI smoke uses for clean shutdown.
+
+use avgi_grid::{Service, ServiceConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "grid_service --bind ADDR --http ADDR --queue PATH [--journal-dir DIR] \
+     [--batch N] [--lease-ms N] [--fsync-every N] [--deadline-s N] [--exit-after N]";
+
+fn main() {
+    let mut cfg = ServiceConfig {
+        bind: "127.0.0.1:4810".into(),
+        http_bind: Some("127.0.0.1:4811".into()),
+        ..ServiceConfig::default()
+    };
+    let mut fsync_every = 0u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value\nusage: {USAGE}"))
+        };
+        match a.as_str() {
+            "--bind" => cfg.bind = next("--bind"),
+            "--http" => cfg.http_bind = Some(next("--http")),
+            "--queue" => cfg.queue = PathBuf::from(next("--queue")),
+            "--journal-dir" => cfg.journal_dir = Some(PathBuf::from(next("--journal-dir"))),
+            "--batch" => cfg.batch = next("--batch").parse().expect("--batch N"),
+            "--lease-ms" => {
+                cfg.lease_timeout =
+                    Duration::from_millis(next("--lease-ms").parse().expect("--lease-ms N"));
+            }
+            "--fsync-every" => {
+                fsync_every = next("--fsync-every").parse().expect("--fsync-every N");
+            }
+            "--deadline-s" => {
+                cfg.deadline = Some(Duration::from_secs(
+                    next("--deadline-s").parse().expect("--deadline-s N"),
+                ));
+            }
+            "--exit-after" => {
+                cfg.exit_after = Some(next("--exit-after").parse().expect("--exit-after N"));
+            }
+            other => panic!("unknown argument `{other}`\nusage: {USAGE}"),
+        }
+    }
+    if fsync_every > 0 {
+        cfg.durability = avgi_faultsim::DurabilityPolicy::FsyncEveryN(fsync_every);
+    }
+    let service = match Service::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[service] bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[service] fabric on {}, http on {}",
+        service
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".into()),
+        service
+            .http_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "-".into()),
+    );
+    match service.run() {
+        Ok(stats) => {
+            eprintln!(
+                "[service] exit: {} submitted, {} resumed, {} completed, {} leases \
+                 ({} reassigned), {} workers, {} http requests",
+                stats.campaigns_submitted,
+                stats.campaigns_resumed,
+                stats.campaigns_completed,
+                stats.leases_granted,
+                stats.leases_reassigned,
+                stats.workers_seen,
+                stats.http_requests,
+            );
+        }
+        Err(e) => {
+            eprintln!("[service] failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

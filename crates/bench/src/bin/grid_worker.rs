@@ -1,21 +1,28 @@
-//! Distributed-campaign worker (`DESIGN.md` §10).
+//! Distributed-campaign worker (`DESIGN.md` §10, §15).
 //!
-//! Connects to a `grid_coordinator`, rebuilds the campaign locally from the
-//! welcome spec (workload, configuration, golden run, fault list,
-//! checkpoints — all deterministic), and executes leases until the
-//! coordinator declares the campaign done.
+//! Connects to a `grid_coordinator` or `grid_service`, rebuilds campaigns
+//! locally from their specs (workload, configuration, golden run, fault
+//! list, checkpoints — all deterministic), and executes leases until the
+//! peer declares the work done.
 //!
 //! ```text
-//! grid_worker --connect 127.0.0.1:4810 [--threads N] [--connect-timeout-s N]
+//! grid_worker --connect 127.0.0.1:4810 [--threads N] [--connect-timeout-s N] [--proto N]
 //! ```
+//!
+//! `--proto 2` pins the worker to the JSON wire dialect (what a previous
+//! release would speak); the default negotiates the binary v3 dialect.
 
+use avgi_grid::proto::WireStats;
 use avgi_grid::{run_worker, WorkerConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
-const USAGE: &str = "grid_worker --connect ADDR [--threads N] [--connect-timeout-s N]";
+const USAGE: &str = "grid_worker --connect ADDR [--threads N] [--connect-timeout-s N] [--proto N]";
 
 fn main() {
     let mut wcfg = WorkerConfig::new("127.0.0.1:4810");
+    let wire = Arc::new(WireStats::new());
+    wcfg.wire = Some(wire.clone());
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = |flag: &str| {
@@ -25,6 +32,7 @@ fn main() {
         match a.as_str() {
             "--connect" => wcfg.addr = next("--connect"),
             "--threads" => wcfg.threads = next("--threads").parse().expect("--threads N"),
+            "--proto" => wcfg.proto = next("--proto").parse().expect("--proto N"),
             "--connect-timeout-s" => {
                 wcfg.connect_timeout = Duration::from_secs(
                     next("--connect-timeout-s")
@@ -39,9 +47,10 @@ fn main() {
     match run_worker(&wcfg) {
         Ok(stats) => {
             eprintln!(
-                "[worker] campaign done: {} batches, {} runs",
-                stats.batches, stats.runs
+                "[worker] done: {} campaigns, {} batches, {} runs",
+                stats.campaigns, stats.batches, stats.runs
             );
+            eprintln!("[worker] wire: {}", wire.summary());
         }
         Err(e) => {
             eprintln!("[worker] failed: {e}");

@@ -1041,9 +1041,9 @@ pub fn run_campaign_journaled(
 /// partition of `0..ccfg.faults` concatenated in index order are
 /// bit-identical to the unsharded campaign's, regardless of how the
 /// indices are split across runners, processes, or machines.
-pub struct ShardRunner<'a> {
-    workload: &'a Workload,
-    cfg: &'a MuarchConfig,
+pub struct ShardRunner {
+    workload: Workload,
+    cfg: MuarchConfig,
     golden: Arc<GoldenRun>,
     ccfg: CampaignConfig,
     faults: Vec<Fault>,
@@ -1051,15 +1051,18 @@ pub struct ShardRunner<'a> {
     warnings: Vec<String>,
 }
 
-impl<'a> ShardRunner<'a> {
+impl ShardRunner {
     /// Samples the campaign's fault list and builds its checkpoint set.
     ///
-    /// Any observer already attached to `ccfg` is kept as the default for
-    /// [`run_indices`](ShardRunner::run_indices) calls that do not supply
-    /// their own.
+    /// The runner owns copies of the workload and configuration (both are
+    /// cheap to clone next to the checkpoint set), so a long-lived worker
+    /// can cache one runner per tenant campaign without borrowing from
+    /// anything. Any observer already attached to `ccfg` is kept as the
+    /// default for [`run_indices`](ShardRunner::run_indices) calls that do
+    /// not supply their own.
     pub fn new(
-        workload: &'a Workload,
-        cfg: &'a MuarchConfig,
+        workload: &Workload,
+        cfg: &MuarchConfig,
         golden: &Arc<GoldenRun>,
         ccfg: &CampaignConfig,
     ) -> Self {
@@ -1067,8 +1070,8 @@ impl<'a> ShardRunner<'a> {
             .expect("ShardRunner: cannot sample faults from this golden run");
         let (checkpoints, warnings) = build_checkpoints(workload, cfg, golden, ccfg);
         ShardRunner {
-            workload,
-            cfg,
+            workload: workload.clone(),
+            cfg: cfg.clone(),
             golden: golden.clone(),
             ccfg: ccfg.clone(),
             faults,
@@ -1117,8 +1120,8 @@ impl<'a> ShardRunner<'a> {
             ccfg.observer = observer;
         }
         let (results, _) = run_campaign_engine(
-            self.workload,
-            self.cfg,
+            &self.workload,
+            &self.cfg,
             &self.golden,
             &ccfg,
             &subset,

@@ -55,14 +55,16 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Seals one journal line: `{json} {crc:08x}\n`. The checksum covers the
 /// JSON text only; `json` must be a compact (space-free) single line, which
-/// everything [`record_line`] and the header emit is.
-fn seal(json: &str) -> String {
+/// everything [`record_line`] and the header emit is. Public so other
+/// journal-shaped logs (e.g. the grid's submission queue) share the exact
+/// sealing format instead of reinventing it.
+pub fn seal(json: &str) -> String {
     format!("{json} {:08x}\n", crc32(json.as_bytes()))
 }
 
 /// Verifies and strips a sealed line's checksum suffix, returning the JSON
 /// text. `line` must already be newline-trimmed.
-fn unseal(line: &str) -> Result<&str, String> {
+pub fn unseal(line: &str) -> Result<&str, String> {
     let (json, suffix) = line
         .rsplit_once(' ')
         .ok_or_else(|| "missing checksum suffix".to_string())?;

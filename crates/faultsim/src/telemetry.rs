@@ -348,6 +348,7 @@ impl MetricsCollector {
     /// A point-in-time copy of every counter plus derived rates.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            campaign: 0,
             planned: self.planned.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
@@ -412,6 +413,15 @@ impl CampaignObserver for MetricsCollector {
 /// A plain-data copy of a [`MetricsCollector`] at one point in time.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
+    /// Which tenant campaign these counters belong to (`0` = untagged, the
+    /// single-campaign default). A control plane scheduling many campaigns
+    /// over one worker fleet tags each shard delta so merges can never mix
+    /// tenants; see [`merge`](Self::merge) for the mixing rule. The tag is
+    /// transport bookkeeping, not campaign content, so it is excluded from
+    /// [`deterministic_counters_json`](Self::deterministic_counters_json) —
+    /// a tagged merged snapshot stays byte-identical to its single-process
+    /// (untagged) reference.
+    pub campaign: u64,
     /// Runs the observed campaigns planned in total.
     pub planned: u64,
     /// Runs accounted for so far (freshly executed plus resumed).
@@ -447,6 +457,13 @@ impl MetricsSnapshot {
     /// Runs recorded as [`RunOutcome::SimAbort`].
     pub fn aborted(&self) -> u64 {
         self.outcomes[SIM_ABORT_INDEX].1
+    }
+
+    /// This snapshot re-tagged for a tenant campaign (see the
+    /// [`campaign`](Self::campaign) field).
+    pub fn with_campaign(mut self, campaign: u64) -> Self {
+        self.campaign = campaign;
+        self
     }
 
     /// Freshly executed runs per second of host time (resumed replays are
@@ -522,11 +539,13 @@ impl MetricsSnapshot {
             .map_or_else(|| "null".to_string(), |d| d.as_micros().to_string());
         format!(
             "{{\"kind\":\"avgi-campaign-metrics\",\"version\":1,\
+             \"campaign\":{},\
              \"planned\":{},\"completed\":{},\"resumed\":{},\"retries\":{},\"aborted\":{},\
              \"batching_disabled\":{},\
              \"workers\":{},\"elapsed_us\":{},\"runs_per_sec\":{:.1},\"eta_us\":{eta_us},\
              \"outcomes\":{},\"classes\":{},\"structures\":{},\
              \"post_inject_cycles_hist\":{},\"wall_latency_us_hist\":{}}}",
+            self.campaign,
             self.planned,
             self.completed,
             self.resumed,
@@ -581,6 +600,7 @@ impl MetricsSnapshot {
     /// as the accumulator when folding shard deltas together.
     pub fn empty() -> Self {
         MetricsSnapshot {
+            campaign: 0,
             planned: 0,
             completed: 0,
             resumed: 0,
@@ -607,6 +627,12 @@ impl MetricsSnapshot {
     /// tallies align by label (labels unknown to `self` are appended);
     /// `workers` takes the maximum and `elapsed` the longest shard (shards
     /// overlap in wall time, so summing would overstate it).
+    /// `merge` refuses to mix tenants: folding a delta tagged for campaign
+    /// A into an accumulator tagged for campaign B is always a control-plane
+    /// bug, so it panics rather than silently corrupting both tenants'
+    /// counters. An untagged side (campaign `0`) adopts the other side's
+    /// tag, which keeps every pre-existing single-campaign call site
+    /// working unchanged.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         fn merge_labelled(mine: &mut Vec<(&'static str, u64)>, theirs: &[(&'static str, u64)]) {
             for &(label, n) in theirs {
@@ -615,6 +641,15 @@ impl MetricsSnapshot {
                     None => mine.push((label, n)),
                 }
             }
+        }
+        assert!(
+            self.campaign == 0 || other.campaign == 0 || self.campaign == other.campaign,
+            "refusing to merge telemetry across campaigns {} and {}",
+            self.campaign,
+            other.campaign
+        );
+        if self.campaign == 0 {
+            self.campaign = other.campaign;
         }
         self.planned += other.planned;
         self.completed += other.completed;
@@ -977,6 +1012,29 @@ mod tests {
         assert_eq!(hist.len(), bucket_of(1 << 20) + 1);
         assert!(s.to_json().contains("\"kind\":\"avgi-campaign-metrics\""));
         assert!(s.to_json().contains("\"runs_per_sec\":"));
+    }
+
+    #[test]
+    fn campaign_tag_spreads_on_merge_but_stays_off_the_deterministic_wire() {
+        let tagged = MetricsSnapshot::empty().with_campaign(7);
+        let mut acc = MetricsSnapshot::empty();
+        acc.merge(&tagged);
+        assert_eq!(acc.campaign, 7, "untagged accumulator adopts the tag");
+        acc.merge(&MetricsSnapshot::empty());
+        assert_eq!(acc.campaign, 7, "untagged delta leaves the tag alone");
+        assert_eq!(
+            acc.deterministic_counters_json(),
+            MetricsSnapshot::empty().deterministic_counters_json(),
+            "the tag is bookkeeping, not campaign content"
+        );
+        assert!(acc.to_json().contains("\"campaign\":7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to merge telemetry across campaigns")]
+    fn merging_two_tenants_panics() {
+        let mut a = MetricsSnapshot::empty().with_campaign(1);
+        a.merge(&MetricsSnapshot::empty().with_campaign(2));
     }
 
     #[test]

@@ -249,6 +249,35 @@ impl ChaosTransport {
         )
     }
 
+    /// `write_all` that rides out `WouldBlock`/`Interrupted`: chaos decides
+    /// fates per whole frame, so once a frame is fated to be delivered it
+    /// must reach the inner transport in full even when that transport is a
+    /// nonblocking service-side socket with a momentarily full send buffer.
+    fn write_full(inner: &mut dyn Transport, bytes: &[u8]) -> std::io::Result<()> {
+        let mut off = 0;
+        while off < bytes.len() {
+            match inner.write(&bytes[off..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "inner transport accepted no bytes",
+                    ))
+                }
+                Ok(n) => off += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     /// Applies fates to every complete frame buffered so far.
     fn drain_frames(&mut self) -> std::io::Result<()> {
         loop {
@@ -285,21 +314,21 @@ impl ChaosTransport {
                     // framing stays intact, the CRC check must catch it.
                     frame[4 + corrupt_bit / 8] ^= 1 << (corrupt_bit % 8);
                     self.stats.corrupted.fetch_add(1, Ordering::Relaxed);
-                    self.inner.write_all(&frame)?;
+                    Self::write_full(&mut *self.inner, &frame)?;
                 }
                 Fate::Duplicate => {
                     self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
-                    self.inner.write_all(&frame)?;
-                    self.inner.write_all(&frame)?;
+                    Self::write_full(&mut *self.inner, &frame)?;
+                    Self::write_full(&mut *self.inner, &frame)?;
                 }
                 Fate::Delay => {
                     self.stats.delayed.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_millis(delay));
-                    self.inner.write_all(&frame)?;
+                    Self::write_full(&mut *self.inner, &frame)?;
                 }
                 Fate::Sever => {
                     self.stats.severed.fetch_add(1, Ordering::Relaxed);
-                    let _ = self.inner.write_all(&frame[..cut]);
+                    let _ = Self::write_full(&mut *self.inner, &frame[..cut]);
                     let _ = self.inner.flush();
                     self.dead.store(true, Ordering::SeqCst);
                     let _ = self.inner.shutdown();
@@ -307,7 +336,7 @@ impl ChaosTransport {
                 }
                 Fate::Deliver => {
                     self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                    self.inner.write_all(&frame)?;
+                    Self::write_full(&mut *self.inner, &frame)?;
                 }
             }
         }
@@ -356,6 +385,10 @@ impl Transport for ChaosTransport {
         self.inner.set_read_timeout(timeout)
     }
 
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)
+    }
+
     fn shutdown(&self) -> std::io::Result<()> {
         self.inner.shutdown()
     }
@@ -402,6 +435,10 @@ mod tests {
             Ok(())
         }
 
+        fn set_nonblocking(&self, _nb: bool) -> std::io::Result<()> {
+            Ok(())
+        }
+
         fn shutdown(&self) -> std::io::Result<()> {
             self.down.store(true, Ordering::SeqCst);
             Ok(())
@@ -422,7 +459,7 @@ mod tests {
             stats.clone(),
         );
         for i in 0..frames {
-            if write_frame(&mut t, &format!("frame-{i}")).is_err() {
+            if write_frame(&mut t, format!("frame-{i}").as_bytes()).is_err() {
                 break;
             }
         }
@@ -491,19 +528,19 @@ mod tests {
             stats.clone(),
         );
         let mut clone = Transport::try_clone(&t).unwrap();
-        assert!(write_frame(&mut t, "doomed").is_err());
+        assert!(write_frame(&mut t, b"doomed").is_err());
         assert!(down.load(Ordering::SeqCst), "socket must be shut down");
         // The peer got a strict prefix of the frame: a torn frame.
         let full = {
             let mut w = Vec::new();
-            write_frame(&mut w, "doomed").unwrap();
+            write_frame(&mut w, b"doomed").unwrap();
             w
         };
         let sent = out.lock().unwrap().clone();
         assert!(!sent.is_empty() && sent.len() < full.len());
         assert_eq!(sent[..], full[..sent.len()]);
         // Every clone is poisoned.
-        assert!(write_frame(&mut clone, "after").is_err());
+        assert!(write_frame(&mut clone, b"after").is_err());
         let mut buf = [0u8; 1];
         assert!(clone.read(&mut buf).is_err());
     }
@@ -522,6 +559,6 @@ mod tests {
         while let Ok(Some(f)) = fb.poll(&mut cursor) {
             got.push(f);
         }
-        assert_eq!(got, vec!["frame-0".to_string(), "frame-0".to_string()]);
+        assert_eq!(got, vec![b"frame-0".to_vec(), b"frame-0".to_vec()]);
     }
 }

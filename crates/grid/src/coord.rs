@@ -31,7 +31,7 @@
 //! journal, re-leasing only the missing indices.
 
 use crate::chaos::ChaosInterposer;
-use crate::proto::{send, FrameBuffer, FrameError, Msg};
+use crate::proto::{negotiate, send, FrameBuffer, FrameError, Msg, MIN_PROTO_VERSION};
 use crate::spec::{CampaignSpec, ConfigPreset};
 use crate::transport::{TcpTransport, Transport};
 use avgi_faultsim::campaign::golden_for;
@@ -380,6 +380,7 @@ impl Coordinator {
                                 &Msg::Reject {
                                     reason: "coordinator at connection capacity".into(),
                                 },
+                                MIN_PROTO_VERSION,
                             );
                             continue;
                         }
@@ -522,11 +523,13 @@ fn protocol_error(shared: &Shared, stream: &mut dyn Transport, reason: &str, cor
             st.stats.corrupt_frames += 1;
         }
     }
+    // `Reject` rides the JSON dialect at every protocol version.
     let _ = send(
         stream,
         &Msg::Reject {
             reason: reason.to_string(),
         },
+        MIN_PROTO_VERSION,
     );
 }
 
@@ -569,46 +572,52 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
         return;
     }
     let mut fb = FrameBuffer::new();
-    // Handshake: first frame must be a matching hello.
+    // Handshake: first frame must be a hello with a negotiable version.
     let hello = loop {
         match fb.poll(&mut *stream) {
             Ok(Some(payload)) => break payload,
             Ok(None) => {
                 if shared.done.load(Ordering::SeqCst) {
-                    let _ = send(&mut *stream, &Msg::Done);
+                    let _ = send(&mut *stream, &Msg::Done, MIN_PROTO_VERSION);
                     return;
                 }
             }
             Err(_) => return,
         }
     };
-    let session = match Msg::from_json(&hello) {
-        Ok(Msg::Hello { proto, session }) => {
-            if proto != crate::proto::PROTO_VERSION {
+    let (session, proto) = match Msg::decode(&hello) {
+        Ok(Msg::Hello { proto, session }) => match negotiate(proto) {
+            Some(negotiated) => (bind_session(shared, conn, session), negotiated),
+            None => {
                 protocol_error(
                     shared,
                     &mut *stream,
                     &format!(
-                        "protocol version {proto} unsupported (want {})",
+                        "protocol version {proto} unsupported (need {}..={})",
+                        MIN_PROTO_VERSION,
                         crate::proto::PROTO_VERSION
                     ),
                     false,
                 );
                 return;
             }
-            bind_session(shared, conn, session)
-        }
+        },
         _ => {
             protocol_error(shared, &mut *stream, "expected hello", false);
             return;
         }
     };
+    // The classic coordinator serves exactly one campaign, so every peer —
+    // v2 or v3 — is pinned to it (campaign 0) in the welcome.
     if send(
         &mut *stream,
         &Msg::Welcome {
-            spec: shared.spec.clone(),
+            proto,
             session,
+            campaign: 0,
+            spec: Some(shared.spec.clone()),
         },
+        proto,
     )
     .is_err()
     {
@@ -627,7 +636,7 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
                 // Done the worker needs, stranding it in reconnect.
                 if shared.done.load(Ordering::SeqCst) && !done_sent {
                     done_sent = true;
-                    if send(&mut *stream, &Msg::Done).is_err() {
+                    if send(&mut *stream, &Msg::Done, proto).is_err() {
                         return;
                     }
                 }
@@ -648,7 +657,7 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
                 return;
             }
         };
-        let msg = match Msg::from_json(&payload) {
+        let msg = match Msg::decode(&payload) {
             Ok(m) => m,
             Err(e) => {
                 protocol_error(shared, &mut *stream, &format!("bad message: {e}"), false);
@@ -656,16 +665,21 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
             }
         };
         match msg {
-            Msg::Hello { proto, .. } if proto == crate::proto::PROTO_VERSION => {
+            Msg::Hello {
+                proto: peer_proto, ..
+            } if negotiate(peer_proto) == Some(proto) => {
                 // A duplicated hello frame (link chaos): the handshake is
                 // idempotent, so just re-welcome rather than dropping a
                 // healthy worker.
                 if send(
                     &mut *stream,
                     &Msg::Welcome {
-                        spec: shared.spec.clone(),
+                        proto,
                         session,
+                        campaign: 0,
+                        spec: Some(shared.spec.clone()),
                     },
+                    proto,
                 )
                 .is_err()
                 {
@@ -694,12 +708,16 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
                                 },
                             );
                             st.stats.leases_granted += 1;
-                            Msg::Lease { lease: id, indices }
+                            Msg::Lease {
+                                lease: id,
+                                campaign: 0,
+                                indices,
+                            }
                         }
                     }
                 };
                 let is_done = matches!(reply, Msg::Done);
-                if send(&mut *stream, &reply).is_err() {
+                if send(&mut *stream, &reply, proto).is_err() {
                     // The lease (if any) stays put: the session may
                     // reconnect; otherwise the sweep reclaims it.
                     return;
@@ -708,7 +726,7 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
                     return;
                 }
             }
-            Msg::Heartbeat { lease } => {
+            Msg::Heartbeat { lease, .. } => {
                 let mut st = lock_clean(&shared.state);
                 if let Some(l) = st.leases.get_mut(&lease) {
                     if l.session == session {
@@ -722,6 +740,7 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
                 lease,
                 results,
                 telemetry,
+                ..
             } => {
                 match accept_batch(shared, session, lease, results, &telemetry) {
                     Ok(()) => {}
@@ -734,11 +753,28 @@ fn handle_connection(shared: &Shared, mut stream: Box<dyn Transport>, conn: u64)
                     Err(None) => {}
                 }
             }
+            Msg::SpecRequest { .. } => {
+                // Single-campaign coordinator: there is exactly one spec,
+                // so any spec request gets it (pinned as campaign 0).
+                if send(
+                    &mut *stream,
+                    &Msg::Spec {
+                        campaign: 0,
+                        spec: shared.spec.clone(),
+                    },
+                    proto,
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
             Msg::Hello { .. }
             | Msg::Welcome { .. }
             | Msg::Lease { .. }
             | Msg::Drain
             | Msg::Done
+            | Msg::Spec { .. }
             | Msg::Reject { .. } => {
                 protocol_error(shared, &mut *stream, "unexpected message", false);
                 return;

@@ -47,13 +47,20 @@
 
 pub mod chaos;
 pub mod coord;
+pub mod http;
 pub mod proto;
+pub mod queue;
+pub mod sched;
+pub mod service;
 pub mod spec;
 pub mod transport;
 pub mod worker;
 
 pub use chaos::{ChaosInterposer, ChaosPolicy, ChaosStats, ChaosTransport};
 pub use coord::{Coordinator, GridConfig, GridError, GridOutcome, GridStats};
-pub use spec::{CampaignSpec, ConfigPreset};
+pub use queue::{QueuedCampaign, SubmissionQueue};
+pub use sched::{FairScheduler, ShareConfig};
+pub use service::{CampaignStatus, Service, ServiceConfig, ServiceStats};
+pub use spec::{CampaignSpec, ConfigPreset, SubmitSpec};
 pub use transport::{TcpTransport, Transport};
 pub use worker::{run_worker, Backoff, WorkerConfig, WorkerStats};

@@ -1,0 +1,1230 @@
+//! The multi-campaign control plane: campaigns as a service.
+//!
+//! The classic [`Coordinator`](crate::Coordinator) is one campaign, one
+//! process, one thread per connection. [`Service`] is the grown-up
+//! sibling: a single-threaded, poll-based event loop that multiplexes
+//! *many* tenant campaigns over one shared worker fleet, with
+//!
+//! * **fair-share scheduling** ([`FairScheduler`]) — priority tiers,
+//!   per-campaign quotas, smooth weighted round-robin within a tier;
+//! * **a durable submission queue** ([`SubmissionQueue`]) — every
+//!   accepted submission survives a service restart, and per-campaign
+//!   result journals (`campaign-<id>.jsonl`) resume bit-identically;
+//! * **protocol v3** — binary hot messages with per-dialect wire tallies
+//!   ([`WireStats`]), while v2 workers negotiate down to JSON and get
+//!   pinned to a single campaign for their session;
+//! * **an HTTP surface** ([`crate::http`]) — `POST /campaigns`,
+//!   `GET /campaigns/<id>`, `GET /fleet`.
+//!
+//! Every connection — worker fabric and HTTP alike — runs nonblocking.
+//! The loop accepts, reads whatever bytes arrived, advances per-connection
+//! incremental parsers ([`FrameBuffer`], [`HttpBuffer`]), appends response
+//! bytes to per-connection outbound buffers, and flushes those buffers as
+//! sockets drain. No thread per connection, no locks: all campaign state
+//! lives on the loop thread.
+//!
+//! The per-campaign invariants are exactly the single-campaign fabric's,
+//! held *per tenant* under interleaving: a campaign's merged results and
+//! telemetry deterministic counters are bit-identical to a single-process
+//! run of the same spec, leases are first-responder-wins, and expiry
+//! requeues honor the owning campaign's priority. Cross-tenant mixing is
+//! structurally prevented — every lease knows its campaign, and merged
+//! telemetry snapshots carry a campaign tag that the merge asserts on.
+
+use crate::coord::GridError;
+use crate::http::{response, HttpBuffer, HttpPoll, HttpRequest};
+use crate::proto::{
+    frame_bytes, negotiate, FrameBuffer, FrameError, Msg, MsgKind, WireStats, MIN_PROTO_VERSION,
+};
+use crate::queue::SubmissionQueue;
+use crate::sched::FairScheduler;
+use crate::spec::{CampaignSpec, SubmitSpec};
+use crate::transport::{TcpTransport, Transport};
+use avgi_faultsim::campaign::golden_for;
+use avgi_faultsim::journal::{config_hash, record_line, CampaignKey, DurabilityPolicy, Journal};
+use avgi_faultsim::sampling::sample_faults;
+use avgi_faultsim::telemetry::{CampaignObserver, MetricsCollector, MetricsSnapshot};
+use avgi_faultsim::{CampaignConfig, InjectionResult};
+use avgi_muarch::fault::Fault;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Control-plane configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker-fabric address to listen on (`"127.0.0.1:0"` picks a port).
+    pub bind: String,
+    /// HTTP surface address (`None` = fabric only).
+    pub http_bind: Option<String>,
+    /// The durable submission queue file.
+    pub queue: PathBuf,
+    /// Directory for per-campaign result journals (`campaign-<id>.jsonl`);
+    /// `None` = campaigns are not restart-resumable.
+    pub journal_dir: Option<PathBuf>,
+    /// Faults per lease.
+    pub batch: usize,
+    /// How long a lease stays valid without a heartbeat or report.
+    pub lease_timeout: Duration,
+    /// How aggressively journal appends are pushed to stable storage.
+    pub durability: DurabilityPolicy,
+    /// Overall wall-clock failsafe (`None` = serve forever).
+    pub deadline: Option<Duration>,
+    /// Exit once this many campaigns have completed (`None` = keep
+    /// serving). The CI smoke and tests use this for clean shutdown.
+    pub exit_after: Option<u64>,
+    /// Cooperative shutdown: when this flag flips true the service drains
+    /// the fleet and returns (the embedding test or process owns the flag).
+    pub stop: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Live worker-connection cap; beyond it new peers are shed with a
+    /// `Reject` frame.
+    pub max_conns: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            bind: "127.0.0.1:0".into(),
+            http_bind: None,
+            queue: PathBuf::from("avgi-grid-queue.jsonl"),
+            journal_dir: None,
+            batch: 16,
+            lease_timeout: Duration::from_secs(30),
+            durability: DurabilityPolicy::Flush,
+            deadline: None,
+            exit_after: None,
+            stop: None,
+            max_conns: 64,
+        }
+    }
+}
+
+/// Service-level statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Campaigns accepted (HTTP submissions; excludes queue resumes).
+    pub campaigns_submitted: u64,
+    /// Campaigns restored from the submission queue at startup.
+    pub campaigns_resumed: u64,
+    /// Campaigns finished (merged result finalized).
+    pub campaigns_completed: u64,
+    /// Workers that completed a fresh handshake.
+    pub workers_seen: u64,
+    /// Reconnections that re-attached to an existing session token.
+    pub sessions_reattached: u64,
+    /// Leases granted (including re-grants of requeued indices).
+    pub leases_granted: u64,
+    /// Leases whose indices were requeued (expiry or clean disconnect).
+    pub leases_reassigned: u64,
+    /// Batch reports discarded (stale lease or wrong session).
+    pub batches_rejected: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Frames rejected by the CRC check.
+    pub corrupt_frames: u64,
+    /// Worker connections shed at the connection cap.
+    pub connections_shed: u64,
+    /// Results restored from per-campaign journals instead of executed.
+    pub results_resumed: u64,
+    /// HTTP requests served (routed; excludes malformed ones).
+    pub http_requests: u64,
+}
+
+/// One campaign's public status (also what `GET /campaigns/<id>` reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Campaign id.
+    pub id: u64,
+    /// Whether the merged result is finalized.
+    pub done: bool,
+    /// Planned injections.
+    pub faults: usize,
+    /// Injections with an accepted result.
+    pub completed: usize,
+}
+
+/// One live campaign.
+struct Run {
+    submit: SubmitSpec,
+    spec: CampaignSpec,
+    faults: Vec<Fault>,
+    queue: VecDeque<usize>,
+    results: Vec<Option<InjectionResult>>,
+    remaining: usize,
+    telemetry: MetricsSnapshot,
+    journal: Option<Journal>,
+    done: bool,
+    /// Final report JSON, cached at finalization.
+    report: Option<String>,
+}
+
+impl Run {
+    fn completed(&self) -> usize {
+        self.results.len() - self.remaining
+    }
+}
+
+struct LeaseRec {
+    campaign: u64,
+    session: u64,
+    indices: Vec<usize>,
+    deadline: Instant,
+}
+
+struct Session {
+    /// The connection currently speaking for this token.
+    conn: u64,
+    /// The campaign a v2 session is pinned to (`None` for v3 sessions).
+    pinned: Option<u64>,
+    /// Campaigns whose spec this session has been sent (v3 only).
+    specs_sent: HashSet<u64>,
+}
+
+struct WorkerConn {
+    transport: Box<dyn Transport>,
+    fb: FrameBuffer,
+    /// Outbound bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    session: Option<u64>,
+    proto: u64,
+    /// Flush what is queued, then drop the connection.
+    close_after_flush: bool,
+}
+
+struct HttpConn {
+    stream: TcpStream,
+    hb: HttpBuffer,
+    out: Vec<u8>,
+    /// A response is queued; close once it has flushed.
+    responded: bool,
+}
+
+/// The campaign-as-a-service control plane (see the module docs).
+pub struct Service {
+    cfg: ServiceConfig,
+    listener: TcpListener,
+    http_listener: Option<TcpListener>,
+    queue: SubmissionQueue,
+    sched: FairScheduler,
+    campaigns: BTreeMap<u64, Run>,
+    leases: HashMap<u64, LeaseRec>,
+    sessions: HashMap<u64, Session>,
+    conns: HashMap<u64, WorkerConn>,
+    https: HashMap<u64, HttpConn>,
+    next_conn: u64,
+    next_lease: u64,
+    next_session: u64,
+    draining: bool,
+    stats: ServiceStats,
+    wire_v2: Arc<WireStats>,
+    wire_v3: Arc<WireStats>,
+}
+
+impl Service {
+    /// Opens (and replays) the submission queue, reactivates every pending
+    /// campaign — resuming its journal if one exists — and binds the
+    /// listeners. Nothing is served until [`run`](Service::run).
+    pub fn bind(cfg: ServiceConfig) -> Result<Service, GridError> {
+        let queue = SubmissionQueue::open(&cfg.queue)?;
+        let listener = TcpListener::bind(cfg.bind.as_str())?;
+        listener.set_nonblocking(true)?;
+        let http_listener = match &cfg.http_bind {
+            None => None,
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+        };
+        let mut svc = Service {
+            cfg,
+            listener,
+            http_listener,
+            queue,
+            sched: FairScheduler::new(),
+            campaigns: BTreeMap::new(),
+            leases: HashMap::new(),
+            sessions: HashMap::new(),
+            conns: HashMap::new(),
+            https: HashMap::new(),
+            next_conn: 1,
+            next_lease: 1,
+            next_session: 1,
+            draining: false,
+            stats: ServiceStats::default(),
+            wire_v2: Arc::new(WireStats::new()),
+            wire_v3: Arc::new(WireStats::new()),
+        };
+        // Restart resume: every unretired submission comes back under its
+        // original id, so its journal (keyed by id) resumes bit-identically.
+        let pending: Vec<_> = svc
+            .queue
+            .pending()
+            .iter()
+            .map(|q| (q.id, q.spec.clone()))
+            .collect();
+        for (id, spec) in pending {
+            svc.activate(id, spec)?;
+            svc.stats.campaigns_resumed += 1;
+        }
+        Ok(svc)
+    }
+
+    /// The worker-fabric listening address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The HTTP listening address (if an HTTP surface was configured).
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
+    /// Per-dialect wire tallies (v2 = JSON links, v3 = binary links).
+    /// Clone the handles before [`run`](Service::run) to inspect after.
+    pub fn wire_stats(&self) -> (Arc<WireStats>, Arc<WireStats>) {
+        (self.wire_v2.clone(), self.wire_v3.clone())
+    }
+
+    /// Current status of every known campaign, in id order.
+    pub fn statuses(&self) -> Vec<CampaignStatus> {
+        self.campaigns
+            .iter()
+            .map(|(&id, r)| CampaignStatus {
+                id,
+                done: r.done,
+                faults: r.results.len(),
+                completed: r.completed(),
+            })
+            .collect()
+    }
+
+    /// Serves the control plane until the exit condition
+    /// ([`ServiceConfig::exit_after`]) is met, then drains the fleet and
+    /// returns the accumulated statistics.
+    pub fn run(mut self) -> Result<ServiceStats, GridError> {
+        let started = Instant::now();
+        loop {
+            self.tick()?;
+            let exit_count = self
+                .cfg
+                .exit_after
+                .is_some_and(|n| self.stats.campaigns_completed >= n);
+            let stop_flag = self
+                .cfg
+                .stop
+                .as_ref()
+                .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed));
+            if exit_count || stop_flag {
+                self.drain_fleet();
+                return Ok(self.stats);
+            }
+            if let Some(deadline) = self.cfg.deadline {
+                if started.elapsed() > deadline {
+                    return Err(GridError::Protocol(format!(
+                        "service deadline ({deadline:?}) exceeded"
+                    )));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// One event-loop iteration: accept, pump every connection, sweep.
+    fn tick(&mut self) -> Result<(), GridError> {
+        self.accept_workers();
+        self.accept_http();
+        self.pump_workers();
+        self.pump_http();
+        self.sweep_leases();
+        Ok(())
+    }
+
+    // -- campaign lifecycle -------------------------------------------------
+
+    /// Builds and registers campaign `id` from a submission: golden
+    /// capture, fault sampling, journal resume, scheduler registration.
+    fn activate(&mut self, id: u64, sub: SubmitSpec) -> Result<(), GridError> {
+        let workload = avgi_workloads::by_name(&sub.workload)
+            .ok_or_else(|| GridError::Spec(format!("unknown workload `{}`", sub.workload)))?;
+        let workload_id = avgi_workloads::index_of(workload.name).ok_or_else(|| {
+            GridError::Spec(format!("workload {:?} not in registry", workload.name))
+        })?;
+        let cfg = sub.preset.config();
+        let golden = golden_for(&workload, &cfg);
+        let mut ccfg = CampaignConfig::new(sub.structure, sub.faults, sub.mode)
+            .with_seed(sub.seed)
+            .with_burst(sub.burst_width);
+        ccfg.checkpoints = sub.checkpoints;
+        let faults = sample_faults(sub.structure, &cfg, golden.cycles, sub.faults, sub.seed)
+            .map_err(|e| GridError::Spec(format!("fault sampling failed: {e}")))?;
+        let spec = CampaignSpec {
+            workload: workload.name.to_string(),
+            workload_id,
+            preset: sub.preset,
+            structure: sub.structure,
+            faults: sub.faults,
+            seed: sub.seed,
+            mode: sub.mode,
+            burst_width: sub.burst_width,
+            checkpoints: sub.checkpoints,
+            golden_cycles: golden.cycles,
+            config_hash: config_hash(&cfg),
+            lease_timeout_ms: u64::try_from(self.cfg.lease_timeout.as_millis()).unwrap_or(u64::MAX),
+        };
+
+        let mut results: Vec<Option<InjectionResult>> = vec![None; sub.faults];
+        let mut telemetry = MetricsSnapshot::empty();
+        let journal = match &self.cfg.journal_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("campaign-{id}.jsonl"));
+                let key = CampaignKey::new(workload.name, &cfg, golden.cycles, &ccfg);
+                let (journal, done) = Journal::open_with(&path, &key, self.cfg.durability)?;
+                for (&i, r) in &done {
+                    if r.fault != faults[i] {
+                        return Err(GridError::Spec(format!(
+                            "campaign {id} journal fault mismatch at index {i}"
+                        )));
+                    }
+                }
+                if !done.is_empty() {
+                    // Replay restored results through a collector so the
+                    // merged telemetry accounts for them exactly as a
+                    // single-process resumed campaign would.
+                    let collector = MetricsCollector::new();
+                    collector.on_campaign_start(sub.structure, done.len());
+                    for r in done.values() {
+                        collector.on_resumed(sub.structure, r);
+                    }
+                    telemetry = collector.snapshot();
+                }
+                self.stats.results_resumed += done.len() as u64;
+                for (i, r) in done {
+                    results[i] = Some(r);
+                }
+                Some(journal)
+            }
+        };
+        let remaining = results.iter().filter(|r| r.is_none()).count();
+        let mut pending: Vec<usize> = (0..sub.faults).filter(|&i| results[i].is_none()).collect();
+        // Cycle-sorted leases: consecutive indices tend to share a worker
+        // checkpoint, like the single-process engine's work order.
+        pending.sort_by_key(|&i| faults[i].cycle);
+        self.sched.register(id, sub.share(), pending.len());
+        self.campaigns.insert(
+            id,
+            Run {
+                submit: sub,
+                spec,
+                faults,
+                queue: pending.into(),
+                results,
+                remaining,
+                telemetry,
+                journal,
+                done: false,
+                report: None,
+            },
+        );
+        if remaining == 0 {
+            // Fully journaled already (restart after the last batch).
+            self.finalize(id)?;
+        }
+        Ok(())
+    }
+
+    /// Seals a finished campaign: journal sync, report construction, queue
+    /// retirement, scheduler deregistration.
+    fn finalize(&mut self, id: u64) -> Result<(), GridError> {
+        let run = self
+            .campaigns
+            .get_mut(&id)
+            .expect("finalizing known campaign");
+        if let Some(journal) = &mut run.journal {
+            journal.sync()?;
+        }
+        run.done = true;
+        run.report = Some(build_report(run));
+        self.sched.deregister(id);
+        self.queue.complete(id)?;
+        self.stats.campaigns_completed += 1;
+        Ok(())
+    }
+
+    /// The campaign a freshly attached v2 session gets pinned to: highest
+    /// priority first, then lowest id — deterministic, and aligned with
+    /// what the scheduler would serve first anyway.
+    fn pick_pin(&self) -> Option<u64> {
+        self.campaigns
+            .iter()
+            .filter(|(_, r)| !r.done)
+            .max_by_key(|&(&id, r)| (r.submit.priority, std::cmp::Reverse(id)))
+            .map(|(&id, _)| id)
+    }
+
+    // -- worker fabric ------------------------------------------------------
+
+    fn wire_for(&self, proto: u64) -> &WireStats {
+        if proto >= 3 {
+            &self.wire_v3
+        } else {
+            &self.wire_v2
+        }
+    }
+
+    /// Encodes `msg` in the connection's dialect and queues it for write.
+    fn push(&self, conn: &mut WorkerConn, msg: &Msg) {
+        let payload = msg.encode(conn.proto);
+        self.wire_for(conn.proto).record(msg.kind(), payload.len());
+        match frame_bytes(&payload) {
+            Ok(frame) => conn.out.extend_from_slice(&frame),
+            // A payload past MAX_FRAME cannot be framed; drop the peer
+            // rather than desynchronize it.
+            Err(_) => conn.close_after_flush = true,
+        }
+    }
+
+    fn accept_workers(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let transport: Box<dyn Transport> = match TcpTransport::new(stream) {
+                        Ok(t) => Box::new(t),
+                        Err(_) => continue,
+                    };
+                    if transport.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let mut conn = WorkerConn {
+                        transport,
+                        fb: FrameBuffer::new(),
+                        out: Vec::new(),
+                        session: None,
+                        proto: MIN_PROTO_VERSION,
+                        close_after_flush: false,
+                    };
+                    if self.conns.len() >= self.cfg.max_conns {
+                        self.stats.connections_shed += 1;
+                        self.push(
+                            &mut conn,
+                            &Msg::Reject {
+                                reason: "service at connection capacity".into(),
+                            },
+                        );
+                        conn.close_after_flush = true;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(id, conn);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn pump_workers(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut conn = self.conns.remove(&id).expect("conn id just listed");
+            let alive = self.pump_worker_conn(id, &mut conn);
+            if alive {
+                self.conns.insert(id, conn);
+            } else if let Some(session) = conn.session {
+                // A vanished connection's leases stay put briefly — the
+                // session may reconnect and retransmit — unless the close
+                // was clean (handled in `read_worker_frames`).
+                let _ = session;
+            }
+        }
+    }
+
+    /// Flushes and reads one worker connection. Returns `false` when the
+    /// connection should be dropped.
+    fn pump_worker_conn(&mut self, id: u64, conn: &mut WorkerConn) -> bool {
+        if !flush_out(&mut *conn.transport, &mut conn.out) {
+            self.requeue_session_if_current(conn.session, id);
+            return false;
+        }
+        if conn.close_after_flush {
+            if conn.out.is_empty() {
+                let _ = conn.transport.shutdown();
+                return false;
+            }
+            return true; // keep flushing; skip reads on a dying connection
+        }
+        let alive = self.read_worker_frames(id, conn);
+        // Push out whatever the handlers queued without waiting a tick.
+        if alive && !flush_out(&mut *conn.transport, &mut conn.out) {
+            self.requeue_session_if_current(conn.session, id);
+            return false;
+        }
+        alive
+    }
+
+    /// Drains every decodable frame from one connection.
+    fn read_worker_frames(&mut self, id: u64, conn: &mut WorkerConn) -> bool {
+        loop {
+            match conn.fb.poll(&mut *conn.transport) {
+                Ok(Some(payload)) => {
+                    if !self.handle_worker_msg(id, conn, &payload) {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(FrameError::Closed) => {
+                    // Clean close at a frame boundary: the worker left for
+                    // good; hand its leases back immediately.
+                    self.requeue_session_if_current(conn.session, id);
+                    return false;
+                }
+                Err(e) => {
+                    let corrupt = matches!(e, FrameError::Crc { .. });
+                    self.protocol_error(conn, &format!("bad frame: {e}"), corrupt);
+                    // Leases deliberately stay: under link corruption the
+                    // "violation" is usually the link's fault, and the
+                    // worker will re-attach with its session token.
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Records a violation and queues a `Reject` before closing.
+    fn protocol_error(&mut self, conn: &mut WorkerConn, reason: &str, corrupt: bool) {
+        self.stats.protocol_errors += 1;
+        if corrupt {
+            self.stats.corrupt_frames += 1;
+        }
+        self.push(
+            conn,
+            &Msg::Reject {
+                reason: reason.to_string(),
+            },
+        );
+        conn.close_after_flush = true;
+    }
+
+    /// Handles one decoded frame. Returns `false` to drop the connection
+    /// immediately (clean `Done` handoff).
+    fn handle_worker_msg(&mut self, id: u64, conn: &mut WorkerConn, payload: &[u8]) -> bool {
+        let msg = match Msg::decode(payload) {
+            Ok(m) => m,
+            Err(e) => {
+                self.protocol_error(conn, &format!("bad message: {e}"), false);
+                return true;
+            }
+        };
+        self.wire_for(conn.proto).record(msg.kind(), payload.len());
+        match msg {
+            Msg::Hello { proto, session } => self.handle_hello(id, conn, proto, session),
+            Msg::LeaseRequest => self.handle_lease_request(conn),
+            Msg::Heartbeat { lease, .. } => {
+                if let (Some(session), Some(l)) = (conn.session, self.leases.get_mut(&lease)) {
+                    if l.session == session {
+                        l.deadline = Instant::now() + self.cfg.lease_timeout;
+                    }
+                }
+                true
+            }
+            Msg::BatchDone {
+                lease,
+                results,
+                telemetry,
+                ..
+            } => {
+                let Some(session) = conn.session else {
+                    self.protocol_error(conn, "batch before hello", false);
+                    return true;
+                };
+                match self.accept_batch(session, lease, results, telemetry) {
+                    Ok(()) => {}
+                    Err(Some(reason)) => {
+                        self.protocol_error(conn, &reason, false);
+                    }
+                    // Stale lease: silently dropped, worker carries on.
+                    Err(None) => {}
+                }
+                true
+            }
+            Msg::SpecRequest { campaign } => {
+                match self.campaigns.get(&campaign) {
+                    Some(run) => {
+                        let spec = run.spec.clone();
+                        self.push(conn, &Msg::Spec { campaign, spec });
+                    }
+                    None => self.protocol_error(
+                        conn,
+                        &format!("spec requested for unknown campaign {campaign}"),
+                        false,
+                    ),
+                }
+                true
+            }
+            Msg::Welcome { .. }
+            | Msg::Lease { .. }
+            | Msg::Drain
+            | Msg::Done
+            | Msg::Spec { .. }
+            | Msg::Reject { .. } => {
+                self.protocol_error(conn, "unexpected message", false);
+                true
+            }
+        }
+    }
+
+    fn handle_hello(
+        &mut self,
+        id: u64,
+        conn: &mut WorkerConn,
+        peer_proto: u64,
+        requested: Option<u64>,
+    ) -> bool {
+        let Some(proto) = negotiate(peer_proto) else {
+            self.protocol_error(
+                conn,
+                &format!(
+                    "protocol version {peer_proto} unsupported (need {}..={})",
+                    MIN_PROTO_VERSION,
+                    crate::proto::PROTO_VERSION
+                ),
+                false,
+            );
+            return true;
+        };
+        conn.proto = proto;
+        // Resolve the session: fresh hellos allocate, returning tokens
+        // re-attach (rebinding to this connection). Duplicate hellos from a
+        // chaotic link land in the reattach arm and are harmless.
+        let token = match requested.or(conn.session) {
+            Some(token) => {
+                match self.sessions.get_mut(&token) {
+                    Some(s) => {
+                        s.conn = id;
+                        self.stats.sessions_reattached += 1;
+                    }
+                    None => {
+                        // Unknown token: a worker outliving a service
+                        // restart. Honor it so retransmissions attribute.
+                        self.sessions.insert(
+                            token,
+                            Session {
+                                conn: id,
+                                pinned: None,
+                                specs_sent: HashSet::new(),
+                            },
+                        );
+                        self.stats.workers_seen += 1;
+                    }
+                }
+                token
+            }
+            None => {
+                while self.sessions.contains_key(&self.next_session) {
+                    self.next_session += 1;
+                }
+                let token = self.next_session;
+                self.next_session += 1;
+                self.sessions.insert(
+                    token,
+                    Session {
+                        conn: id,
+                        pinned: None,
+                        specs_sent: HashSet::new(),
+                    },
+                );
+                self.stats.workers_seen += 1;
+                token
+            }
+        };
+        conn.session = Some(token);
+        // v2 sessions are pinned to one campaign for their whole life; v3
+        // sessions are unpinned and get specs per campaign on demand.
+        let (campaign, spec) = if proto < 3 {
+            let session = self.sessions.get_mut(&token).expect("session just bound");
+            let pin = match session.pinned {
+                Some(pin) => Some(pin),
+                None => {
+                    let pin = self.pick_pin();
+                    self.sessions
+                        .get_mut(&token)
+                        .expect("session just bound")
+                        .pinned = pin;
+                    pin
+                }
+            };
+            match pin {
+                Some(pin) => {
+                    let spec = self.campaigns[&pin].spec.clone();
+                    (pin, Some(spec))
+                }
+                None => {
+                    // Nothing to pin a v2 worker to: send it home.
+                    self.push(conn, &Msg::Done);
+                    conn.close_after_flush = true;
+                    return true;
+                }
+            }
+        } else {
+            (0, None)
+        };
+        self.push(
+            conn,
+            &Msg::Welcome {
+                proto,
+                session: token,
+                campaign,
+                spec,
+            },
+        );
+        true
+    }
+
+    fn handle_lease_request(&mut self, conn: &mut WorkerConn) -> bool {
+        let Some(token) = conn.session else {
+            self.protocol_error(conn, "lease request before hello", false);
+            return true;
+        };
+        let pinned = self.sessions.get(&token).and_then(|s| s.pinned);
+        // A pinned session whose campaign finished goes home; an unpinned
+        // one goes home only when the whole service is draining.
+        if let Some(pin) = pinned {
+            if self.campaigns.get(&pin).is_none_or(|r| r.done) {
+                self.push(conn, &Msg::Done);
+                conn.close_after_flush = true;
+                return true;
+            }
+        } else if self.draining {
+            self.push(conn, &Msg::Done);
+            conn.close_after_flush = true;
+            return true;
+        }
+        let filter = pinned.map(|pin| move |id: u64| id == pin);
+        let picked = match &filter {
+            Some(f) => self.sched.pick(Some(f)),
+            None => self.sched.pick(None),
+        };
+        let Some(campaign) = picked else {
+            self.push(conn, &Msg::Drain);
+            return true;
+        };
+        // First lease for a campaign on a v3 session: ship the spec ahead
+        // of the lease (the worker can also SpecRequest after a cache
+        // loss, so this is an optimization AND a correctness default).
+        if conn.proto >= 3 {
+            let session = self
+                .sessions
+                .get_mut(&token)
+                .expect("session resolved above");
+            if session.specs_sent.insert(campaign) {
+                let spec = self.campaigns[&campaign].spec.clone();
+                self.push(conn, &Msg::Spec { campaign, spec });
+            }
+        }
+        let run = self
+            .campaigns
+            .get_mut(&campaign)
+            .expect("scheduler picked a live campaign");
+        let take = self.cfg.batch.max(1).min(run.queue.len());
+        let indices: Vec<usize> = run.queue.drain(..take).collect();
+        self.sched.leased(campaign, indices.len());
+        let lease = self.next_lease;
+        self.next_lease += 1;
+        self.leases.insert(
+            lease,
+            LeaseRec {
+                campaign,
+                session: token,
+                indices: indices.clone(),
+                deadline: Instant::now() + self.cfg.lease_timeout,
+            },
+        );
+        self.stats.leases_granted += 1;
+        self.push(
+            conn,
+            &Msg::Lease {
+                lease,
+                campaign,
+                indices,
+            },
+        );
+        true
+    }
+
+    /// Accepts or rejects one batch report. `Err(None)` is a silent
+    /// rejection (stale lease — dropped wholly, nothing double-counted);
+    /// `Err(Some(reason))` is a protocol violation.
+    fn accept_batch(
+        &mut self,
+        session: u64,
+        lease: u64,
+        results: Vec<(usize, InjectionResult)>,
+        telemetry: MetricsSnapshot,
+    ) -> Result<(), Option<String>> {
+        let owned = self
+            .leases
+            .get(&lease)
+            .is_some_and(|l| l.session == session);
+        if !owned {
+            self.stats.batches_rejected += 1;
+            return Err(None);
+        }
+        let rec = &self.leases[&lease];
+        let campaign = rec.campaign;
+        if results.len() != rec.indices.len()
+            || results
+                .iter()
+                .zip(&rec.indices)
+                .any(|((i, _), &want)| *i != want)
+        {
+            return Err(Some("batch does not match its lease".into()));
+        }
+        let run = self
+            .campaigns
+            .get_mut(&campaign)
+            .expect("lease names a live campaign");
+        if let Some((i, r)) = results
+            .iter()
+            .find(|(i, r)| run.faults.get(*i) != Some(&r.fault))
+        {
+            return Err(Some(format!(
+                "fault mismatch at index {i}: reported {:?}",
+                r.fault
+            )));
+        }
+        let rec = self.leases.remove(&lease).expect("ownership checked above");
+        self.sched.completed(campaign, rec.indices.len());
+        let mut fatal = None;
+        for (i, r) in results {
+            if run.results[i].is_none() {
+                if let Some(journal) = &mut run.journal {
+                    if let Err(e) = journal.append(i, &r) {
+                        fatal = Some(format!("campaign {campaign} journal append failed: {e}"));
+                    }
+                }
+                run.results[i] = Some(r);
+                run.remaining -= 1;
+            }
+        }
+        // Tag the delta with its tenant before merging: the merge asserts
+        // agreement, so cross-campaign mixing is structurally impossible.
+        run.telemetry.merge(&telemetry.with_campaign(campaign));
+        if let Some(msg) = fatal {
+            return Err(Some(msg));
+        }
+        if run.remaining == 0 {
+            if let Err(e) = self.finalize(campaign) {
+                return Err(Some(format!("finalizing campaign {campaign} failed: {e}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a session's leased indices to their campaigns' queue fronts
+    /// — but only if `conn` is still the connection speaking for it.
+    fn requeue_session_if_current(&mut self, session: Option<u64>, conn: u64) {
+        let Some(session) = session else { return };
+        if self.sessions.get(&session).map(|s| s.conn) != Some(conn) {
+            return;
+        }
+        let ids: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.session == session)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            self.requeue_lease(id);
+        }
+    }
+
+    fn requeue_lease(&mut self, lease: u64) {
+        let Some(rec) = self.leases.remove(&lease) else {
+            return;
+        };
+        if let Some(run) = self.campaigns.get_mut(&rec.campaign) {
+            for &i in rec.indices.iter().rev() {
+                run.queue.push_front(i);
+            }
+        }
+        if self.sched.contains(rec.campaign) {
+            self.sched.requeued(rec.campaign, rec.indices.len());
+        }
+        self.stats.leases_reassigned += 1;
+    }
+
+    /// Requeues every lease whose deadline passed without a heartbeat.
+    fn sweep_leases(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.requeue_lease(id);
+        }
+    }
+
+    /// Tells every connected worker to go home and keeps answering until
+    /// they hang up (or a short grace period ends).
+    fn drain_fleet(&mut self) {
+        self.draining = true;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let mut conn = self.conns.remove(&id).expect("conn id just listed");
+            self.push(&mut conn, &Msg::Done);
+            self.conns.insert(id, conn);
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !self.conns.is_empty() && Instant::now() < deadline {
+            self.pump_workers();
+            self.accept_http();
+            self.pump_http();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Linger on the HTTP surface briefly: status clients poll
+        // per-request, so give in-flight pollers one more window to fetch
+        // the final reports before the listener goes away.
+        let linger = Instant::now() + Duration::from_millis(1_000);
+        while Instant::now() < linger {
+            self.accept_http();
+            self.pump_http();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // -- HTTP surface -------------------------------------------------------
+
+    fn accept_http(&mut self) {
+        let Some(listener) = &self.http_listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.https.insert(
+                        id,
+                        HttpConn {
+                            stream,
+                            hb: HttpBuffer::new(),
+                            out: Vec::new(),
+                            responded: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn pump_http(&mut self) {
+        let ids: Vec<u64> = self.https.keys().copied().collect();
+        for id in ids {
+            let mut conn = self.https.remove(&id).expect("http conn id just listed");
+            let alive = self.pump_http_conn(&mut conn);
+            if alive {
+                self.https.insert(id, conn);
+            }
+        }
+    }
+
+    fn pump_http_conn(&mut self, conn: &mut HttpConn) -> bool {
+        if !conn.responded {
+            match conn.hb.poll(&mut conn.stream) {
+                Ok(HttpPoll::Pending) => {}
+                Ok(HttpPoll::Closed) | Err(_) => return false,
+                Ok(HttpPoll::Bad(resp)) => {
+                    conn.out = resp;
+                    conn.responded = true;
+                }
+                Ok(HttpPoll::Request(req)) => {
+                    self.stats.http_requests += 1;
+                    conn.out = self.handle_http(req);
+                    conn.responded = true;
+                }
+            }
+        }
+        if !flush_out(&mut conn.stream, &mut conn.out) {
+            return false;
+        }
+        if conn.responded && conn.out.is_empty() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+        true
+    }
+
+    fn handle_http(&mut self, req: HttpRequest) -> Vec<u8> {
+        match req {
+            HttpRequest::Submit(spec) => {
+                let id = match self.queue.submit(spec.clone()) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        return response(
+                            500,
+                            &format!(
+                                "{{\"error\":\"queue append failed: {}\"}}",
+                                avgi_faultsim::json::escape(&e.to_string())
+                            ),
+                        )
+                    }
+                };
+                if let Err(e) = self.activate(id, spec) {
+                    // The submission journaled but cannot run; retire it so
+                    // a restart does not resurrect a poison campaign.
+                    let _ = self.queue.complete(id);
+                    self.campaigns.remove(&id);
+                    self.sched.deregister(id);
+                    return response(
+                        400,
+                        &format!(
+                            "{{\"error\":\"{}\"}}",
+                            avgi_faultsim::json::escape(&e.to_string())
+                        ),
+                    );
+                }
+                self.stats.campaigns_submitted += 1;
+                response(201, &format!("{{\"id\":{id}}}"))
+            }
+            HttpRequest::Status(id) => match self.campaigns.get(&id) {
+                None => response(404, &format!("{{\"error\":\"no campaign {id}\"}}")),
+                Some(run) => {
+                    let mut body = format!(
+                        "{{\"id\":{id},\"done\":{},\"workload\":\"{}\",\"structure\":\"{}\",\"faults\":{},\"completed\":{}",
+                        run.done,
+                        avgi_faultsim::json::escape(&run.spec.workload),
+                        run.spec.structure.ident(),
+                        run.results.len(),
+                        run.completed(),
+                    );
+                    if let Some(report) = &run.report {
+                        body.push_str(",\"report\":");
+                        body.push_str(report);
+                    }
+                    body.push('}');
+                    response(200, &body)
+                }
+            },
+            HttpRequest::Fleet => {
+                let campaigns = self
+                    .statuses()
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "{{\"id\":{},\"done\":{},\"faults\":{},\"completed\":{}}}",
+                            s.id, s.done, s.faults, s.completed
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let body = format!(
+                    "{{\"workers\":{},\"sessions\":{},\"campaigns\":[{campaigns}],\"wire\":{{\"v2\":{},\"v3\":{}}}}}",
+                    self.conns.len(),
+                    self.sessions.len(),
+                    wire_json(&self.wire_v2),
+                    wire_json(&self.wire_v3),
+                );
+                response(200, &body)
+            }
+        }
+    }
+}
+
+/// Serializes per-kind wire tallies for the `/fleet` endpoint.
+fn wire_json(wire: &WireStats) -> String {
+    let mut parts = Vec::new();
+    for kind in [MsgKind::Lease, MsgKind::BatchDone, MsgKind::Heartbeat] {
+        let (frames, bytes) = wire.of(kind);
+        parts.push(format!(
+            "\"{}\":{{\"frames\":{frames},\"bytes\":{bytes}}}",
+            kind.name()
+        ));
+    }
+    let (frames, bytes) = wire.total();
+    parts.push(format!(
+        "\"total\":{{\"frames\":{frames},\"bytes\":{bytes}}}"
+    ));
+    format!("{{{}}}", parts.join(","))
+}
+
+/// The finished campaign's report: every result in index order (the exact
+/// journal record shape) plus the merged telemetry's deterministic
+/// counters. Byte-comparable against a single-process rebuild.
+fn build_report(run: &Run) -> String {
+    let records = run
+        .results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            record_line(i, r.as_ref().expect("finalized campaign is complete"))
+                .trim_end()
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"workload\":\"{}\",\"structure\":\"{}\",\"golden_cycles\":{},\"results\":[{records}],\"telemetry\":{}}}",
+        avgi_faultsim::json::escape(&run.spec.workload),
+        run.spec.structure.ident(),
+        run.spec.golden_cycles,
+        run.telemetry.deterministic_counters_json(),
+    )
+}
+
+/// Builds the same report shape from a single-process campaign — the
+/// reference side of the service's bit-identity check (used by
+/// `grid_submit --verify` and the service tests).
+pub fn reference_report(
+    workload: &str,
+    structure: avgi_muarch::fault::Structure,
+    golden_cycles: u64,
+    results: &[InjectionResult],
+    telemetry: &MetricsSnapshot,
+) -> String {
+    let records = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| record_line(i, r).trim_end().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"workload\":\"{}\",\"structure\":\"{}\",\"golden_cycles\":{golden_cycles},\"results\":[{records}],\"telemetry\":{}}}",
+        avgi_faultsim::json::escape(workload),
+        structure.ident(),
+        telemetry.deterministic_counters_json(),
+    )
+}
+
+/// Writes as much of `out` as the socket will take. Returns `false` on a
+/// dead socket.
+fn flush_out(w: &mut (impl Write + ?Sized), out: &mut Vec<u8>) -> bool {
+    while !out.is_empty() {
+        match w.write(out) {
+            Ok(0) => return false,
+            Ok(n) => {
+                out.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}

@@ -171,10 +171,200 @@ impl CampaignSpec {
     }
 }
 
+/// A tenant's campaign submission: what `POST /campaigns` accepts, what
+/// the durable submission queue journals, and what `grid_submit` sends.
+///
+/// Unlike [`CampaignSpec`] — which carries the coordinator's *measured*
+/// cross-checks (`golden_cycles`, `config_hash`) — a submission holds only
+/// what the tenant decides: the campaign definition plus its fair-share
+/// scheduling knobs. The service derives the full spec when it activates
+/// the campaign (capturing the golden run itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitSpec {
+    /// Workload name (resolved against [`avgi_workloads::NAMES`]).
+    pub workload: String,
+    /// Microarchitecture preset.
+    pub preset: ConfigPreset,
+    /// Target structure.
+    pub structure: Structure,
+    /// Number of injections.
+    pub faults: usize,
+    /// Fault-sampling seed.
+    pub seed: u64,
+    /// Run mode.
+    pub mode: RunMode,
+    /// Multi-bit burst width.
+    pub burst_width: u32,
+    /// Checkpoint count.
+    pub checkpoints: u32,
+    /// Fair-share priority tier (higher = served first).
+    pub priority: u32,
+    /// Fair-share weight within the tier (≥ 1).
+    pub weight: u32,
+    /// Max concurrently leased runs (0 = unlimited).
+    pub quota: usize,
+}
+
+impl SubmitSpec {
+    /// A submission with default knobs for `workload`/`structure`/`faults`.
+    pub fn new(workload: &str, structure: Structure, faults: usize, seed: u64) -> Self {
+        SubmitSpec {
+            workload: workload.to_string(),
+            preset: ConfigPreset::Big,
+            structure,
+            faults,
+            seed,
+            mode: RunMode::Instrumented,
+            burst_width: 1,
+            checkpoints: 8,
+            priority: 0,
+            weight: 1,
+            quota: 0,
+        }
+    }
+
+    /// The scheduling share this submission asks for.
+    pub fn share(&self) -> crate::sched::ShareConfig {
+        crate::sched::ShareConfig {
+            priority: self.priority,
+            weight: self.weight.max(1),
+            quota: self.quota,
+        }
+    }
+
+    /// Serializes the submission (HTTP body / queue journal record).
+    pub fn to_json(&self) -> String {
+        let (mode, ert) = match self.mode {
+            RunMode::EndToEnd => ("EndToEnd", None),
+            RunMode::Instrumented => ("Instrumented", None),
+            RunMode::FirstDeviation { ert_window } => ("FirstDeviation", ert_window),
+        };
+        let ert = ert.map_or_else(|| "null".to_string(), |n| n.to_string());
+        format!(
+            "{{\"workload\":\"{}\",\"preset\":\"{}\",\"structure\":\"{}\",\"faults\":{},\"seed\":{},\"mode\":\"{mode}\",\"ert_window\":{ert},\"burst\":{},\"checkpoints\":{},\"priority\":{},\"weight\":{},\"quota\":{}}}",
+            avgi_faultsim::json::escape(&self.workload),
+            self.preset.ident(),
+            self.structure.ident(),
+            self.faults,
+            self.seed,
+            self.burst_width,
+            self.checkpoints,
+            self.priority,
+            self.weight,
+            self.quota,
+        )
+    }
+
+    /// Decodes a submission from an already-parsed JSON value. The
+    /// scheduling knobs, preset, mode, burst, and checkpoints are optional
+    /// (defaults as in [`SubmitSpec::new`]); the campaign identity fields
+    /// are required.
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        let int = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("submit: missing `{key}`"))
+        };
+        let opt_int = |key: &str, default: u64| match v.get(key) {
+            None | Some(Json::Null) => Ok(default),
+            Some(n) => n.as_u64().ok_or_else(|| format!("submit: bad `{key}`")),
+        };
+        let workload = v
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("submit: missing `workload`")?
+            .to_string();
+        if !avgi_workloads::NAMES.contains(&workload.as_str()) {
+            return Err(format!("submit: unknown workload `{workload}`"));
+        }
+        let structure = v
+            .get("structure")
+            .and_then(Json::as_str)
+            .and_then(Structure::from_ident)
+            .ok_or("submit: missing or unknown `structure`")?;
+        let preset = match v.get("preset").and_then(Json::as_str) {
+            None => ConfigPreset::Big,
+            Some(p) => ConfigPreset::from_ident(p).ok_or("submit: unknown preset")?,
+        };
+        let ert = match v.get("ert_window") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(w.as_u64().ok_or("submit: bad ert_window")?),
+        };
+        let mode = match v.get("mode").and_then(Json::as_str) {
+            None | Some("Instrumented") => RunMode::Instrumented,
+            Some("EndToEnd") => RunMode::EndToEnd,
+            Some("FirstDeviation") => RunMode::FirstDeviation { ert_window: ert },
+            Some(other) => return Err(format!("submit: unknown mode {other:?}")),
+        };
+        let faults = int("faults")? as usize;
+        if faults == 0 {
+            return Err("submit: `faults` must be positive".into());
+        }
+        Ok(SubmitSpec {
+            workload,
+            preset,
+            structure,
+            faults,
+            seed: int("seed")?,
+            mode,
+            burst_width: opt_int("burst", 1)? as u32,
+            checkpoints: opt_int("checkpoints", 8)? as u32,
+            priority: opt_int("priority", 0)? as u32,
+            weight: opt_int("weight", 1)?.max(1) as u32,
+            quota: opt_int("quota", 0)? as usize,
+        })
+    }
+
+    /// Decodes a submission from JSON text.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        Self::from_json_value(&avgi_faultsim::json::parse(s)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use avgi_faultsim::json::parse;
+
+    #[test]
+    fn submit_spec_round_trips_and_defaults() {
+        let full = SubmitSpec {
+            workload: "crc32".into(),
+            preset: ConfigPreset::Small,
+            structure: Structure::Rob,
+            faults: 96,
+            seed: 0xBEE,
+            mode: RunMode::FirstDeviation {
+                ert_window: Some(500),
+            },
+            burst_width: 2,
+            checkpoints: 4,
+            priority: 3,
+            weight: 5,
+            quota: 16,
+        };
+        let back = SubmitSpec::from_json(&full.to_json()).unwrap();
+        assert_eq!(back, full);
+        // Minimal body: identity fields only, everything else defaulted.
+        let min = SubmitSpec::from_json(
+            "{\"workload\":\"bitcount\",\"structure\":\"RegFile\",\"faults\":8,\"seed\":1}",
+        )
+        .unwrap();
+        assert_eq!(min, SubmitSpec::new("bitcount", Structure::RegFile, 8, 1));
+        assert_eq!(min.share().weight, 1);
+        // Bad submissions are refused with a reason.
+        assert!(SubmitSpec::from_json(
+            "{\"workload\":\"nope\",\"structure\":\"RegFile\",\"faults\":8,\"seed\":1}"
+        )
+        .is_err());
+        assert!(SubmitSpec::from_json(
+            "{\"workload\":\"bitcount\",\"structure\":\"RegFile\",\"faults\":0,\"seed\":1}"
+        )
+        .is_err());
+        assert!(
+            SubmitSpec::from_json("{\"workload\":\"bitcount\",\"faults\":8,\"seed\":1}").is_err()
+        );
+    }
 
     #[test]
     fn spec_round_trips() {

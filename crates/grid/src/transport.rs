@@ -31,6 +31,12 @@ pub trait Transport: Read + Write + Send {
     /// [`TcpStream::set_read_timeout`]).
     fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
 
+    /// Switches the connection between blocking and nonblocking mode (like
+    /// [`TcpStream::set_nonblocking`]). The service's poll-based event loop
+    /// runs every accepted connection nonblocking; the classic
+    /// thread-per-connection coordinator never calls this.
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()>;
+
     /// Tears down the connection for every handle.
     fn shutdown(&self) -> std::io::Result<()>;
 }
@@ -83,6 +89,10 @@ impl Transport for TcpTransport {
 
     fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.stream.set_read_timeout(timeout)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        self.stream.set_nonblocking(nonblocking)
     }
 
     fn shutdown(&self) -> std::io::Result<()> {

@@ -1,30 +1,47 @@
-//! The campaign worker: rebuilds the campaign locally from the spec, then
-//! executes leases until the coordinator says the campaign is done.
+//! The campaign worker: rebuilds campaigns locally from their specs, then
+//! executes leases until the coordinator says there is nothing left.
 //!
-//! A worker carries no campaign state of its own. It rebuilds everything —
-//! workload, microarchitecture configuration, golden run, fault list,
-//! checkpoints — deterministically from the compact [`CampaignSpec`] in the
-//! welcome frame, validates the rebuild against the spec's `golden_cycles`
-//! and `config_hash` cross-checks, and then loops: request a lease, run the
-//! leased indices through the shared [`ShardRunner`] hot path, report the
-//! results plus a fresh per-batch telemetry delta. A heartbeat thread keeps
-//! the active lease alive while long batches execute, so slow workers are
-//! distinguished from dead ones.
+//! A worker carries no campaign state of its own. For every campaign it
+//! serves it rebuilds everything — workload, microarchitecture
+//! configuration, golden run, fault list, checkpoints — deterministically
+//! from a compact [`CampaignSpec`], validates the rebuild against the
+//! spec's `golden_cycles` and `config_hash` cross-checks, and then loops:
+//! request a lease, run the leased indices through the shared
+//! [`ShardRunner`] hot path, report the results plus a fresh per-batch
+//! telemetry delta. A heartbeat thread keeps the active lease alive while
+//! long batches execute, so slow workers are distinguished from dead ones.
 //!
-//! The worker survives its link, not just its work: the welcome carries a
-//! session token, and when a connection dies mid-campaign (I/O error,
-//! corrupt frame, mid-session rejection) the worker reconnects with
-//! exponential backoff plus deterministic jitter, re-presents the token,
-//! verifies the spec is unchanged, and retransmits its last unacknowledged
-//! batch report. The coordinator's first-responder-wins dedup makes the
-//! retransmission idempotent: if the lease survived the outage the report
-//! is accepted once, and if it expired the report is silently discarded and
-//! the indices re-execute deterministically elsewhere — either way nothing
-//! is double-counted.
+//! ## One worker, many campaigns
+//!
+//! Against the classic single-campaign [`Coordinator`](crate::Coordinator)
+//! the welcome frame pins the spec and every lease implicitly belongs to
+//! it. Against the multi-campaign [`Service`](crate::service::Service) a
+//! v3 worker is *unpinned*: leases name their campaign, and the first
+//! lease for an unseen campaign triggers a [`Msg::SpecRequest`] /
+//! [`Msg::Spec`] exchange. Rebuilt runtimes (golden run included — the
+//! expensive part) are cached per campaign for the life of the worker, so
+//! interleaved leases from different tenants pay the rebuild once each.
+//! A v2 peer never sees any of this: it is pinned to one campaign at
+//! hello, exactly like the classic coordinator, and its frames stay
+//! byte-identical to the v2 wire.
+//!
+//! ## Surviving the link
+//!
+//! The welcome carries a session token, and when a connection dies
+//! mid-campaign (I/O error, corrupt frame, mid-session rejection) the
+//! worker reconnects with exponential backoff plus deterministic jitter,
+//! re-presents the token, verifies any re-pinned spec is unchanged, and
+//! retransmits its last unacknowledged batch report. The coordinator's
+//! first-responder-wins dedup makes the retransmission idempotent: if the
+//! lease survived the outage the report is accepted once, and if it
+//! expired the report is silently discarded and the indices re-execute
+//! deterministically elsewhere — either way nothing is double-counted.
 
 use crate::chaos::ChaosInterposer;
 use crate::coord::GridError;
-use crate::proto::{recv, send, FrameError, Msg, PROTO_VERSION};
+use crate::proto::{
+    recv, send, FrameError, Msg, MsgKind, WireStats, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 use crate::spec::CampaignSpec;
 use crate::transport::{TcpTransport, Transport};
 use avgi_faultsim::campaign::golden_for;
@@ -32,6 +49,7 @@ use avgi_faultsim::journal::config_hash;
 use avgi_faultsim::telemetry::MetricsCollector;
 use avgi_faultsim::ShardRunner;
 use avgi_rng::Rng;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -67,6 +85,11 @@ pub struct WorkerConfig {
     /// Seed for the deterministic backoff jitter (mixed with the attempt
     /// number; give concurrent workers different seeds to de-thunder them).
     pub jitter_seed: u64,
+    /// Highest protocol version to advertise in the hello
+    /// (default [`PROTO_VERSION`]). Pin to `2` to force the JSON dialect —
+    /// the cross-version tests and CI smoke use this to prove a v2 fleet
+    /// still interoperates with a v3 control plane.
+    pub proto: u64,
     /// Test hook: after completing this many batches, drop the connection
     /// abruptly on the next lease instead of executing it — simulating a
     /// worker dying mid-campaign (`None` = run to completion).
@@ -74,6 +97,10 @@ pub struct WorkerConfig {
     /// Fault injection on this worker's outbound frames (`None` = plain
     /// TCP). Test/soak instrumentation; see [`crate::chaos`].
     pub chaos: Option<Arc<ChaosInterposer>>,
+    /// Per-kind tallies of this worker's *outbound* frames (`None` = no
+    /// accounting). The bins use this to report how many bytes the binary
+    /// dialect saves on `batch_done` versus JSON.
+    pub wire: Option<Arc<WireStats>>,
 }
 
 impl WorkerConfig {
@@ -88,8 +115,16 @@ impl WorkerConfig {
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
             jitter_seed: 0x5EED,
+            proto: PROTO_VERSION,
             max_batches: None,
             chaos: None,
+            wire: None,
+        }
+    }
+
+    fn tally(&self, kind: MsgKind, payload_len: usize) {
+        if let Some(w) = &self.wire {
+            w.record(kind, payload_len);
         }
     }
 }
@@ -103,6 +138,25 @@ pub struct WorkerStats {
     pub runs: u64,
     /// Sessions lost and re-established mid-campaign.
     pub reconnects: u64,
+    /// Distinct campaigns this worker built runtimes for.
+    pub campaigns: u64,
+}
+
+/// Heartbeat pacing for a lease: a third of the lease deadline, further
+/// tightened to half the read timeout so a beat always lands well inside
+/// one read-timeout window.
+///
+/// The anti-spin floor (10ms) never loosens the lease bound: for very
+/// short leases the floor collapses to `lease/3`. (It used to be applied
+/// *last*, so a short lease under a long read timeout paced beats slower
+/// than the lease itself — heartbeats landed after expiry and live
+/// workers were spuriously requeued.)
+pub fn heartbeat_interval(lease_timeout: Duration, read_timeout: Duration) -> Duration {
+    let third = lease_timeout / 3;
+    let floor = Duration::from_millis(10)
+        .min(third)
+        .max(Duration::from_millis(1));
+    third.min(read_timeout / 2).max(floor)
 }
 
 /// Exponential backoff with deterministic jitter: attempt `n` sleeps a
@@ -231,11 +285,48 @@ fn rebuild(
     Ok((workload, cfg, golden))
 }
 
+/// One campaign's locally rebuilt execution state, cached per campaign id
+/// so interleaved leases from different tenants pay the rebuild (golden
+/// run included) exactly once.
+struct Runtime {
+    spec: CampaignSpec,
+    runner: ShardRunner,
+    /// Heartbeat pacing for this campaign's leases.
+    beat: Duration,
+}
+
+impl Runtime {
+    fn build(spec: CampaignSpec, wcfg: &WorkerConfig) -> Result<Runtime, GridError> {
+        let (workload, cfg, golden) = rebuild(&spec)?;
+        let mut ccfg = spec.campaign_config();
+        ccfg.threads = wcfg.threads;
+        let runner = ShardRunner::new(&workload, &cfg, &golden, &ccfg);
+        let beat = heartbeat_interval(
+            Duration::from_millis(spec.lease_timeout_ms),
+            wcfg.read_timeout,
+        );
+        Ok(Runtime { spec, runner, beat })
+    }
+}
+
 /// A completed handshake.
+struct Attach {
+    stream: Box<dyn Transport>,
+    /// The version both ends agreed to speak.
+    proto: u64,
+    session: u64,
+    /// The campaign `spec` is pinned to (0 when unpinned).
+    campaign: u64,
+    /// `Some` when this link pins one campaign (classic coordinator, or a
+    /// v2 link to the service); `None` on an unpinned v3 service link.
+    spec: Option<CampaignSpec>,
+}
+
+/// What a handshake attempt produced.
 enum Handshake {
-    /// Welcomed into the campaign (possibly re-attached).
-    Attached(Box<dyn Transport>, CampaignSpec, u64),
-    /// The campaign finished while we were away; nothing left to do.
+    /// Welcomed in (possibly re-attached).
+    Attached(Attach),
+    /// Every campaign finished while we were away; nothing left to do.
     Finished,
 }
 
@@ -245,15 +336,34 @@ enum Handshake {
 fn establish(wcfg: &WorkerConfig, session: Option<u64>) -> Result<Handshake, GridError> {
     let mut stream = connect_with_retry(wcfg)?;
     stream.set_read_timeout(Some(wcfg.read_timeout))?;
-    send(
-        &mut *stream,
-        &Msg::Hello {
-            proto: PROTO_VERSION,
-            session,
-        },
-    )?;
+    let hello = Msg::Hello {
+        proto: wcfg.proto,
+        session,
+    };
+    // The hello itself is always JSON — the dialect is negotiated BY it.
+    let n = send(&mut *stream, &hello, MIN_PROTO_VERSION)?;
+    wcfg.tally(MsgKind::Hello, n);
     match recv(&mut *stream)? {
-        Msg::Welcome { spec, session } => Ok(Handshake::Attached(stream, spec, session)),
+        Msg::Welcome {
+            proto,
+            session,
+            campaign,
+            spec,
+        } => {
+            if proto < MIN_PROTO_VERSION || proto > wcfg.proto {
+                return Err(GridError::Protocol(format!(
+                    "coordinator negotiated unusable protocol version {proto} (we offered {})",
+                    wcfg.proto
+                )));
+            }
+            Ok(Handshake::Attached(Attach {
+                stream,
+                proto,
+                session,
+                campaign,
+                spec,
+            }))
+        }
         Msg::Done => Ok(Handshake::Finished),
         Msg::Reject { reason } => Err(GridError::Protocol(reason)),
         other => Err(GridError::Protocol(format!(
@@ -283,18 +393,43 @@ fn retryable(e: &GridError) -> bool {
     )
 }
 
-/// Connects to a coordinator and works until the campaign completes,
-/// reconnecting through link failures.
+/// Absorbs a freshly pinned spec into the runtime cache, erroring if it
+/// contradicts what we already built for that campaign (a coordinator
+/// must never mutate a campaign mid-flight).
+fn absorb_pinned(
+    runtimes: &mut HashMap<u64, Runtime>,
+    campaign: u64,
+    spec: Option<CampaignSpec>,
+    wcfg: &WorkerConfig,
+    stats: &mut WorkerStats,
+) -> Result<(), GridError> {
+    let Some(spec) = spec else { return Ok(()) };
+    match runtimes.get(&campaign) {
+        Some(rt) if rt.spec != spec => Err(GridError::Spec(
+            "campaign spec changed across reconnect".into(),
+        )),
+        Some(_) => Ok(()),
+        None => {
+            runtimes.insert(campaign, Runtime::build(spec, wcfg)?);
+            stats.campaigns += 1;
+            Ok(())
+        }
+    }
+}
+
+/// Connects to a coordinator and works until the campaign (or, against a
+/// service, the whole submission stream) completes, reconnecting through
+/// link failures.
 ///
 /// Returns the worker's own contribution statistics; the authoritative
-/// merged campaign lives on the coordinator.
+/// merged campaigns live on the coordinator.
 pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
     let mut backoff = Backoff::new(wcfg.backoff_base, wcfg.backoff_cap, wcfg.jitter_seed);
     // Even the first handshake retries within the budget: on a chaotic link
     // the very first welcome can be a casualty.
-    let (mut stream, spec, mut session) = loop {
+    let mut attach = loop {
         match establish(wcfg, None) {
-            Ok(Handshake::Attached(stream, spec, session)) => break (stream, spec, session),
+            Ok(Handshake::Attached(attach)) => break attach,
             Ok(Handshake::Finished) => return Ok(WorkerStats::default()),
             Err(e) if retryable(&e) && backoff.attempts() < wcfg.reconnect_attempts => {
                 let delay = backoff.next_delay();
@@ -308,17 +443,24 @@ pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
         }
     };
     backoff.reset();
-    let (workload, cfg, golden) = rebuild(&spec)?;
-    let mut ccfg = spec.campaign_config();
-    ccfg.threads = wcfg.threads;
-    let runner = ShardRunner::new(&workload, &cfg, &golden, &ccfg);
-
     let mut stats = WorkerStats::default();
+    let mut runtimes: HashMap<u64, Runtime> = HashMap::new();
+    absorb_pinned(
+        &mut runtimes,
+        attach.campaign,
+        attach.spec.take(),
+        wcfg,
+        &mut stats,
+    )?;
+    let mut session = attach.session;
+    let mut proto = attach.proto;
+    let mut stream = attach.stream;
+
     // The last batch report whose delivery is unconfirmed; retransmitted on
     // re-attach (idempotent — see the module docs).
     let mut pending: Option<Msg> = None;
     loop {
-        let end = drive_session(wcfg, &spec, stream, &runner, &mut stats, &mut pending);
+        let end = drive_session(wcfg, proto, stream, &mut runtimes, &mut stats, &mut pending);
         let lost = match end {
             Ok(SessionEnd::Finished) => return Ok(stats),
             Ok(SessionEnd::Lost(e)) => e,
@@ -340,19 +482,22 @@ pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
             );
             std::thread::sleep(delay);
             match establish(wcfg, Some(session)) {
-                Ok(Handshake::Attached(stream, new_spec, new_session)) => {
-                    if new_spec != spec {
-                        return Err(GridError::Spec(
-                            "campaign spec changed across reconnect".into(),
-                        ));
-                    }
-                    session = new_session;
+                Ok(Handshake::Attached(mut attach)) => {
+                    absorb_pinned(
+                        &mut runtimes,
+                        attach.campaign,
+                        attach.spec.take(),
+                        wcfg,
+                        &mut stats,
+                    )?;
+                    session = attach.session;
+                    proto = attach.proto;
                     stats.reconnects += 1;
                     backoff.reset();
-                    break stream;
+                    break attach.stream;
                 }
-                // The campaign finished during the outage: our pending
-                // report is moot (its indices completed — via us or a
+                // Everything finished during the outage: our pending report
+                // is moot (its indices completed — via us or a
                 // reassignment), so this is success.
                 Ok(Handshake::Finished) => return Ok(stats),
                 Err(e) if retryable(&e) => {
@@ -364,44 +509,59 @@ pub fn run_worker(wcfg: &WorkerConfig) -> Result<WorkerStats, GridError> {
     }
 }
 
+/// The heartbeat thread's view of the lease currently executing.
+#[derive(Debug, Clone, Copy)]
+struct ActiveLease {
+    lease: u64,
+    campaign: u64,
+    beat: Duration,
+}
+
 /// Runs one connected session to its end. `Err` is fatal (no reconnect).
 fn drive_session(
     wcfg: &WorkerConfig,
-    spec: &CampaignSpec,
+    proto: u64,
     stream: Box<dyn Transport>,
-    runner: &ShardRunner,
+    runtimes: &mut HashMap<u64, Runtime>,
     stats: &mut WorkerStats,
     pending: &mut Option<Msg>,
 ) -> Result<SessionEnd, GridError> {
     let mut stream = stream;
     // The heartbeat thread shares the write half of the connection and the
-    // id of the lease currently executing; it pings often enough that
-    // several missed beats are needed before the coordinator declares us
-    // dead, and always well inside one read-timeout window.
+    // identity of the lease currently executing; the pacing is clamped per
+    // campaign (see [`heartbeat_interval`]) so several missed beats are
+    // needed before the coordinator declares us dead.
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
-    let current_lease: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+    let current_lease: Arc<Mutex<Option<ActiveLease>>> = Arc::new(Mutex::new(None));
     let stop = Arc::new(AtomicBool::new(false));
-    let beat = Duration::from_millis(spec.lease_timeout_ms / 3)
-        .min(wcfg.read_timeout / 2)
-        .max(Duration::from_millis(10));
     let heartbeat = {
         let writer = writer.clone();
         let current_lease = current_lease.clone();
         let stop = stop.clone();
+        let wire = wcfg.wire.clone();
         std::thread::spawn(move || {
             let mut last = Instant::now();
             while !stop.load(Ordering::SeqCst) {
                 // Sleep in short steps so shutdown never waits a full beat.
                 std::thread::sleep(Duration::from_millis(10));
-                if last.elapsed() < beat {
+                let Some(active) = *lock_clean(&current_lease) else {
+                    continue;
+                };
+                if last.elapsed() < active.beat {
                     continue;
                 }
                 last = Instant::now();
-                let lease = *lock_clean(&current_lease);
-                if let Some(lease) = lease {
-                    if send(&mut **lock_clean(&writer), &Msg::Heartbeat { lease }).is_err() {
-                        return; // coordinator gone; main thread will notice
+                let beat = Msg::Heartbeat {
+                    lease: active.lease,
+                    campaign: active.campaign,
+                };
+                match send(&mut **lock_clean(&writer), &beat, proto) {
+                    Ok(n) => {
+                        if let Some(w) = &wire {
+                            w.record(MsgKind::Heartbeat, n);
+                        }
                     }
+                    Err(_) => return, // coordinator gone; main thread will notice
                 }
             }
         })
@@ -412,13 +572,15 @@ fn drive_session(
         // Retransmit the batch whose delivery the last session never
         // confirmed.
         if let Some(msg) = pending.as_ref() {
-            if let Err(e) = send(&mut **lock_clean(&writer), msg) {
-                return lost(e.into());
+            match send(&mut **lock_clean(&writer), msg, proto) {
+                Ok(n) => wcfg.tally(msg.kind(), n),
+                Err(e) => return lost(e.into()),
             }
         }
         loop {
-            if let Err(e) = send(&mut **lock_clean(&writer), &Msg::LeaseRequest) {
-                return lost(e.into());
+            match send(&mut **lock_clean(&writer), &Msg::LeaseRequest, proto) {
+                Ok(n) => wcfg.tally(MsgKind::LeaseRequest, n),
+                Err(e) => return lost(e.into()),
             }
             // Read until a usable reply: a chaotic link may replay stale
             // welcomes, which the handshake already consumed once.
@@ -438,7 +600,11 @@ fn drive_session(
             // retransmission included — was consumed.
             *pending = None;
             match reply {
-                Msg::Lease { lease, indices } => {
+                Msg::Lease {
+                    lease,
+                    campaign,
+                    indices,
+                } => {
                     if wcfg
                         .max_batches
                         .is_some_and(|max| stats.batches as usize >= max)
@@ -449,23 +615,62 @@ fn drive_session(
                         let _ = stream.shutdown();
                         return Ok(SessionEnd::Finished);
                     }
-                    *lock_clean(&current_lease) = Some(lease);
+                    // First lease from an unseen campaign: fetch its spec
+                    // and build (and cache) the runtime before executing.
+                    while !runtimes.contains_key(&campaign) {
+                        match send(
+                            &mut **lock_clean(&writer),
+                            &Msg::SpecRequest { campaign },
+                            proto,
+                        ) {
+                            Ok(n) => wcfg.tally(MsgKind::SpecRequest, n),
+                            Err(e) => return lost(e.into()),
+                        }
+                        match recv(&mut *stream) {
+                            Ok(Msg::Spec { campaign: c, spec }) => {
+                                runtimes.insert(c, Runtime::build(spec, wcfg)?);
+                                stats.campaigns += 1;
+                            }
+                            Ok(Msg::Welcome { .. }) => continue,
+                            Ok(Msg::Done) => return Ok(SessionEnd::Finished),
+                            Ok(Msg::Reject { reason }) => return lost(GridError::Protocol(reason)),
+                            Ok(other) => {
+                                return lost(GridError::Protocol(format!(
+                                    "expected spec for campaign {campaign}, got {other:?}"
+                                )))
+                            }
+                            Err(FrameError::Closed) => {
+                                return lost(GridError::Protocol(
+                                    "coordinator closed the connection".into(),
+                                ))
+                            }
+                            Err(e) => return lost(e.into()),
+                        }
+                    }
+                    let rt = &runtimes[&campaign];
+                    *lock_clean(&current_lease) = Some(ActiveLease {
+                        lease,
+                        campaign,
+                        beat: rt.beat,
+                    });
                     let collector = Arc::new(MetricsCollector::new());
-                    let results = runner.run_indices(&indices, Some(collector.clone()))?;
+                    let results = rt.runner.run_indices(&indices, Some(collector.clone()))?;
                     *lock_clean(&current_lease) = None;
                     stats.batches += 1;
                     stats.runs += results.len() as u64;
                     let report = Msg::BatchDone {
                         lease,
+                        campaign,
                         results,
                         telemetry: collector.snapshot(),
                     };
-                    let sent = send(&mut **lock_clean(&writer), &report);
+                    let sent = send(&mut **lock_clean(&writer), &report, proto);
                     // Hold the report for retransmission until the next
                     // in-order reply confirms it arrived.
                     *pending = Some(report);
-                    if let Err(e) = sent {
-                        return lost(e.into());
+                    match sent {
+                        Ok(n) => wcfg.tally(MsgKind::BatchDone, n),
+                        Err(e) => return lost(e.into()),
                     }
                 }
                 Msg::Drain => std::thread::sleep(Duration::from_millis(50)),
@@ -478,4 +683,34 @@ fn drive_session(
     stop.store(true, Ordering::SeqCst);
     let _ = heartbeat.join();
     outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_pacing_never_exceeds_a_third_of_the_lease() {
+        // The regression: the 10ms anti-spin floor used to be applied last,
+        // so a short lease under a long read timeout paced beats slower
+        // than lease/3 — they could land after the lease expired.
+        let lease = Duration::from_millis(24);
+        let beat = heartbeat_interval(lease, Duration::from_secs(60));
+        assert!(
+            beat <= lease / 3,
+            "beat {beat:?} exceeds a third of the {lease:?} lease"
+        );
+        // Normal operating point: lease/3 wins, comfortably under rt/2.
+        assert_eq!(
+            heartbeat_interval(Duration::from_secs(30), Duration::from_secs(60)),
+            Duration::from_secs(10)
+        );
+        // A short read timeout tightens pacing further below lease/3.
+        assert_eq!(
+            heartbeat_interval(Duration::from_secs(30), Duration::from_secs(4)),
+            Duration::from_secs(2)
+        );
+        // Degenerate inputs still pace (no zero-interval spin loop).
+        assert!(heartbeat_interval(Duration::ZERO, Duration::from_secs(60)) > Duration::ZERO);
+    }
 }

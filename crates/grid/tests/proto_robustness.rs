@@ -7,7 +7,7 @@
 //! peer did was double-counted or lost.
 
 use avgi_faultsim::{run_campaign, CampaignConfig, RunMode};
-use avgi_grid::proto::{read_frame, send, write_frame, Msg, PROTO_VERSION};
+use avgi_grid::proto::{read_frame, send, write_frame, Msg, MIN_PROTO_VERSION};
 use avgi_grid::{ConfigPreset, Coordinator, GridConfig, GridOutcome, WorkerConfig};
 use avgi_muarch::Structure;
 use std::io::Write;
@@ -63,17 +63,19 @@ fn assert_matches_reference(outcome: &GridOutcome) {
     assert_eq!(outcome.telemetry.completed, FAULTS as u64);
 }
 
-/// Performs the hello/welcome handshake on a raw socket.
+/// Performs the hello/welcome handshake on a raw socket. The adversary
+/// speaks proto v2 so every frame on its link stays JSON.
 fn handshake(stream: &mut TcpStream) {
     send(
         stream,
         &Msg::Hello {
-            proto: PROTO_VERSION,
+            proto: MIN_PROTO_VERSION,
             session: None,
         },
+        MIN_PROTO_VERSION,
     )
     .unwrap();
-    match Msg::from_json(&read_frame(stream).unwrap()).unwrap() {
+    match Msg::decode(&read_frame(stream).unwrap()).unwrap() {
         Msg::Welcome { .. } => {}
         other => panic!("expected welcome, got {other:?}"),
     }
@@ -118,8 +120,8 @@ fn silent_leaseholder_expires_and_work_is_reassigned_once() {
     // the totals must show no double count.
     let outcome = run_with_adversary(Duration::from_millis(500), |mut stream| {
         handshake(&mut stream);
-        send(&mut stream, &Msg::LeaseRequest).unwrap();
-        match Msg::from_json(&read_frame(&mut stream).unwrap()).unwrap() {
+        send(&mut stream, &Msg::LeaseRequest, MIN_PROTO_VERSION).unwrap();
+        match Msg::decode(&read_frame(&mut stream).unwrap()).unwrap() {
             Msg::Lease { indices, .. } => assert!(!indices.is_empty()),
             other => panic!("expected a lease, got {other:?}"),
         }
@@ -143,9 +145,9 @@ fn late_report_after_reassignment_is_discarded_wholly() {
     // or the campaign would double-count.
     let outcome = run_with_adversary(Duration::from_millis(400), |mut stream| {
         handshake(&mut stream);
-        send(&mut stream, &Msg::LeaseRequest).unwrap();
-        let (lease, indices) = match Msg::from_json(&read_frame(&mut stream).unwrap()).unwrap() {
-            Msg::Lease { lease, indices } => (lease, indices),
+        send(&mut stream, &Msg::LeaseRequest, MIN_PROTO_VERSION).unwrap();
+        let (lease, indices) = match Msg::decode(&read_frame(&mut stream).unwrap()).unwrap() {
+            Msg::Lease { lease, indices, .. } => (lease, indices),
             other => panic!("expected a lease, got {other:?}"),
         };
         std::thread::sleep(Duration::from_millis(1_000));
@@ -156,7 +158,7 @@ fn late_report_after_reassignment_is_discarded_wholly() {
             "{{\"t\":\"batch_done\",\"lease\":{lease},\"results\":[],\"telemetry\":{{\"planned\":{n},\"completed\":{n},\"retries\":0,\"aborted\":0,\"outcomes\":{{}},\"classes\":{{}},\"structures\":{{}},\"post_inject_cycles_hist\":[]}}}}",
             n = indices.len()
         );
-        let _ = write_frame(&mut stream, &payload);
+        let _ = write_frame(&mut stream, payload.as_bytes());
         std::thread::sleep(Duration::from_millis(200));
         drop(stream);
     });

@@ -1,0 +1,424 @@
+//! The control plane end-to-end: many tenants, one fleet, no shared bits.
+//!
+//! Every test runs a real [`Service`] event loop on localhost — HTTP
+//! submissions, durable queue, fair-share leases — with real workers, and
+//! holds the fabric's acceptance bar *per tenant*: each campaign's final
+//! report (results in index order plus merged telemetry deterministic
+//! counters) must be byte-identical to a single-process run of the same
+//! submission, no matter how the campaigns interleave on the shared
+//! workers, which wire dialect each worker speaks, or how much chaos one
+//! tenant's links absorb.
+
+use avgi_faultsim::telemetry::MetricsCollector;
+use avgi_faultsim::{run_campaign, CampaignConfig, DurabilityPolicy, RunMode};
+use avgi_grid::service::reference_report;
+use avgi_grid::{
+    ChaosInterposer, ChaosPolicy, Service, ServiceConfig, ServiceStats, SubmissionQueue,
+    SubmitSpec, WorkerConfig,
+};
+use avgi_muarch::Structure;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A scratch directory unique to one test (queue + journals live here).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avgi-grid-service-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One blocking HTTP exchange against the service's one-shot surface.
+fn http(addr: SocketAddr, request: String) -> Option<(u16, String)> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_nodelay(true).ok()?;
+    s.write_all(request.as_bytes()).ok()?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).ok()?;
+    let status = raw.split(' ').nth(1)?.parse().ok()?;
+    Some((status, raw.split_once("\r\n\r\n")?.1.to_string()))
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    http(addr, format!("GET {path} HTTP/1.1\r\nHost: svc\r\n\r\n"))
+}
+
+/// Submits a campaign over HTTP; returns its id.
+fn submit(addr: SocketAddr, spec: &SubmitSpec) -> u64 {
+    let body = spec.to_json();
+    let (status, resp) = http(
+        addr,
+        format!(
+            "POST /campaigns HTTP/1.1\r\nHost: svc\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+    .expect("service reachable");
+    assert_eq!(status, 201, "submission refused: {resp}");
+    let at = resp.find("\"id\":").expect("response carries id") + 5;
+    resp[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Polls a campaign's status until it reports done; returns the final body.
+fn wait_done(addr: SocketAddr, id: u64, timeout: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        if let Some((200, body)) = http_get(addr, &format!("/campaigns/{id}")) {
+            if body.contains("\"done\":true") {
+                return body;
+            }
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "campaign {id} did not finish within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// The `"report":{...}` object out of a finished campaign's status body.
+fn report_of(body: &str) -> &str {
+    let at = body
+        .find("\"report\":")
+        .expect("finished body carries a report");
+    &body[at + "\"report\":".len()..body.len() - 1]
+}
+
+/// Builds the identical report from a single-process run of `spec` — the
+/// per-tenant bit-identity reference.
+fn reference_for(spec: &SubmitSpec) -> String {
+    let w = avgi_workloads::by_name(&spec.workload).unwrap();
+    let cfg = spec.preset.config();
+    let golden = avgi_faultsim::golden_for(&w, &cfg);
+    let mut ccfg = CampaignConfig::new(spec.structure, spec.faults, spec.mode)
+        .with_seed(spec.seed)
+        .with_burst(spec.burst_width);
+    ccfg.checkpoints = spec.checkpoints;
+    let collector = Arc::new(MetricsCollector::new());
+    let result = run_campaign(&w, &cfg, &golden, &ccfg.with_observer(collector.clone()));
+    reference_report(
+        &spec.workload,
+        spec.structure,
+        golden.cycles,
+        &result.results,
+        &collector.snapshot(),
+    )
+}
+
+/// Short-fuse worker tuning (mirrors the chaos tests).
+fn worker_config(addr: &str, jitter_seed: u64) -> WorkerConfig {
+    let mut w = WorkerConfig::new(addr.to_string());
+    w.threads = 2;
+    w.connect_timeout = Duration::from_secs(2);
+    w.read_timeout = Duration::from_secs(2);
+    w.reconnect_attempts = 8;
+    w.backoff_base = Duration::from_millis(20);
+    w.backoff_cap = Duration::from_millis(250);
+    w.jitter_seed = jitter_seed;
+    w
+}
+
+/// A running service plus the handles a test needs to talk to and stop it.
+struct Harness {
+    fabric: String,
+    http: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<Result<ServiceStats, avgi_grid::GridError>>,
+}
+
+impl Harness {
+    fn start(dir: &std::path::Path, batch: usize) -> Harness {
+        let stop = Arc::new(AtomicBool::new(false));
+        let cfg = ServiceConfig {
+            bind: "127.0.0.1:0".into(),
+            http_bind: Some("127.0.0.1:0".into()),
+            queue: dir.join("queue.jsonl"),
+            journal_dir: Some(dir.join("journals")),
+            batch,
+            lease_timeout: Duration::from_secs(2),
+            durability: DurabilityPolicy::Flush,
+            deadline: Some(Duration::from_secs(180)),
+            stop: Some(stop.clone()),
+            ..ServiceConfig::default()
+        };
+        let service = Service::bind(cfg).unwrap();
+        let fabric = service.local_addr().unwrap().to_string();
+        let http = service.http_addr().unwrap();
+        let thread = std::thread::spawn(move || service.run());
+        Harness {
+            fabric,
+            http,
+            stop,
+            thread,
+        }
+    }
+
+    /// Signals shutdown and returns the service's final statistics.
+    fn finish(self) -> ServiceStats {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().unwrap().unwrap()
+    }
+}
+
+#[test]
+fn interleaved_campaigns_on_a_shared_fleet_are_bit_identical_per_tenant() {
+    let dir = scratch("interleaved");
+    let svc = Harness::start(&dir, 4);
+
+    // Two tenants with nothing in common: different structures, seeds,
+    // modes, and sizes, interleaved over the same three v3 workers.
+    let spec_a = {
+        let mut s = SubmitSpec::new("bitcount", Structure::RegFile, 36, 0xA11CE);
+        s.mode = RunMode::Instrumented;
+        s
+    };
+    let spec_b = {
+        let mut s = SubmitSpec::new("bitcount", Structure::Rob, 28, 0xB0B);
+        s.mode = RunMode::EndToEnd;
+        s.weight = 3;
+        s
+    };
+    let id_a = submit(svc.http, &spec_a);
+    let id_b = submit(svc.http, &spec_b);
+    assert_ne!(id_a, id_b);
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let wcfg = worker_config(&svc.fabric, 0x5EED_0100 + i);
+            std::thread::spawn(move || avgi_grid::run_worker(&wcfg))
+        })
+        .collect();
+
+    let body_a = wait_done(svc.http, id_a, Duration::from_secs(120));
+    let body_b = wait_done(svc.http, id_b, Duration::from_secs(120));
+    let stats = svc.finish();
+    for t in workers {
+        let _ = t.join().unwrap();
+    }
+
+    assert_eq!(report_of(&body_a), reference_for(&spec_a));
+    assert_eq!(report_of(&body_b), reference_for(&spec_b));
+    assert_eq!(stats.campaigns_completed, 2);
+    assert_eq!(stats.campaigns_submitted, 2);
+    assert!(stats.workers_seen >= 3, "{stats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_storm_on_one_tenant_leaves_every_tenant_bit_identical() {
+    let dir = scratch("chaos");
+    let svc = Harness::start(&dir, 4);
+
+    // Tenant A outranks tenant B, so the v2 worker — whose link takes the
+    // whole storm — pins to A at hello. B's frames only ever ride the
+    // clean v3 links: the storm is tenant-scoped by construction, and both
+    // merges must still come out exact.
+    let spec_a = {
+        let mut s = SubmitSpec::new("bitcount", Structure::RegFile, 40, 0xC11A05);
+        s.priority = 5;
+        s
+    };
+    let spec_b = SubmitSpec::new("bitcount", Structure::Rob, 30, 0x5AFE);
+    let id_a = submit(svc.http, &spec_a);
+    let id_b = submit(svc.http, &spec_b);
+
+    let chaos = Arc::new(ChaosInterposer::new(ChaosPolicy::stormy(0xC4A0_5E1F)));
+    let v2 = {
+        let mut w = worker_config(&svc.fabric, 0xD1CE);
+        w.proto = 2;
+        w.chaos = Some(chaos.clone());
+        std::thread::spawn(move || avgi_grid::run_worker(&w))
+    };
+    // Let the v2 worker land at least one accepted batch on A before the
+    // v3 fleet joins, so both wire dialects measurably carry batch_done
+    // traffic.
+    let start = Instant::now();
+    loop {
+        if let Some((200, body)) = http_get(svc.http, &format!("/campaigns/{id_a}")) {
+            let done = body.contains("\"done\":true");
+            let progressed = !body.contains("\"completed\":0");
+            if done || progressed {
+                break;
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(90),
+            "v2 worker never landed a batch through the storm"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let v3s: Vec<_> = (0..2)
+        .map(|i| {
+            let wcfg = worker_config(&svc.fabric, 0x5EED_0200 + i);
+            std::thread::spawn(move || avgi_grid::run_worker(&wcfg))
+        })
+        .collect();
+
+    let body_a = wait_done(svc.http, id_a, Duration::from_secs(150));
+    let body_b = wait_done(svc.http, id_b, Duration::from_secs(150));
+
+    // The fleet view carries per-dialect wire tallies; grab them before
+    // shutdown. Both dialects must have carried batch reports, and the
+    // binary encoding must be measurably smaller per frame than JSON.
+    let (_, fleet) = http_get(svc.http, "/fleet").expect("fleet endpoint up");
+    let stats = svc.finish();
+    let _ = v2.join().unwrap();
+    for t in v3s {
+        let _ = t.join().unwrap();
+    }
+
+    assert_eq!(report_of(&body_a), reference_for(&spec_a));
+    assert_eq!(report_of(&body_b), reference_for(&spec_b));
+    assert!(
+        chaos.stats().injected() > 0,
+        "storm policy must actually injure the link"
+    );
+
+    let batch_done = |dialect: &str| -> (u64, u64) {
+        let at = fleet.find(&format!("\"{dialect}\":")).unwrap();
+        let tail = &fleet[at..];
+        let at = tail.find("\"batch_done\":").unwrap();
+        let obj = &tail[at..];
+        let frames_at = obj.find("\"frames\":").unwrap() + 9;
+        let frames: u64 = obj[frames_at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap();
+        let bytes_at = obj.find("\"bytes\":").unwrap() + 8;
+        let bytes: u64 = obj[bytes_at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap();
+        (frames, bytes)
+    };
+    let (v2_frames, v2_bytes) = batch_done("v2");
+    let (v3_frames, v3_bytes) = batch_done("v3");
+    assert!(
+        v2_frames > 0,
+        "v2 dialect carried no batch reports: {fleet}"
+    );
+    assert!(
+        v3_frames > 0,
+        "v3 dialect carried no batch reports: {fleet}"
+    );
+    assert!(
+        v3_bytes * v2_frames < v2_bytes * v3_frames,
+        "binary batch_done must be smaller per frame: v2 {v2_bytes}B/{v2_frames}f vs v3 {v3_bytes}B/{v3_frames}f"
+    );
+    eprintln!(
+        "[wire] batch_done v2 {:.0} B/frame vs v3 {:.0} B/frame | service stats: {stats:?}",
+        v2_bytes as f64 / v2_frames as f64,
+        v3_bytes as f64 / v3_frames as f64,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn service_restart_resumes_queued_campaigns_bit_identically() {
+    let dir = scratch("resume");
+    let queue_path = dir.join("queue.jsonl");
+    let journal_dir = dir.join("journals");
+    std::fs::create_dir_all(&journal_dir).unwrap();
+
+    // A submission journaled by a "previous incarnation" of the service,
+    // with the first K results already sealed in its campaign journal —
+    // exactly the disk state a crash mid-campaign leaves behind.
+    let spec = {
+        let mut s = SubmitSpec::new("bitcount", Structure::RegFile, 30, 0x7E5C0E);
+        s.mode = RunMode::Instrumented;
+        s
+    };
+    let id = {
+        let mut queue = SubmissionQueue::open(&queue_path).unwrap();
+        queue.submit(spec.clone()).unwrap()
+    };
+    const RESUMED: usize = 10;
+    {
+        use avgi_faultsim::journal::{CampaignKey, Journal};
+        let w = avgi_workloads::by_name(&spec.workload).unwrap();
+        let cfg = spec.preset.config();
+        let golden = avgi_faultsim::golden_for(&w, &cfg);
+        let mut ccfg = CampaignConfig::new(spec.structure, spec.faults, spec.mode)
+            .with_seed(spec.seed)
+            .with_burst(spec.burst_width);
+        ccfg.checkpoints = spec.checkpoints;
+        let reference = run_campaign(&w, &cfg, &golden, &ccfg);
+        let key = CampaignKey::new(w.name, &cfg, golden.cycles, &ccfg);
+        let (mut journal, done) = Journal::open_with(
+            &journal_dir.join(format!("campaign-{id}.jsonl")),
+            &key,
+            DurabilityPolicy::Flush,
+        )
+        .unwrap();
+        assert!(done.is_empty());
+        for (i, r) in reference.results.iter().take(RESUMED).enumerate() {
+            journal.append(i, r).unwrap();
+        }
+        journal.sync().unwrap();
+    }
+
+    // The "restarted" service must pick the campaign up from the queue,
+    // restore the journaled prefix without re-executing it, and finish the
+    // rest into a byte-identical report.
+    let svc = Harness::start(&dir, 4);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let wcfg = worker_config(&svc.fabric, 0x5EED_0300 + i);
+            std::thread::spawn(move || avgi_grid::run_worker(&wcfg))
+        })
+        .collect();
+    let body = wait_done(svc.http, id, Duration::from_secs(120));
+    let stats = svc.finish();
+    for t in workers {
+        let _ = t.join().unwrap();
+    }
+
+    assert_eq!(report_of(&body), reference_for(&spec));
+    assert_eq!(stats.campaigns_resumed, 1, "{stats:?}");
+    assert_eq!(stats.results_resumed, RESUMED as u64, "{stats:?}");
+    assert_eq!(stats.campaigns_completed, 1, "{stats:?}");
+
+    // After completion the queue must be drained: a second restart has
+    // nothing to resume.
+    let queue = SubmissionQueue::open(&queue_path).unwrap();
+    assert!(queue.pending().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v2_worker_cross_version_handshake_completes_a_campaign() {
+    let dir = scratch("crossver");
+    let svc = Harness::start(&dir, 4);
+    let spec = SubmitSpec::new("bitcount", Structure::RegFile, 24, 0x0DDF00D);
+    let id = submit(svc.http, &spec);
+
+    // A lone last-release worker: hellos at proto 2, negotiates the JSON
+    // dialect, gets pinned to the only campaign, and carries it end to end.
+    let worker = {
+        let mut w = worker_config(&svc.fabric, 0xF00D);
+        w.proto = 2;
+        std::thread::spawn(move || avgi_grid::run_worker(&w))
+    };
+    let body = wait_done(svc.http, id, Duration::from_secs(120));
+    let stats = svc.finish();
+    let wstats = worker.join().unwrap().unwrap();
+
+    assert_eq!(report_of(&body), reference_for(&spec));
+    assert_eq!(stats.campaigns_completed, 1);
+    assert_eq!(wstats.campaigns, 1);
+    assert!(wstats.runs >= 24, "{wstats:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
