@@ -1,0 +1,160 @@
+//! CI smoke prover for the adaptive importance-sampled campaign driver.
+//!
+//! Two legs per workload, exiting non-zero on the first violation:
+//!
+//! 1. **Agreement** — a uniform campaign of `--faults` runs and an
+//!    adaptive campaign budgeted at a third of that must produce AVF
+//!    estimates whose 95 % Wilson intervals overlap. A reweighting bug
+//!    (wrong likelihood ratio, weight on the wrong draw, broken fallback)
+//!    separates the intervals immediately.
+//! 2. **Determinism** — the same adaptive campaign on 1 and 4 worker
+//!    threads must produce bit-identical results, weights, estimates and
+//!    posterior grids: the schedule may adapt, but only on batch
+//!    boundaries, so thread count must be invisible.
+//!
+//! The exhaustive statistical harness lives in
+//! `faultsim/tests/adaptive_stats.rs`; this binary is the seconds-cheap
+//! gate that keeps every push honest (the `xtier_check` idiom).
+//!
+//! Usage:
+//!   adaptive_check [--workloads a,b] [--faults N] [--ci-target H]
+//!                  [--seed S] [--small]
+
+use avgi_bench::GoldenCache;
+use avgi_faultsim::{
+    run_adaptive, run_campaign, weighted_estimate, wilson_interval, AdaptiveConfig, AdaptiveReport,
+    CampaignConfig, RunMode,
+};
+use avgi_muarch::config::MuarchConfig;
+use avgi_muarch::fault::Structure;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut workloads = vec!["crc32".to_string()];
+    let mut faults = 480usize;
+    let mut ci_target: Option<f64> = None;
+    let mut seed = 1u64;
+    let mut small = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workloads" => {
+                workloads = it
+                    .next()
+                    .expect("--workloads needs a comma-separated list")
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--faults" => {
+                faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 30)
+                    .expect("--faults needs a number >= 30")
+            }
+            "--ci-target" => {
+                ci_target = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&h: &f64| h > 0.0)
+                        .expect("--ci-target needs a positive half-width"),
+                )
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--small" => small = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let cfg = if small {
+        MuarchConfig::small()
+    } else {
+        MuarchConfig::big()
+    };
+
+    let mut cache = GoldenCache::new();
+    for name in &workloads {
+        let w = avgi_workloads::by_name(name).unwrap_or_else(|| panic!("no workload {name}"));
+        let golden = cache.get(&w, &cfg);
+
+        // Uniform baseline at the full fault count.
+        let ucfg =
+            CampaignConfig::new(Structure::RegFile, faults, RunMode::EndToEnd).with_seed(seed);
+        let uniform = run_campaign(&w, &cfg, &golden, &ucfg);
+        let uw = vec![1.0; uniform.results.len()];
+        let uest = weighted_estimate(&uniform.results, &uw, 0.95).expect("uniform estimate");
+        let uci = wilson_interval(uest.avf, faults as f64, 0.95).expect("uniform interval");
+
+        // Adaptive campaign at a third of the budget, 1 vs 4 threads.
+        let budget = faults / 3;
+        let adaptive = |threads: usize| -> AdaptiveReport {
+            let base = CampaignConfig {
+                threads,
+                ..CampaignConfig::new(Structure::RegFile, budget, RunMode::EndToEnd)
+            }
+            .with_seed(seed);
+            let mut acfg = AdaptiveConfig::new(base)
+                .with_batch_runs(40)
+                .with_explore(0.5);
+            acfg.ci_target = ci_target;
+            run_adaptive(&w, &cfg, &golden, &acfg)
+                .unwrap_or_else(|e| fail(&format!("{name}: adaptive campaign failed: {e}")))
+        };
+        let a1 = adaptive(1);
+        let a4 = adaptive(4);
+
+        if a1.campaign.results != a4.campaign.results
+            || a1.weights != a4.weights
+            || a1.estimate != a4.estimate
+            || a1.grid.to_json() != a4.grid.to_json()
+            || a1.batches != a4.batches
+        {
+            fail(&format!(
+                "{name}: adaptive schedule differs between 1 and 4 threads"
+            ));
+        }
+
+        let est = &a1.estimate;
+        let (alo, ahi) = est.avf_interval;
+        if ahi < uci.0 || uci.1 < alo {
+            fail(&format!(
+                "{name}: adaptive AVF {:.4} [{alo:.4}, {ahi:.4}] ({} runs) disagrees with \
+                 uniform AVF {:.4} [{:.4}, {:.4}] ({faults} runs)",
+                est.avf, est.runs, uest.avf, uci.0, uci.1
+            ));
+        }
+        if let Some(target) = ci_target {
+            if a1.stopped_early && est.half_width() > target {
+                fail(&format!(
+                    "{name}: stopped early at half-width {:.4} above target {target}",
+                    est.half_width()
+                ));
+            }
+        }
+        println!(
+            "adaptive: {name}: avf {:.4} [{alo:.4}, {ahi:.4}] from {} of {budget} budgeted runs \
+             (n_eff {:.0}, saved {:.0}%) vs uniform {:.4} [{:.4}, {:.4}] from {faults} runs; \
+             1- and 4-thread schedules bit-identical",
+            est.avf,
+            est.runs,
+            est.n_eff,
+            a1.runs_saved_pct(),
+            uest.avf,
+            uci.0,
+            uci.1
+        );
+    }
+    println!(
+        "adaptive: all {} workloads agree with their uniform baselines",
+        workloads.len()
+    );
+}

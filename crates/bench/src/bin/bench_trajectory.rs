@@ -18,10 +18,19 @@
 //! four-leg execution-tier prover ([`avgi_faultsim::run_xtier`]) per
 //! workload.
 //!
+//! `--adaptive` appends an importance-sampling leg per workload: an
+//! adaptive campaign ([`avgi_faultsim::run_adaptive`]) budgeted at the
+//! uniform Leveugle sample size for the `--ci-target` half-width, stopping
+//! early once its Wilson interval meets the target. The recorded
+//! `adaptive_runs_saved_pct` tracks how much of the uniform prescription
+//! the adaptive campaign left unspent — the run-count reduction headline.
+//! The leg is measured only when (re)generating the JSON; `--check` mode
+//! skips it so the ratchet stays cheap.
+//!
 //! Usage:
 //!   bench_trajectory [--workloads a,b,c] [--faults N] [--trials N]
-//!                    [--small] [--no-xcheck] [--xtier] [--check PATH]
-//!                    [--out PATH]
+//!                    [--small] [--no-xcheck] [--xtier] [--adaptive]
+//!                    [--ci-target H] [--check PATH] [--out PATH]
 //!
 //! Golden captures honor the `AVGI_GOLDEN_CACHE` directory, so a sweep over
 //! several invocations captures each golden run once.
@@ -29,7 +38,10 @@
 use avgi_bench::GoldenCache;
 use avgi_core::ert::default_ert_window;
 use avgi_faultsim::json::{self, Json};
-use avgi_faultsim::{run_campaign, run_xcheck, run_xtier, CampaignConfig, RunMode};
+use avgi_faultsim::{
+    run_adaptive, run_campaign, run_xcheck, run_xtier, sample_size_at, AdaptiveConfig,
+    CampaignConfig, RunMode,
+};
 use avgi_muarch::config::MuarchConfig;
 use avgi_muarch::fault::Structure;
 use avgi_refmodel::ExecTier;
@@ -51,6 +63,22 @@ struct WorkloadRow {
     tier_speedup: f64,
     xcheck: Option<avgi_faultsim::XcheckReport>,
     xtier: Option<avgi_faultsim::XtierReport>,
+    adaptive: Option<AdaptiveLeg>,
+}
+
+/// The importance-sampling leg: how far under the uniform Leveugle
+/// prescription the CI-early-stopped adaptive campaign landed.
+struct AdaptiveLeg {
+    /// Run budget = uniform sample size for the `--ci-target` half-width.
+    budget: usize,
+    /// Runs the adaptive campaign actually spent.
+    runs: usize,
+    /// Budget left unspent by CI early stopping, in percent.
+    runs_saved_pct: f64,
+    /// Horvitz–Thompson AVF estimate.
+    avf: f64,
+    /// Achieved Wilson half-width at stop.
+    half_width: f64,
 }
 
 /// Times one full architectural run of `program` on `tier`, best of five
@@ -102,6 +130,8 @@ fn main() {
     let mut small = false;
     let mut xcheck = true;
     let mut xtier = false;
+    let mut adaptive = false;
+    let mut ci_target = 0.01f64;
     let mut check: Option<String> = None;
     let mut out: Option<String> = None;
     let mut it = std::env::args().skip(1);
@@ -132,6 +162,14 @@ fn main() {
             "--no-xcheck" => xcheck = false,
             "--xcheck" => xcheck = true,
             "--xtier" => xtier = true,
+            "--adaptive" => adaptive = true,
+            "--ci-target" => {
+                ci_target = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&h: &f64| h > 0.0 && h < 0.5)
+                    .expect("--ci-target needs a half-width in (0, 0.5)")
+            }
             "--check" => check = Some(it.next().expect("--check needs a path")),
             "--out" => out = Some(it.next().expect("--out needs a path")),
             other => panic!("unknown argument `{other}`"),
@@ -242,6 +280,43 @@ fn main() {
         } else {
             None
         };
+        // The adaptive leg is part of JSON (re)generation only: the ratchet
+        // compares throughput, and run-count savings are not a throughput.
+        let adaptive_leg = if adaptive && check.is_none() {
+            let budget = sample_size_at(ci_target, 0.95).expect("validated ci target");
+            let base = CampaignConfig {
+                faults: budget,
+                ..ccfg.clone()
+            };
+            let acfg = AdaptiveConfig::new(base)
+                .with_explore(0.5)
+                .with_ci_target(ci_target);
+            match run_adaptive(w, &cfg, golden, &acfg) {
+                Ok(rep) => {
+                    println!(
+                        "  adaptive: {} of {budget} uniform-prescribed runs to half-width \
+                         {:.4} (target {ci_target}), avf {:.4}, saved {:.1}%",
+                        rep.runs_used(),
+                        rep.estimate.half_width(),
+                        rep.estimate.avf,
+                        rep.runs_saved_pct()
+                    );
+                    Some(AdaptiveLeg {
+                        budget,
+                        runs: rep.runs_used(),
+                        runs_saved_pct: rep.runs_saved_pct(),
+                        avf: rep.estimate.avf,
+                        half_width: rep.estimate.half_width(),
+                    })
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {}: adaptive campaign failed: {e}", w.name);
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            None
+        };
         rows.push(WorkloadRow {
             name: w.name.to_string(),
             faults,
@@ -254,6 +329,7 @@ fn main() {
             tier_speedup,
             xcheck: report,
             xtier: tier_report,
+            adaptive: adaptive_leg,
         });
     }
 
@@ -283,6 +359,15 @@ fn main() {
             ),
             None => ",\n      \"xtier\": false".to_string(),
         };
+        let ad = match &r.adaptive {
+            Some(a) => format!(
+                ",\n      \"adaptive\": true,\n      \"adaptive_budget\": {},\n      \
+                 \"adaptive_runs\": {},\n      \"adaptive_runs_saved_pct\": \"{:.1}\",\n      \
+                 \"adaptive_avf\": \"{:.4}\",\n      \"adaptive_half_width\": \"{:.4}\"",
+                a.budget, a.runs, a.runs_saved_pct, a.avf, a.half_width
+            ),
+            None => ",\n      \"adaptive\": false".to_string(),
+        };
         // The in-house JSON parser has no float type, so the speedup ratio
         // is written as a string; the steps/sec figures stay integers.
         body.push_str(&format!(
@@ -290,7 +375,7 @@ fn main() {
              \"golden_cycles\": {},\n      \"campaign_runs_per_sec\": {},\n      \
              \"campaign_runs_per_cpu_sec\": {},\n      \"us_per_run\": {},\n      \
              \"tier\": \"fast\",\n      \"ref_steps_per_sec\": {},\n      \
-             \"fast_steps_per_sec\": {},\n      \"tier_speedup\": \"{:.2}\"{xc}{xt}\n    }}",
+             \"fast_steps_per_sec\": {},\n      \"tier_speedup\": \"{:.2}\"{xc}{xt}{ad}\n    }}",
             json::escape(&r.name),
             r.faults,
             r.golden_cycles,

@@ -960,6 +960,7 @@ pub fn run_campaign_with_faults(
         faults,
         BTreeMap::new(),
         None,
+        0,
         checkpoints.as_ref(),
     )
     .expect("journal-free campaign cannot fail");
@@ -1017,6 +1018,7 @@ pub fn run_campaign_journaled(
         &faults,
         done,
         Some(&journal),
+        0,
         checkpoints.as_ref(),
     )?;
     warnings.extend(engine_warnings);
@@ -1127,6 +1129,7 @@ impl ShardRunner {
             &subset,
             BTreeMap::new(),
             None,
+            0,
             self.checkpoints.as_ref(),
         )
         .expect("journal-free shard cannot fail");
@@ -1150,7 +1153,7 @@ impl ShardRunner {
 /// Builds the checkpoint set a campaign configuration asks for, degrading
 /// to checkpoint-free execution (with a warning) when the golden prefix
 /// cannot support it.
-fn build_checkpoints(
+pub(crate) fn build_checkpoints(
     workload: &Workload,
     cfg: &MuarchConfig,
     golden: &Arc<GoldenRun>,
@@ -1172,9 +1175,12 @@ fn build_checkpoints(
 /// optionally appending each fresh result to a journal, and returns results
 /// in sampling order plus any degradation warnings. Checkpoints are built
 /// by the caller (see [`build_checkpoints`]) so shard runners can reuse one
-/// set across many engine invocations.
+/// set across many engine invocations. Journal records are written at
+/// `journal_offset + i` — the adaptive driver runs one engine invocation
+/// per batch against a single campaign-global journal, so local batch
+/// indices must be rebased before they hit the disk format.
 #[allow(clippy::too_many_arguments)]
-fn run_campaign_engine(
+pub(crate) fn run_campaign_engine(
     workload: &Workload,
     cfg: &MuarchConfig,
     golden: &Arc<GoldenRun>,
@@ -1182,6 +1188,7 @@ fn run_campaign_engine(
     faults: &[Fault],
     done: BTreeMap<usize, InjectionResult>,
     journal: Option<&Mutex<Journal>>,
+    journal_offset: usize,
     checkpoints: Option<&CheckpointSet>,
 ) -> Result<(Vec<InjectionResult>, Vec<String>), CampaignError> {
     static NULL_OBSERVER: NullObserver = NullObserver;
@@ -1266,7 +1273,7 @@ fn run_campaign_engine(
                 let record = |i: usize, r: InjectionResult, elapsed: Duration| {
                     observer.on_run(ccfg.structure, &r, elapsed);
                     if let Some(j) = journal {
-                        if let Err(e) = j.lock().unwrap().append(i, &r) {
+                        if let Err(e) = j.lock().unwrap().append(journal_offset + i, &r) {
                             journal_err.lock().unwrap().get_or_insert(e);
                         }
                     }

@@ -32,6 +32,7 @@
 //! assert_eq!(result.len(), 200);
 //! ```
 
+pub mod adaptive;
 pub mod campaign;
 pub mod error;
 pub mod journal;
@@ -40,6 +41,10 @@ pub mod sampling;
 pub mod telemetry;
 pub mod xcheck;
 
+pub use adaptive::{
+    build_proposal, run_adaptive, run_adaptive_journaled, weighted_estimate, AdaptiveConfig,
+    AdaptiveReport, Proposal, WeightedEstimate,
+};
 pub use campaign::{
     golden_for, run_campaign, run_campaign_journaled, run_campaign_with_faults, run_one,
     run_one_from, watchdog_budget, CampaignConfig, CampaignResult, CheckpointSet, InjectionResult,
@@ -48,13 +53,14 @@ pub use campaign::{
 pub use error::CampaignError;
 pub use journal::{config_hash, crc32, CampaignKey, DurabilityPolicy, Journal};
 pub use sampling::{
-    error_margin, multi_bit_burst, sample_faults, sample_size, Confidence, SamplingError,
+    error_margin, error_margin_at, multi_bit_burst, sample_faults, sample_size, sample_size_at,
+    wilson_interval, z_value, Confidence, SamplingError,
 };
 pub use xcheck::{
     run_xcheck, run_xcheck_fresh, run_xtier, run_xtier_fresh, XcheckReport, XtierReport,
 };
 
 pub use telemetry::{
-    CampaignObserver, HistogramSnapshot, LatencyHistogram, MetricsCollector, MetricsSnapshot,
-    NullObserver, ProgressObserver,
+    outcome_class, CampaignObserver, GridSnapshot, HistogramSnapshot, LatencyHistogram,
+    MetricsCollector, MetricsSnapshot, NullObserver, OutcomeClass, ProgressObserver, SiteGrid,
 };

@@ -217,6 +217,219 @@ fn structure_index(s: Structure) -> usize {
         .expect("Structure::all() covers every structure")
 }
 
+/// The three-way final-outcome classification the estimators work in:
+/// AVF = P(Sdc) + P(Crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeClass {
+    /// The fault had no architecturally visible effect.
+    Masked,
+    /// The run finished with wrong output (or was stopped at a commit-trace
+    /// deviation, the early-stop proxy for reaching the software).
+    Sdc,
+    /// The run ended in the crash family (trap, integrity violation,
+    /// watchdog, wall-clock expiry, or an isolated simulator abort).
+    Crash,
+}
+
+/// Classifies one injection into [`OutcomeClass`] — total over every
+/// [`RunOutcome`], so adaptive estimators can consume any run mode.
+///
+/// End-to-end outcomes map exactly as `avgi-core`'s final-effect analysis
+/// does. Early-stopped runs (first-deviation / ERT modes) have no final
+/// effect there; here a run stopped *at* a deviation counts `Sdc` (the
+/// fault demonstrably reached architectural state) and an ERT expiry with
+/// no deviation counts `Masked` — the conservative proxies the adaptive
+/// proposal needs to steer with.
+pub fn outcome_class(r: &InjectionResult) -> OutcomeClass {
+    match r.outcome {
+        RunOutcome::Completed => match r.output_matches {
+            Some(false) => OutcomeClass::Sdc,
+            _ => OutcomeClass::Masked,
+        },
+        RunOutcome::Trap(_)
+        | RunOutcome::IntegrityViolation(_)
+        | RunOutcome::Watchdog
+        | RunOutcome::WallClockExpired
+        | RunOutcome::SimAbort => OutcomeClass::Crash,
+        RunOutcome::StoppedAtDeviation | RunOutcome::ErtExpired => {
+            if r.deviation.is_some() {
+                OutcomeClass::Sdc
+            } else {
+                OutcomeClass::Masked
+            }
+        }
+    }
+}
+
+/// Lock-free per-(bit-range × cycle-window) outcome tallies for one
+/// structure — the posterior substrate of adaptive importance sampling.
+///
+/// The structure's flat bit space is split into `bit_bins` equal ranges and
+/// the golden execution into `cycle_bins` windows; each cell tallies how
+/// many injections landed there and how many of those were *affected*
+/// (non-[`Masked`](OutcomeClass::Masked)). Recording is two relaxed
+/// `fetch_add`s, so the grid rides the injection hot path next to the other
+/// collector counters. Cell counts are additive and order-independent,
+/// which makes a snapshot taken at a batch boundary a deterministic
+/// function of the set of results seen — identical across thread counts
+/// and across journal resumes.
+#[derive(Debug)]
+pub struct SiteGrid {
+    bits: u64,
+    cycles: u64,
+    bit_bins: usize,
+    cycle_bins: usize,
+    runs: Vec<AtomicU64>,
+    affected: Vec<AtomicU64>,
+}
+
+impl SiteGrid {
+    /// A zeroed grid over `bits × cycles` sites. Bin counts are clamped to
+    /// at least 1 and at most the axis size (a 7-bit structure cannot carry
+    /// 8 distinct bit ranges).
+    pub fn new(bits: u64, cycles: u64, bit_bins: usize, cycle_bins: usize) -> Self {
+        assert!(bits > 0 && cycles > 0, "grid over an empty site space");
+        let bit_bins = (bit_bins.max(1) as u64).min(bits) as usize;
+        let cycle_bins = (cycle_bins.max(1) as u64).min(cycles) as usize;
+        let cells = bit_bins * cycle_bins;
+        SiteGrid {
+            bits,
+            cycles,
+            bit_bins,
+            cycle_bins,
+            runs: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            affected: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The cell index a fault lands in (row = bit range, column = cycle
+    /// window). Out-of-range sites clamp into the last bin — ill-formed
+    /// faults are the panic-isolation path's business, not the tally's.
+    pub fn cell_of(&self, bit: u64, cycle: u64) -> usize {
+        let b =
+            ((bit.min(self.bits - 1) as u128 * self.bit_bins as u128) / self.bits as u128) as usize;
+        let c = ((cycle.min(self.cycles - 1) as u128 * self.cycle_bins as u128)
+            / self.cycles as u128) as usize;
+        b * self.cycle_bins + c
+    }
+
+    /// Tallies one result into its cell.
+    pub fn record(&self, r: &InjectionResult) {
+        let cell = self.cell_of(r.fault.site.bit, r.fault.cycle);
+        self.runs[cell].fetch_add(1, Ordering::Relaxed);
+        if outcome_class(r) != OutcomeClass::Masked {
+            self.affected[cell].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the cell tallies.
+    pub fn snapshot(&self) -> GridSnapshot {
+        GridSnapshot {
+            bits: self.bits,
+            cycles: self.cycles,
+            bit_bins: self.bit_bins,
+            cycle_bins: self.cycle_bins,
+            runs: self
+                .runs
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+            affected: self
+                .affected
+                .iter()
+                .map(|n| n.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`SiteGrid`] — the posterior state an adaptive
+/// driver builds its next proposal distribution from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridSnapshot {
+    /// Structure bit-space size the grid covers.
+    pub bits: u64,
+    /// Golden-run cycle count the grid covers.
+    pub cycles: u64,
+    /// Bit-axis bins (rows).
+    pub bit_bins: usize,
+    /// Cycle-axis bins (columns).
+    pub cycle_bins: usize,
+    /// Injections tallied per cell (`bit_bins * cycle_bins`, row-major).
+    pub runs: Vec<u64>,
+    /// Affected (non-Masked) injections per cell.
+    pub affected: Vec<u64>,
+}
+
+impl GridSnapshot {
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.bit_bins * self.cycle_bins
+    }
+
+    /// The `[lo, hi)` bit range of a cell's row.
+    pub fn bit_range(&self, cell: usize) -> (u64, u64) {
+        let row = (cell / self.cycle_bins) as u128;
+        let bins = self.bit_bins as u128;
+        let bits = self.bits as u128;
+        ((row * bits / bins) as u64, ((row + 1) * bits / bins) as u64)
+    }
+
+    /// The `[lo, hi)` cycle range of a cell's column.
+    pub fn cycle_range(&self, cell: usize) -> (u64, u64) {
+        let col = (cell % self.cycle_bins) as u128;
+        let bins = self.cycle_bins as u128;
+        let cycles = self.cycles as u128;
+        (
+            (col * cycles / bins) as u64,
+            ((col + 1) * cycles / bins) as u64,
+        )
+    }
+
+    /// The fraction of the uniform fault population living in a cell.
+    pub fn population_mass(&self, cell: usize) -> f64 {
+        let (b_lo, b_hi) = self.bit_range(cell);
+        let (c_lo, c_hi) = self.cycle_range(cell);
+        ((b_hi - b_lo) as f64 / self.bits as f64) * ((c_hi - c_lo) as f64 / self.cycles as f64)
+    }
+
+    /// Total injections tallied.
+    pub fn total_runs(&self) -> u64 {
+        self.runs.iter().sum()
+    }
+
+    /// Total affected injections tallied.
+    pub fn total_affected(&self) -> u64 {
+        self.affected.iter().sum()
+    }
+
+    /// The grid as one JSON object — deterministic (pure tally content), so
+    /// two byte-equal documents mean bit-identical posterior state.
+    pub fn to_json(&self) -> String {
+        let list = |v: &[u64]| {
+            let mut out = String::from("[");
+            for (i, n) in v.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&n.to_string());
+            }
+            out.push(']');
+            out
+        };
+        format!(
+            "{{\"bits\":{},\"cycles\":{},\"bit_bins\":{},\"cycle_bins\":{},\
+             \"runs\":{},\"affected\":{}}}",
+            self.bits,
+            self.cycles,
+            self.bit_bins,
+            self.cycle_bins,
+            list(&self.runs),
+            list(&self.affected),
+        )
+    }
+}
+
 /// Hooks the campaign engine drives while a campaign executes.
 ///
 /// All methods have empty default bodies. Implementations must be cheap
@@ -281,6 +494,7 @@ pub struct MetricsCollector {
     class_labels: Vec<&'static str>,
     class_counts: Vec<AtomicU64>,
     classifier: Option<Box<Classifier>>,
+    site_grid: Option<SiteGrid>,
     post_inject_cycles: LatencyHistogram,
     wall_latency_us: LatencyHistogram,
 }
@@ -307,9 +521,27 @@ impl MetricsCollector {
             class_labels: Vec::new(),
             class_counts: Vec::new(),
             classifier: None,
+            site_grid: None,
             post_inject_cycles: LatencyHistogram::new(),
             wall_latency_us: LatencyHistogram::new(),
         }
+    }
+
+    /// A collector that additionally tallies every result into a
+    /// per-(bit-range × cycle-window) [`SiteGrid`] — the live posterior an
+    /// adaptive campaign driver reads between batches (see
+    /// [`grid_snapshot`](Self::grid_snapshot) and `crate::adaptive`).
+    pub fn with_site_grid(bits: u64, cycles: u64, bit_bins: usize, cycle_bins: usize) -> Self {
+        let mut c = Self::new();
+        c.site_grid = Some(SiteGrid::new(bits, cycles, bit_bins, cycle_bins));
+        c
+    }
+
+    /// A point-in-time copy of the posterior grid, if this collector has
+    /// one. Taken at a batch boundary (no runs in flight) the snapshot is a
+    /// deterministic function of the results recorded so far.
+    pub fn grid_snapshot(&self) -> Option<GridSnapshot> {
+        self.site_grid.as_ref().map(SiteGrid::snapshot)
     }
 
     /// A collector that additionally tallies a custom classification of
@@ -342,6 +574,9 @@ impl MetricsCollector {
             if let Some(slot) = self.class_counts.get(idx) {
                 slot.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if let Some(grid) = &self.site_grid {
+            grid.record(r);
         }
     }
 
@@ -1035,6 +1270,91 @@ mod tests {
     fn merging_two_tenants_panics() {
         let mut a = MetricsSnapshot::empty().with_campaign(1);
         a.merge(&MetricsSnapshot::empty().with_campaign(2));
+    }
+
+    #[test]
+    fn outcome_class_is_total_and_matches_the_effect_taxonomy() {
+        let mut r = result(RunOutcome::Completed, 5);
+        assert_eq!(outcome_class(&r), OutcomeClass::Masked);
+        r.output_matches = Some(false);
+        assert_eq!(outcome_class(&r), OutcomeClass::Sdc);
+        r.output_matches = None;
+        assert_eq!(outcome_class(&r), OutcomeClass::Masked);
+        for crash in [
+            RunOutcome::Trap(avgi_muarch::run::TrapKind::UndefinedInstruction),
+            RunOutcome::Watchdog,
+            RunOutcome::WallClockExpired,
+            RunOutcome::SimAbort,
+        ] {
+            let mut r = result(crash, 5);
+            r.output_matches = None;
+            assert_eq!(outcome_class(&r), OutcomeClass::Crash, "{crash:?}");
+        }
+        // Early stops classify by whether a deviation was observed.
+        let mut r = result(RunOutcome::ErtExpired, 5);
+        r.output_matches = None;
+        assert_eq!(outcome_class(&r), OutcomeClass::Masked);
+    }
+
+    #[test]
+    fn site_grid_cells_partition_the_population() {
+        let g = SiteGrid::new(1000, 400, 4, 5);
+        let snap = g.snapshot();
+        assert_eq!(snap.cells(), 20);
+        // Population masses over all cells sum to 1.
+        let total: f64 = (0..snap.cells()).map(|c| snap.population_mass(c)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "got {total}");
+        // Every site maps into the cell whose ranges contain it.
+        for &(bit, cycle) in &[(0, 0), (999, 399), (250, 80), (749, 320)] {
+            let cell = g.cell_of(bit, cycle);
+            let s = g.snapshot();
+            let (b_lo, b_hi) = s.bit_range(cell);
+            let (c_lo, c_hi) = s.cycle_range(cell);
+            assert!((b_lo..b_hi).contains(&bit), "bit {bit} cell {cell}");
+            assert!((c_lo..c_hi).contains(&cycle), "cycle {cycle} cell {cell}");
+        }
+    }
+
+    #[test]
+    fn site_grid_clamps_bins_to_tiny_axes() {
+        // A 3-bit structure cannot host 8 bit ranges; bins clamp, cells
+        // stay non-empty, and nothing panics.
+        let g = SiteGrid::new(3, 2, 8, 8);
+        let snap = g.snapshot();
+        assert_eq!(snap.bit_bins, 3);
+        assert_eq!(snap.cycle_bins, 2);
+        for cell in 0..snap.cells() {
+            let (b_lo, b_hi) = snap.bit_range(cell);
+            let (c_lo, c_hi) = snap.cycle_range(cell);
+            assert!(b_hi > b_lo && c_hi > c_lo, "empty cell {cell}");
+        }
+    }
+
+    #[test]
+    fn collector_grid_tallies_runs_and_affected() {
+        let c = MetricsCollector::with_site_grid(1 << 12, 1 << 10, 8, 8);
+        let mut masked = result(RunOutcome::Completed, 5);
+        masked.fault.site.bit = 100;
+        masked.fault.cycle = 10;
+        c.on_run(Structure::RegFile, &masked, Duration::ZERO);
+        let mut sdc = result(RunOutcome::Completed, 5);
+        sdc.fault.site.bit = 100;
+        sdc.fault.cycle = 10;
+        sdc.output_matches = Some(false);
+        // Resumed replays land in the grid exactly like fresh runs.
+        c.on_resumed(Structure::RegFile, &sdc);
+        let snap = c.grid_snapshot().expect("grid attached");
+        assert_eq!(snap.total_runs(), 2);
+        assert_eq!(snap.total_affected(), 1);
+        let cell = SiteGrid::new(1 << 12, 1 << 10, 8, 8).cell_of(100, 10);
+        assert_eq!(snap.runs[cell], 2);
+        assert_eq!(snap.affected[cell], 1);
+        // The JSON round-trips deterministic content.
+        let j = snap.to_json();
+        assert!(j.contains("\"bit_bins\":8"));
+        assert_eq!(snap, c.grid_snapshot().unwrap());
+        // A plain collector has no grid.
+        assert!(MetricsCollector::new().grid_snapshot().is_none());
     }
 
     #[test]
